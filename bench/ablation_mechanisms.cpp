@@ -1,0 +1,72 @@
+// Ablation (paper §7): end-user mapping vs the pre-ECS client-aware
+// mechanisms — metafile redirection (the circa-2000 video CDN) and HTTP
+// redirection — and plain NS-based DNS, priced over the same mapping
+// system for a sweep of object sizes. The paper's qualitative claims:
+// the redirect penalty "is acceptable only for larger downloads such as
+// media files and software downloads", while ECS "removes the overhead
+// of explicit client-LDNS discovery [and] avoids a redirection
+// performance penalty".
+#include "bench_common.h"
+
+#include "measure/alt_mechanisms.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("§7 ablation - routing mechanisms vs object size",
+                "redirects only pay off for large objects; ECS wins at every size");
+
+  const auto& world = bench::default_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 600);
+  cdn::MappingSystem mapping{&world, &network, &bench::default_latency(), cdn::MappingConfig{}};
+  const measure::RumConfig rum_config;
+
+  // Qualified population: public-resolver clients (where mechanisms differ).
+  std::vector<std::pair<topo::BlockId, topo::LdnsId>> pairs;
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      if (world.ldnses[use.ldns].type == topo::LdnsType::public_site) {
+        pairs.emplace_back(block.id, use.ldns);
+      }
+    }
+  }
+
+  const std::vector<std::pair<const char*, std::size_t>> objects{
+      {"API call (2 KB)", 2'000},
+      {"web page assets (100 KB)", 100'000},
+      {"image-heavy page (1 MB)", 1'000'000},
+      {"software download (50 MB)", 50'000'000},
+  };
+  const std::vector<measure::RoutingMechanism> mechanisms{
+      measure::RoutingMechanism::ns_dns, measure::RoutingMechanism::eu_dns,
+      measure::RoutingMechanism::http_redirect, measure::RoutingMechanism::metafile};
+
+  stats::Table table{"object", "NS-based DNS", "end-user DNS", "HTTP redirect",
+                     "metafile"};
+  for (const auto& [label, bytes] : objects) {
+    std::vector<std::string> row{label};
+    for (const auto mechanism : mechanisms) {
+      util::Rng rng{1234};
+      double total = 0.0;
+      int n = 0;
+      for (std::size_t i = 0; i < pairs.size(); i += std::max<std::size_t>(1, pairs.size() / 400)) {
+        const auto outcome = measure::price_download(mechanism, world, mapping,
+                                                     bench::default_latency(), pairs[i].first,
+                                                     pairs[i].second, bytes, rum_config, rng);
+        if (!outcome) continue;
+        total += outcome->total_ms();
+        ++n;
+      }
+      row.push_back(stats::num(total / n, 0) + " ms");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("(mean total delivery time over ~400 public-resolver clients)\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "reading: HTTP redirect loses to plain NS DNS on small objects (the 302\n"
+      "costs two extra round trips) and wins on large ones (the transfer runs\n"
+      "at the near server's RTT); end-user DNS gets the near server with no\n"
+      "penalty at all — the §7 case for the EDNS0 extension.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared setup for the figure-reproduction benches.
+//
+// Every bench binary regenerates one paper exhibit from the same default
+// world (seed 42, 50K /24 blocks — a 1:75 scale model of the paper's
+// 3.76M-block dataset). Worlds are deterministic, so figures are exactly
+// reproducible run to run. Set EUM_BLOCKS / EUM_SEED to rescale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "cdn/mapping.h"
+#include "measure/analysis.h"
+#include "measure/rum.h"
+#include "sim/rollout.h"
+#include "stats/table.h"
+#include "topo/world_gen.h"
+#include "util/strings.h"
+
+namespace eum::bench {
+
+inline topo::WorldGenConfig default_world_config() {
+  topo::WorldGenConfig config;
+  config.seed = 42;
+  config.target_blocks = 50'000;
+  config.target_ases = 2500;
+  config.ping_targets = 3000;
+  config.deployment_universe = 2642;
+  if (const char* blocks = std::getenv("EUM_BLOCKS")) {
+    config.target_blocks = std::strtoull(blocks, nullptr, 10);
+    config.target_ases = std::max<std::size_t>(100, config.target_blocks / 20);
+  }
+  if (const char* seed = std::getenv("EUM_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return config;
+}
+
+inline const topo::World& default_world() {
+  static const topo::World world = topo::generate_world(default_world_config());
+  return world;
+}
+
+inline const topo::LatencyModel& default_latency() {
+  static const topo::LatencyModel model{topo::LatencyParams{},
+                                        default_world_config().seed};
+  return model;
+}
+
+/// Print the standard bench banner.
+inline void banner(const char* figure, const char* paper_summary) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper: %s\n", paper_summary);
+  std::printf("world: %zu blocks, %zu LDNSes, seed %llu\n\n", default_world().blocks.size(),
+              default_world().ldnses.size(),
+              static_cast<unsigned long long>(default_world_config().seed));
+}
+
+/// One paper-vs-measured comparison line.
+inline void compare(const char* metric, double paper_value, double measured,
+                    const char* unit) {
+  std::printf("  %-44s paper %10.1f %-6s measured %10.1f %s\n", metric, paper_value, unit,
+              measured, unit);
+}
+
+/// The roll-out simulation shared by Figures 13-20: the paper's Jan 1 -
+/// Jun 30 2014 timeline with the Mar 28 - Apr 15 ramp, over a 600-cluster
+/// CDN. Runs once per bench binary.
+struct RolloutBundle {
+  std::unique_ptr<cdn::CdnNetwork> network;
+  std::unique_ptr<cdn::MappingSystem> mapping;
+  std::unique_ptr<measure::RumSimulator> rum;
+  sim::RolloutResult result;
+};
+
+inline const RolloutBundle& rollout_bundle() {
+  static const RolloutBundle bundle = [] {
+    const topo::World& world = default_world();
+    RolloutBundle b;
+    b.network = std::make_unique<cdn::CdnNetwork>(cdn::CdnNetwork::build(world, 600));
+    b.mapping = std::make_unique<cdn::MappingSystem>(&world, b.network.get(),
+                                                     &default_latency(), cdn::MappingConfig{});
+    b.rum = std::make_unique<measure::RumSimulator>(&world, b.mapping.get(),
+                                                    &default_latency());
+    sim::RolloutSimulator simulator{&world, b.rum.get(), sim::RolloutConfig{}};
+    b.result = simulator.run();
+    return b;
+  }();
+  return bundle;
+}
+
+/// Print a daily-mean time series as a sparse table (every `stride` days)
+/// for the two expectation groups.
+inline void print_timeline(const sim::RolloutResult& result,
+                           double sim::DailyMetrics::*metric, const char* unit,
+                           int stride = 7) {
+  stats::Table table{"date", std::string("high-exp (") + unit + ")",
+                     std::string("low-exp (") + unit + ")"};
+  for (std::size_t i = 0; i < result.high_daily.size(); i += static_cast<std::size_t>(stride)) {
+    table.add_row({util::to_string(result.high_daily[i].date),
+                   stats::num(result.high_daily[i].*metric, 1),
+                   stats::num(result.low_daily[i].*metric, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+/// Print before/after CDFs for one metric over both groups (the shared
+/// format of Figures 14/16/18/20).
+inline void print_cdfs(const sim::RolloutResult& result,
+                       stats::WeightedSample sim::MetricPools::*metric, const char* unit) {
+  stats::Table table{"percentile", "high before", "high after", "low before", "low after"};
+  for (const double q : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    table.add_row({stats::num(q, 0) + "%",
+                   stats::num((result.high_before.*metric).percentile(q), 1),
+                   stats::num((result.high_after.*metric).percentile(q), 1),
+                   stats::num((result.low_before.*metric).percentile(q), 1),
+                   stats::num((result.low_after.*metric).percentile(q), 1)});
+  }
+  std::printf("(values in %s)\n%s", unit, table.render().c_str());
+}
+
+}  // namespace eum::bench

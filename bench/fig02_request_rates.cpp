@@ -1,0 +1,44 @@
+// Figure 2: client requests served and DNS queries resolved by the
+// mapping system over a mid-January window (paper: ~30M requests/s and
+// ~1.6M DNS queries/s, a ~19:1 ratio).
+#include "bench_common.h"
+
+#include "sim/op_rates.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 2 - client requests and DNS queries per second",
+                "~30M client req/s vs ~1.6M DNS q/s over Jan 07-19; ~19 requests per query");
+
+  const auto series = sim::operational_rates(bench::default_world(), util::Date{2014, 1, 7},
+                                             util::Date{2014, 1, 20});
+  stats::Table table{"date", "client req/s (M)", "DNS queries/s (M)", "ratio"};
+  double req_sum = 0.0;
+  double dns_sum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    req_sum += series[i].client_requests_per_s;
+    dns_sum += series[i].dns_queries_per_s;
+    if ((i + 1) % 24 == 0) {  // daily mean
+      const auto date = util::date_from_day_index(static_cast<int>(series[i].time.days()));
+      table.add_row({util::to_string(date), stats::num(req_sum / 24 / 1e6, 2),
+                     stats::num(dns_sum / 24 / 1e6, 3),
+                     stats::num(req_sum / dns_sum, 1)});
+      req_sum = dns_sum = 0.0;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double mean_req = 0.0;
+  double mean_dns = 0.0;
+  for (const auto& p : series) {
+    mean_req += p.client_requests_per_s;
+    mean_dns += p.dns_queries_per_s;
+  }
+  mean_req /= static_cast<double>(series.size());
+  mean_dns /= static_cast<double>(series.size());
+  bench::compare("mean client requests per second (M)", 30.0, mean_req / 1e6, "M/s");
+  bench::compare("mean DNS queries per second (M)", 1.6, mean_dns / 1e6, "M/s");
+  bench::compare("requests per DNS query", 18.75, mean_req / mean_dns, "x");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 5: histogram of client-LDNS distance across the global Internet
+// (percent of client demand, log-scale distance axis 10..10000 miles).
+// Paper: nearly half of demand very close to its LDNS; a noteworthy bump
+// at 200-300 miles; a small transoceanic bump near 5000 miles.
+#include "bench_common.h"
+
+#include "stats/histogram.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 5 - client-LDNS distance histogram (all clients)",
+                "median 162 mi; mass at metro distances, bumps at ~250 and ~5000 mi");
+
+  const auto sample = measure::client_ldns_distance_sample(bench::default_world());
+  stats::LogHistogram histogram{10.0, 10000.0, 24};
+  // Re-accumulate into the histogram (the sample and histogram share the
+  // same demand weighting).
+  const auto& world = bench::default_world();
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      const double miles =
+          geo::great_circle_miles(block.location, world.ldnses[use.ldns].location);
+      histogram.add(miles, block.demand * use.fraction);
+    }
+  }
+  std::printf("distance (mi)            %% of client demand\n%s\n",
+              stats::render_histogram(histogram.bins(), histogram.total_weight()).c_str());
+
+  bench::compare("median client-LDNS distance", 162.0, sample.percentile(50), "mi");
+  bench::compare("demand within 100 mi of its LDNS (%)", 45.0, 100.0 * sample.cdf_at(100.0),
+                 "%");
+  bench::compare("demand beyond 4000 mi (transoceanic) (%)", 3.0,
+                 100.0 * (1.0 - sample.cdf_at(4000.0)), "%");
+  return 0;
+}

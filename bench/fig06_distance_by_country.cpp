@@ -1,0 +1,38 @@
+// Figure 6: client-LDNS distance box plots (5/25/50/75/95th percentiles)
+// for the top-25 countries by demand. Paper: IN/TR/VN/MX medians over
+// 1000 miles; KR/TW smallest; Western Europe in a small band; JP with a
+// small median but a heavy multinational-corporation tail.
+#include "bench_common.h"
+
+#include "topo/country_data.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 6 - client-LDNS distance by country (box plots)",
+                "IN/TR/VN/MX medians > 1000 mi; KR/TW smallest; JP heavy-tailed");
+
+  const auto& world = bench::default_world();
+  stats::Table table{"country", "p5", "p25", "median", "p75", "p95"};
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    measure::DistanceFilter filter;
+    filter.country = ci;
+    const auto sample = measure::client_ldns_distance_sample(world, filter);
+    if (sample.empty()) continue;
+    const stats::BoxPlot box = sample.box_plot();
+    table.add_row({world.countries[ci].code, stats::num(box.p5, 0), stats::num(box.p25, 0),
+                   stats::num(box.p50, 0), stats::num(box.p75, 0), stats::num(box.p95, 0)});
+  }
+  std::printf("(miles)\n%s\n", table.render().c_str());
+
+  const auto median_of = [&](const char* code) {
+    measure::DistanceFilter filter;
+    filter.country = topo::country_index(world.countries, code);
+    return measure::client_ldns_distance_sample(world, filter).percentile(50);
+  };
+  bench::compare("IN median (largest group)", 1250.0, median_of("IN"), "mi");
+  bench::compare("TR median", 1100.0, median_of("TR"), "mi");
+  bench::compare("KR median (smallest group)", 25.0, median_of("KR"), "mi");
+  bench::compare("TW median (smallest group)", 30.0, median_of("TW"), "mi");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7: client-LDNS distance histogram for clients of public
+// resolvers only. Paper: median 1028 miles (vs 162 overall) — the case
+// for end-user mapping.
+#include "bench_common.h"
+
+#include "stats/histogram.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 7 - client-LDNS distance, public-resolver clients",
+                "median 1028 mi for public-resolver users vs 162 mi overall");
+
+  const auto& world = bench::default_world();
+  stats::LogHistogram histogram{10.0, 10000.0, 24};
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      const auto& ldns = world.ldnses[use.ldns];
+      if (ldns.type != topo::LdnsType::public_site) continue;
+      histogram.add(geo::great_circle_miles(block.location, ldns.location),
+                    block.demand * use.fraction);
+    }
+  }
+  std::printf("distance (mi)            %% of public-resolver demand\n%s\n",
+              stats::render_histogram(histogram.bins(), histogram.total_weight()).c_str());
+
+  measure::DistanceFilter public_only;
+  public_only.public_only = true;
+  const auto pub = measure::client_ldns_distance_sample(world, public_only);
+  const auto all = measure::client_ldns_distance_sample(world);
+  bench::compare("median distance via public resolvers", 1028.0, pub.percentile(50), "mi");
+  bench::compare("median distance overall", 162.0, all.percentile(50), "mi");
+  bench::compare("public/overall median ratio", 1028.0 / 162.0,
+                 pub.percentile(50) / all.percentile(50), "x");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 8: client-LDNS distance box plots for public-resolver clients,
+// by country. Paper: AR and BR largest (no South American resolver
+// sites); SG/MY clients often detoured despite Singapore sites; Western
+// Europe / HK / TW comparatively close.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "topo/country_data.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 8 - public-resolver client-LDNS distance by country",
+                "AR/BR largest; SE-Asia detoured; EU/HK/TW closest; 12-country high half");
+
+  const auto& world = bench::default_world();
+  struct Row {
+    std::string code;
+    stats::BoxPlot box;
+  };
+  std::vector<Row> rows;
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    measure::DistanceFilter filter;
+    filter.country = ci;
+    filter.public_only = true;
+    const auto sample = measure::client_ldns_distance_sample(world, filter);
+    if (sample.empty()) continue;
+    rows.push_back({world.countries[ci].code, sample.box_plot()});
+  }
+  // The paper orders countries by decreasing median.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.box.p50 > b.box.p50; });
+
+  stats::Table table{"country", "p5", "p25", "median", "p75", "p95", "group"};
+  std::string high_group;
+  for (const Row& row : rows) {
+    const bool high = row.box.p50 > 1000.0;
+    if (high) high_group += row.code + " ";
+    table.add_row({row.code, stats::num(row.box.p5, 0), stats::num(row.box.p25, 0),
+                   stats::num(row.box.p50, 0), stats::num(row.box.p75, 0),
+                   stats::num(row.box.p95, 0), high ? "HIGH" : "low"});
+  }
+  std::printf("(miles, sorted by median)\n%s\n", table.render().c_str());
+  std::printf("high-expectation group (median > 1000 mi): %s\n", high_group.c_str());
+  std::printf("paper's high group:                        AR BR AU IN ID SG MY TH TR MX JP VN\n\n");
+
+  const auto median_of = [&](const char* code) {
+    for (const Row& row : rows) {
+      if (row.code == code) return row.box.p50;
+    }
+    return 0.0;
+  };
+  bench::compare("AR median (paper's largest)", 5000.0, median_of("AR"), "mi");
+  bench::compare("BR median", 4500.0, median_of("BR"), "mi");
+  bench::compare("TW median (paper's smallest)", 150.0, median_of("TW"), "mi");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: percent of client demand originating from public resolvers,
+// by country. Paper: VN and TR heaviest (~40%+); IN/BR/AR significant
+// despite huge distances; worldwide approaching 8%.
+#include "bench_common.h"
+
+#include <algorithm>
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 9 - public-resolver adoption by country",
+                "VN/TR heaviest (~40%+); worldwide demand share approaching 8%");
+
+  const auto& world = bench::default_world();
+  struct Row {
+    std::string code;
+    double share;
+  };
+  std::vector<Row> rows;
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    rows.push_back({world.countries[ci].code,
+                    100.0 * measure::public_resolver_share(world, ci)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.share > b.share; });
+
+  stats::Table table{"country", "% of demand from public resolvers"};
+  for (const Row& row : rows) table.add_row({row.code, stats::num(row.share, 1)});
+  std::printf("%s\n", table.render().c_str());
+
+  const auto share_of = [&](const char* code) {
+    for (const Row& row : rows) {
+      if (row.code == code) return row.share;
+    }
+    return 0.0;
+  };
+  bench::compare("worldwide public-resolver demand share", 8.0,
+                 100.0 * measure::public_resolver_share(world), "%");
+  bench::compare("VN share (heaviest)", 45.0, share_of("VN"), "%");
+  bench::compare("TR share", 40.0, share_of("TR"), "%");
+  bench::compare("KR share (lightest)", 1.5, share_of("KR"), "%");
+  return 0;
+}

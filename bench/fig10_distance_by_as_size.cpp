@@ -1,0 +1,52 @@
+// Figure 10: median client-LDNS distance as a function of AS size
+// (demand share buckets 2^-10 .. 2^-1 percent). Paper: small ASes have
+// much larger distances because they outsource their resolvers.
+#include "bench_common.h"
+
+#include <cmath>
+#include <map>
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 10 - client-LDNS distance vs AS size",
+                "small ASes outsource DNS: distances shrink as AS demand share grows");
+
+  const auto& world = bench::default_world();
+  // Per-AS distance samples, demand-weighted.
+  std::vector<stats::WeightedSample> per_as(world.ases.size());
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      per_as[block.as_index].add(
+          geo::great_circle_miles(block.location, world.ldnses[use.ldns].location),
+          block.demand * use.fraction);
+    }
+  }
+
+  // Bucket ASes by log2 of their demand share in percent (paper's x-axis).
+  std::map<int, stats::WeightedSample> buckets;
+  for (std::size_t ai = 0; ai < world.ases.size(); ++ai) {
+    if (per_as[ai].empty()) continue;
+    const double share_percent = world.ases[ai].demand_share * 100.0;
+    int bucket = static_cast<int>(std::floor(std::log2(std::max(share_percent, 1e-6))));
+    bucket = std::clamp(bucket, -10, -1);
+    buckets[bucket].add(per_as[ai].percentile(50), per_as[ai].total_weight());
+  }
+
+  stats::Table table{"AS demand share", "median client-LDNS distance (mi)", "ASes' demand"};
+  double small_median = 0.0;
+  double large_median = 0.0;
+  for (const auto& [bucket, sample] : buckets) {
+    table.add_row({util::format("2^%d %%", bucket), stats::num(sample.percentile(50), 0),
+                   stats::num(sample.total_weight(), 0)});
+    if (bucket == buckets.begin()->first) small_median = sample.percentile(50);
+    large_median = sample.percentile(50);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("smallest-AS bucket median", 1500.0, small_median, "mi");
+  bench::compare("largest-AS bucket median", 150.0, large_median, "mi");
+  std::printf("\nshape check: small-AS median should exceed large-AS median %s\n",
+              small_median > large_median ? "[OK]" : "[MISMATCH]");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 12: qualified RUM measurements per month, split into high/low
+// expectation groups. Paper: 33M growing to 58M per month, Jan-Jun 2014.
+#include "bench_common.h"
+
+#include "sim/op_rates.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 12 - RUM measurements per month",
+                "33M (Jan) growing to 58M (Jun); split by expectation group");
+
+  const auto& world = bench::default_world();
+  const auto high = measure::high_expectation_countries(world);
+  const auto months = sim::rum_measurement_volumes(world, high);
+
+  stats::Table table{"month", "high-exp (M)", "low-exp (M)", "total (M)"};
+  for (const auto& m : months) {
+    table.add_row({util::month_name(m.month), stats::num(m.high_expectation_millions, 1),
+                   stats::num(m.low_expectation_millions, 1),
+                   stats::num(m.high_expectation_millions + m.low_expectation_millions, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  double total = 0.0;
+  for (const auto& m : months) {
+    total += m.high_expectation_millions + m.low_expectation_millions;
+  }
+  bench::compare("total measurements Jan-Jun (M)", 273.0, total, "M");
+  bench::compare("June total (M)", 58.0,
+                 months.back().high_expectation_millions + months.back().low_expectation_millions,
+                 "M");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 13: daily mean mapping distance before/during/after the
+// end-user mapping roll-out (Mar 28 - Apr 15 2014). Paper: the
+// high-expectation group's mean fell from >2000 mi to ~250 mi; the low
+// group from ~400 to ~200 mi.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 13 - daily mean mapping distance during the roll-out",
+                "high-expectation mean 2000 -> 250 mi; low 400 -> 200 mi");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_timeline(result, &sim::DailyMetrics::mapping_distance_miles, "mi");
+
+  const double high_before = result.high_before.mapping_distance.mean();
+  const double high_after = result.high_after.mapping_distance.mean();
+  std::printf("\n");
+  bench::compare("high-exp mean before roll-out", 2000.0, high_before, "mi");
+  bench::compare("high-exp mean after roll-out", 250.0, high_after, "mi");
+  bench::compare("high-exp improvement factor", 8.0, high_before / high_after, "x");
+  bench::compare("low-exp mean before", 400.0, result.low_before.mapping_distance.mean(), "mi");
+  bench::compare("low-exp mean after", 200.0, result.low_after.mapping_distance.mean(), "mi");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 14: CDFs of mapping distance before vs after the roll-out for
+// both expectation groups. Paper: all percentiles improve; the
+// high-expectation 90th percentile drops from 4573 to 936 miles.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 14 - mapping distance CDFs before/after roll-out",
+                "high-exp 90th percentile: 4573 -> 936 mi; every percentile improves");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_cdfs(result, &sim::MetricPools::mapping_distance, "miles");
+
+  std::printf("\n");
+  bench::compare("high-exp p90 before", 4573.0,
+                 result.high_before.mapping_distance.percentile(90), "mi");
+  bench::compare("high-exp p90 after", 936.0,
+                 result.high_after.mapping_distance.percentile(90), "mi");
+  bool all_improve = true;
+  for (double q = 10; q <= 95; q += 5) {
+    all_improve = all_improve && result.high_after.mapping_distance.percentile(q) <=
+                                     result.high_before.mapping_distance.percentile(q) + 1.0;
+  }
+  std::printf("\nshape check: all percentiles improve %s\n", all_improve ? "[OK]" : "[MISMATCH]");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 15: daily mean client-server RTT during the roll-out. Paper:
+// high-expectation mean RTT fell from ~200 ms to ~100 ms (2x); the low
+// group improved modestly.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 15 - daily mean RTT during the roll-out",
+                "high-expectation mean RTT 200 -> 100 ms (2x)");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_timeline(result, &sim::DailyMetrics::rtt_ms, "ms");
+
+  std::printf("\n");
+  bench::compare("high-exp mean RTT before", 200.0, result.high_before.rtt.mean(), "ms");
+  bench::compare("high-exp mean RTT after", 100.0, result.high_after.rtt.mean(), "ms");
+  bench::compare("high-exp RTT improvement", 2.0,
+                 result.high_before.rtt.mean() / result.high_after.rtt.mean(), "x");
+  bench::compare("low-exp mean RTT before", 65.0, result.low_before.rtt.mean(), "ms");
+  bench::compare("low-exp mean RTT after", 55.0, result.low_after.rtt.mean(), "ms");
+  return 0;
+}

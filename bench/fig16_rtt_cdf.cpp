@@ -1,0 +1,17 @@
+// Figure 16: RTT CDFs before/after the roll-out. Paper: all percentiles
+// improve; high-expectation 75th percentile 220 -> 137 ms.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 16 - RTT CDFs before/after roll-out",
+                "high-exp p75: 220 -> 137 ms");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_cdfs(result, &sim::MetricPools::rtt, "ms");
+
+  std::printf("\n");
+  bench::compare("high-exp p75 RTT before", 220.0, result.high_before.rtt.percentile(75), "ms");
+  bench::compare("high-exp p75 RTT after", 137.0, result.high_after.rtt.percentile(75), "ms");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 17: daily mean time-to-first-byte during the roll-out. Paper:
+// high-expectation mean TTFB fell from ~1000 ms to ~700 ms — a 30%
+// improvement, smaller than RTT's because page construction time is not
+// affected by mapping.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 17 - daily mean TTFB during the roll-out",
+                "high-expectation mean TTFB 1000 -> 700 ms (30%)");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_timeline(result, &sim::DailyMetrics::ttfb_ms, "ms");
+
+  const double before = result.high_before.ttfb.mean();
+  const double after = result.high_after.ttfb.mean();
+  std::printf("\n");
+  bench::compare("high-exp mean TTFB before", 1000.0, before, "ms");
+  bench::compare("high-exp mean TTFB after", 700.0, after, "ms");
+  bench::compare("high-exp TTFB improvement", 30.0, 100.0 * (1.0 - after / before), "%");
+  return 0;
+}

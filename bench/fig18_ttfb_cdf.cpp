@@ -1,0 +1,19 @@
+// Figure 18: TTFB CDFs before/after the roll-out. Paper: high-exp 75th
+// percentile 1399 -> 1072 ms; low-exp 830 -> 667 ms.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 18 - TTFB CDFs before/after roll-out",
+                "p75 high: 1399 -> 1072 ms; p75 low: 830 -> 667 ms");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_cdfs(result, &sim::MetricPools::ttfb, "ms");
+
+  std::printf("\n");
+  bench::compare("high-exp p75 TTFB before", 1399.0, result.high_before.ttfb.percentile(75), "ms");
+  bench::compare("high-exp p75 TTFB after", 1072.0, result.high_after.ttfb.percentile(75), "ms");
+  bench::compare("low-exp p75 TTFB before", 830.0, result.low_before.ttfb.percentile(75), "ms");
+  bench::compare("low-exp p75 TTFB after", 667.0, result.low_after.ttfb.percentile(75), "ms");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 20: content download time CDFs before/after the roll-out.
+// Paper: p75 high: 272 -> 157 ms; p75 low: 192 -> 102 ms.
+#include "bench_common.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("Figure 20 - content download time CDFs before/after roll-out",
+                "p75 high: 272 -> 157 ms; p75 low: 192 -> 102 ms");
+  const auto& result = bench::rollout_bundle().result;
+  bench::print_cdfs(result, &sim::MetricPools::download, "ms");
+
+  std::printf("\n");
+  bench::compare("high-exp p75 download before", 272.0,
+                 result.high_before.download.percentile(75), "ms");
+  bench::compare("high-exp p75 download after", 157.0,
+                 result.high_after.download.percentile(75), "ms");
+  bench::compare("low-exp p75 download before", 192.0,
+                 result.low_before.download.percentile(75), "ms");
+  bench::compare("low-exp p75 download after", 102.0,
+                 result.low_after.download.percentile(75), "ms");
+  return 0;
+}

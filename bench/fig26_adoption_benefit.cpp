@@ -1,0 +1,90 @@
+// §4.5 (the paper's EDNS0-adoption extrapolation, presented as numbers in
+// prose rather than a numbered figure): among NON-public-resolver
+// clients, 6.2% of demand has its LDNS >= 1000 miles away (expect ~50%
+// RTT/download reduction if its ISP adopted ECS), 5.3% at 500-1000 miles
+// (~24%), and 54% has a local LDNS and would see no benefit.
+//
+// We both recompute the demand buckets from the world and *measure* the
+// per-bucket RTT improvement by mapping each bucket's sessions through
+// the real mapping system with NS-based vs end-user mapping.
+#include "bench_common.h"
+
+#include "util/rng.h"
+
+using namespace eum;
+
+int main() {
+  bench::banner("§4.5 - benefits of broader EDNS0 adoption (ISP resolvers)",
+                ">=1000mi: 6.2% of demand, ~50% RTT cut; 500-1000mi: 5.3%, ~24%; 54% local");
+
+  const auto& world = bench::default_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 600);
+  cdn::MappingSystem mapping{&world, &network, &bench::default_latency(), cdn::MappingConfig{}};
+  measure::RumSimulator rum{&world, &mapping, &bench::default_latency()};
+
+  struct Bucket {
+    const char* label;
+    double lo;
+    double hi;
+    double demand = 0.0;
+    double ns_rtt = 0.0;
+    double eu_rtt = 0.0;
+    std::size_t sessions = 0;
+  };
+  std::vector<Bucket> buckets{{"< 100 mi (local LDNS)", 0.0, 100.0},
+                              {"100 - 500 mi", 100.0, 500.0},
+                              {"500 - 1000 mi", 500.0, 1000.0},
+                              {">= 1000 mi", 1000.0, 1e9}};
+
+  util::Rng rng{99};
+  double nonpublic_demand = 0.0;
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      const auto& ldns = world.ldnses[use.ldns];
+      if (ldns.type == topo::LdnsType::public_site) continue;  // already rolled out
+      const double demand = block.demand * use.fraction;
+      nonpublic_demand += demand;
+      const double miles = geo::great_circle_miles(block.location, ldns.location);
+      for (Bucket& bucket : buckets) {
+        if (miles >= bucket.lo && miles < bucket.hi) {
+          bucket.demand += demand;
+          // Sample a fraction of pairs to keep the bench quick.
+          if (bucket.sessions < 4000 && rng.chance(0.25)) {
+            const auto ns = rum.session(block.id, use.ldns, false, rng);
+            const auto eu = rum.session(block.id, use.ldns, true, rng);
+            if (ns && eu) {
+              bucket.ns_rtt += ns->rtt_ms;
+              bucket.eu_rtt += eu->rtt_ms;
+              ++bucket.sessions;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  stats::Table table{"client-LDNS distance", "% of ISP-resolver demand", "RTT cut if ECS adopted"};
+  for (const Bucket& bucket : buckets) {
+    const double share = 100.0 * bucket.demand / nonpublic_demand;
+    const double cut = bucket.sessions > 0 ? 100.0 * (1.0 - bucket.eu_rtt / bucket.ns_rtt) : 0.0;
+    table.add_row({bucket.label, stats::num(share, 1) + "%", stats::num(cut, 0) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("demand with LDNS >= 1000 mi", 6.2,
+                 100.0 * buckets[3].demand / nonpublic_demand, "%");
+  bench::compare("demand with LDNS 500-1000 mi", 5.3,
+                 100.0 * buckets[2].demand / nonpublic_demand, "%");
+  bench::compare("demand with local LDNS (no benefit)", 54.0,
+                 100.0 * buckets[0].demand / nonpublic_demand, "%");
+  bench::compare("RTT cut for >= 1000 mi bucket", 50.0,
+                 buckets[3].sessions ? 100.0 * (1.0 - buckets[3].eu_rtt / buckets[3].ns_rtt)
+                                     : 0.0,
+                 "%");
+  bench::compare("RTT cut for 500-1000 mi bucket", 24.0,
+                 buckets[2].sessions ? 100.0 * (1.0 - buckets[2].eu_rtt / buckets[2].ns_rtt)
+                                     : 0.0,
+                 "%");
+  return 0;
+}

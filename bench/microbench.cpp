@@ -1,0 +1,285 @@
+// Microbenchmarks of the hot paths (google-benchmark): DNS wire codec,
+// name compression, prefix-trie lookups, resolver cache, mapping
+// decisions, and the local load balancer — plus the cache-affinity
+// ablation called out in DESIGN.md (rendezvous hashing vs random server
+// choice and its effect on per-server content spread).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "cdn/mapping.h"
+#include "dnsserver/resolver.h"
+#include "dnsserver/zone_file.h"
+#include "dnsserver/transport.h"
+#include "topo/world_gen.h"
+#include "topo/world_io.h"
+
+#include <sstream>
+#include "util/rng.h"
+
+namespace {
+
+using namespace eum;
+
+const topo::World& bench_world() {
+  static const topo::World world = [] {
+    topo::WorldGenConfig config;
+    config.seed = 5;
+    config.target_blocks = 8000;
+    config.target_ases = 300;
+    config.ping_targets = 800;
+    config.deployment_universe = 300;
+    return topo::generate_world(config);
+  }();
+  return world;
+}
+
+const topo::LatencyModel& bench_latency() {
+  static const topo::LatencyModel model{topo::LatencyParams{}, 5};
+  return model;
+}
+
+dns::Message sample_response() {
+  const auto ecs = dns::ClientSubnetOption::for_query(*net::IpAddr::parse("203.0.113.7"), 24);
+  dns::Message response = dns::Message::make_response(dns::Message::make_query(
+      7, dns::DnsName::from_text("e123.g.cdn.example"), dns::RecordType::A, ecs));
+  for (int i = 0; i < 2; ++i) {
+    response.answers.push_back(dns::ResourceRecord{
+        dns::DnsName::from_text("e123.g.cdn.example"), dns::RecordType::A,
+        dns::RecordClass::IN, 20,
+        dns::ARecord{net::IpV4Addr{203, 0, 0, static_cast<std::uint8_t>(i + 1)}}});
+  }
+  response.edns->set_client_subnet(ecs.with_scope(24));
+  return response;
+}
+
+void BM_DnsEncode(benchmark::State& state) {
+  const dns::Message message = sample_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(message.encode());
+  }
+}
+BENCHMARK(BM_DnsEncode);
+
+void BM_DnsDecode(benchmark::State& state) {
+  const auto wire = sample_response().encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Message::decode(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_DnsDecode);
+
+void BM_NameCompressionEncode(benchmark::State& state) {
+  // A message with many names sharing suffixes: compression-heavy.
+  dns::Message message;
+  message.header.is_response = true;
+  for (int i = 0; i < 12; ++i) {
+    message.answers.push_back(dns::ResourceRecord{
+        dns::DnsName::from_text("e" + std::to_string(i) + ".g.cdn.example"),
+        dns::RecordType::CNAME, dns::RecordClass::IN, 60,
+        dns::CnameRecord{dns::DnsName::from_text("target.g.cdn.example")}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(message.encode());
+  }
+}
+BENCHMARK(BM_NameCompressionEncode);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  util::Rng rng{11};
+  std::vector<net::IpAddr> probes;
+  for (int i = 0; i < 1024; ++i) {
+    const auto& block = world.blocks[rng.below(world.blocks.size())];
+    probes.emplace_back(net::IpV4Addr{block.prefix.address().v4().value() + 5});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.geodb.lookup(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_MappingDecisionEndUser(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  static cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 200);
+  static cdn::MappingSystem mapping{&world, &network, &bench_latency(), cdn::MappingConfig{}};
+  util::Rng rng{12};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto block = static_cast<topo::BlockId>((i++ * 2654435761U) % world.blocks.size());
+    benchmark::DoNotOptimize(mapping.map_block(block, "www.shop.example"));
+  }
+}
+BENCHMARK(BM_MappingDecisionEndUser);
+
+void BM_MappingDecisionNsBased(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  static cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 200);
+  static cdn::MappingSystem mapping{&world, &network, &bench_latency(), cdn::MappingConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto ldns = static_cast<topo::LdnsId>((i++ * 2654435761U) % world.ldnses.size());
+    benchmark::DoNotOptimize(mapping.map_ldns(ldns, "www.shop.example"));
+  }
+}
+BENCHMARK(BM_MappingDecisionNsBased);
+
+void BM_ResolverCacheHit(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  static cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 200);
+  static cdn::MappingSystem mapping{&world, &network, &bench_latency(), cdn::MappingConfig{}};
+  static dnsserver::AuthoritativeServer authority = [] {
+    dnsserver::AuthoritativeServer server;
+    server.add_dynamic_domain(dns::DnsName::from_text("g.cdn.example"), mapping.dns_handler());
+    return server;
+  }();
+  static dnsserver::AuthorityDirectory directory = [] {
+    dnsserver::AuthorityDirectory d;
+    d.add_authority(dns::DnsName::from_text("g.cdn.example"), &authority);
+    return d;
+  }();
+  util::SimClock clock;
+  dnsserver::ResolverConfig config;
+  config.ecs_enabled = true;
+  dnsserver::RecursiveResolver resolver{config, &clock, &directory,
+                                        world.ldnses.front().address};
+  const auto query =
+      dns::Message::make_query(1, dns::DnsName::from_text("www.g.cdn.example"),
+                               dns::RecordType::A);
+  const net::IpAddr client{net::IpV4Addr{world.blocks.front().prefix.address().v4().value() + 1}};
+  (void)resolver.resolve(query, client);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(query, client));
+  }
+}
+BENCHMARK(BM_ResolverCacheHit);
+
+void BM_WorldGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::WorldGenConfig config;
+    config.seed = 77;
+    config.target_blocks = static_cast<std::size_t>(state.range(0));
+    config.target_ases = std::max<std::size_t>(50, config.target_blocks / 33);
+    config.ping_targets = 300;
+    config.deployment_universe = 100;
+    benchmark::DoNotOptimize(topo::generate_world(config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorldGeneration)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_PingMesh(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  const cdn::CdnNetwork network = cdn::CdnNetwork::build(world, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdn::PingMesh::measure(world, network, bench_latency()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(world.ping_targets.size()));
+}
+BENCHMARK(BM_PingMesh)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// Ablation: rendezvous hashing vs random-2 server choice. The metric that
+// matters for a CDN cluster is how many distinct servers a domain's
+// objects land on (cache duplication); rendezvous keeps it at 2.
+void BM_LocalLbRendezvousSpread(benchmark::State& state) {
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(bench_world(), 1, 16);
+  cdn::Deployment& cluster = network.deployments()[0];
+  const cdn::LocalLoadBalancer lb{2};
+  std::size_t spread_total = 0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    std::set<std::uint32_t> servers;
+    for (int rep = 0; rep < 50; ++rep) {  // 50 requests for the same domain
+      for (const auto& addr : lb.pick_servers(cluster, "assets.media.example")) {
+        servers.insert(addr.v4().value());
+      }
+    }
+    spread_total += servers.size();
+    ++rounds;
+    benchmark::DoNotOptimize(servers);
+  }
+  state.counters["servers_per_domain"] =
+      static_cast<double>(spread_total) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_LocalLbRendezvousSpread);
+
+void BM_LocalLbRandomSpread(benchmark::State& state) {
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(bench_world(), 1, 16);
+  cdn::Deployment& cluster = network.deployments()[0];
+  util::Rng rng{13};
+  std::size_t spread_total = 0;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    std::set<std::uint32_t> servers;
+    for (int rep = 0; rep < 50; ++rep) {
+      for (int k = 0; k < 2; ++k) {
+        servers.insert(cluster.servers[rng.below(cluster.servers.size())].address.value());
+      }
+    }
+    spread_total += servers.size();
+    ++rounds;
+    benchmark::DoNotOptimize(servers);
+  }
+  state.counters["servers_per_domain"] =
+      static_cast<double>(spread_total) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_LocalLbRandomSpread);
+
+void BM_ZoneFileParse(benchmark::State& state) {
+  std::string text = "$ORIGIN perf.example.\n$TTL 300\n@ SOA ns1 host 1 3600 600 86400 30\n";
+  for (int i = 0; i < 200; ++i) {
+    text += "h" + std::to_string(i) + " A 10.0." + std::to_string(i / 250) + "." +
+            std::to_string(i % 250 + 1) + "\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dnsserver::parse_zone_file(text));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_ZoneFileParse);
+
+void BM_TwoTierResolution(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  static cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 200);
+  static cdn::MappingSystem mapping{&world, &network, &bench_latency(), cdn::MappingConfig{}};
+  static dnsserver::AuthoritativeServer top;
+  static dnsserver::AuthoritativeServer low;
+  static dnsserver::AuthorityDirectory directory = [] {
+    dnsserver::AuthorityDirectory d;
+    mapping.install_two_tier(d, top, low, dns::DnsName::from_text("b.cdn.example"));
+    return d;
+  }();
+  util::SimClock clock;
+  dnsserver::ResolverConfig config;
+  dnsserver::RecursiveResolver resolver{config, &clock, &directory,
+                                        world.ldnses.front().address};
+  const net::IpAddr client{net::IpV4Addr{world.blocks.front().prefix.address().v4().value() + 1}};
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    // Fresh name each iteration: full delegation chase, no cache hit.
+    const auto query = dns::Message::make_query(
+        1, dns::DnsName::from_text("e" + std::to_string(serial++) + ".b.cdn.example"),
+        dns::RecordType::A);
+    benchmark::DoNotOptimize(resolver.resolve(query, client));
+  }
+}
+BENCHMARK(BM_TwoTierResolution);
+
+void BM_WorldSaveLoad(benchmark::State& state) {
+  const topo::World& world = bench_world();
+  for (auto _ : state) {
+    std::stringstream stream;
+    topo::save_world(world, stream);
+    benchmark::DoNotOptimize(topo::load_world(stream));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(world.blocks.size()));
+}
+BENCHMARK(BM_WorldSaveLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

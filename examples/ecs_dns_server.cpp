@@ -1,0 +1,120 @@
+// ecs_dns_server: a real, ECS-aware authoritative DNS server over UDP.
+//
+// It stands up the full mapping system over a synthetic world and serves
+// the CDN domain `g.cdn.example` on localhost. Queries carrying an EDNS0
+// client-subnet option are answered with end-user mapping (servers near
+// the announced client block, ECS scope echoed); queries without ECS get
+// NS-based mapping keyed on... the source address, which for a real
+// socket is 127.0.0.1, so the server also answers TXT queries for
+// `whoami.g.cdn.example` reporting what it saw — the same trick as
+// Akamai's whoami.akamai.net (paper §3.1).
+//
+// Usage: ecs_dns_server [port]
+//   (port 0 = ephemeral; the bound port is printed)
+//
+// Try it with dig:
+//   dig @127.0.0.1 -p <port> www.g.cdn.example A +subnet=1.0.3.0/24
+//   dig @127.0.0.1 -p <port> whoami.g.cdn.example TXT
+//
+// If no query arrives for 30 seconds the server exits (so the example is
+// safe to run unattended); it first demonstrates itself by sending two
+// queries through its own UdpDnsClient.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "cdn/mapping.h"
+#include "dnsserver/udp.h"
+#include "topo/world_gen.h"
+
+using namespace eum;
+using namespace std::chrono_literals;
+
+int main(int argc, char** argv) {
+  const auto port = static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 0);
+
+  // World + CDN + mapping system.
+  topo::WorldGenConfig world_config;
+  world_config.target_blocks = 20'000;
+  world_config.target_ases = 900;
+  world_config.ping_targets = 1500;
+  const topo::World world = topo::generate_world(world_config);
+  const topo::LatencyModel latency{topo::LatencyParams{}, world_config.seed};
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 400);
+  cdn::MappingSystem mapping{&world, &network, &latency, cdn::MappingConfig{}};
+
+  // Authoritative engine: the mapping system behind g.cdn.example, plus a
+  // whoami TXT responder. Unknown resolvers (like 127.0.0.1) fall back to
+  // a default LDNS so interactive dig queries still get answers.
+  dnsserver::AuthoritativeServer engine;
+  const topo::Ldns& fallback_ldns = world.ldnses.front();
+  auto inner = mapping.dns_handler();
+  engine.add_dynamic_domain(
+      dns::DnsName::from_text("g.cdn.example"),
+      [&, inner](const dnsserver::DynamicQuery& query)
+          -> std::optional<dnsserver::DynamicAnswer> {
+        dnsserver::DynamicQuery patched = query;
+        if (world.ldns_by_address(query.resolver) == nullptr) {
+          patched.resolver = fallback_ldns.address;
+        }
+        return inner(patched);
+      });
+  engine.add_zone([&] {
+    dns::SoaRecord soa;
+    soa.mname = dns::DnsName::from_text("ns1.whoami.example");
+    soa.minimum = 0;
+    return dnsserver::Zone{dns::DnsName::from_text("whoami.example"), soa};
+  }());
+
+  dnsserver::UdpAuthorityServer server{&engine,
+                                       dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port}};
+  const auto endpoint = server.endpoint();
+  std::printf("ecs_dns_server listening on 127.0.0.1:%u\n", endpoint.port);
+  std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
+              endpoint.port);
+
+  std::atomic<bool> stop{false};
+  std::thread serving{[&] {
+    // Exit after 30 idle seconds.
+    int idle_polls = 0;
+    while (!stop.load(std::memory_order_relaxed) && idle_polls < 600) {
+      idle_polls = server.serve_once(50ms) ? 0 : idle_polls + 1;
+    }
+    stop = true;
+  }};
+
+  // Self-demonstration: one plain and one ECS query over the real socket.
+  {
+    dnsserver::UdpDnsClient client;
+    const auto qname = dns::DnsName::from_text("www.g.cdn.example");
+
+    const auto plain = client.query(dns::Message::make_query(1, qname, dns::RecordType::A),
+                                    endpoint, 2000ms);
+    if (plain && !plain->answers.empty()) {
+      std::printf("plain query      -> %s (NS-based mapping for fallback LDNS %s)\n",
+                  plain->answer_addresses()[0].to_string().c_str(),
+                  fallback_ldns.address.to_string().c_str());
+    }
+
+    // Announce the first client block of the world via ECS.
+    const net::IpAddr some_client{
+        net::IpV4Addr{world.blocks[123].prefix.address().v4().value() + 9}};
+    const auto ecs = dns::ClientSubnetOption::for_query(some_client, 24);
+    const auto scoped = client.query(
+        dns::Message::make_query(2, qname, dns::RecordType::A, ecs), endpoint, 2000ms);
+    if (scoped && !scoped->answers.empty()) {
+      const auto* echoed = scoped->client_subnet();
+      std::printf("ECS %s/24 query -> %s (end-user mapping; scope /%d echoed)\n",
+                  some_client.to_string().c_str(),
+                  scoped->answer_addresses()[0].to_string().c_str(),
+                  echoed != nullptr ? echoed->scope_prefix_len() : -1);
+    }
+  }
+
+  std::printf("\nserving until 30 s of idle time pass (Ctrl-C to quit sooner)...\n");
+  serving.join();
+  std::printf("server exiting; %llu queries handled\n",
+              static_cast<unsigned long long>(engine.stats().queries));
+  return 0;
+}

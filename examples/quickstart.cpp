@@ -1,0 +1,105 @@
+// Quickstart: generate a world, stand up the CDN and its mapping system,
+// and resolve a CDN-hosted domain end to end over the DNS stack — first
+// through an ISP resolver (NS-based mapping), then through an ECS-capable
+// public resolver (end-user mapping) — and compare the resulting
+// client-server distances.
+#include <cstdio>
+
+#include "cdn/mapping.h"
+#include "dnsserver/transport.h"
+#include "measure/analysis.h"
+#include "topo/world_gen.h"
+#include "util/strings.h"
+
+using namespace eum;
+
+int main() {
+  // 1. A small synthetic Internet (the paper's world: clients, LDNSes,
+  //    demand, geography). Deterministic in the seed.
+  topo::WorldGenConfig world_config;
+  world_config.seed = 42;
+  world_config.target_blocks = 20'000;
+  world_config.target_ases = 800;
+  world_config.ping_targets = 1500;
+  const topo::World world = topo::generate_world(world_config);
+
+  std::printf("world: %zu blocks, %zu ASes, %zu LDNSes, %zu ping targets\n",
+              world.blocks.size(), world.ases.size(), world.ldnses.size(),
+              world.ping_targets.size());
+
+  const auto all = measure::client_ldns_distance_sample(world);
+  measure::DistanceFilter public_filter;
+  public_filter.public_only = true;
+  const auto pub = measure::client_ldns_distance_sample(world, public_filter);
+  std::printf("client-LDNS distance median: %.0f mi overall, %.0f mi via public resolvers\n",
+              all.percentile(50), pub.percentile(50));
+  std::printf("demand via public resolvers: %.1f%%\n",
+              100.0 * measure::public_resolver_share(world));
+
+  // 2. The CDN: clusters at 300 deployment locations + the mapping system.
+  const topo::LatencyModel latency{world_config.latency, world_config.seed};
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 300);
+  cdn::MappingConfig mapping_config;
+  mapping_config.policy = cdn::MappingPolicy::end_user;
+  cdn::MappingSystem mapping{&world, &network, &latency, mapping_config};
+
+  // 3. DNS plumbing: an authoritative server answering for the CDN's
+  //    domain out of the mapping system, and two recursive resolvers.
+  dnsserver::AuthoritativeServer authority;
+  const auto cdn_domain = dns::DnsName::from_text("www.example-shop.cdn.example");
+  authority.add_dynamic_domain(dns::DnsName::from_text("cdn.example"), mapping.dns_handler());
+  dnsserver::AuthorityDirectory directory;
+  directory.add_authority(dns::DnsName::from_text("cdn.example"), &authority);
+
+  // Pick a client block that uses a public resolver and is far from it.
+  const topo::ClientBlock* client_block = nullptr;
+  const topo::Ldns* public_ldns = nullptr;
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      const topo::Ldns& ldns = world.ldnses[use.ldns];
+      if (ldns.type == topo::LdnsType::public_site &&
+          geo::great_circle_miles(block.location, ldns.location) > 2000.0) {
+        client_block = &block;
+        public_ldns = &ldns;
+        break;
+      }
+    }
+    if (client_block != nullptr) break;
+  }
+  if (client_block == nullptr) {
+    std::printf("no suitably distant public-resolver client found\n");
+    return 1;
+  }
+
+  util::SimClock clock;
+  const net::IpAddr client{net::IpV4Addr{client_block->prefix.address().v4().value() + 7}};
+
+  const auto resolve_via = [&](bool ecs_enabled, const net::IpAddr& resolver_addr) {
+    dnsserver::ResolverConfig config;
+    config.ecs_enabled = ecs_enabled;
+    dnsserver::RecursiveResolver resolver{config, &clock, &directory, resolver_addr};
+    dnsserver::StubClient stub{&resolver, client};
+    return stub.lookup(cdn_domain);
+  };
+
+  std::printf("\nclient %s (%s), public LDNS %s at %.0f mi\n",
+              client.to_string().c_str(),
+              world.countries[client_block->country].code.c_str(),
+              public_ldns->address.to_string().c_str(),
+              geo::great_circle_miles(client_block->location, public_ldns->location));
+
+  for (const bool ecs : {false, true}) {
+    const auto servers = resolve_via(ecs, public_ldns->address);
+    if (servers.empty()) {
+      std::printf("  resolution failed\n");
+      continue;
+    }
+    const cdn::Deployment* deployment = network.deployment_of(servers.front());
+    const double miles =
+        geo::great_circle_miles(client_block->location, deployment->location);
+    std::printf("  %-22s -> server %-15s  (cluster %u, %4.0f mi from client)\n",
+                ecs ? "end-user mapping (ECS)" : "NS-based mapping",
+                servers.front().to_string().c_str(), deployment->id, miles);
+  }
+  return 0;
+}

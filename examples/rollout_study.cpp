@@ -1,0 +1,64 @@
+// rollout_study: replay the paper's §4 roll-out on a configurable world
+// and print a compact report of what clients experienced — the example a
+// CDN operator would run before flipping on end-user mapping.
+//
+// Usage: rollout_study [seed] [blocks] [deployments]
+#include <cstdio>
+#include <cstdlib>
+
+#include "measure/rum.h"
+#include "sim/rollout.h"
+#include "stats/table.h"
+#include "topo/world_gen.h"
+#include "util/strings.h"
+
+using namespace eum;
+
+int main(int argc, char** argv) {
+  topo::WorldGenConfig world_config;
+  world_config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  world_config.target_blocks = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 25'000;
+  world_config.target_ases = world_config.target_blocks / 20;
+  world_config.ping_targets = 2000;
+  const std::size_t deployments = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500;
+
+  const topo::World world = topo::generate_world(world_config);
+  const topo::LatencyModel latency{topo::LatencyParams{}, world_config.seed};
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, deployments);
+  cdn::MappingSystem mapping{&world, &network, &latency, cdn::MappingConfig{}};
+  measure::RumSimulator rum{&world, &mapping, &latency};
+
+  sim::RolloutConfig config;
+  config.sessions_per_day = 800;
+  sim::RolloutSimulator simulator{&world, &rum, config};
+  std::printf("simulating the %s .. %s roll-out (ramp %s .. %s) over %zu deployments...\n\n",
+              util::to_string(config.start).c_str(), util::to_string(config.end).c_str(),
+              util::to_string(config.ramp_start).c_str(),
+              util::to_string(config.ramp_end).c_str(), deployments);
+  const sim::RolloutResult result = simulator.run();
+
+  const auto report = [&](const char* group, const sim::MetricPools& before,
+                          const sim::MetricPools& after) {
+    stats::Table table{"metric", "before", "after", "change"};
+    const auto row = [&](const char* name, const stats::WeightedSample& b,
+                         const stats::WeightedSample& a, const char* unit) {
+      table.add_row({name, stats::num(b.mean(), 1) + " " + unit,
+                     stats::num(a.mean(), 1) + " " + unit,
+                     stats::num(100.0 * (1.0 - a.mean() / b.mean()), 1) + "%"});
+    };
+    row("mapping distance", before.mapping_distance, after.mapping_distance, "mi");
+    row("round-trip time", before.rtt, after.rtt, "ms");
+    row("time to first byte", before.ttfb, after.ttfb, "ms");
+    row("content download time", before.download, after.download, "ms");
+    std::printf("%s group:\n%s\n", group, table.render().c_str());
+  };
+  report("high-expectation", result.high_before, result.high_after);
+  report("low-expectation", result.low_before, result.low_after);
+
+  std::printf("high-expectation countries: ");
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    if (result.high_expectation[ci]) std::printf("%s ", world.countries[ci].code.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// World report: inspect a generated world against the paper's published
+// aggregates (§3). Useful both as an example of the analysis API and as
+// the calibration harness used while fitting the generator's knobs.
+//
+// Usage: world_report [seed] [blocks] [--save path]
+//        world_report --load path
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "measure/analysis.h"
+#include "stats/table.h"
+#include "topo/world_gen.h"
+#include "topo/world_io.h"
+#include "util/strings.h"
+
+using namespace eum;
+
+int main(int argc, char** argv) {
+  // --load short-circuits generation: report on a saved world.
+  if (argc >= 3 && std::strcmp(argv[1], "--load") == 0) {
+    const topo::World world = topo::load_world_file(argv[2]);
+    std::printf("loaded world from %s: %zu blocks, %zu LDNSes\n\n", argv[2],
+                world.blocks.size(), world.ldnses.size());
+    const auto all = measure::client_ldns_distance_sample(world);
+    std::printf("client-LDNS distance median %.0f mi; public share %.1f%%\n",
+                all.percentile(50), 100.0 * measure::public_resolver_share(world));
+    return 0;
+  }
+
+  topo::WorldGenConfig config;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  config.target_blocks = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50'000;
+  config.target_ases = config.target_blocks / 20;
+  config.ping_targets = 2000;
+  const topo::World world = topo::generate_world(config);
+  if (argc >= 5 && std::strcmp(argv[3], "--save") == 0) {
+    topo::save_world_file(world, argv[4]);
+    std::printf("world saved to %s\n\n", argv[4]);
+  }
+
+  std::printf("world: %zu blocks, %zu ASes, %zu LDNSes, total demand %.0f\n\n",
+              world.blocks.size(), world.ases.size(), world.ldnses.size(),
+              world.total_demand());
+
+  const auto all = measure::client_ldns_distance_sample(world);
+  measure::DistanceFilter public_only;
+  public_only.public_only = true;
+  const auto pub = measure::client_ldns_distance_sample(world, public_only);
+  std::printf("client-LDNS distance  median(all) %.0f mi [paper 162]   median(public) %.0f mi [paper 1028]\n",
+              all.percentile(50), pub.percentile(50));
+  std::printf("public resolver share %.1f%% [paper ~8%%]\n\n",
+              100.0 * measure::public_resolver_share(world));
+
+  const auto high = measure::high_expectation_countries(world);
+  stats::Table table{"country", "med all", "p75 all", "p95 all", "med pub", "pub %", "group"};
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    measure::DistanceFilter f_all;
+    f_all.country = ci;
+    measure::DistanceFilter f_pub;
+    f_pub.country = ci;
+    f_pub.public_only = true;
+    const auto sample_all = measure::client_ldns_distance_sample(world, f_all);
+    const auto sample_pub = measure::client_ldns_distance_sample(world, f_pub);
+    table.add_row({world.countries[ci].code, stats::num(sample_all.percentile(50), 0),
+                   stats::num(sample_all.percentile(75), 0),
+                   stats::num(sample_all.percentile(95), 0),
+                   sample_pub.empty() ? "-" : stats::num(sample_pub.percentile(50), 0),
+                   stats::num(100.0 * measure::public_resolver_share(world, ci), 1),
+                   high[ci] ? "HIGH" : "low"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto blocks_curve = measure::block_coverage(world);
+  const auto ldns_curve = measure::ldns_coverage(world);
+  std::printf("coverage: 50%% of demand <- %.1f%% of blocks [paper 11.4%%], %.2f%% of LDNS [paper 0.31%%]\n",
+              100.0 * static_cast<double>(blocks_curve.units_for_fraction(0.5)) /
+                  static_cast<double>(world.blocks.size()),
+              100.0 * static_cast<double>(ldns_curve.units_for_fraction(0.5)) /
+                  static_cast<double>(ldns_curve.sorted_demand.size()));
+  std::printf("coverage: 95%% of demand <- %.1f%% of blocks [paper 58.5%%], %.2f%% of LDNS [paper 4.3%%]\n",
+              100.0 * static_cast<double>(blocks_curve.units_for_fraction(0.95)) /
+                  static_cast<double>(world.blocks.size()),
+              100.0 * static_cast<double>(ldns_curve.units_for_fraction(0.95)) /
+                  static_cast<double>(ldns_curve.sorted_demand.size()));
+
+  const std::size_t bgp_units = measure::bgp_aggregated_unit_count(world);
+  std::printf("BGP aggregation: %zu /24 blocks -> %zu units (%.1f:1) [paper 3.76M -> 444K, 8.5:1]\n",
+              world.blocks.size(), bgp_units,
+              static_cast<double>(world.blocks.size()) / static_cast<double>(bgp_units));
+
+  const auto sweep20 = measure::prefix_clusters(world, 20);
+  std::printf("/20 clusters: %zu, radius<=100mi for %.1f%% of demand [paper 87.3%%]\n",
+              sweep20.cluster_count, 100.0 * sweep20.radii.cdf_at(100.0));
+
+  const auto clusters = measure::ldns_clusters(world);
+  stats::WeightedSample radius_all;
+  stats::WeightedSample radius_pub;
+  for (const auto& [ldns_id, cs] : clusters) {
+    radius_all.add(cs.radius_miles, cs.demand);
+    if (world.ldnses[ldns_id].type == topo::LdnsType::public_site) {
+      radius_pub.add(cs.radius_miles, cs.demand);
+    }
+  }
+  std::printf("cluster radius median: all %.0f mi, public %.0f mi (public p1 %.0f, p99 %.0f) [paper: public 99%% in 470..3800]\n",
+              radius_all.percentile(50), radius_pub.percentile(50), radius_pub.percentile(1),
+              radius_pub.percentile(99));
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerate every paper figure and the ablations into figures_out/.
+# Usage: scripts/regen_figures.sh [build-dir]
+set -eu
+BUILD="${1:-build}"
+OUT="figures_out"
+mkdir -p "$OUT"
+for bench in "$BUILD"/bench/*; do
+  name="$(basename "$bench")"
+  [ "$name" = microbench ] && continue
+  echo "== $name"
+  "$bench" > "$OUT/$name.txt"
+done
+echo "figures written to $OUT/"

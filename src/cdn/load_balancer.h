@@ -1,0 +1,80 @@
+// Two-level load balancing (paper §2.2, "Server Assignment").
+//
+// Global load balancing assigns a server *cluster* to each mapping unit,
+// combining the scoring candidates with liveness and capacity. Local load
+// balancing then picks servers *within* the cluster via rendezvous
+// (highest-random-weight) hashing on the domain name — the cache-affinity
+// property: the same domain lands on the same servers of a cluster, so a
+// cluster stores each object on few disks. Two or more servers are
+// returned "as additional precaution against transient failures" (§1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cdn/network.h"
+#include "cdn/ping_mesh.h"
+#include "cdn/scoring.h"
+
+namespace eum::cdn {
+
+struct GlobalLbConfig {
+  /// When true, clusters loaded beyond capacity are skipped and load is
+  /// tracked per assignment.
+  bool load_aware = true;
+  /// A cluster is considered full at load >= overload_factor * capacity.
+  double overload_factor = 1.0;
+};
+
+class GlobalLoadBalancer {
+ public:
+  /// `network`, `scoring` and `mesh` are borrowed and must outlive the LB.
+  GlobalLoadBalancer(CdnNetwork* network, const Scoring* scoring, const PingMesh* mesh,
+                     GlobalLbConfig config = {});
+
+  /// Choose a cluster for a ping-target mapping unit (EU / NS units),
+  /// charging `load_units` to it. Falls back to a full mesh-column scan
+  /// when every precomputed candidate is dead or full; returns nullopt
+  /// only when no live cluster has spare capacity.
+  [[nodiscard]] std::optional<DeploymentId> assign_for_target(topo::PingTargetId target,
+                                                              double load_units);
+
+  /// Same for an LDNS client-cluster unit (CANS).
+  [[nodiscard]] std::optional<DeploymentId> assign_for_cluster(topo::LdnsId ldns,
+                                                               double load_units);
+
+ private:
+  [[nodiscard]] bool usable(const Deployment& d, double load_units) const noexcept;
+  [[nodiscard]] std::optional<DeploymentId> pick(std::span<const Candidate> candidates,
+                                                 topo::PingTargetId fallback_target,
+                                                 double load_units);
+
+  CdnNetwork* network_;
+  const Scoring* scoring_;
+  const PingMesh* mesh_;
+  GlobalLbConfig config_;
+};
+
+/// Local load balancing within one cluster.
+class LocalLoadBalancer {
+ public:
+  explicit LocalLoadBalancer(std::size_t servers_per_answer = 2)
+      : servers_per_answer_(servers_per_answer) {}
+
+  /// Pick `servers_per_answer` live servers for `domain` by rendezvous
+  /// hashing, skipping servers loaded beyond `server_capacity` when
+  /// positive. Returns fewer (possibly zero) when the cluster is degraded.
+  [[nodiscard]] std::vector<net::IpAddr> pick_servers(Deployment& deployment,
+                                                      std::string_view domain,
+                                                      double load_units = 0.0,
+                                                      double server_capacity = 0.0) const;
+
+  [[nodiscard]] std::size_t servers_per_answer() const noexcept { return servers_per_answer_; }
+
+ private:
+  std::size_t servers_per_answer_;
+};
+
+}  // namespace eum::cdn

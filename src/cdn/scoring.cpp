@@ -1,0 +1,107 @@
+#include "cdn/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace eum::cdn {
+
+namespace {
+
+/// Keep the best `k` candidates from a full score column.
+void select_top_k(std::vector<Candidate>& scratch, std::size_t k, Candidate* out) {
+  const std::size_t keep = std::min(k, scratch.size());
+  std::partial_sort(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scratch.end(),
+                    [](const Candidate& a, const Candidate& b) { return a.score_ms < b.score_ms; });
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = i < keep ? scratch[i] : Candidate{0, std::numeric_limits<float>::infinity()};
+  }
+}
+
+}  // namespace
+
+float path_score(TrafficClass klass, float rtt_ms, float loss_rate) noexcept {
+  switch (klass) {
+    case TrafficClass::web:
+      return rtt_ms;
+    case TrafficClass::video:
+      // Mathis et al.: TCP throughput ~ MSS / (RTT * sqrt(p)); minimizing
+      // RTT*sqrt(p) maximizes it. Floor the loss so pristine paths still
+      // rank by latency.
+      return rtt_ms * std::sqrt(std::max(loss_rate, 1e-4F));
+  }
+  return rtt_ms;
+}
+
+Scoring Scoring::build(const topo::World& world, const CdnNetwork& network, const PingMesh& mesh,
+                       std::size_t top_k, TrafficClass klass) {
+  if (top_k == 0) throw std::invalid_argument{"Scoring::build: top_k must be positive"};
+  if (mesh.deployment_count() != network.size() ||
+      mesh.target_count() != world.ping_targets.size()) {
+    throw std::invalid_argument{"Scoring::build: mesh does not match world/network"};
+  }
+  Scoring scoring;
+  scoring.top_k_ = top_k;
+  scoring.target_count_ = mesh.target_count();
+  const std::size_t n_dep = mesh.deployment_count();
+
+  // Per ping target: one column scan of the mesh.
+  scoring.by_target_.resize(scoring.target_count_ * top_k);
+  std::vector<Candidate> scratch(n_dep);
+  for (std::size_t t = 0; t < scoring.target_count_; ++t) {
+    const auto target = static_cast<topo::PingTargetId>(t);
+    for (std::size_t d = 0; d < n_dep; ++d) {
+      scratch[d] = Candidate{static_cast<DeploymentId>(d),
+                             path_score(klass, mesh.rtt_ms(d, target),
+                                        mesh.loss_rate(d, target))};
+    }
+    select_top_k(scratch, top_k, &scoring.by_target_[t * top_k]);
+  }
+
+  // Per LDNS cluster: traffic-weighted member targets.
+  // Member weights: demand x use-fraction of each block, grouped by the
+  // block's ping target.
+  const std::size_t n_ldns = world.ldnses.size();
+  std::vector<std::unordered_map<topo::PingTargetId, double>> members(n_ldns);
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      members[use.ldns][block.ping_target] += block.demand * use.fraction;
+    }
+  }
+  scoring.by_cluster_.resize(n_ldns * top_k);
+  scoring.cluster_has_data_.resize(n_ldns, false);
+  scoring.ldns_target_.resize(n_ldns, 0);
+  for (std::size_t l = 0; l < n_ldns; ++l) {
+    scoring.ldns_target_[l] = world.ldnses[l].ping_target;
+    if (members[l].empty()) continue;
+    scoring.cluster_has_data_[l] = true;
+    double wsum = 0.0;
+    for (const auto& [target, weight] : members[l]) wsum += weight;
+    for (std::size_t d = 0; d < n_dep; ++d) {
+      double score = 0.0;
+      for (const auto& [target, weight] : members[l]) {
+        score += weight * static_cast<double>(
+                              path_score(klass, mesh.rtt_ms(d, target), mesh.loss_rate(d, target)));
+      }
+      scratch[d] = Candidate{static_cast<DeploymentId>(d), static_cast<float>(score / wsum)};
+    }
+    select_top_k(scratch, top_k, &scoring.by_cluster_[l * top_k]);
+  }
+  return scoring;
+}
+
+std::span<const Candidate> Scoring::target_candidates(topo::PingTargetId target) const {
+  if (target >= target_count_) throw std::out_of_range{"Scoring: unknown ping target"};
+  return {by_target_.data() + static_cast<std::size_t>(target) * top_k_, top_k_};
+}
+
+std::span<const Candidate> Scoring::cluster_candidates(topo::LdnsId ldns) const {
+  if (ldns >= cluster_has_data_.size()) throw std::out_of_range{"Scoring: unknown LDNS"};
+  if (!cluster_has_data_[ldns]) return target_candidates(ldns_target_[ldns]);
+  return {by_cluster_.data() + static_cast<std::size_t>(ldns) * top_k_, top_k_};
+}
+
+}  // namespace eum::cdn

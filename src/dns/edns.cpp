@@ -1,0 +1,140 @@
+#include "dns/edns.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace eum::dns {
+
+namespace {
+
+int family_bits(net::Family family) { return family == net::Family::v4 ? 32 : 128; }
+
+std::vector<std::uint8_t> truncated_octets(const net::IpAddr& addr, int prefix_len) {
+  const auto octet_count = static_cast<std::size_t>((prefix_len + 7) / 8);
+  std::vector<std::uint8_t> octets(octet_count, 0);
+  if (addr.is_v4()) {
+    const auto bytes = addr.v4().bytes();
+    std::copy_n(bytes.begin(), octet_count, octets.begin());
+  } else {
+    const auto& bytes = addr.v6().bytes();
+    std::copy_n(bytes.begin(), octet_count, octets.begin());
+  }
+  // Zero the padding bits of the final octet (RFC 7871 §6: MUST be 0).
+  if (prefix_len % 8 != 0 && !octets.empty()) {
+    octets.back() &= static_cast<std::uint8_t>(0xFF << (8 - prefix_len % 8));
+  }
+  return octets;
+}
+
+net::IpAddr addr_from_octets(net::Family family, const std::vector<std::uint8_t>& octets) {
+  if (family == net::Family::v4) {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      value = (value << 8) | (i < octets.size() ? octets[i] : 0);
+    }
+    return net::IpV4Addr{value};
+  }
+  net::IpV6Addr::Bytes bytes{};
+  std::copy_n(octets.begin(), std::min<std::size_t>(octets.size(), 16), bytes.begin());
+  return net::IpV6Addr{bytes};
+}
+
+}  // namespace
+
+ClientSubnetOption ClientSubnetOption::for_query(const net::IpAddr& client, int source_len) {
+  if (source_len < 0 || source_len > client.bit_width()) {
+    throw WireError{"ECS source prefix length out of range for family"};
+  }
+  ClientSubnetOption option;
+  option.family_ = client.family();
+  option.source_prefix_len_ = source_len;
+  option.scope_prefix_len_ = 0;  // MUST be 0 in queries (RFC 7871 §6)
+  option.address_octets_ = truncated_octets(client, source_len);
+  return option;
+}
+
+ClientSubnetOption ClientSubnetOption::with_scope(int scope_len) const {
+  if (scope_len < 0 || scope_len > family_bits(family_)) {
+    throw WireError{"ECS scope prefix length out of range for family"};
+  }
+  ClientSubnetOption echo = *this;
+  echo.scope_prefix_len_ = scope_len;
+  return echo;
+}
+
+net::IpPrefix ClientSubnetOption::source_block() const {
+  return net::IpPrefix{address(), source_prefix_len_};
+}
+
+net::IpPrefix ClientSubnetOption::scope_block() const {
+  return net::IpPrefix{address(), scope_prefix_len_};
+}
+
+net::IpAddr ClientSubnetOption::address() const {
+  return addr_from_octets(family_, address_octets_);
+}
+
+void ClientSubnetOption::encode_data(ByteWriter& writer) const {
+  writer.u16(static_cast<std::uint16_t>(family_));
+  writer.u8(static_cast<std::uint8_t>(source_prefix_len_));
+  writer.u8(static_cast<std::uint8_t>(scope_prefix_len_));
+  writer.bytes(address_octets_);
+}
+
+ClientSubnetOption ClientSubnetOption::decode_data(ByteReader& reader, std::uint16_t length) {
+  if (length < 4) throw WireError{"ECS option shorter than fixed header"};
+  ClientSubnetOption option;
+  const std::uint16_t family_raw = reader.u16();
+  if (family_raw != 1 && family_raw != 2) throw WireError{"ECS unknown address family"};
+  option.family_ = static_cast<net::Family>(family_raw);
+  option.source_prefix_len_ = reader.u8();
+  option.scope_prefix_len_ = reader.u8();
+  const int width = family_bits(option.family_);
+  if (option.source_prefix_len_ > width || option.scope_prefix_len_ > width) {
+    throw WireError{"ECS prefix length exceeds family width"};
+  }
+  const auto expected_octets = static_cast<std::size_t>((option.source_prefix_len_ + 7) / 8);
+  if (length != 4 + expected_octets) {
+    throw WireError{"ECS address field length does not match source prefix"};
+  }
+  const auto raw = reader.bytes(expected_octets);
+  option.address_octets_.assign(raw.begin(), raw.end());
+  if (option.source_prefix_len_ % 8 != 0 && !option.address_octets_.empty()) {
+    const auto mask = static_cast<std::uint8_t>(0xFF << (8 - option.source_prefix_len_ % 8));
+    if ((option.address_octets_.back() & ~mask) != 0) {
+      throw WireError{"ECS address has non-zero padding bits"};
+    }
+  }
+  return option;
+}
+
+std::string ClientSubnetOption::to_string() const {
+  return util::format("ECS{%s/%d scope /%d}", address().to_string().c_str(), source_prefix_len_,
+                      scope_prefix_len_);
+}
+
+const ClientSubnetOption* EdnsRecord::client_subnet() const noexcept {
+  for (const EdnsOption& option : options) {
+    if (option.code == static_cast<std::uint16_t>(OptionCode::client_subnet) &&
+        option.client_subnet) {
+      return &*option.client_subnet;
+    }
+  }
+  return nullptr;
+}
+
+void EdnsRecord::set_client_subnet(ClientSubnetOption ecs) {
+  for (EdnsOption& option : options) {
+    if (option.code == static_cast<std::uint16_t>(OptionCode::client_subnet)) {
+      option.client_subnet = std::move(ecs);
+      return;
+    }
+  }
+  EdnsOption option;
+  option.code = static_cast<std::uint16_t>(OptionCode::client_subnet);
+  option.client_subnet = std::move(ecs);
+  options.push_back(std::move(option));
+}
+
+}  // namespace eum::dns

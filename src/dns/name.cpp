@@ -1,0 +1,152 @@
+#include "dns/name.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace eum::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxNameWireLength = 255;
+constexpr std::uint8_t kPointerTag = 0xC0;
+
+void validate_label(std::string_view label) {
+  if (label.empty()) throw WireError{"empty DNS label"};
+  if (label.size() > kMaxLabelLength) throw WireError{"DNS label longer than 63 octets"};
+}
+
+}  // namespace
+
+DnsName DnsName::from_text(std::string_view text) {
+  DnsName name;
+  if (text.empty() || text == ".") return name;
+  if (text.back() == '.') text.remove_suffix(1);
+  for (const auto label : util::split(text, '.')) {
+    validate_label(label);
+    name.labels_.push_back(util::to_lower(label));
+  }
+  if (name.wire_length() > kMaxNameWireLength) throw WireError{"DNS name longer than 255 octets"};
+  return name;
+}
+
+DnsName DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  name.labels_.reserve(labels.size());
+  for (auto& label : labels) {
+    validate_label(label);
+    name.labels_.push_back(util::to_lower(label));
+  }
+  if (name.wire_length() > kMaxNameWireLength) throw WireError{"DNS name longer than 255 octets"};
+  return name;
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t length = 1;  // terminating root label
+  for (const auto& label : labels_) length += 1 + label.size();
+  return length;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& zone) const noexcept {
+  if (zone.labels_.size() > labels_.size()) return false;
+  return std::equal(zone.labels_.rbegin(), zone.labels_.rend(), labels_.rbegin());
+}
+
+DnsName DnsName::parent() const {
+  if (is_root()) throw WireError{"parent of root name"};
+  DnsName result;
+  result.labels_.assign(labels_.begin() + 1, labels_.end());
+  return result;
+}
+
+DnsName DnsName::child(std::string_view label) const {
+  validate_label(label);
+  DnsName result;
+  result.labels_.reserve(labels_.size() + 1);
+  result.labels_.push_back(util::to_lower(label));
+  result.labels_.insert(result.labels_.end(), labels_.begin(), labels_.end());
+  if (result.wire_length() > kMaxNameWireLength) {
+    throw WireError{"DNS name longer than 255 octets"};
+  }
+  return result;
+}
+
+std::string DnsName::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+void DnsName::encode(ByteWriter& writer, CompressionMap* compression) const {
+  // Walk suffixes from the full name down: emit labels until a suffix is
+  // found in the compression map, then emit a pointer to it.
+  DnsName suffix = *this;
+  while (!suffix.is_root()) {
+    if (compression != nullptr) {
+      if (const auto it = compression->find(suffix); it != compression->end()) {
+        writer.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      // Pointers can only address the first 16KiB-ish of the message
+      // (14-bit offset); don't register suffixes beyond that.
+      if (writer.size() <= 0x3FFF) {
+        compression->emplace(suffix, static_cast<std::uint16_t>(writer.size()));
+      }
+    }
+    const std::string& label = suffix.labels_.front();
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+    suffix = suffix.parent();
+  }
+  writer.u8(0);  // root label terminator
+}
+
+DnsName DnsName::decode(ByteReader& reader) {
+  DnsName name;
+  std::size_t wire_length = 1;
+  // After the first pointer, the cursor must stay where the in-line name
+  // ended; we remember that position and restore it at the end.
+  std::optional<std::size_t> resume_offset;
+  int pointer_hops = 0;
+  while (true) {
+    const std::uint8_t length = reader.u8();
+    if ((length & kPointerTag) == kPointerTag) {
+      const std::uint8_t low = reader.u8();
+      const std::size_t target =
+          (static_cast<std::size_t>(length & 0x3F) << 8) | low;
+      // Pointers must reference earlier message content; strictly-backward
+      // targets guarantee termination, with a hop cap as belt and braces.
+      const std::size_t pointer_pos = reader.offset() - 2;
+      if (target >= pointer_pos) throw WireError{"forward compression pointer"};
+      if (!resume_offset) resume_offset = reader.offset();
+      if (++pointer_hops > 32) throw WireError{"compression pointer loop"};
+      reader.seek(target);
+      continue;
+    }
+    if ((length & kPointerTag) != 0) throw WireError{"reserved label type"};
+    if (length == 0) break;
+    if (length > kMaxLabelLength) throw WireError{"DNS label longer than 63 octets"};
+    const auto raw = reader.bytes(length);
+    wire_length += 1 + length;
+    if (wire_length > kMaxNameWireLength) throw WireError{"DNS name longer than 255 octets"};
+    std::string label(reinterpret_cast<const char*>(raw.data()), raw.size());
+    name.labels_.push_back(util::to_lower(label));
+  }
+  if (resume_offset) reader.seek(*resume_offset);
+  return name;
+}
+
+std::size_t DnsNameHash::operator()(const DnsName& name) const noexcept {
+  std::uint64_t hash = 0x9ae16a3b2f90404fULL;
+  for (const auto& label : name.labels()) {
+    hash = util::hash_combine(hash, util::fnv1a64(label));
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+}  // namespace eum::dns

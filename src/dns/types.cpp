@@ -1,0 +1,32 @@
+#include "dns/types.h"
+
+#include "util/strings.h"
+
+namespace eum::dns {
+
+std::string to_string(RecordType type) {
+  switch (type) {
+    case RecordType::A: return "A";
+    case RecordType::NS: return "NS";
+    case RecordType::CNAME: return "CNAME";
+    case RecordType::SOA: return "SOA";
+    case RecordType::TXT: return "TXT";
+    case RecordType::AAAA: return "AAAA";
+    case RecordType::OPT: return "OPT";
+  }
+  return util::format("TYPE%u", static_cast<unsigned>(type));
+}
+
+std::string to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::no_error: return "NOERROR";
+    case Rcode::form_err: return "FORMERR";
+    case Rcode::serv_fail: return "SERVFAIL";
+    case Rcode::nx_domain: return "NXDOMAIN";
+    case Rcode::not_imp: return "NOTIMP";
+    case Rcode::refused: return "REFUSED";
+  }
+  return util::format("RCODE%u", static_cast<unsigned>(rcode));
+}
+
+}  // namespace eum::dns

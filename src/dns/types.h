@@ -1,0 +1,41 @@
+// DNS protocol constants (RFC 1035, RFC 6891).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eum::dns {
+
+enum class RecordType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  TXT = 16,
+  AAAA = 28,
+  OPT = 41,  ///< EDNS0 pseudo-record (RFC 6891)
+};
+
+enum class RecordClass : std::uint16_t {
+  IN = 1,
+  ANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  query = 0,
+  status = 2,
+};
+
+enum class Rcode : std::uint8_t {
+  no_error = 0,
+  form_err = 1,
+  serv_fail = 2,
+  nx_domain = 3,
+  not_imp = 4,
+  refused = 5,
+};
+
+[[nodiscard]] std::string to_string(RecordType type);
+[[nodiscard]] std::string to_string(Rcode rcode);
+
+}  // namespace eum::dns

@@ -1,0 +1,164 @@
+#include "dnsserver/authoritative.h"
+
+#include <algorithm>
+
+namespace eum::dnsserver {
+
+using dns::DnsName;
+using dns::Message;
+using dns::Rcode;
+using dns::RecordType;
+using dns::ResourceRecord;
+
+void AuthoritativeServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+void AuthoritativeServer::add_dynamic_domain(DnsName suffix, DynamicAnswerFn handler) {
+  dynamic_domains_.emplace_back(std::move(suffix), std::move(handler));
+}
+
+const Zone* AuthoritativeServer::zone_for(const DnsName& name) const noexcept {
+  // Most specific (longest-origin) enclosing zone wins.
+  const Zone* best = nullptr;
+  for (const Zone& zone : zones_) {
+    if (zone.contains(name) &&
+        (best == nullptr || zone.origin().label_count() > best->origin().label_count())) {
+      best = &zone;
+    }
+  }
+  return best;
+}
+
+std::pair<const DnsName*, const DynamicAnswerFn*> AuthoritativeServer::dynamic_for(
+    const DnsName& name) const noexcept {
+  const std::pair<DnsName, DynamicAnswerFn>* best = nullptr;
+  for (const auto& entry : dynamic_domains_) {
+    if (name.is_subdomain_of(entry.first) &&
+        (best == nullptr || entry.first.label_count() > best->first.label_count())) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return {nullptr, nullptr};
+  return {&best->first, &best->second};
+}
+
+Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& source,
+                                    const net::IpAddr& server_address) {
+  ++stats_.queries;
+  Message response = Message::make_response(query);
+  response.header.authoritative = true;
+
+  if (query.header.is_response || query.questions.size() != 1 ||
+      query.header.opcode != dns::Opcode::query) {
+    ++stats_.form_errors;
+    response.header.rcode = Rcode::form_err;
+    return response;
+  }
+  const dns::Question& question = query.questions.front();
+
+  // ECS handling: pick up the client block if present, honoured, and valid.
+  const dns::ClientSubnetOption* ecs = query.client_subnet();
+  std::optional<net::IpPrefix> client_block;
+  if (ecs != nullptr) {
+    ++stats_.queries_with_ecs;
+    if (ecs->scope_prefix_len() != 0) {
+      // RFC 7871 §7.1.2: SCOPE PREFIX-LENGTH must be 0 in queries.
+      ++stats_.form_errors;
+      response.header.rcode = Rcode::form_err;
+      return response;
+    }
+    if (ecs_enabled_) client_block = ecs->source_block();
+  }
+
+  // Dynamic (CDN) domains first.
+  if (const auto [suffix, handler] = dynamic_for(question.name); handler != nullptr) {
+    DynamicQuery dyn{question.name, question.type, source, client_block, server_address};
+    const std::optional<DynamicAnswer> answer = (*handler)(dyn);
+    if (!answer) {
+      ++stats_.negative_answers;
+      response.header.rcode = Rcode::nx_domain;
+      return response;
+    }
+    if (!answer->referral.empty()) {
+      // Delegation: NS records at the dynamic suffix plus A glue.
+      ++stats_.referrals;
+      response.header.authoritative = false;
+      for (const DynamicReferral& ref : answer->referral) {
+        response.authorities.push_back(ResourceRecord{*suffix, RecordType::NS,
+                                                      dns::RecordClass::IN, answer->ttl,
+                                                      dns::NsRecord{ref.nameserver}});
+        if (ref.glue.is_v4()) {
+          response.additionals.push_back(ResourceRecord{ref.nameserver, RecordType::A,
+                                                        dns::RecordClass::IN, answer->ttl,
+                                                        dns::ARecord{ref.glue.v4()}});
+        }
+      }
+      if (ecs != nullptr && response.edns) {
+        const int scope = std::min(answer->ecs_scope_len, ecs->source_prefix_len());
+        response.edns->set_client_subnet(ecs->with_scope(ecs_enabled_ ? scope : 0));
+      }
+      return response;
+    }
+    ++stats_.dynamic_answers;
+    for (const net::IpAddr& addr : answer->addresses) {
+      ResourceRecord record;
+      record.name = question.name;
+      record.ttl = answer->ttl;
+      if (addr.is_v4()) {
+        record.type = RecordType::A;
+        record.rdata = dns::ARecord{addr.v4()};
+      } else {
+        record.type = RecordType::AAAA;
+        record.rdata = dns::AaaaRecord{addr.v6()};
+      }
+      // Only include records matching the question type.
+      if (record.type == question.type) response.answers.push_back(std::move(record));
+    }
+    if (ecs != nullptr && response.edns) {
+      // Echo ECS with our scope; scope <= source per the paper's usage.
+      const int scope = std::min(answer->ecs_scope_len, ecs->source_prefix_len());
+      response.edns->set_client_subnet(ecs->with_scope(ecs_enabled_ ? scope : 0));
+    }
+    return response;
+  }
+
+  // Static zones.
+  const Zone* zone = zone_for(question.name);
+  if (zone == nullptr) {
+    ++stats_.refused;
+    response.header.authoritative = false;
+    response.header.rcode = Rcode::refused;
+    return response;
+  }
+  // Static answers are client-independent: scope /0 (RFC 7871 §7.2.1
+  // recommends scope 0 for answers that do not depend on the client).
+  if (ecs != nullptr && response.edns) {
+    response.edns->set_client_subnet(ecs->with_scope(0));
+  }
+
+  const LookupResult result = zone->lookup(question.name, question.type);
+  switch (result.status) {
+    case LookupStatus::success:
+    case LookupStatus::out_of_zone:
+      ++stats_.static_answers;
+      response.answers = result.answers;
+      break;
+    case LookupStatus::no_data:
+      ++stats_.negative_answers;
+      response.answers = result.answers;  // possibly a partial CNAME chain
+      if (result.soa) response.authorities.push_back(*result.soa);
+      break;
+    case LookupStatus::nx_domain:
+      ++stats_.negative_answers;
+      response.header.rcode = Rcode::nx_domain;
+      if (result.soa) response.authorities.push_back(*result.soa);
+      break;
+    case LookupStatus::delegation:
+      ++stats_.static_answers;
+      response.header.authoritative = false;
+      response.authorities = result.referral;
+      break;
+  }
+  return response;
+}
+
+}  // namespace eum::dnsserver

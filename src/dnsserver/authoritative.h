@@ -1,0 +1,103 @@
+// Authoritative name server engine.
+//
+// This is the paper's "name server" component (§2.2, part 3): it answers
+// queries for Akamai-hosted domains, and for dynamic (CDN) domains it
+// consults the mapping system with either the resolver identity (NS-based
+// mapping) or the ECS client block (end-user mapping), returning A records
+// and an ECS scope. The engine is transport-agnostic: `handle()` maps one
+// request message to one response message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dnsserver/zone.h"
+
+namespace eum::dnsserver {
+
+/// What the dynamic-answer hook (the mapping system) sees per query.
+struct DynamicQuery {
+  dns::DnsName qname;
+  dns::RecordType qtype = dns::RecordType::A;
+  net::IpAddr resolver;                  ///< unicast address of the querying LDNS
+  std::optional<net::IpPrefix> client_block;  ///< ECS source block, if present
+  /// The address this query arrived at. In the paper's two-tier name
+  /// server hierarchy a low-level server's own address identifies which
+  /// cluster's delegation it is answering for.
+  net::IpAddr server_address;
+};
+
+/// One entry of a dynamic referral: a delegated nameserver plus its glue.
+struct DynamicReferral {
+  dns::DnsName nameserver;
+  net::IpAddr glue;
+};
+
+/// What the hook returns.
+struct DynamicAnswer {
+  std::vector<net::IpAddr> addresses;  ///< >= 2 in production practice
+  std::uint32_t ttl = 20;
+  /// Scope the answer is valid for when the query carried ECS. The paper's
+  /// name servers may answer "for a /y prefix of the client's IP where
+  /// y <= x" (§2.1); /0 makes the answer client-independent.
+  int ecs_scope_len = 24;
+  /// When non-empty, the response is a referral instead of an answer:
+  /// NS records (owner = the dynamic suffix) plus A glue — the paper's
+  /// top-level delegation implementing the global load balancer's cluster
+  /// choice (§2.2 part 3).
+  std::vector<DynamicReferral> referral;
+};
+
+using DynamicAnswerFn = std::function<std::optional<DynamicAnswer>(const DynamicQuery&)>;
+
+/// Query counters (feeds the Figure 23 analysis).
+struct AuthServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t queries_with_ecs = 0;
+  std::uint64_t dynamic_answers = 0;
+  std::uint64_t referrals = 0;
+  std::uint64_t static_answers = 0;
+  std::uint64_t negative_answers = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t form_errors = 0;
+};
+
+class AuthoritativeServer {
+ public:
+  AuthoritativeServer() = default;
+
+  /// Register static zone data.
+  void add_zone(Zone zone);
+
+  /// Register a dynamic domain: queries for names at/below `suffix` are
+  /// answered by `handler`. Dynamic domains take precedence over zones.
+  void add_dynamic_domain(dns::DnsName suffix, DynamicAnswerFn handler);
+
+  /// Whether to honour ECS in queries (mirrors the staged roll-out: the
+  /// server accepted ECS before end-user mapping was enabled per domain).
+  void set_ecs_enabled(bool enabled) noexcept { ecs_enabled_ = enabled; }
+
+  /// Answer one query arriving from `source` (the LDNS unicast address).
+  /// `server_address` is the address the query was received on (passed to
+  /// dynamic handlers; defaults to unspecified).
+  [[nodiscard]] dns::Message handle(const dns::Message& query, const net::IpAddr& source,
+                                    const net::IpAddr& server_address = net::IpAddr{});
+
+  [[nodiscard]] const AuthServerStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = AuthServerStats{}; }
+
+ private:
+  [[nodiscard]] const Zone* zone_for(const dns::DnsName& name) const noexcept;
+  [[nodiscard]] std::pair<const dns::DnsName*, const DynamicAnswerFn*> dynamic_for(
+      const dns::DnsName& name) const noexcept;
+
+  std::vector<Zone> zones_;
+  std::vector<std::pair<dns::DnsName, DynamicAnswerFn>> dynamic_domains_;
+  bool ecs_enabled_ = true;
+  AuthServerStats stats_;
+};
+
+}  // namespace eum::dnsserver

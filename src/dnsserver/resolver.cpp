@@ -1,0 +1,220 @@
+#include "dnsserver/resolver.h"
+
+#include <algorithm>
+
+namespace eum::dnsserver {
+
+using dns::DnsName;
+using dns::Message;
+using dns::Rcode;
+using dns::RecordType;
+using dns::ResourceRecord;
+
+RecursiveResolver::RecursiveResolver(ResolverConfig config, const util::SimClock* clock,
+                                     Upstream* upstream, net::IpAddr own_address)
+    : config_(config), clock_(clock), upstream_(upstream), own_address_(own_address) {
+  if (clock_ == nullptr || upstream_ == nullptr) {
+    throw std::invalid_argument{"RecursiveResolver: clock and upstream are required"};
+  }
+  if (config_.ecs_source_len < 0 || config_.ecs_source_len > 32 ||
+      config_.ecs_source_len_v6 < 0 || config_.ecs_source_len_v6 > 128) {
+    throw std::invalid_argument{"RecursiveResolver: ECS source length out of range"};
+  }
+}
+
+const RecursiveResolver::CacheEntry* RecursiveResolver::cache_lookup(
+    const CacheKey& key, const net::IpAddr& client_addr) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  const util::SimTime now = clock_->now();
+  // Drop expired entries in passing.
+  auto& entries = it->second;
+  const auto before = entries.size();
+  std::erase_if(entries, [&](const CacheEntry& e) { return e.expires <= now; });
+  cache_entries_ -= before - entries.size();
+  for (const CacheEntry& entry : entries) {
+    if (!entry.scope || entry.scope->contains(client_addr)) return &entry;
+  }
+  return nullptr;
+}
+
+void RecursiveResolver::cache_store(const CacheKey& key, CacheEntry entry) {
+  if (cache_entries_ >= config_.max_cache_entries) {
+    // Full sweep of expired entries; if still full, drop the map wholesale.
+    // (Production resolvers use LRU; a sweep keeps the simulation honest
+    // without tracking recency on the hot path.)
+    const util::SimTime now = clock_->now();
+    for (auto& [k, entries] : cache_) {
+      const auto before = entries.size();
+      std::erase_if(entries, [&](const CacheEntry& e) { return e.expires <= now; });
+      cache_entries_ -= before - entries.size();
+    }
+    if (cache_entries_ >= config_.max_cache_entries) {
+      stats_.cache_evictions += cache_entries_;
+      flush_cache();
+    }
+  }
+  auto& entries = cache_[key];
+  // Replace an entry with the identical scope rather than duplicating.
+  for (CacheEntry& existing : entries) {
+    if (existing.scope == entry.scope) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries.push_back(std::move(entry));
+  ++cache_entries_;
+}
+
+Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
+                                          const std::optional<net::IpAddr>& ecs_client) {
+  std::optional<dns::ClientSubnetOption> ecs;
+  if (ecs_client) {
+    const int source_len =
+        ecs_client->is_v4() ? config_.ecs_source_len : config_.ecs_source_len_v6;
+    ecs = dns::ClientSubnetOption::for_query(*ecs_client, source_len);
+  }
+  Message query = Message::make_query(next_id_++, name, type, std::move(ecs));
+  query.header.recursion_desired = false;
+  ++stats_.upstream_queries;
+  if (on_upstream_query) on_upstream_query(name);
+  Message response = upstream_->forward(query, own_address_);
+
+  // Chase delegations: a NOERROR response with no answers but NS records
+  // in the authority section refers us to the delegated nameservers; use
+  // the A glue from the additional section (the paper's two-tier name
+  // server hierarchy works exactly this way, §2.2 part 3).
+  for (int hop = 0; hop < 4; ++hop) {
+    if (response.header.rcode != Rcode::no_error || !response.answers.empty()) break;
+    std::optional<net::IpAddr> glue;
+    for (const ResourceRecord& ns_record : response.authorities) {
+      const auto* ns = std::get_if<dns::NsRecord>(&ns_record.rdata);
+      if (ns == nullptr) continue;
+      for (const ResourceRecord& extra : response.additionals) {
+        if (extra.name == ns->nameserver) {
+          if (const auto* a = std::get_if<dns::ARecord>(&extra.rdata)) {
+            glue = net::IpAddr{a->address};
+            break;
+          }
+        }
+      }
+      if (glue) break;
+    }
+    if (!glue) break;
+    query.header.id = next_id_++;
+    ++stats_.upstream_queries;
+    if (on_upstream_query) on_upstream_query(name);
+    const auto delegated = upstream_->forward_to(*glue, query, own_address_);
+    if (!delegated) break;  // transport cannot address servers
+    ++stats_.referrals_followed;
+    response = *delegated;
+  }
+
+  // Cache the outcome.
+  CacheKey key{name, type};
+  CacheEntry entry;
+  entry.inserted = clock_->now();
+  std::uint32_t ttl = config_.max_ttl;
+  if (response.header.rcode == Rcode::no_error && !response.answers.empty()) {
+    for (const ResourceRecord& r : response.answers) ttl = std::min(ttl, r.ttl);
+    entry.answers = response.answers;
+  } else {
+    // Negative caching (RFC 2308 §5): prefer the authority-section SOA's
+    // MINIMUM (capped by the SOA record's own TTL); fall back to the
+    // configured default when the response carries no SOA.
+    ttl = config_.negative_ttl;
+    for (const ResourceRecord& record : response.authorities) {
+      if (const auto* soa = std::get_if<dns::SoaRecord>(&record.rdata)) {
+        ttl = std::min(soa->minimum, record.ttl);
+        break;
+      }
+    }
+  }
+  entry.rcode = response.header.rcode;
+  entry.expires = entry.inserted + static_cast<std::int64_t>(ttl);
+
+  // RFC 7871 §7.3.1: an ECS answer is cached against its scope block; a
+  // scope of /0 (or an answer without ECS) is valid for all clients. An
+  // authority returning a scope LONGER than the announced source only
+  // knows the source bits, so the entry is clamped to the source length
+  // (§7.3.1's caching guidance).
+  if (const dns::ClientSubnetOption* resp_ecs = response.client_subnet();
+      resp_ecs != nullptr && resp_ecs->scope_prefix_len() > 0) {
+    const int effective =
+        std::min(resp_ecs->scope_prefix_len(), resp_ecs->source_prefix_len());
+    entry.scope = net::IpPrefix{resp_ecs->address(), effective};
+  }
+  cache_store(key, std::move(entry));
+  return response;
+}
+
+Message RecursiveResolver::resolve(const Message& client_query, const net::IpAddr& client_addr) {
+  ++stats_.client_queries;
+  Message response = Message::make_response(client_query);
+  response.header.recursion_available = true;
+  if (client_query.questions.size() != 1) {
+    response.header.rcode = Rcode::form_err;
+    return response;
+  }
+  const dns::Question& question = client_query.questions.front();
+
+  // The address used for ECS: an ECS option in the client's own query wins
+  // (forwarder chain, RFC 7871 §7.1.1); otherwise the connection address.
+  std::optional<net::IpAddr> ecs_client;
+  if (config_.ecs_enabled) {
+    if (const auto* client_ecs = client_query.client_subnet()) {
+      ecs_client = client_ecs->address();
+    } else {
+      ecs_client = client_addr;
+    }
+  }
+
+  // Resolve with CNAME chasing across authorities.
+  DnsName current = question.name;
+  RecordType type = question.type;
+  for (int hop = 0; hop < 8; ++hop) {
+    CacheKey key{current, type};
+    std::vector<ResourceRecord> answers;
+    Rcode rcode = Rcode::no_error;
+
+    if (const CacheEntry* cached = cache_lookup(key, client_addr)) {
+      ++stats_.cache_hits;
+      rcode = cached->rcode;
+      // Age TTLs by the time the entry has been cached.
+      const auto age = static_cast<std::uint32_t>(clock_->now() - cached->inserted);
+      answers = cached->answers;
+      for (ResourceRecord& r : answers) r.ttl = r.ttl > age ? r.ttl - age : 0;
+    } else {
+      ++stats_.cache_misses;
+      const Message upstream_response = query_upstream(current, type, ecs_client);
+      rcode = upstream_response.header.rcode;
+      answers = upstream_response.answers;
+    }
+
+    response.header.rcode = rcode;
+    response.answers.insert(response.answers.end(), answers.begin(), answers.end());
+    if (rcode != Rcode::no_error) return response;
+
+    // Complete if we obtained a record of the requested type; otherwise
+    // follow the last CNAME in the chain.
+    const bool satisfied = std::any_of(answers.begin(), answers.end(), [&](const auto& r) {
+      return dns::rdata_type(r.rdata, r.type) == type;
+    });
+    if (satisfied || answers.empty()) return response;
+    const auto last_cname =
+        std::find_if(answers.rbegin(), answers.rend(), [](const ResourceRecord& r) {
+          return std::holds_alternative<dns::CnameRecord>(r.rdata);
+        });
+    if (last_cname == answers.rend()) return response;
+    current = std::get<dns::CnameRecord>(last_cname->rdata).target;
+  }
+  response.header.rcode = Rcode::serv_fail;  // CNAME chain too long
+  return response;
+}
+
+void RecursiveResolver::flush_cache() noexcept {
+  cache_.clear();
+  cache_entries_ = 0;
+}
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,138 @@
+// ECS-aware recursive resolver (the paper's LDNS).
+//
+// The LDNS sits between clients and the CDN's authoritative name servers
+// (paper §2, Figure 3/4). With end-user mapping it forwards a /x prefix
+// of the client's IP in an EDNS0 client-subnet option and must cache the
+// answer per scope block — which is precisely what multiplies the query
+// rate seen by the authorities (§5.2, Figures 23/24). The cache here
+// implements RFC 7871 §7.3 semantics: an answer with scope /y may only be
+// reused for clients inside that /y block; scope /0 answers are global.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dnsserver/authoritative.h"
+#include "util/hash.h"
+#include "util/sim_clock.h"
+
+namespace eum::dnsserver {
+
+/// Where the resolver forwards cache misses. Implementations route the
+/// query to the correct authority (in-memory bus, UDP, or the simulator).
+class Upstream {
+ public:
+  virtual ~Upstream() = default;
+  /// Forward `query` on behalf of resolver `source`; returns the response.
+  [[nodiscard]] virtual dns::Message forward(const dns::Message& query,
+                                             const net::IpAddr& source) = 0;
+  /// Forward `query` to a specific nameserver address (used to chase
+  /// delegations). Implementations without addressable servers return
+  /// nullopt and the resolver keeps the referral response.
+  [[nodiscard]] virtual std::optional<dns::Message> forward_to(const net::IpAddr& server,
+                                                               const dns::Message& query,
+                                                               const net::IpAddr& source) {
+    (void)server;
+    (void)query;
+    (void)source;
+    return std::nullopt;
+  }
+};
+
+struct ResolverConfig {
+  /// Send ECS upstream (public resolvers: yes; most ISP resolvers in the
+  /// paper's period: no).
+  bool ecs_enabled = false;
+  /// Source prefix length announced upstream; /24 is the norm the paper
+  /// describes, and longer prefixes are "discouraged to retain client's
+  /// privacy" (§2.1 footnote 4).
+  int ecs_source_len = 24;
+  int ecs_source_len_v6 = 56;
+  /// Clamp on cached TTLs, seconds.
+  std::uint32_t max_ttl = 86400;
+  /// TTL for cached negative answers, seconds.
+  std::uint32_t negative_ttl = 30;
+  /// Cache capacity in entries (scoped answers count individually).
+  std::size_t max_cache_entries = 1 << 20;
+};
+
+struct ResolverStats {
+  std::uint64_t client_queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t referrals_followed = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
+class RecursiveResolver {
+ public:
+  /// `clock` and `upstream` are borrowed and must outlive the resolver.
+  RecursiveResolver(ResolverConfig config, const util::SimClock* clock, Upstream* upstream,
+                    net::IpAddr own_address);
+
+  /// Resolve a client query arriving from `client_addr`. Serves from the
+  /// scoped cache when possible; otherwise queries upstream (attaching ECS
+  /// when enabled), chasing CNAMEs across authorities.
+  [[nodiscard]] dns::Message resolve(const dns::Message& client_query,
+                                     const net::IpAddr& client_addr);
+
+  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = ResolverStats{}; }
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_entries_; }
+  [[nodiscard]] const net::IpAddr& address() const noexcept { return own_address_; }
+  [[nodiscard]] const ResolverConfig& config() const noexcept { return config_; }
+
+  /// Hook invoked with the qname of every upstream query (Fig 24 analysis).
+  std::function<void(const dns::DnsName&)> on_upstream_query;
+
+  /// Drop every cached entry.
+  void flush_cache() noexcept;
+
+ private:
+  struct CacheKey {
+    dns::DnsName name;
+    dns::RecordType type;
+    bool operator==(const CacheKey&) const noexcept = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept {
+      return util::hash_combine(dns::DnsNameHash{}(key.name),
+                                static_cast<std::uint64_t>(key.type));
+    }
+  };
+  struct CacheEntry {
+    /// Scope the answer is valid for; nullopt = valid for every client
+    /// (non-ECS answer or scope /0).
+    std::optional<net::IpPrefix> scope;
+    std::vector<dns::ResourceRecord> answers;
+    dns::Rcode rcode = dns::Rcode::no_error;
+    util::SimTime inserted;
+    util::SimTime expires;
+  };
+
+  [[nodiscard]] const CacheEntry* cache_lookup(const CacheKey& key,
+                                               const net::IpAddr& client_addr);
+  void cache_store(const CacheKey& key, CacheEntry entry);
+
+  /// One upstream round for (name, type), with optional ECS. Returns the
+  /// response and caches it.
+  [[nodiscard]] dns::Message query_upstream(const dns::DnsName& name, dns::RecordType type,
+                                            const std::optional<net::IpAddr>& ecs_client);
+
+  ResolverConfig config_;
+  const util::SimClock* clock_;
+  Upstream* upstream_;
+  net::IpAddr own_address_;
+  ResolverStats stats_;
+  std::unordered_map<CacheKey, std::vector<CacheEntry>, CacheKeyHash> cache_;
+  std::size_t cache_entries_ = 0;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,261 @@
+#include "dnsserver/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace eum::dnsserver {
+
+namespace {
+
+sockaddr_in to_sockaddr(const UdpEndpoint& endpoint) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(endpoint.port);
+  sa.sin_addr.s_addr = htonl(endpoint.address.value());
+  return sa;
+}
+
+UdpEndpoint from_sockaddr(const sockaddr_in& sa) {
+  return UdpEndpoint{net::IpV4Addr{ntohl(sa.sin_addr.s_addr)}, ntohs(sa.sin_port)};
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error{errno, std::generic_category(), what};
+}
+
+/// Wait for readability/writability; false on timeout.
+bool wait_fd(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return ready > 0;
+  }
+}
+
+}  // namespace
+
+// ---------- TcpListener ----------
+
+TcpListener::TcpListener(const UdpEndpoint& endpoint) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in sa = to_sockaddr(endpoint);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen");
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UdpEndpoint TcpListener::local_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return from_sockaddr(sa);
+}
+
+int TcpListener::accept_fd(std::chrono::milliseconds timeout) {
+  if (!wait_fd(fd_, POLLIN, timeout)) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) throw_errno("accept");
+  return client;
+}
+
+// ---------- TcpDnsStream ----------
+
+TcpDnsStream TcpDnsStream::connect(const UdpEndpoint& server,
+                                   std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  const sockaddr_in sa = to_sockaddr(server);
+  // Non-blocking connect with a poll-based deadline.
+  const int flags = ::fcntl(fd, F_GETFL);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 &&
+      errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  if (!wait_fd(fd, POLLOUT, timeout)) {
+    ::close(fd);
+    errno = ETIMEDOUT;
+    throw_errno("connect timeout");
+  }
+  int error = 0;
+  socklen_t len = sizeof error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 || error != 0) {
+    ::close(fd);
+    errno = error != 0 ? error : EIO;
+    throw_errno("connect");
+  }
+  (void)::fcntl(fd, F_SETFL, flags);
+  return TcpDnsStream{fd};
+}
+
+TcpDnsStream::~TcpDnsStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpDnsStream::TcpDnsStream(TcpDnsStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpDnsStream& TcpDnsStream::operator=(TcpDnsStream&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UdpEndpoint TcpDnsStream::peer_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getpeername(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("getpeername");
+  }
+  return from_sockaddr(sa);
+}
+
+void TcpDnsStream::send(const dns::Message& message) {
+  const auto wire = message.encode();
+  if (wire.size() > 0xFFFF) throw dns::WireError{"message exceeds TCP length prefix"};
+  std::vector<std::uint8_t> framed;
+  framed.reserve(wire.size() + 2);
+  framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+  framed.push_back(static_cast<std::uint8_t>(wire.size()));
+  framed.insert(framed.end(), wire.begin(), wire.end());
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpDnsStream::read_exact(std::uint8_t* out, std::size_t n,
+                              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t got = 0;
+  while (got < n) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0 || !wait_fd(fd_, POLLIN, remaining)) return false;
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) return false;  // peer closed
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::optional<dns::Message> TcpDnsStream::receive(std::chrono::milliseconds timeout) {
+  std::uint8_t prefix[2];
+  if (!read_exact(prefix, 2, timeout)) return std::nullopt;
+  const std::size_t length = (static_cast<std::size_t>(prefix[0]) << 8) | prefix[1];
+  std::vector<std::uint8_t> wire(length);
+  if (length > 0 && !read_exact(wire.data(), length, timeout)) return std::nullopt;
+  return dns::Message::decode(wire);
+}
+
+// ---------- TcpAuthorityServer ----------
+
+TcpAuthorityServer::TcpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind)
+    : engine_(engine), listener_(bind) {
+  if (engine_ == nullptr) throw std::invalid_argument{"TcpAuthorityServer: null engine"};
+}
+
+std::size_t TcpAuthorityServer::serve_connection(std::chrono::milliseconds timeout) {
+  const int fd = listener_.accept_fd(timeout);
+  if (fd < 0) return 0;
+  TcpDnsStream stream{fd};
+  const net::IpAddr peer{stream.peer_endpoint().address};
+  std::size_t served = 0;
+  while (true) {
+    std::optional<dns::Message> query;
+    try {
+      query = stream.receive(timeout);
+    } catch (const dns::WireError&) {
+      break;  // unparseable framing: drop the connection
+    }
+    if (!query) break;
+    stream.send(engine_->handle(*query, peer));
+    ++served;
+  }
+  return served;
+}
+
+void TcpAuthorityServer::serve_until(const std::atomic<bool>& stop) {
+  using namespace std::chrono_literals;
+  while (!stop.load(std::memory_order_relaxed)) {
+    (void)serve_connection(50ms);
+  }
+}
+
+// ---------- FallbackDnsClient ----------
+
+FallbackDnsClient::FallbackDnsClient(UdpEndpoint udp_server, UdpEndpoint tcp_server)
+    : udp_server_(udp_server), tcp_server_(tcp_server) {}
+
+std::optional<FallbackDnsClient::Outcome> FallbackDnsClient::query(
+    const dns::Message& query_msg, std::chrono::milliseconds timeout) {
+  const auto udp_response = udp_client_.query(query_msg, udp_server_, timeout);
+  if (udp_response && !udp_response->header.truncated) {
+    return Outcome{*udp_response, false};
+  }
+  // TC (or UDP loss): retry over TCP.
+  try {
+    TcpDnsStream stream = TcpDnsStream::connect(tcp_server_, timeout);
+    stream.send(query_msg);
+    if (auto tcp_response = stream.receive(timeout)) {
+      return Outcome{std::move(*tcp_response), true};
+    }
+  } catch (const std::system_error&) {
+    // fall through: both transports failed
+  }
+  return std::nullopt;
+}
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,116 @@
+// DNS over TCP (RFC 1035 §4.2.2) and the UDP->TCP fallback client.
+//
+// When a UDP response comes back truncated (TC bit — see udp.cpp's
+// size discipline), the standard recovery is to retry the query over
+// TCP, where messages are framed by a two-octet length prefix. This
+// module provides a TCP server front-end for the authoritative engine,
+// a TCP client, and `FallbackDnsClient`, which speaks UDP first and
+// upgrades on TC.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "dns/message.h"
+#include "dnsserver/authoritative.h"
+#include "dnsserver/udp.h"
+
+namespace eum::dnsserver {
+
+/// RAII listening TCP socket (IPv4).
+class TcpListener {
+ public:
+  /// Bind + listen on `endpoint` (port 0 picks an ephemeral port).
+  /// Throws std::system_error on failure.
+  explicit TcpListener(const UdpEndpoint& endpoint);
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] UdpEndpoint local_endpoint() const;
+
+  /// Accept one connection, waiting up to `timeout`; -1 on timeout.
+  [[nodiscard]] int accept_fd(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream carrying length-prefixed DNS messages.
+class TcpDnsStream {
+ public:
+  /// Take ownership of a connected fd.
+  explicit TcpDnsStream(int fd) noexcept : fd_(fd) {}
+  /// Connect to a server. Throws std::system_error on failure.
+  static TcpDnsStream connect(const UdpEndpoint& server, std::chrono::milliseconds timeout);
+  ~TcpDnsStream();
+
+  TcpDnsStream(TcpDnsStream&& other) noexcept;
+  TcpDnsStream& operator=(TcpDnsStream&& other) noexcept;
+  TcpDnsStream(const TcpDnsStream&) = delete;
+  TcpDnsStream& operator=(const TcpDnsStream&) = delete;
+
+  /// Send one message with the RFC 1035 two-octet length prefix.
+  void send(const dns::Message& message);
+
+  /// Receive one length-prefixed message; nullopt on timeout or EOF.
+  [[nodiscard]] std::optional<dns::Message> receive(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] UdpEndpoint peer_endpoint() const;
+
+ private:
+  /// Read exactly n bytes; false on EOF/timeout.
+  [[nodiscard]] bool read_exact(std::uint8_t* out, std::size_t n,
+                                std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+};
+
+/// Serves an AuthoritativeServer over TCP. One connection at a time
+/// (sufficient for tests/examples; production would multiplex).
+class TcpAuthorityServer {
+ public:
+  TcpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind);
+
+  [[nodiscard]] UdpEndpoint endpoint() const { return listener_.local_endpoint(); }
+
+  /// Accept one connection and answer every query on it until the peer
+  /// closes. Returns the number of queries served (0 on accept timeout).
+  std::size_t serve_connection(std::chrono::milliseconds timeout);
+
+  /// Serve until `stop` becomes true.
+  void serve_until(const std::atomic<bool>& stop);
+
+ private:
+  AuthoritativeServer* engine_;
+  TcpListener listener_;
+};
+
+/// UDP-first client that retries truncated responses over TCP, the
+/// standard stub/resolver behaviour behind the TC bit.
+class FallbackDnsClient {
+ public:
+  /// `udp_server` and `tcp_server` are usually the same host:port pair.
+  FallbackDnsClient(UdpEndpoint udp_server, UdpEndpoint tcp_server);
+
+  struct Outcome {
+    dns::Message response;
+    bool used_tcp = false;
+  };
+
+  /// Resolve one query; nullopt on timeout/failure of both transports.
+  [[nodiscard]] std::optional<Outcome> query(const dns::Message& query_msg,
+                                             std::chrono::milliseconds timeout);
+
+ private:
+  UdpEndpoint udp_server_;
+  UdpEndpoint tcp_server_;
+  UdpDnsClient udp_client_;
+};
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,74 @@
+// In-memory DNS transport.
+//
+// `AuthorityDirectory` wires recursive resolvers to authoritative servers
+// inside one process. Every message still round-trips through the wire
+// codec, so simulated traffic exercises exactly the bytes a network would
+// carry (including EDNS0/ECS encoding) — only the socket is elided.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <functional>
+#include <vector>
+
+#include "dnsserver/authoritative.h"
+#include "dnsserver/resolver.h"
+
+namespace eum::dnsserver {
+
+class AuthorityDirectory : public Upstream {
+ public:
+  AuthorityDirectory() = default;
+
+  /// Route queries for names at/below `suffix` to `server` (borrowed;
+  /// must outlive the directory). Longest suffix wins.
+  void add_authority(dns::DnsName suffix, AuthoritativeServer* server);
+
+  /// Register a nameserver reachable at a specific unicast address, the
+  /// target of delegation glue (borrowed; must outlive the directory).
+  void add_server(const net::IpAddr& address, AuthoritativeServer* server);
+
+  /// Total messages forwarded (both directions counted once).
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+  /// Forward a query to the owning authority, round-tripping the wire
+  /// encoding both ways. Returns REFUSED if no authority matches.
+  [[nodiscard]] dns::Message forward(const dns::Message& query,
+                                     const net::IpAddr& source) override;
+
+  /// Forward to a registered server address (delegation chasing); nullopt
+  /// for unknown addresses.
+  [[nodiscard]] std::optional<dns::Message> forward_to(const net::IpAddr& server,
+                                                       const dns::Message& query,
+                                                       const net::IpAddr& source) override;
+
+ private:
+  std::vector<std::pair<dns::DnsName, AuthoritativeServer*>> authorities_;
+  std::unordered_map<std::uint32_t, AuthoritativeServer*> servers_by_address_;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Client-side stub resolver: what the paper calls "the client requests
+/// its LDNS to resolve the domain name" (§2 step 1).
+class StubClient {
+ public:
+  /// Both borrowed; must outlive the stub.
+  StubClient(RecursiveResolver* ldns, net::IpAddr client_addr);
+
+  /// Resolve and return all A/AAAA addresses (empty on failure).
+  [[nodiscard]] std::vector<net::IpAddr> lookup(const dns::DnsName& name,
+                                                dns::RecordType type = dns::RecordType::A);
+
+  /// Full-message variant for callers that need TTLs/rcode.
+  [[nodiscard]] dns::Message query(const dns::DnsName& name,
+                                   dns::RecordType type = dns::RecordType::A);
+
+  [[nodiscard]] const net::IpAddr& address() const noexcept { return client_addr_; }
+
+ private:
+  RecursiveResolver* ldns_;
+  net::IpAddr client_addr_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,175 @@
+#include "dnsserver/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace eum::dnsserver {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65535;
+
+sockaddr_in to_sockaddr(const UdpEndpoint& endpoint) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(endpoint.port);
+  sa.sin_addr.s_addr = htonl(endpoint.address.value());
+  return sa;
+}
+
+UdpEndpoint from_sockaddr(const sockaddr_in& sa) {
+  return UdpEndpoint{net::IpV4Addr{ntohl(sa.sin_addr.s_addr)}, ntohs(sa.sin_port)};
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error{errno, std::generic_category(), what};
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket(const UdpEndpoint& endpoint) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const sockaddr_in sa = to_sockaddr(endpoint);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UdpEndpoint UdpSocket::local_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return from_sockaddr(sa);
+}
+
+void UdpSocket::send_to(std::span<const std::uint8_t> data, const UdpEndpoint& peer) {
+  const sockaddr_in sa = to_sockaddr(peer);
+  const ssize_t sent = ::sendto(fd_, data.data(), data.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  if (sent < 0) throw_errno("sendto");
+  if (static_cast<std::size_t>(sent) != data.size()) {
+    throw std::system_error{EMSGSIZE, std::generic_category(), "sendto: short write"};
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::milliseconds timeout,
+                                                            UdpEndpoint& peer) {
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) return std::nullopt;
+    break;
+  }
+  std::vector<std::uint8_t> buffer(kMaxDatagram);
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const ssize_t received = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                                      reinterpret_cast<sockaddr*>(&sa), &len);
+  if (received < 0) throw_errno("recvfrom");
+  buffer.resize(static_cast<std::size_t>(received));
+  peer = from_sockaddr(sa);
+  return buffer;
+}
+
+UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind)
+    : engine_(engine), socket_(bind) {
+  if (engine_ == nullptr) throw std::invalid_argument{"UdpAuthorityServer: null engine"};
+}
+
+bool UdpAuthorityServer::serve_once(std::chrono::milliseconds timeout) {
+  UdpEndpoint peer;
+  const auto datagram = socket_.receive(timeout, peer);
+  if (!datagram) return false;
+  dns::Message response;
+  try {
+    const dns::Message query = dns::Message::decode(*datagram);
+    response = engine_->handle(query, net::IpAddr{peer.address});
+    // RFC 1035 / RFC 6891 size discipline: a response larger than the
+    // requester's advertised UDP payload (512 octets without EDNS) is
+    // truncated — answers dropped and TC set so the client retries over
+    // a bigger channel.
+    const std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
+    if (response.encode().size() > limit) {
+      response.answers.clear();
+      response.authorities.clear();
+      response.additionals.clear();
+      response.header.truncated = true;
+    }
+  } catch (const dns::WireError&) {
+    // Unparseable datagram: best-effort FORMERR if we can extract an id.
+    if (datagram->size() < 2) return true;  // too short even for an id; drop
+    response.header.id =
+        static_cast<std::uint16_t>(((*datagram)[0] << 8) | (*datagram)[1]);
+    response.header.is_response = true;
+    response.header.rcode = dns::Rcode::form_err;
+  }
+  socket_.send_to(response.encode(), peer);
+  return true;
+}
+
+void UdpAuthorityServer::serve_until(const std::atomic<bool>& stop) {
+  using namespace std::chrono_literals;
+  while (!stop.load(std::memory_order_relaxed)) {
+    serve_once(50ms);
+  }
+}
+
+UdpDnsClient::UdpDnsClient() : socket_(UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}) {}
+
+std::optional<dns::Message> UdpDnsClient::query(const dns::Message& query_msg,
+                                                const UdpEndpoint& server,
+                                                std::chrono::milliseconds timeout) {
+  socket_.send_to(query_msg.encode(), server);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+    UdpEndpoint peer;
+    const auto datagram = socket_.receive(remaining, peer);
+    if (!datagram) return std::nullopt;
+    try {
+      dns::Message response = dns::Message::decode(*datagram);
+      if (response.header.id == query_msg.header.id && response.header.is_response) {
+        return response;
+      }
+    } catch (const dns::WireError&) {
+      // Ignore malformed datagrams and keep waiting until the deadline.
+    }
+  }
+}
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,89 @@
+// UDP transport: a real socket-based DNS server and client.
+//
+// The simulation uses the in-memory transport, but the authoritative
+// engine is transport-agnostic, and this module serves it over genuine
+// UDP (see examples/ecs_dns_server.cpp, which answers `dig +subnet`
+// queries). IPv4 localhost-oriented; RAII socket ownership throughout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "dns/message.h"
+#include "dnsserver/authoritative.h"
+
+namespace eum::dnsserver {
+
+/// A UDP endpoint (IPv4).
+struct UdpEndpoint {
+  net::IpV4Addr address;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const UdpEndpoint&, const UdpEndpoint&) noexcept = default;
+};
+
+/// RAII wrapper over a bound UDP socket.
+class UdpSocket {
+ public:
+  /// Bind to `endpoint`; port 0 picks an ephemeral port.
+  /// Throws std::system_error on failure.
+  explicit UdpSocket(const UdpEndpoint& endpoint);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// The actual bound endpoint (resolves ephemeral ports).
+  [[nodiscard]] UdpEndpoint local_endpoint() const;
+
+  /// Send one datagram.
+  void send_to(std::span<const std::uint8_t> data, const UdpEndpoint& peer);
+
+  /// Receive one datagram, waiting up to `timeout`. Returns nullopt on
+  /// timeout. `peer` receives the sender's endpoint.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive(
+      std::chrono::milliseconds timeout, UdpEndpoint& peer);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Serves an AuthoritativeServer over UDP.
+class UdpAuthorityServer {
+ public:
+  /// `engine` is borrowed and must outlive the server.
+  UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind);
+
+  [[nodiscard]] UdpEndpoint endpoint() const { return socket_.local_endpoint(); }
+
+  /// Handle at most one request; returns true if one was served.
+  bool serve_once(std::chrono::milliseconds timeout);
+
+  /// Serve until `stop` becomes true (checked between datagrams).
+  void serve_until(const std::atomic<bool>& stop);
+
+ private:
+  AuthoritativeServer* engine_;
+  UdpSocket socket_;
+};
+
+/// One-shot DNS-over-UDP client.
+class UdpDnsClient {
+ public:
+  UdpDnsClient();
+
+  /// Send `query` to `server` and await the matching response (by id).
+  /// Returns nullopt on timeout.
+  [[nodiscard]] std::optional<dns::Message> query(const dns::Message& query_msg,
+                                                  const UdpEndpoint& server,
+                                                  std::chrono::milliseconds timeout);
+
+ private:
+  UdpSocket socket_;
+};
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,118 @@
+#include "dnsserver/zone.h"
+
+#include <stdexcept>
+
+namespace eum::dnsserver {
+
+using dns::DnsName;
+using dns::RecordType;
+using dns::ResourceRecord;
+
+Zone::Zone(DnsName origin, dns::SoaRecord soa) : origin_(std::move(origin)) {
+  soa_record_.name = origin_;
+  soa_record_.type = RecordType::SOA;
+  soa_record_.ttl = soa.minimum;
+  soa_record_.rdata = std::move(soa);
+  nodes_[origin_][RecordType::SOA].push_back(soa_record_);
+}
+
+void Zone::add(ResourceRecord record) {
+  if (!contains(record.name)) {
+    throw std::invalid_argument{"Zone::add: record name outside zone origin"};
+  }
+  auto& sets = nodes_[record.name];
+  const bool adding_cname = record.type == RecordType::CNAME;
+  const bool has_cname = sets.contains(RecordType::CNAME);
+  const bool has_other = !sets.empty() && !(sets.size() == 1 && has_cname);
+  if ((adding_cname && has_other) || (!adding_cname && has_cname)) {
+    throw std::invalid_argument{"Zone::add: CNAME cannot coexist with other data"};
+  }
+  sets[record.type].push_back(std::move(record));
+}
+
+void Zone::add_a(const DnsName& name, net::IpV4Addr addr, std::uint32_t ttl) {
+  add(ResourceRecord{name, RecordType::A, dns::RecordClass::IN, ttl, dns::ARecord{addr}});
+}
+
+void Zone::add_cname(const DnsName& name, const DnsName& target, std::uint32_t ttl) {
+  add(ResourceRecord{name, RecordType::CNAME, dns::RecordClass::IN, ttl,
+                     dns::CnameRecord{target}});
+}
+
+void Zone::add_ns(const DnsName& name, const DnsName& nameserver, std::uint32_t ttl) {
+  add(ResourceRecord{name, RecordType::NS, dns::RecordClass::IN, ttl,
+                     dns::NsRecord{nameserver}});
+}
+
+const Zone::RecordSets* Zone::find_node(const DnsName& name) const noexcept {
+  const auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<ResourceRecord>* Zone::find_delegation(const DnsName& name) const noexcept {
+  // Walk from `name` upward, stopping before the origin: an NS set at the
+  // origin is authoritative data, not a delegation.
+  DnsName cursor = name;
+  while (cursor != origin_ && !cursor.is_root()) {
+    if (const RecordSets* sets = find_node(cursor)) {
+      if (const auto it = sets->find(RecordType::NS); it != sets->end()) return &it->second;
+    }
+    cursor = cursor.parent();
+  }
+  return nullptr;
+}
+
+LookupResult Zone::lookup(const DnsName& name, RecordType type) const {
+  if (!contains(name)) throw std::invalid_argument{"Zone::lookup: name outside zone"};
+  LookupResult result;
+  result.soa = soa_record_;
+
+  DnsName current = name;
+  for (int chain = 0; chain < 16; ++chain) {  // CNAME chain cap
+    if (current != origin_) {
+      if (const auto* referral = find_delegation(current)) {
+        result.status = LookupStatus::delegation;
+        result.referral = *referral;
+        return result;
+      }
+    }
+    const RecordSets* sets = find_node(current);
+    if (sets == nullptr) {
+      result.status =
+          result.answers.empty() ? LookupStatus::nx_domain : LookupStatus::out_of_zone;
+      return result;
+    }
+    if (const auto it = sets->find(type); it != sets->end()) {
+      result.answers.insert(result.answers.end(), it->second.begin(), it->second.end());
+      result.status = LookupStatus::success;
+      return result;
+    }
+    if (const auto it = sets->find(RecordType::CNAME);
+        it != sets->end() && type != RecordType::CNAME) {
+      result.answers.push_back(it->second.front());
+      const auto& cname = std::get<dns::CnameRecord>(it->second.front().rdata);
+      if (!contains(cname.target)) {
+        result.status = LookupStatus::out_of_zone;
+        return result;
+      }
+      current = cname.target;
+      continue;
+    }
+    result.status = LookupStatus::no_data;
+    return result;
+  }
+  // Chain too long: treat as server failure upstream; report NODATA with
+  // whatever chain was accumulated.
+  result.status = LookupStatus::no_data;
+  return result;
+}
+
+std::size_t Zone::record_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [name, sets] : nodes_) {
+    for (const auto& [type, records] : sets) count += records.size();
+  }
+  return count;
+}
+
+}  // namespace eum::dnsserver

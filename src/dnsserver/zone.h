@@ -1,0 +1,79 @@
+// Authoritative zone data (RFC 1035 §4.3.2 lookup semantics).
+//
+// A zone owns an origin and the record sets at and below it. Lookup
+// distinguishes NXDOMAIN (name does not exist) from NODATA (name exists
+// but has no records of the requested type), follows CNAMEs within the
+// zone, and reports delegations (NS sets below the origin).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace eum::dnsserver {
+
+/// Outcome of a zone lookup.
+enum class LookupStatus {
+  success,     ///< records found (possibly via CNAME chain)
+  nx_domain,   ///< the name does not exist in the zone
+  no_data,     ///< the name exists but not with this type
+  delegation,  ///< the name is below a delegation point (see referral records)
+  out_of_zone, ///< the final CNAME target left the zone; resolution must continue elsewhere
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::nx_domain;
+  /// Answer records (CNAME chain followed by the terminal records, if any).
+  std::vector<dns::ResourceRecord> answers;
+  /// For delegation: the NS records of the delegated child zone.
+  std::vector<dns::ResourceRecord> referral;
+  /// SOA of this zone (for negative responses).
+  std::optional<dns::ResourceRecord> soa;
+};
+
+class Zone {
+ public:
+  /// Creates a zone rooted at `origin` with the given SOA.
+  Zone(dns::DnsName origin, dns::SoaRecord soa);
+
+  [[nodiscard]] const dns::DnsName& origin() const noexcept { return origin_; }
+
+  /// Add a record; its name must be at or below the origin.
+  /// Throws std::invalid_argument otherwise, or when mixing CNAME with
+  /// other data at one name (RFC 1034 §3.6.2).
+  void add(dns::ResourceRecord record);
+
+  /// Convenience helpers.
+  void add_a(const dns::DnsName& name, net::IpV4Addr addr, std::uint32_t ttl);
+  void add_cname(const dns::DnsName& name, const dns::DnsName& target, std::uint32_t ttl);
+  void add_ns(const dns::DnsName& name, const dns::DnsName& nameserver, std::uint32_t ttl);
+
+  /// True if `name` is at or below this zone's origin.
+  [[nodiscard]] bool contains(const dns::DnsName& name) const noexcept {
+    return name.is_subdomain_of(origin_);
+  }
+
+  /// Full lookup per RFC 1034 §4.3.2: delegation check, CNAME chase,
+  /// NXDOMAIN vs NODATA. Precondition: contains(name).
+  [[nodiscard]] LookupResult lookup(const dns::DnsName& name, dns::RecordType type) const;
+
+  [[nodiscard]] std::size_t record_count() const noexcept;
+
+ private:
+  using RecordSets = std::map<dns::RecordType, std::vector<dns::ResourceRecord>>;
+
+  /// One lookup step without CNAME chasing.
+  [[nodiscard]] const RecordSets* find_node(const dns::DnsName& name) const noexcept;
+  /// The closest enclosing delegation (NS set strictly below origin, at or
+  /// above `name`), if any.
+  [[nodiscard]] const std::vector<dns::ResourceRecord>* find_delegation(
+      const dns::DnsName& name) const noexcept;
+
+  dns::DnsName origin_;
+  dns::ResourceRecord soa_record_;
+  std::map<dns::DnsName, RecordSets> nodes_;
+};
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,44 @@
+// Master-file (zone file) parsing — RFC 1035 §5, simplified.
+//
+// Supports the subset an operator needs to stand up the static side of
+// the name server: $ORIGIN and $TTL directives, '@' for the origin,
+// relative and absolute owner names, optional per-record TTLs, ';'
+// comments, and the record types the engine serves (SOA, A, AAAA, NS,
+// CNAME, TXT). Class is implicitly IN. Multi-line parenthesized records
+// are not supported; one record per line.
+//
+//   $ORIGIN cdn.example.
+//   $TTL 300
+//   @      SOA ns1 hostmaster 2014032801 3600 600 86400 30
+//   www    A 203.0.113.1
+//   www 60 A 203.0.113.2
+//   alias  CNAME www
+//   child  NS ns.child.example.
+//   info   TXT "hello world"
+#pragma once
+
+#include <string_view>
+
+#include "dnsserver/zone.h"
+
+namespace eum::dnsserver {
+
+/// Raised with a line number and reason on malformed input.
+class ZoneFileError : public std::runtime_error {
+ public:
+  ZoneFileError(std::size_t line, const std::string& reason)
+      : std::runtime_error("zone file line " + std::to_string(line) + ": " + reason),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a zone from master-file text. The file must contain exactly one
+/// SOA record, which must be the first record; `fallback_origin` is used
+/// until a $ORIGIN directive appears (pass the zone's apex).
+[[nodiscard]] Zone parse_zone_file(std::string_view text,
+                                   const dns::DnsName& fallback_origin = dns::DnsName{});
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,55 @@
+// Geolocation database (the Edgescape substitute).
+//
+// "Edgescape can provide the latitude, longitude, country and autonomous
+// system (AS) for an IP" (paper §3.1). This is a longest-prefix-match
+// store of exactly that record, populated by the synthetic world
+// generator instead of registry/transaction data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/coords.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace eum::geo {
+
+/// What the database knows about an IP block.
+struct GeoInfo {
+  GeoPoint location;       ///< representative lat/lon for the block
+  std::uint16_t country = 0;  ///< country index (world-model specific)
+  std::uint32_t asn = 0;      ///< autonomous system number
+
+  friend bool operator==(const GeoInfo&, const GeoInfo&) noexcept = default;
+};
+
+class GeoDatabase {
+ public:
+  GeoDatabase() = default;
+
+  /// Register a block. More specific entries shadow broader ones on lookup.
+  void add(const net::IpPrefix& prefix, const GeoInfo& info) { trie_.insert(prefix, info); }
+
+  /// Longest-prefix-match lookup; nullptr when the address is unknown.
+  [[nodiscard]] const GeoInfo* lookup(const net::IpAddr& addr) const noexcept {
+    return trie_.longest_match(addr);
+  }
+
+  /// Number of registered blocks.
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+  /// Great-circle distance in miles between two IPs, if both are known.
+  [[nodiscard]] std::optional<double> distance_miles(const net::IpAddr& a,
+                                                     const net::IpAddr& b) const {
+    const GeoInfo* ga = lookup(a);
+    const GeoInfo* gb = lookup(b);
+    if (ga == nullptr || gb == nullptr) return std::nullopt;
+    return great_circle_miles(ga->location, gb->location);
+  }
+
+ private:
+  net::PrefixTrie<GeoInfo> trie_;
+};
+
+}  // namespace eum::geo

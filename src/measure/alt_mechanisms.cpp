@@ -1,0 +1,96 @@
+#include "measure/alt_mechanisms.h"
+
+#include <cmath>
+
+#include "geo/coords.h"
+#include "util/hash.h"
+
+namespace eum::measure {
+
+namespace {
+
+/// Client-observed RTT to a deployment: infrastructure path + the
+/// block's stable access-network latency (same recipe as RumSimulator).
+double client_rtt_ms(const topo::World& world, const topo::LatencyModel& latency,
+                     const topo::ClientBlock& block, const cdn::Deployment& deployment,
+                     const RumConfig& config, util::Rng& rng) {
+  const std::uint64_t salt = util::hash_combine(util::mix64(0x2077 + block.id),
+                                                static_cast<std::uint64_t>(deployment.site_id));
+  const std::uint64_t access_bits = util::mix64(0xacce55 + block.id);
+  const double u1 = (static_cast<double>(access_bits >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 =
+      static_cast<double>(util::mix64(access_bits + 0x9e3779b97f4a7c15ULL) >> 11) * 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double access_ms =
+      std::exp(std::log(config.access_latency_median_ms) + config.access_latency_sigma * z);
+  (void)world;
+  return latency.measure_rtt_ms(block.location, deployment.location, salt, rng) + access_ms;
+}
+
+}  // namespace
+
+std::string to_string(RoutingMechanism mechanism) {
+  switch (mechanism) {
+    case RoutingMechanism::ns_dns: return "NS-based DNS";
+    case RoutingMechanism::eu_dns: return "end-user DNS (ECS)";
+    case RoutingMechanism::http_redirect: return "HTTP redirect";
+    case RoutingMechanism::metafile: return "metafile redirect";
+  }
+  return "?";
+}
+
+std::optional<MechanismOutcome> price_download(RoutingMechanism mechanism,
+                                               const topo::World& world,
+                                               cdn::MappingSystem& mapping,
+                                               const topo::LatencyModel& latency,
+                                               topo::BlockId block_id, topo::LdnsId ldns,
+                                               std::size_t payload_bytes,
+                                               const RumConfig& config, util::Rng& rng) {
+  const topo::ClientBlock& block = world.blocks.at(block_id);
+  const std::string& domain = config.domains[rng.below(config.domains.size())];
+
+  const auto deployment_of = [&](const cdn::MapResult& result) -> const cdn::Deployment& {
+    return mapping.network().deployments()[result.deployment];
+  };
+
+  // The two underlying assignments: by LDNS identity and by client block.
+  const auto ns_result = mapping.map_ldns(ldns, domain);
+  const auto eu_result = mapping.map_block(block_id, domain);
+  if (!ns_result || !eu_result) return std::nullopt;
+  const double ns_rtt = client_rtt_ms(world, latency, block, deployment_of(*ns_result),
+                                      config, rng);
+  const double eu_rtt = client_rtt_ms(world, latency, block, deployment_of(*eu_result),
+                                      config, rng);
+
+  MechanismOutcome outcome;
+  switch (mechanism) {
+    case RoutingMechanism::ns_dns:
+      // Connect (1 RTT) + request reaches server and first byte returns.
+      outcome.startup_ms = 2.0 * ns_rtt;
+      outcome.delivery_rtt_ms = ns_rtt;
+      break;
+    case RoutingMechanism::eu_dns:
+      outcome.startup_ms = 2.0 * eu_rtt;
+      outcome.delivery_rtt_ms = eu_rtt;
+      break;
+    case RoutingMechanism::http_redirect:
+      // Full exchange with the NS-mapped first server (connect + request
+      // + 302 response), then a fresh connect/request to the good one.
+      outcome.startup_ms = 2.0 * ns_rtt + 2.0 * eu_rtt;
+      outcome.delivery_rtt_ms = eu_rtt;
+      break;
+    case RoutingMechanism::metafile: {
+      // The metafile itself is a small object from the NS-mapped server;
+      // its transfer is one extra round trip on top of the exchange.
+      constexpr std::size_t kMetafileBytes = 2'000;
+      outcome.startup_ms = 2.0 * ns_rtt + download_time_ms(ns_rtt, kMetafileBytes, config.tcp) +
+                           2.0 * eu_rtt;
+      outcome.delivery_rtt_ms = eu_rtt;
+      break;
+    }
+  }
+  outcome.transfer_ms = download_time_ms(outcome.delivery_rtt_ms, payload_bytes, config.tcp);
+  return outcome;
+}
+
+}  // namespace eum::measure

@@ -1,0 +1,51 @@
+// Alternative client-aware routing mechanisms (paper §7).
+//
+// Before ECS, Akamai shipped two mechanisms that see the client's real
+// IP at the cost of extra startup work:
+//
+//  * metafile redirection (video CDN, circa 2000) — the player first
+//    fetches a metafile from an NS-mapped server; the metafile embeds a
+//    server chosen with the client's IP (learned from the metafile
+//    download connection); the video then streams from that server.
+//  * HTTP redirection — the client connects to an NS-mapped first
+//    server, which 302-redirects it to a better server chosen with the
+//    client's IP; "this process incurs a redirection penalty that is
+//    acceptable only for larger downloads".
+//
+// This module prices all four mechanisms over the same mapping system
+// and timing models, so their crossover with object size is measurable.
+#pragma once
+
+#include <string>
+
+#include "cdn/mapping.h"
+#include "measure/rum.h"
+
+namespace eum::measure {
+
+enum class RoutingMechanism : std::uint8_t {
+  ns_dns,         ///< plain NS-based mapping (Equation 1)
+  eu_dns,         ///< end-user mapping over ECS (Equation 2)
+  http_redirect,  ///< NS-mapped first server + 302 to the client-IP-mapped one
+  metafile,       ///< metafile fetched from NS-mapped server, body from best
+};
+
+[[nodiscard]] std::string to_string(RoutingMechanism mechanism);
+
+struct MechanismOutcome {
+  double startup_ms = 0.0;    ///< time before the payload transfer begins
+  double transfer_ms = 0.0;   ///< payload transfer time
+  double delivery_rtt_ms = 0.0;  ///< RTT to the server that sent the payload
+  [[nodiscard]] double total_ms() const { return startup_ms + transfer_ms; }
+};
+
+/// Price one object download of `payload_bytes` for (block, ldns) under a
+/// mechanism. Uses the same access-latency and TCP models as the RUM
+/// simulator; the mapping decisions go through the real mapping system.
+/// Returns nullopt if the mapping system cannot assign servers.
+[[nodiscard]] std::optional<MechanismOutcome> price_download(
+    RoutingMechanism mechanism, const topo::World& world, cdn::MappingSystem& mapping,
+    const topo::LatencyModel& latency, topo::BlockId block, topo::LdnsId ldns,
+    std::size_t payload_bytes, const RumConfig& config, util::Rng& rng);
+
+}  // namespace eum::measure

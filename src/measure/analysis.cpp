@@ -1,0 +1,144 @@
+#include "measure/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geo/coords.h"
+#include "net/cidr_aggregation.h"
+
+namespace eum::measure {
+
+using topo::ClientBlock;
+using topo::Ldns;
+using topo::LdnsUse;
+using topo::World;
+
+stats::WeightedSample client_ldns_distance_sample(const World& world,
+                                                  const DistanceFilter& filter) {
+  stats::WeightedSample sample;
+  sample.reserve(world.blocks.size());
+  for (const ClientBlock& block : world.blocks) {
+    if (filter.country && block.country != *filter.country) continue;
+    for (const LdnsUse& use : block.ldns_uses) {
+      const Ldns& ldns = world.ldnses[use.ldns];
+      if (filter.public_only && ldns.type != topo::LdnsType::public_site) continue;
+      const double distance = geo::great_circle_miles(block.location, ldns.location);
+      sample.add(distance, block.demand * use.fraction);
+    }
+  }
+  return sample;
+}
+
+double public_resolver_share(const World& world, std::optional<topo::CountryId> country) {
+  double public_demand = 0.0;
+  double total_demand = 0.0;
+  for (const ClientBlock& block : world.blocks) {
+    if (country && block.country != *country) continue;
+    total_demand += block.demand;
+    for (const LdnsUse& use : block.ldns_uses) {
+      if (world.ldnses[use.ldns].type == topo::LdnsType::public_site) {
+        public_demand += block.demand * use.fraction;
+      }
+    }
+  }
+  return total_demand > 0.0 ? public_demand / total_demand : 0.0;
+}
+
+std::vector<bool> high_expectation_countries(const World& world, double threshold_miles) {
+  std::vector<bool> high(world.countries.size(), false);
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    DistanceFilter filter;
+    filter.public_only = true;
+    filter.country = ci;
+    const auto sample = client_ldns_distance_sample(world, filter);
+    if (!sample.empty() && sample.percentile(50) > threshold_miles) high[ci] = true;
+  }
+  return high;
+}
+
+std::unordered_map<topo::LdnsId, ClusterStats> ldns_clusters(const World& world) {
+  // Gather the weighted client points behind each LDNS.
+  std::unordered_map<topo::LdnsId, std::vector<geo::WeightedPoint>> members;
+  for (const ClientBlock& block : world.blocks) {
+    for (const LdnsUse& use : block.ldns_uses) {
+      members[use.ldns].push_back(
+          geo::WeightedPoint{block.location, block.demand * use.fraction});
+    }
+  }
+  std::unordered_map<topo::LdnsId, ClusterStats> clusters;
+  clusters.reserve(members.size());
+  for (const auto& [ldns_id, points] : members) {
+    ClusterStats stats;
+    const geo::GeoPoint center = geo::centroid(points);
+    stats.radius_miles = geo::mean_distance_to(points, center);
+    stats.mean_client_ldns_miles =
+        geo::mean_distance_to(points, world.ldnses[ldns_id].location);
+    for (const geo::WeightedPoint& p : points) stats.demand += p.weight;
+    clusters.emplace(ldns_id, stats);
+  }
+  return clusters;
+}
+
+std::size_t CoverageCurve::units_for_fraction(double fraction) const {
+  const double target = total() * fraction;
+  double running = 0.0;
+  for (std::size_t i = 0; i < sorted_demand.size(); ++i) {
+    running += sorted_demand[i];
+    if (running >= target) return i + 1;
+  }
+  return sorted_demand.size();
+}
+
+double CoverageCurve::total() const {
+  return std::accumulate(sorted_demand.begin(), sorted_demand.end(), 0.0);
+}
+
+CoverageCurve block_coverage(const World& world) {
+  CoverageCurve curve;
+  curve.sorted_demand.reserve(world.blocks.size());
+  for (const ClientBlock& block : world.blocks) curve.sorted_demand.push_back(block.demand);
+  std::sort(curve.sorted_demand.rbegin(), curve.sorted_demand.rend());
+  return curve;
+}
+
+CoverageCurve ldns_coverage(const World& world) {
+  std::unordered_map<topo::LdnsId, double> demand;
+  for (const ClientBlock& block : world.blocks) {
+    for (const LdnsUse& use : block.ldns_uses) {
+      demand[use.ldns] += block.demand * use.fraction;
+    }
+  }
+  CoverageCurve curve;
+  curve.sorted_demand.reserve(demand.size());
+  for (const auto& [id, d] : demand) curve.sorted_demand.push_back(d);
+  std::sort(curve.sorted_demand.rbegin(), curve.sorted_demand.rend());
+  return curve;
+}
+
+PrefixClusterSweep prefix_clusters(const World& world, int prefix_len) {
+  PrefixClusterSweep sweep;
+  sweep.prefix_len = prefix_len;
+  std::unordered_map<net::IpPrefix, std::vector<geo::WeightedPoint>, net::IpPrefixHash> groups;
+  for (const ClientBlock& block : world.blocks) {
+    const net::IpPrefix unit = block.prefix.supernet(prefix_len);
+    groups[unit].push_back(geo::WeightedPoint{block.location, block.demand});
+  }
+  sweep.cluster_count = groups.size();
+  for (const auto& [unit, points] : groups) {
+    const geo::GeoPoint center = geo::centroid(points);
+    const double radius = geo::mean_distance_to(points, center);
+    double demand = 0.0;
+    for (const geo::WeightedPoint& p : points) demand += p.weight;
+    sweep.radii.add(radius, demand);
+  }
+  return sweep;
+}
+
+std::size_t bgp_aggregated_unit_count(const World& world) {
+  std::vector<net::IpPrefix> blocks;
+  blocks.reserve(world.blocks.size());
+  for (const ClientBlock& block : world.blocks) blocks.push_back(block.prefix);
+  return net::aggregate_blocks(blocks, world.bgp).units.size();
+}
+
+}  // namespace eum::measure

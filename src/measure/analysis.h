@@ -1,0 +1,77 @@
+// Client/LDNS population analyses (paper §3 and §5.1).
+//
+// These are the computations behind Figures 5-11, 21 and 22: demand-
+// weighted client-LDNS distances, per-LDNS client clusters (centroid,
+// radius), demand-coverage curves, and /x-prefix cluster sweeps. They are
+// library functions (not bench-only code) because the mapping system's
+// CANS policy and the roll-out simulator reuse them.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/sample.h"
+#include "topo/world.h"
+
+namespace eum::measure {
+
+struct DistanceFilter {
+  /// Restrict to demand flowing through public resolvers.
+  bool public_only = false;
+  /// Restrict to one country.
+  std::optional<topo::CountryId> country;
+};
+
+/// Demand-weighted sample of client-LDNS great-circle distances. Each
+/// (block, LDNS-use) pair contributes its demand share at the distance
+/// between the block and that LDNS (§3.2).
+[[nodiscard]] stats::WeightedSample client_ldns_distance_sample(const topo::World& world,
+                                                                const DistanceFilter& filter = {});
+
+/// Fraction of a country's demand that flows through public resolvers
+/// (Figure 9); country = nullopt gives the worldwide fraction.
+[[nodiscard]] double public_resolver_share(const topo::World& world,
+                                           std::optional<topo::CountryId> country = std::nullopt);
+
+/// The paper's §4.1.1 split: a country is "high expectation" when the
+/// median client-LDNS distance of its public-resolver users exceeds
+/// 1000 miles. Returns one flag per country index.
+[[nodiscard]] std::vector<bool> high_expectation_countries(const topo::World& world,
+                                                           double threshold_miles = 1000.0);
+
+/// Per-LDNS client-cluster statistics (§3.3): demand-weighted centroid
+/// radius and mean client-LDNS distance.
+struct ClusterStats {
+  double radius_miles = 0.0;
+  double mean_client_ldns_miles = 0.0;
+  double demand = 0.0;
+};
+[[nodiscard]] std::unordered_map<topo::LdnsId, ClusterStats> ldns_clusters(
+    const topo::World& world);
+
+/// Demand-coverage curve (Figure 21): with units sorted by decreasing
+/// demand, how many are needed to cover a given demand fraction.
+struct CoverageCurve {
+  /// Demand of each unit, sorted descending.
+  std::vector<double> sorted_demand;
+  /// Units needed to reach `fraction` of total demand.
+  [[nodiscard]] std::size_t units_for_fraction(double fraction) const;
+  [[nodiscard]] double total() const;
+};
+[[nodiscard]] CoverageCurve block_coverage(const topo::World& world);
+[[nodiscard]] CoverageCurve ldns_coverage(const topo::World& world);
+
+/// /x-prefix cluster sweep (Figure 22): group blocks into /x units and
+/// report the per-unit radius sample (demand-weighted) and unit count.
+struct PrefixClusterSweep {
+  int prefix_len = 24;
+  std::size_t cluster_count = 0;
+  stats::WeightedSample radii;  ///< weighted by cluster demand
+};
+[[nodiscard]] PrefixClusterSweep prefix_clusters(const topo::World& world, int prefix_len);
+
+/// Mapping-unit count after BGP-CIDR aggregation of the /24 blocks (§5.1).
+[[nodiscard]] std::size_t bgp_aggregated_unit_count(const topo::World& world);
+
+}  // namespace eum::measure

@@ -1,0 +1,154 @@
+#include "measure/pairing.h"
+
+#include <algorithm>
+
+#include "dnsserver/resolver.h"
+#include "dnsserver/transport.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace eum::measure {
+
+namespace {
+
+const dns::DnsName& whoami_name() {
+  static const dns::DnsName name = dns::DnsName::from_text("whoami.cdn.example");
+  return name;
+}
+
+}  // namespace
+
+dnsserver::DynamicAnswerFn whoami_handler() {
+  return [](const dnsserver::DynamicQuery& query) -> std::optional<dnsserver::DynamicAnswer> {
+    dnsserver::DynamicAnswer answer;
+    answer.addresses = {query.resolver};
+    answer.ttl = 0;          // never reuse across clients of another resolver
+    answer.ecs_scope_len = 0;  // the answer does not depend on the client
+    return answer;
+  };
+}
+
+double PairingResult::accuracy(const topo::World& world) const {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& [block_id, discovered] : by_block) {
+    const topo::ClientBlock& block = world.blocks.at(block_id);
+    for (const DiscoveredLdns& entry : discovered) {
+      ++total;
+      const topo::Ldns* ldns = world.ldns_by_address(entry.address);
+      if (ldns == nullptr) continue;
+      for (const topo::LdnsUse& use : block.ldns_uses) {
+        if (use.ldns == ldns->id) {
+          ++correct;
+          break;
+        }
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+double PairingResult::recall(const topo::World& world) const {
+  std::size_t recovered = 0;
+  std::size_t total = 0;
+  for (const auto& [block_id, discovered] : by_block) {
+    const topo::ClientBlock& block = world.blocks.at(block_id);
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      ++total;
+      const net::IpAddr& truth = world.ldnses[use.ldns].address;
+      for (const DiscoveredLdns& entry : discovered) {
+        if (entry.address == truth) {
+          ++recovered;
+          break;
+        }
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(recovered) / static_cast<double>(total) : 0.0;
+}
+
+PairingResult discover_client_ldns_pairs(const topo::World& world,
+                                         const PairingConfig& config) {
+  if (config.lookups_per_block <= 0) {
+    throw std::invalid_argument{"discover_client_ldns_pairs: need at least one lookup"};
+  }
+  util::Rng rng{config.seed};
+  util::SimClock clock;
+
+  dnsserver::AuthoritativeServer authority;
+  authority.add_dynamic_domain(whoami_name(), whoami_handler());
+  dnsserver::AuthorityDirectory directory;
+  directory.add_authority(whoami_name(), &authority);
+
+  // One recursive resolver instance per LDNS, created on demand.
+  std::unordered_map<topo::LdnsId, std::unique_ptr<dnsserver::RecursiveResolver>> resolvers;
+  const auto resolver_for = [&](const topo::Ldns& ldns) -> dnsserver::RecursiveResolver& {
+    auto& slot = resolvers[ldns.id];
+    if (!slot) {
+      dnsserver::ResolverConfig resolver_config;
+      resolver_config.ecs_enabled = ldns.supports_ecs;
+      slot = std::make_unique<dnsserver::RecursiveResolver>(resolver_config, &clock,
+                                                            &directory, ldns.address);
+    }
+    return *slot;
+  };
+
+  // Sample instrumented blocks by demand.
+  std::vector<topo::BlockId> sampled;
+  if (config.sample_blocks == 0 || config.sample_blocks >= world.blocks.size()) {
+    sampled.resize(world.blocks.size());
+    for (topo::BlockId b = 0; b < world.blocks.size(); ++b) sampled[b] = b;
+  } else {
+    std::vector<double> weights;
+    weights.reserve(world.blocks.size());
+    for (const topo::ClientBlock& block : world.blocks) weights.push_back(block.demand);
+    const util::WeightedPicker picker{weights};
+    std::unordered_map<topo::BlockId, bool> chosen;
+    while (chosen.size() < config.sample_blocks) {
+      chosen.emplace(static_cast<topo::BlockId>(picker.pick(rng)), true);
+    }
+    sampled.reserve(chosen.size());
+    for (const auto& [id, _] : chosen) sampled.push_back(id);
+    std::sort(sampled.begin(), sampled.end());
+  }
+
+  PairingResult result;
+  for (const topo::BlockId block_id : sampled) {
+    const topo::ClientBlock& block = world.blocks[block_id];
+    std::vector<double> use_weights;
+    for (const topo::LdnsUse& use : block.ldns_uses) use_weights.push_back(use.fraction);
+    const util::WeightedPicker use_picker{use_weights};
+
+    std::unordered_map<std::uint32_t, int> observed;  // v4 address -> count
+    std::vector<net::IpAddr> observed_order;
+    for (int q = 0; q < config.lookups_per_block; ++q) {
+      // The stub picks whichever resolver its block uses for this lookup
+      // (dual-configured stubs rotate), then digs the whoami name.
+      const topo::Ldns& ldns = world.ldnses[block.ldns_uses[use_picker.pick(rng)].ldns];
+      dnsserver::StubClient stub{
+          &resolver_for(ldns),
+          net::IpAddr{net::IpV4Addr{block.prefix.address().v4().value() +
+                                    static_cast<std::uint32_t>(rng.below(254)) + 1}}};
+      const auto addresses = stub.lookup(whoami_name());
+      ++result.lookups;
+      clock.advance(1);  // whoami answers are TTL-0; keep time moving
+      if (addresses.empty() || !addresses.front().is_v4()) continue;
+      const std::uint32_t key = addresses.front().v4().value();
+      if (observed.emplace(key, 0).second) observed_order.push_back(addresses.front());
+      ++observed[key];
+    }
+
+    std::vector<DiscoveredLdns> discovered;
+    for (const net::IpAddr& address : observed_order) {
+      DiscoveredLdns entry;
+      entry.address = address;
+      entry.frequency = static_cast<double>(observed[address.v4().value()]) /
+                        static_cast<double>(config.lookups_per_block);
+      discovered.push_back(entry);
+    }
+    result.by_block.emplace(block_id, std::move(discovered));
+  }
+  return result;
+}
+
+}  // namespace eum::measure

@@ -1,0 +1,67 @@
+// Client-LDNS pairing discovery (paper §3.1, the NetSession measurement).
+//
+// "NetSession clients also found their LDNS server performing a 'dig'
+// command on a special Akamai name whoami.akamai.net. The client-LDNS
+// association was then sent to Akamai's cloud storage ... for each /24
+// client IP block, the process generates the set of IPs corresponding to
+// the LDNSes used by the clients in that address block [with] relative
+// frequency."
+//
+// This module is that pipeline, run over the real DNS stack: a whoami
+// authoritative service answers each query with the unicast address of
+// the resolver that asked; instrumented clients resolve it through their
+// actual LDNS; the answers aggregate into per-/24 LDNS sets with
+// frequencies — which can then be validated against the world's ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dnsserver/authoritative.h"
+#include "topo/world.h"
+
+namespace eum::measure {
+
+/// A dynamic-answer handler that echoes the querying resolver's address:
+/// an A record carrying the LDNS unicast IP (TTL 0 so downstream caches
+/// never blur the association). Attach it to the measurement domain.
+[[nodiscard]] dnsserver::DynamicAnswerFn whoami_handler();
+
+struct PairingConfig {
+  /// Blocks sampled for instrumentation (the NetSession install base);
+  /// sampled by demand weight. 0 = every block.
+  std::size_t sample_blocks = 2000;
+  /// Lookups performed per instrumented block (clients repeat the dig).
+  int lookups_per_block = 4;
+  std::uint64_t seed = 31;
+};
+
+struct DiscoveredLdns {
+  net::IpAddr address;
+  double frequency = 0.0;  ///< relative frequency within the block
+};
+
+struct PairingResult {
+  /// Per-/24 discovered LDNS sets.
+  std::unordered_map<topo::BlockId, std::vector<DiscoveredLdns>> by_block;
+  std::uint64_t lookups = 0;
+
+  /// Fraction of discovered (block, LDNS) associations present in the
+  /// world's ground-truth client-LDNS map.
+  [[nodiscard]] double accuracy(const topo::World& world) const;
+  /// Fraction of ground-truth associations of the sampled blocks that the
+  /// discovery recovered.
+  [[nodiscard]] double recall(const topo::World& world) const;
+};
+
+/// Run the discovery: stand up a whoami authority, drive each sampled
+/// block's stub through its (ground-truth) resolvers, and aggregate what
+/// the authority reports back. The world only supplies *which* resolver a
+/// stub is configured with; the association data flows entirely through
+/// DNS messages, as in the paper.
+[[nodiscard]] PairingResult discover_client_ldns_pairs(const topo::World& world,
+                                                       const PairingConfig& config = {});
+
+}  // namespace eum::measure

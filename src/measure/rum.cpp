@@ -1,0 +1,85 @@
+#include "measure/rum.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/coords.h"
+#include "util/hash.h"
+
+namespace eum::measure {
+
+RumSimulator::RumSimulator(const topo::World* world, cdn::MappingSystem* mapping,
+                           const topo::LatencyModel* latency, RumConfig config)
+    : world_(world), mapping_(mapping), latency_(latency), config_(std::move(config)) {
+  if (world_ == nullptr || mapping_ == nullptr || latency_ == nullptr) {
+    throw std::invalid_argument{"RumSimulator: world/mapping/latency are required"};
+  }
+  if (config_.domains.empty()) {
+    throw std::invalid_argument{"RumSimulator: need at least one measured domain"};
+  }
+  std::vector<double> weights;
+  for (const topo::ClientBlock& block : world_->blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      if (world_->ldnses[use.ldns].type == topo::LdnsType::public_site) {
+        qualified_.emplace_back(block.id, use.ldns);
+        weights.push_back(block.demand * use.fraction);
+      }
+    }
+  }
+  qualified_picker_ = util::WeightedPicker{weights};
+}
+
+std::optional<RumSample> RumSimulator::session(topo::BlockId block_id, topo::LdnsId ldns_id,
+                                               bool end_user, util::Rng& rng) {
+  const topo::ClientBlock& block = world_->blocks.at(block_id);
+  const std::string& domain = config_.domains[rng.below(config_.domains.size())];
+
+  const auto result = end_user ? mapping_->map_block(block_id, domain)
+                               : mapping_->map_ldns(ldns_id, domain);
+  if (!result) return std::nullopt;
+  const cdn::Deployment& deployment = mapping_->network().deployments()[result->deployment];
+
+  RumSample sample;
+  sample.block = block_id;
+  sample.ldns = ldns_id;
+  sample.country = block.country;
+  sample.used_end_user_mapping = end_user;
+  sample.demand_weight = block.demand;
+  sample.mapping_distance_miles =
+      geo::great_circle_miles(block.location, deployment.location);
+
+  // RTT is measured from the actual client location (not its ping-target
+  // proxy), with per-session congestion noise, plus the client's access-
+  // network latency — a stable per-block draw (the same households keep
+  // the same DSL/cable/cellular links across sessions).
+  const std::uint64_t salt = util::hash_combine(util::mix64(0x2077 + block_id),
+                                                static_cast<std::uint64_t>(deployment.site_id));
+  const std::uint64_t access_bits = util::mix64(0xacce55 + block_id);
+  const double u1 = (static_cast<double>(access_bits >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 =
+      static_cast<double>(util::mix64(access_bits + 0x9e3779b97f4a7c15ULL) >> 11) * 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double access_ms =
+      std::exp(std::log(config_.access_latency_median_ms) + config_.access_latency_sigma * z);
+  sample.rtt_ms =
+      latency_->measure_rtt_ms(block.location, deployment.location, salt, rng) + access_ms;
+
+  // Server-side construction time: lognormal with the configured mean.
+  const double mu = std::log(config_.server_construction_mean_ms) -
+                    config_.server_construction_sigma * config_.server_construction_sigma / 2.0;
+  const double construction_ms = rng.lognormal(mu, config_.server_construction_sigma);
+  sample.ttfb_ms = ttfb_ms(sample.rtt_ms, construction_ms);
+
+  const auto bytes = static_cast<std::size_t>(
+      rng.lognormal(std::log(config_.page_bytes_median), config_.page_bytes_sigma));
+  sample.download_ms = download_time_ms(sample.rtt_ms, bytes, config_.tcp);
+  return sample;
+}
+
+std::optional<RumSample> RumSimulator::sample_qualified(bool end_user, util::Rng& rng) {
+  if (qualified_.empty()) return std::nullopt;
+  const auto [block, ldns] = qualified_[qualified_picker_.pick(rng)];
+  return session(block, ldns, end_user, rng);
+}
+
+}  // namespace eum::measure

@@ -1,0 +1,89 @@
+// Real User Measurement simulation (paper §4.2).
+//
+// The paper's RUM system runs JavaScript in client browsers and reports
+// navigation/resource timings. Here a "session" is one synthetic page
+// download: the mapping system assigns servers (by LDNS or by client
+// block, depending on whether the session went through end-user mapping),
+// and the timing metrics are derived from the latency and TCP models.
+// Qualified sessions (the roll-out's measurement population) are those of
+// clients using public resolvers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdn/mapping.h"
+#include "measure/tcp_model.h"
+#include "topo/latency.h"
+#include "topo/world.h"
+#include "util/rng.h"
+
+namespace eum::measure {
+
+struct RumConfig {
+  TcpParams tcp;
+  /// Last-mile access-network RTT added to every client measurement
+  /// (2014-era DSL/cable/3G mix): lognormal, stable per client block.
+  /// The infrastructure latency model alone describes router-to-router
+  /// paths; real RUM RTTs include the access network.
+  double access_latency_median_ms = 55.0;
+  double access_latency_sigma = 0.5;
+  /// Server-side page construction time: lognormal with this mean (ms).
+  /// Includes overlay-assisted origin fetches; NOT improved by mapping.
+  double server_construction_mean_ms = 400.0;
+  double server_construction_sigma = 0.45;
+  /// Embedded page content size: lognormal with this median (bytes).
+  double page_bytes_median = 90'000.0;
+  double page_bytes_sigma = 0.7;
+  /// Domains measured (spreads local load-balancing decisions).
+  std::vector<std::string> domains = {"www.retail.example",  "img.media.example",
+                                      "www.travel.example",  "cdn.social.example",
+                                      "dl.software.example", "www.bank.example"};
+};
+
+struct RumSample {
+  topo::BlockId block = 0;
+  topo::LdnsId ldns = 0;
+  topo::CountryId country = 0;
+  bool used_end_user_mapping = false;
+  double demand_weight = 0.0;
+  double mapping_distance_miles = 0.0;
+  double rtt_ms = 0.0;
+  double ttfb_ms = 0.0;
+  double download_ms = 0.0;
+};
+
+class RumSimulator {
+ public:
+  /// All pointers borrowed; must outlive the simulator. The mapping
+  /// system should be built over the same world.
+  RumSimulator(const topo::World* world, cdn::MappingSystem* mapping,
+               const topo::LatencyModel* latency, RumConfig config = {});
+
+  /// Run one session for a specific (block, LDNS) pair. `end_user` selects
+  /// whether the mapping decision used the client block (ECS) or the LDNS.
+  /// Returns nullopt if the mapping system could not assign a server.
+  [[nodiscard]] std::optional<RumSample> session(topo::BlockId block, topo::LdnsId ldns,
+                                                 bool end_user, util::Rng& rng);
+
+  /// One session from the qualified population (public-resolver users),
+  /// picked by demand weight.
+  [[nodiscard]] std::optional<RumSample> sample_qualified(bool end_user, util::Rng& rng);
+
+  /// The qualified (block, LDNS) pairs.
+  [[nodiscard]] const std::vector<std::pair<topo::BlockId, topo::LdnsId>>& qualified_pairs()
+      const noexcept {
+    return qualified_;
+  }
+
+ private:
+  const topo::World* world_;
+  cdn::MappingSystem* mapping_;
+  const topo::LatencyModel* latency_;
+  RumConfig config_;
+  std::vector<std::pair<topo::BlockId, topo::LdnsId>> qualified_;
+  util::WeightedPicker qualified_picker_;
+};
+
+}  // namespace eum::measure

@@ -1,0 +1,40 @@
+#include "measure/tcp_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eum::measure {
+
+double slow_start_rounds(std::size_t bytes, const TcpParams& params) {
+  if (params.mss_bytes == 0 || params.initial_cwnd_segments == 0 ||
+      params.parallel_connections <= 0.0) {
+    throw std::invalid_argument{"slow_start_rounds: invalid TCP parameters"};
+  }
+  if (bytes == 0) return 0.0;
+  // Each connection moves its share of the object; cwnd doubles per round
+  // starting at IW. Bytes delivered after r full rounds: IW*(2^r - 1)*MSS.
+  const double per_connection_bytes =
+      static_cast<double>(bytes) / params.parallel_connections;
+  const double iw_bytes =
+      static_cast<double>(params.initial_cwnd_segments * params.mss_bytes);
+  // Solve IW*(2^r - 1) >= per_connection_bytes for the smallest real r.
+  const double r = std::log2(per_connection_bytes / iw_bytes + 1.0);
+  return std::max(1.0, r);
+}
+
+double download_time_ms(double rtt_ms, std::size_t bytes, const TcpParams& params) {
+  if (rtt_ms < 0.0) throw std::invalid_argument{"download_time_ms: negative RTT"};
+  const double rounds = slow_start_rounds(bytes, params);
+  const double serialization_ms =
+      static_cast<double>(bytes) / params.client_bandwidth_bps * 1000.0;
+  return rounds * rtt_ms + serialization_ms;
+}
+
+double ttfb_ms(double rtt_ms, double server_construction_ms) {
+  if (rtt_ms < 0.0 || server_construction_ms < 0.0) {
+    throw std::invalid_argument{"ttfb_ms: negative input"};
+  }
+  return kTtfbRttRounds * rtt_ms + server_construction_ms;
+}
+
+}  // namespace eum::measure

@@ -1,0 +1,51 @@
+// Page-timing models for the RUM metrics (paper §4.1).
+//
+// Two client-observed quantities depend on the edge-server choice:
+//
+//  * TTFB — "duration from when the client makes a HTTP request for the
+//    base web page to when the first byte ... was received". We model it
+//    as kTtfbRttRounds client-server round trips (TCP handshake, the
+//    request itself, and one edge revalidation round trip) plus the
+//    server-side page-construction time, which end-user mapping does NOT
+//    improve (dynamic pages are assembled with origin help over the
+//    overlay, §4.1 metric 3). With the paper's numbers (high-expectation
+//    mean RTT 200->100 ms while TTFB went 1000->700 ms) the implied
+//    RTT multiplier is 3.0 and construction time ~400 ms.
+//
+//  * Content download time — embedded static content, "dominated by
+//    client-server latencies" (§4.1 metric 4). Modelled as TCP slow-start
+//    rounds over parallel connections plus serialization at the client's
+//    access bandwidth.
+#pragma once
+
+#include <cstddef>
+
+namespace eum::measure {
+
+struct TcpParams {
+  std::size_t mss_bytes = 1460;
+  std::size_t initial_cwnd_segments = 10;  ///< IW10, standard since 2013
+  /// Browsers fetch embedded content over several concurrent connections;
+  /// this divides the effective rounds needed.
+  double parallel_connections = 4.0;
+  /// Client access bandwidth, bytes/second (serialization floor).
+  double client_bandwidth_bps = 2.0e6;
+};
+
+/// Round trips (including handshake) a client pays before the first byte
+/// of a dynamic page arrives. See header comment for the calibration.
+inline constexpr double kTtfbRttRounds = 3.0;
+
+/// Number of slow-start rounds to move `bytes` with the given parameters
+/// (fractional; parallelism splits the object across connections).
+[[nodiscard]] double slow_start_rounds(std::size_t bytes, const TcpParams& params = {});
+
+/// Content download time in ms for `bytes` of embedded page content.
+[[nodiscard]] double download_time_ms(double rtt_ms, std::size_t bytes,
+                                      const TcpParams& params = {});
+
+/// Time to first byte in ms given the client-server RTT and the
+/// server-side page construction time.
+[[nodiscard]] double ttfb_ms(double rtt_ms, double server_construction_ms);
+
+}  // namespace eum::measure

@@ -1,0 +1,82 @@
+#include "net/cidr_aggregation.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace eum::net {
+
+void CidrTable::add(const IpPrefix& cidr) { trie_.insert(cidr, true); }
+
+std::optional<IpPrefix> CidrTable::covering(const IpPrefix& block) const {
+  const auto entry = trie_.longest_match_entry(block.address());
+  if (!entry) return std::nullopt;
+  if (entry->first.length() > block.length()) return std::nullopt;  // more specific than block
+  return entry->first;
+}
+
+AggregationResult aggregate_blocks(const std::vector<IpPrefix>& blocks, const CidrTable& table) {
+  AggregationResult result;
+  std::set<IpPrefix> units;
+  for (const IpPrefix& block : blocks) {
+    if (const auto cidr = table.covering(block)) {
+      units.insert(*cidr);
+      ++result.covered_blocks;
+    } else {
+      units.insert(block);
+      ++result.uncovered_blocks;
+    }
+  }
+  result.units.assign(units.begin(), units.end());
+  return result;
+}
+
+std::vector<IpPrefix> minimal_cover(std::vector<IpPrefix> blocks) {
+  for (const IpPrefix& b : blocks) {
+    if (b.family() != Family::v4) {
+      throw std::invalid_argument{"minimal_cover: IPv4 prefixes only"};
+    }
+  }
+  // Repeatedly merge sibling pairs: two /x blocks differing only in bit x-1
+  // combine into their /(x-1) parent. Sorting groups siblings adjacently.
+  std::sort(blocks.begin(), blocks.end(), [](const IpPrefix& a, const IpPrefix& b) {
+    return a.address().v4().value() != b.address().v4().value()
+               ? a.address().v4().value() < b.address().v4().value()
+               : a.length() < b.length();
+  });
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::vector<IpPrefix> next;
+    next.reserve(blocks.size());
+    std::size_t i = 0;
+    while (i < blocks.size()) {
+      if (i + 1 < blocks.size() && blocks[i].length() == blocks[i + 1].length() &&
+          blocks[i].length() > 0) {
+        const int len = blocks[i].length();
+        const IpPrefix parent = blocks[i].supernet(len - 1);
+        if (parent == blocks[i + 1].supernet(len - 1) && blocks[i] != blocks[i + 1]) {
+          next.push_back(parent);
+          i += 2;
+          merged = true;
+          continue;
+        }
+      }
+      next.push_back(blocks[i]);
+      ++i;
+    }
+    blocks = std::move(next);
+    if (merged) {
+      std::sort(blocks.begin(), blocks.end(), [](const IpPrefix& a, const IpPrefix& b) {
+        return a.address().v4().value() != b.address().v4().value()
+                   ? a.address().v4().value() < b.address().v4().value()
+                   : a.length() < b.length();
+      });
+    }
+  }
+  return blocks;
+}
+
+}  // namespace eum::net

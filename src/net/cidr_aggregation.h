@@ -1,0 +1,55 @@
+// Mapping-unit aggregation (paper §5.1).
+//
+// End-user mapping at /24 granularity needs to track 3.76M units; the
+// paper reduces this to 444K by merging /24 blocks that fall inside the
+// same BGP-announced CIDR, "since they are likely proximal in the network
+// sense." `CidrTable` models the BGP feed; `aggregate_blocks` performs the
+// merge; `minimal_cover` additionally collapses adjacent sibling blocks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace eum::net {
+
+/// A set of BGP-announced CIDRs supporting covering-CIDR queries.
+class CidrTable {
+ public:
+  CidrTable() = default;
+
+  /// Add an announced CIDR. Duplicates are ignored.
+  void add(const IpPrefix& cidr);
+
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+  /// The most specific announced CIDR covering `block`, if any.
+  /// (Covering means the CIDR contains the block's base address and the
+  /// CIDR is no more specific than the block.)
+  [[nodiscard]] std::optional<IpPrefix> covering(const IpPrefix& block) const;
+
+ private:
+  PrefixTrie<bool> trie_;
+};
+
+/// Result of aggregating client blocks by BGP CIDR.
+struct AggregationResult {
+  /// One mapping unit per element; a unit is either a covering CIDR (shared
+  /// by all its blocks) or an uncovered original block.
+  std::vector<IpPrefix> units;
+  std::size_t covered_blocks = 0;    ///< blocks merged into an announced CIDR
+  std::size_t uncovered_blocks = 0;  ///< blocks kept as their own unit
+};
+
+/// Merge /x client blocks into BGP-CIDR mapping units (paper §5.1).
+[[nodiscard]] AggregationResult aggregate_blocks(const std::vector<IpPrefix>& blocks,
+                                                 const CidrTable& table);
+
+/// Collapse a set of same-family prefixes into the minimal set of prefixes
+/// covering exactly the same address space (sibling merge). Input blocks
+/// must be non-overlapping. IPv4 only.
+[[nodiscard]] std::vector<IpPrefix> minimal_cover(std::vector<IpPrefix> blocks);
+
+}  // namespace eum::net

@@ -1,0 +1,160 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace eum::net {
+
+namespace {
+
+/// Parse a decimal integer in [0, max]; returns nullopt on any deviation.
+std::optional<std::uint32_t> parse_decimal(std::string_view text, std::uint32_t max) noexcept {
+  if (text.empty() || text.size() > 10) return std::nullopt;
+  // Reject leading '+'/'-'/spaces; from_chars already rejects them, but also
+  // reject leading zeros like "01" which inet_aton would read as octal.
+  if (text.size() > 1 && text.front() == '0') return std::nullopt;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint16_t> parse_hex_group(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint16_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<IpV4Addr> IpV4Addr::parse(std::string_view text) noexcept {
+  const auto fields = util::split(text, '.');
+  if (fields.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto field : fields) {
+    const auto octet = parse_decimal(field, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return IpV4Addr{value};
+}
+
+std::string IpV4Addr::to_string() const {
+  return util::format("%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+}
+
+std::optional<IpV6Addr> IpV6Addr::parse(std::string_view text) noexcept {
+  // Handle the optional "::" compression by splitting into head/tail parts.
+  std::string_view head = text;
+  std::string_view tail;
+  bool compressed = false;
+  if (const auto pos = text.find("::"); pos != std::string_view::npos) {
+    if (text.find("::", pos + 1) != std::string_view::npos) return std::nullopt;  // two "::"
+    compressed = true;
+    head = text.substr(0, pos);
+    tail = text.substr(pos + 2);
+  }
+
+  const auto parse_groups = [](std::string_view part, std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    for (const auto group : util::split(part, ':')) {
+      const auto value = parse_hex_group(group);
+      if (!value) return false;
+      out.push_back(*value);
+    }
+    return true;
+  };
+
+  std::vector<std::uint16_t> head_groups;
+  std::vector<std::uint16_t> tail_groups;
+  if (!parse_groups(head, head_groups) || !parse_groups(tail, tail_groups)) return std::nullopt;
+
+  const std::size_t total = head_groups.size() + tail_groups.size();
+  if (compressed ? total > 7 : total != 8) return std::nullopt;
+
+  Bytes bytes{};
+  std::size_t gi = 0;
+  for (const std::uint16_t g : head_groups) {
+    bytes[2 * gi] = static_cast<std::uint8_t>(g >> 8);
+    bytes[2 * gi + 1] = static_cast<std::uint8_t>(g);
+    ++gi;
+  }
+  gi = 8 - tail_groups.size();
+  for (const std::uint16_t g : tail_groups) {
+    bytes[2 * gi] = static_cast<std::uint8_t>(g >> 8);
+    bytes[2 * gi + 1] = static_cast<std::uint8_t>(g);
+    ++gi;
+  }
+  return IpV6Addr{bytes};
+}
+
+std::string IpV6Addr::to_string() const {
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ":";
+    out += util::format("%x", group(i));
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+IpV4Addr IpAddr::v4() const {
+  if (!is_v4()) throw std::logic_error{"IpAddr::v4 on an IPv6 address"};
+  return std::get<IpV4Addr>(storage_);
+}
+
+const IpV6Addr& IpAddr::v6() const {
+  if (!is_v6()) throw std::logic_error{"IpAddr::v6 on an IPv4 address"};
+  return std::get<IpV6Addr>(storage_);
+}
+
+bool IpAddr::bit(int i) const {
+  if (i < 0 || i >= bit_width()) throw std::out_of_range{"IpAddr::bit: index out of range"};
+  if (is_v4()) return (v4().value() >> (31 - i)) & 1U;
+  const auto& bytes = v6().bytes();
+  return (bytes[static_cast<std::size_t>(i / 8)] >> (7 - i % 8)) & 1U;
+}
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) noexcept {
+  if (text.find(':') != std::string_view::npos) {
+    if (const auto v6 = IpV6Addr::parse(text)) return IpAddr{*v6};
+    return std::nullopt;
+  }
+  if (const auto v4 = IpV4Addr::parse(text)) return IpAddr{*v4};
+  return std::nullopt;
+}
+
+std::string IpAddr::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+}  // namespace eum::net

@@ -1,0 +1,109 @@
+// IP address types.
+//
+// The mapping system works almost exclusively with IPv4 /24 blocks (the
+// granularity recommended by the EDNS0 client-subnet draft and used by the
+// paper), but the ECS wire format is family-agnostic, so both IPv4 and
+// IPv6 are first-class here.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace eum::net {
+
+/// IPv4 address stored in host byte order.
+class IpV4Addr {
+ public:
+  constexpr IpV4Addr() = default;
+  constexpr explicit IpV4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IpV4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * i));
+  }
+
+  /// Network-order byte serialization.
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> bytes() const noexcept {
+    return {octet(0), octet(1), octet(2), octet(3)};
+  }
+
+  [[nodiscard]] static std::optional<IpV4Addr> parse(std::string_view text) noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(IpV4Addr, IpV4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address as 16 network-order bytes.
+class IpV6Addr {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr IpV6Addr() = default;
+  constexpr explicit IpV6Addr(const Bytes& bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] constexpr const Bytes& bytes() const noexcept { return bytes_; }
+  /// The i-th 16-bit group in host order, i in [0, 8).
+  [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
+    return static_cast<std::uint16_t>((std::uint16_t{bytes_[static_cast<std::size_t>(2 * i)]} << 8) |
+                                      bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  }
+
+  [[nodiscard]] static std::optional<IpV6Addr> parse(std::string_view text) noexcept;
+  /// RFC 5952 canonical text form (lowercase, longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpV6Addr&, const IpV6Addr&) noexcept = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+/// Address family discriminator matching the ECS wire encoding
+/// (RFC 7871 uses IANA address-family numbers: 1 = IPv4, 2 = IPv6).
+enum class Family : std::uint16_t { v4 = 1, v6 = 2 };
+
+/// Either-family address.
+class IpAddr {
+ public:
+  constexpr IpAddr() noexcept : storage_(IpV4Addr{}) {}
+  constexpr IpAddr(IpV4Addr v4) noexcept : storage_(v4) {}          // NOLINT(google-explicit-constructor)
+  constexpr IpAddr(const IpV6Addr& v6) noexcept : storage_(v6) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr Family family() const noexcept {
+    return std::holds_alternative<IpV4Addr>(storage_) ? Family::v4 : Family::v6;
+  }
+  [[nodiscard]] constexpr bool is_v4() const noexcept { return family() == Family::v4; }
+  [[nodiscard]] constexpr bool is_v6() const noexcept { return family() == Family::v6; }
+
+  /// Precondition: matching family.
+  [[nodiscard]] IpV4Addr v4() const;
+  [[nodiscard]] const IpV6Addr& v6() const;
+
+  /// Address width in bits (32 or 128).
+  [[nodiscard]] constexpr int bit_width() const noexcept { return is_v4() ? 32 : 128; }
+
+  /// Bit i counting from the most significant bit (bit 0 = top bit).
+  [[nodiscard]] bool bit(int i) const;
+
+  /// Parses either family ("1.2.3.4" or "2001:db8::1").
+  [[nodiscard]] static std::optional<IpAddr> parse(std::string_view text) noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) noexcept = default;
+
+ private:
+  std::variant<IpV4Addr, IpV6Addr> storage_;
+};
+
+}  // namespace eum::net

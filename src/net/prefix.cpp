@@ -1,0 +1,90 @@
+#include "net/prefix.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace eum::net {
+
+namespace {
+
+IpAddr masked(const IpAddr& addr, int length) {
+  if (addr.is_v4()) {
+    const std::uint32_t mask =
+        length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+    return IpV4Addr{addr.v4().value() & mask};
+  }
+  IpV6Addr::Bytes bytes = addr.v6().bytes();
+  for (int i = 0; i < 16; ++i) {
+    const int bit_start = i * 8;
+    if (bit_start >= length) {
+      bytes[static_cast<std::size_t>(i)] = 0;
+    } else if (bit_start + 8 > length) {
+      const int keep = length - bit_start;
+      bytes[static_cast<std::size_t>(i)] &= static_cast<std::uint8_t>(0xFF << (8 - keep));
+    }
+  }
+  return IpV6Addr{bytes};
+}
+
+}  // namespace
+
+IpPrefix::IpPrefix(const IpAddr& addr, int length) : addr_(addr), length_(length) {
+  if (length < 0 || length > addr.bit_width()) {
+    throw std::invalid_argument{"IpPrefix: prefix length out of range for family"};
+  }
+  addr_ = masked(addr, length);
+}
+
+bool IpPrefix::contains(const IpAddr& addr) const noexcept {
+  if (addr.family() != family()) return false;
+  if (addr_.is_v4()) {
+    const std::uint32_t mask = length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+    return (addr.v4().value() & mask) == addr_.v4().value();
+  }
+  for (int i = 0; i < length_; ++i) {
+    if (addr.bit(i) != addr_.bit(i)) return false;
+  }
+  return true;
+}
+
+bool IpPrefix::contains(const IpPrefix& other) const noexcept {
+  return other.family() == family() && other.length_ >= length_ && contains(other.addr_);
+}
+
+bool IpPrefix::overlaps(const IpPrefix& other) const noexcept {
+  return contains(other) || other.contains(*this);
+}
+
+IpPrefix IpPrefix::supernet(int new_length) const {
+  if (new_length < 0 || new_length > length_) {
+    throw std::invalid_argument{"IpPrefix::supernet: new length must be in [0, length()]"};
+  }
+  return IpPrefix{addr_, new_length};
+}
+
+std::uint64_t IpPrefix::v4_size() const {
+  if (!addr_.is_v4()) throw std::logic_error{"IpPrefix::v4_size on an IPv6 prefix"};
+  return std::uint64_t{1} << (32 - length_);
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size()) return std::nullopt;
+  if (length < 0 || length > addr->bit_width()) return std::nullopt;
+  return IpPrefix{*addr, length};
+}
+
+std::string IpPrefix::to_string() const {
+  return addr_.to_string() + util::format("/%d", length_);
+}
+
+}  // namespace eum::net

@@ -1,0 +1,84 @@
+// IP prefixes (CIDR blocks).
+//
+// A /x client IP block — "the set of IPs that have the same first x bits
+// as the client's IP" (paper §2.1) — is the unit of end-user mapping.
+// Prefixes are stored canonicalized: host bits below the prefix length
+// are zero, so equal blocks compare equal.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+#include "util/hash.h"
+
+namespace eum::net {
+
+class IpPrefix {
+ public:
+  /// The default prefix is 0.0.0.0/0.
+  IpPrefix() noexcept : addr_(IpV4Addr{}), length_(0) {}
+
+  /// Canonicalizes by zeroing bits below `length`.
+  /// Throws std::invalid_argument if length exceeds the family's bit width.
+  IpPrefix(const IpAddr& addr, int length);
+
+  [[nodiscard]] const IpAddr& address() const noexcept { return addr_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] Family family() const noexcept { return addr_.family(); }
+
+  /// True if `addr` lies inside this block (families must match).
+  [[nodiscard]] bool contains(const IpAddr& addr) const noexcept;
+  /// True if `other` is equal to or more specific than this block.
+  [[nodiscard]] bool contains(const IpPrefix& other) const noexcept;
+  /// True if the two blocks share any address.
+  [[nodiscard]] bool overlaps(const IpPrefix& other) const noexcept;
+
+  /// The enclosing prefix of the given (shorter or equal) length.
+  /// Throws std::invalid_argument if new_length > length().
+  [[nodiscard]] IpPrefix supernet(int new_length) const;
+
+  /// Number of addresses in an IPv4 block; throws for IPv6 (may exceed 64 bits).
+  [[nodiscard]] std::uint64_t v4_size() const;
+
+  /// "10.0.0.0/8" style parse/format.
+  [[nodiscard]] static std::optional<IpPrefix> parse(std::string_view text) noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: the /x block containing `addr`.
+  [[nodiscard]] static IpPrefix block_of(const IpAddr& addr, int length) {
+    return IpPrefix{addr, length};
+  }
+
+  friend bool operator==(const IpPrefix&, const IpPrefix&) noexcept = default;
+  friend auto operator<=>(const IpPrefix&, const IpPrefix&) noexcept = default;
+
+ private:
+  IpAddr addr_;
+  int length_;
+};
+
+/// Stable hash for unordered containers keyed by prefix.
+struct IpPrefixHash {
+  [[nodiscard]] std::size_t operator()(const IpPrefix& prefix) const noexcept {
+    std::uint64_t h = util::mix64(static_cast<std::uint64_t>(prefix.length()) |
+                                  (static_cast<std::uint64_t>(prefix.family()) << 8));
+    if (prefix.family() == Family::v4) {
+      h = util::hash_combine(h, prefix.address().v4().value());
+    } else {
+      const auto& bytes = prefix.address().v6().bytes();
+      for (std::size_t i = 0; i < 16; i += 8) {
+        std::uint64_t word = 0;
+        for (std::size_t j = 0; j < 8; ++j) word = (word << 8) | bytes[i + j];
+        h = util::hash_combine(h, word);
+      }
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace eum::net

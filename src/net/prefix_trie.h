@@ -1,0 +1,162 @@
+// Binary radix trie keyed by IP prefixes, with longest-prefix match.
+//
+// This is the lookup structure behind the geolocation database, the BGP
+// CIDR table used for mapping-unit aggregation (paper §5.1), and the
+// mapping system's per-unit state. One trie instance stores one address
+// family per branch; both families can coexist in one trie.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace eum::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Insert or overwrite the value at `prefix`. Returns true if the prefix
+  /// was newly inserted, false if an existing value was replaced.
+  bool insert(const IpPrefix& prefix, T value) {
+    Node* node = descend_or_create(prefix);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Value stored exactly at `prefix`, if any.
+  [[nodiscard]] const T* exact(const IpPrefix& prefix) const noexcept {
+    const Node* node = root(prefix.family());
+    for (int i = 0; node != nullptr && i < prefix.length(); ++i) {
+      node = node->child[prefix.address().bit(i) ? 1 : 0].get();
+    }
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address: the value whose prefix contains
+  /// `addr` and has the greatest length. Returns nullptr if no prefix matches.
+  [[nodiscard]] const T* longest_match(const IpAddr& addr) const noexcept {
+    const T* best = nullptr;
+    const Node* node = root(addr.family());
+    for (int i = 0; node != nullptr; ++i) {
+      if (node->value) best = &*node->value;
+      if (i >= addr.bit_width()) break;
+      node = node->child[addr.bit(i) ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  /// Longest-prefix match together with the matched prefix itself.
+  [[nodiscard]] std::optional<std::pair<IpPrefix, T>> longest_match_entry(
+      const IpAddr& addr) const {
+    std::optional<std::pair<IpPrefix, T>> best;
+    const Node* node = root(addr.family());
+    for (int i = 0; node != nullptr; ++i) {
+      if (node->value) best = {IpPrefix{addr, i}, *node->value};
+      if (i >= addr.bit_width()) break;
+      node = node->child[addr.bit(i) ? 1 : 0].get();
+    }
+    return best;
+  }
+
+  /// Remove the value at `prefix`. Returns true if something was removed.
+  /// (Interior nodes are retained; the trie is built-once in practice.)
+  bool erase(const IpPrefix& prefix) noexcept {
+    Node* node = mutable_root(prefix.family());
+    for (int i = 0; node != nullptr && i < prefix.length(); ++i) {
+      node = node->child[prefix.address().bit(i) ? 1 : 0].get();
+    }
+    if (node == nullptr || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Visit every stored (prefix, value) pair in depth-first order.
+  void visit(const std::function<void(const IpPrefix&, const T&)>& fn) const {
+    visit_family(Family::v4, fn);
+    visit_family(Family::v6, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  [[nodiscard]] const Node* root(Family family) const noexcept {
+    return family == Family::v4 ? v4_root_.get() : v6_root_.get();
+  }
+  [[nodiscard]] Node* mutable_root(Family family) noexcept {
+    return family == Family::v4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  Node* descend_or_create(const IpPrefix& prefix) {
+    std::unique_ptr<Node>& root_slot = prefix.family() == Family::v4 ? v4_root_ : v6_root_;
+    if (!root_slot) root_slot = std::make_unique<Node>();
+    Node* node = root_slot.get();
+    for (int i = 0; i < prefix.length(); ++i) {
+      auto& slot = node->child[prefix.address().bit(i) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+    }
+    return node;
+  }
+
+  void visit_family(Family family, const std::function<void(const IpPrefix&, const T&)>& fn) const {
+    const Node* start = root(family);
+    if (start == nullptr) return;
+    // Iterative DFS carrying the path bits; avoids deep recursion on /128 chains.
+    struct Frame {
+      const Node* node;
+      IpV6Addr::Bytes path;  ///< big enough for either family
+      int depth;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start, {}, 0});
+    while (!stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.node->value) {
+        fn(make_prefix(family, frame.path, frame.depth), *frame.node->value);
+      }
+      for (int b = 1; b >= 0; --b) {
+        if (const Node* child = frame.node->child[b].get()) {
+          Frame next{child, frame.path, frame.depth + 1};
+          if (b == 1) {
+            next.path[static_cast<std::size_t>(frame.depth / 8)] |=
+                static_cast<std::uint8_t>(1U << (7 - frame.depth % 8));
+          }
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] static IpPrefix make_prefix(Family family, const IpV6Addr::Bytes& path,
+                                            int depth) {
+    if (family == Family::v4) {
+      const std::uint32_t value = (std::uint32_t{path[0]} << 24) | (std::uint32_t{path[1]} << 16) |
+                                  (std::uint32_t{path[2]} << 8) | std::uint32_t{path[3]};
+      return IpPrefix{IpV4Addr{value}, depth};
+    }
+    return IpPrefix{IpV6Addr{path}, depth};
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace eum::net

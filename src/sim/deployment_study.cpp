@@ -1,0 +1,160 @@
+#include "sim/deployment_study.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/sample.h"
+
+namespace eum::sim {
+
+namespace {
+
+/// A client-LDNS pair: the evaluation unit (weight = demand x use share).
+struct Pair {
+  topo::PingTargetId block_target;
+  std::uint32_t ldns;
+  float weight;
+};
+
+struct LdnsCluster {
+  std::vector<topo::PingTargetId> targets;
+  std::vector<float> weights;  ///< normalized
+  topo::PingTargetId own_target = 0;
+};
+
+}  // namespace
+
+std::vector<DeploymentStudyRow> run_deployment_study(const topo::World& world,
+                                                     const topo::LatencyModel& latency,
+                                                     const DeploymentStudyConfig& config) {
+  if (config.runs == 0 || config.deployment_counts.empty()) {
+    throw std::invalid_argument{"run_deployment_study: need runs and deployment counts"};
+  }
+  std::vector<std::size_t> counts = config.deployment_counts;
+  std::sort(counts.begin(), counts.end());
+  const std::size_t universe = world.deployment_universe.size();
+  if (counts.back() > universe) {
+    throw std::invalid_argument{"run_deployment_study: count exceeds deployment universe"};
+  }
+
+  const cdn::PingMesh mesh =
+      cdn::PingMesh::measure_sites(world, world.deployment_universe, latency);
+  const std::size_t n_targets = mesh.target_count();
+
+  // Evaluation pairs and per-LDNS clusters.
+  std::vector<Pair> pairs;
+  std::unordered_map<std::uint32_t, std::unordered_map<topo::PingTargetId, double>> raw_clusters;
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      pairs.push_back(Pair{block.ping_target, use.ldns,
+                           static_cast<float>(block.demand * use.fraction)});
+      raw_clusters[use.ldns][block.ping_target] += block.demand * use.fraction;
+    }
+  }
+  // Dense LDNS cluster arrays.
+  const std::size_t n_ldns = world.ldnses.size();
+  std::vector<LdnsCluster> clusters(n_ldns);
+  for (std::size_t l = 0; l < n_ldns; ++l) {
+    clusters[l].own_target = world.ldnses[l].ping_target;
+    if (const auto it = raw_clusters.find(static_cast<std::uint32_t>(l));
+        it != raw_clusters.end()) {
+      double sum = 0.0;
+      for (const auto& [t, w] : it->second) sum += w;
+      for (const auto& [t, w] : it->second) {
+        clusters[l].targets.push_back(t);
+        clusters[l].weights.push_back(static_cast<float>(w / sum));
+      }
+    }
+  }
+
+  // Accumulators: per (count index) per scheme, summed over runs.
+  std::vector<DeploymentStudyRow> rows(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) rows[i].deployments = counts[i];
+
+  util::Rng rng{config.seed};
+  std::vector<std::size_t> perm(universe);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    // Fisher-Yates shuffle of the universe ordering.
+    for (std::size_t i = universe - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+
+    // Incremental state as deployments are revealed.
+    std::vector<float> target_min(n_targets, std::numeric_limits<float>::infinity());
+    std::vector<std::uint32_t> target_argmin(n_targets, 0);
+    std::vector<float> cans_best(n_ldns, std::numeric_limits<float>::infinity());
+    std::vector<std::uint32_t> cans_argmin(n_ldns, 0);
+
+    std::size_t revealed = 0;
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      for (; revealed < counts[ci]; ++revealed) {
+        const auto d = static_cast<std::uint32_t>(perm[revealed]);
+        const std::span<const float> row = mesh.row(d);
+        for (std::size_t t = 0; t < n_targets; ++t) {
+          if (row[t] < target_min[t]) {
+            target_min[t] = row[t];
+            target_argmin[t] = d;
+          }
+        }
+        for (std::size_t l = 0; l < n_ldns; ++l) {
+          const LdnsCluster& cluster = clusters[l];
+          if (cluster.targets.empty()) continue;
+          float score = 0.0F;
+          for (std::size_t m = 0; m < cluster.targets.size(); ++m) {
+            score += cluster.weights[m] * row[cluster.targets[m]];
+          }
+          if (score < cans_best[l]) {
+            cans_best[l] = score;
+            cans_argmin[l] = d;
+          }
+        }
+      }
+
+      // Evaluate the three schemes over all client-LDNS pairs.
+      stats::WeightedSample ns_sample;
+      stats::WeightedSample eu_sample;
+      stats::WeightedSample cans_sample;
+      ns_sample.reserve(pairs.size());
+      eu_sample.reserve(pairs.size());
+      cans_sample.reserve(pairs.size());
+      for (const Pair& pair : pairs) {
+        // EU: nearest revealed deployment to the client's own target.
+        eu_sample.add(target_min[pair.block_target], pair.weight);
+        // NS: the deployment nearest the LDNS serves the client.
+        const std::uint32_t ns_dep = target_argmin[clusters[pair.ldns].own_target];
+        ns_sample.add(mesh.rtt_ms(ns_dep, pair.block_target), pair.weight);
+        // CANS: the deployment minimizing the cluster-weighted latency.
+        const std::uint32_t cans_dep = clusters[pair.ldns].targets.empty()
+                                           ? target_argmin[clusters[pair.ldns].own_target]
+                                           : cans_argmin[pair.ldns];
+        cans_sample.add(mesh.rtt_ms(cans_dep, pair.block_target), pair.weight);
+      }
+      const auto accumulate = [](SchemeLatency& acc, const stats::WeightedSample& sample) {
+        acc.mean_ms += sample.mean();
+        acc.p95_ms += sample.percentile(95);
+        acc.p99_ms += sample.percentile(99);
+      };
+      accumulate(rows[ci].eu, eu_sample);
+      accumulate(rows[ci].ns, ns_sample);
+      accumulate(rows[ci].cans, cans_sample);
+    }
+  }
+
+  // Average across runs.
+  const auto n_runs = static_cast<double>(config.runs);
+  for (DeploymentStudyRow& row : rows) {
+    for (SchemeLatency* scheme : {&row.ns, &row.eu, &row.cans}) {
+      scheme->mean_ms /= n_runs;
+      scheme->p95_ms /= n_runs;
+      scheme->p99_ms /= n_runs;
+    }
+  }
+  return rows;
+}
+
+}  // namespace eum::sim

@@ -1,0 +1,48 @@
+// The role of server deployments (paper §6, Figure 25).
+//
+// Methodology copied from the paper: a universe of candidate deployment
+// locations is measured against every ping target; for each run the
+// universe is randomly ordered, and for each N the first N deployments
+// form the CDN. Three mapping schemes are compared:
+//   NS   — client gets the deployment with least latency to its LDNS;
+//   EU   — client gets the deployment with least latency to its own block;
+//   CANS — client gets the deployment minimizing the traffic-weighted
+//          mean latency to the LDNS's whole client cluster.
+// Per (scheme, N): traffic-weighted mean, 95th and 99th percentile client
+// latency, averaged over runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/ping_mesh.h"
+#include "topo/latency.h"
+#include "topo/world.h"
+
+namespace eum::sim {
+
+struct DeploymentStudyConfig {
+  std::vector<std::size_t> deployment_counts = {40, 80, 160, 320, 640, 1280, 2560};
+  /// Paper: 100 random runs; the default trades a little smoothness for time.
+  std::size_t runs = 20;
+  std::uint64_t seed = 17;
+};
+
+struct SchemeLatency {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct DeploymentStudyRow {
+  std::size_t deployments = 0;
+  SchemeLatency ns;    ///< NS-based mapping
+  SchemeLatency eu;    ///< end-user mapping
+  SchemeLatency cans;  ///< client-aware NS mapping
+};
+
+[[nodiscard]] std::vector<DeploymentStudyRow> run_deployment_study(
+    const topo::World& world, const topo::LatencyModel& latency,
+    const DeploymentStudyConfig& config);
+
+}  // namespace eum::sim

@@ -1,0 +1,76 @@
+#include "sim/op_rates.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace eum::sim {
+
+std::vector<HourlyRates> operational_rates(const topo::World& world, const util::Date& from,
+                                           const util::Date& to, const OpRateConfig& config) {
+  const int first = util::day_index(from);
+  const int last = util::day_index(to);
+  if (first >= last) throw std::invalid_argument{"operational_rates: empty period"};
+
+  // Demand-proportional base rate at simulation scale.
+  const double base_rps = world.total_demand() / 1e6 * config.base_requests_per_demand_unit * 1e6;
+  util::Rng rng{config.seed};
+
+  std::vector<HourlyRates> series;
+  series.reserve(static_cast<std::size_t>(last - first) * 24);
+  for (int day = first; day < last; ++day) {
+    // Weekly dip: Jan 1 2014 was a Wednesday (weekday index 3).
+    const int weekday = (day + 3) % 7;
+    const bool weekend = weekday == 6 || weekday == 0;
+    const double weekly = weekend ? 1.0 - config.weekly_amplitude : 1.0;
+    for (int hour = 0; hour < 24; ++hour) {
+      const double phase = 2.0 * 3.141592653589793 * (hour - 14) / 24.0;
+      const double diurnal = 1.0 + config.diurnal_amplitude * std::cos(phase);
+      const double noise = 1.0 + 0.02 * rng.normal();
+      HourlyRates point;
+      point.time = util::SimTime{(static_cast<std::int64_t>(day) * 24 + hour) * 3600};
+      point.client_requests_per_s = base_rps * weekly * diurnal * noise;
+      point.dns_queries_per_s = point.client_requests_per_s / config.requests_per_dns_query;
+      series.push_back(point);
+    }
+  }
+  return series;
+}
+
+std::vector<MonthlyRumVolume> rum_measurement_volumes(const topo::World& world,
+                                                      const std::vector<bool>& high_expectation,
+                                                      double jan_total_millions,
+                                                      double jun_total_millions) {
+  if (high_expectation.size() != world.countries.size()) {
+    throw std::invalid_argument{"rum_measurement_volumes: classification size mismatch"};
+  }
+  // Split qualified (public-resolver) demand across expectation groups.
+  double high_demand = 0.0;
+  double low_demand = 0.0;
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      if (world.ldnses[use.ldns].type != topo::LdnsType::public_site) continue;
+      const double d = block.demand * use.fraction;
+      (high_expectation[block.country] ? high_demand : low_demand) += d;
+    }
+  }
+  const double total = high_demand + low_demand;
+  const double high_share = total > 0.0 ? high_demand / total : 0.5;
+
+  std::vector<MonthlyRumVolume> months;
+  for (int m = 1; m <= 6; ++m) {
+    // Measurement volume grows as more pages/clients get instrumented.
+    const double t = static_cast<double>(m - 1) / 5.0;
+    const double total_m = jan_total_millions +
+                           (jun_total_millions - jan_total_millions) * t;
+    MonthlyRumVolume volume;
+    volume.month = m;
+    volume.high_expectation_millions = total_m * high_share;
+    volume.low_expectation_millions = total_m * (1.0 - high_share);
+    months.push_back(volume);
+  }
+  return months;
+}
+
+}  // namespace eum::sim

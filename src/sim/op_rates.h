@@ -1,0 +1,57 @@
+// Operational-rate models (paper Figures 2 and 12).
+//
+// These two exhibits are descriptive statistics of the production
+// platform: the DNS query and client request rates the mapping system
+// serves (Fig 2), and the monthly RUM measurement volume during the study
+// (Fig 12). We model them from the world's demand with diurnal/weekly
+// seasonality and the study period's growth trend, scaled to the paper's
+// reported magnitudes (1.6M DNS qps, 30M client rps; 33-58M RUM
+// measurements/month).
+#pragma once
+
+#include <vector>
+
+#include "topo/world.h"
+#include "util/sim_clock.h"
+
+namespace eum::sim {
+
+struct OpRateConfig {
+  /// Mean client requests per second at the simulated scale's demand.
+  double base_requests_per_demand_unit = 30.0;
+  /// Client content requests per DNS resolution ("multiple content
+  /// requests from clients that use that LDNS may follow", Fig 2 caption).
+  double requests_per_dns_query = 18.75;
+  /// Weekly seasonality amplitude (weekend dip).
+  double weekly_amplitude = 0.12;
+  /// Diurnal amplitude (day/night swing across time zones averages out
+  /// partially for a global platform).
+  double diurnal_amplitude = 0.18;
+  std::uint64_t seed = 23;
+};
+
+struct HourlyRates {
+  util::SimTime time;
+  double client_requests_per_s = 0.0;
+  double dns_queries_per_s = 0.0;
+};
+
+/// Fig 2: per-hour request and query rates over [from, to).
+[[nodiscard]] std::vector<HourlyRates> operational_rates(const topo::World& world,
+                                                         const util::Date& from,
+                                                         const util::Date& to,
+                                                         const OpRateConfig& config = {});
+
+struct MonthlyRumVolume {
+  int month = 1;  ///< 1..12 of 2014
+  double high_expectation_millions = 0.0;
+  double low_expectation_millions = 0.0;
+};
+
+/// Fig 12: monthly qualified RUM measurement volume Jan-Jun 2014, split by
+/// expectation group, with the paper's observed growth trend.
+[[nodiscard]] std::vector<MonthlyRumVolume> rum_measurement_volumes(
+    const topo::World& world, const std::vector<bool>& high_expectation,
+    double jan_total_millions = 33.0, double jun_total_millions = 58.0);
+
+}  // namespace eum::sim

@@ -1,0 +1,98 @@
+// DNS query-rate scaling study (paper §5.2, Figures 23 and 24).
+//
+// Turning on ECS multiplies the queries an LDNS sends upstream: where a
+// cached answer used to serve every client of the resolver for a full
+// TTL, a scoped (/24) answer only serves clients of one block, so each
+// active block costs its own upstream query per TTL. The paper measured
+// an 8x increase for public resolvers (33.5K -> 270K qps).
+//
+// This study reproduces the effect mechanically: it instantiates the
+// *real* RecursiveResolver (RFC 7871 scoped cache) per sampled LDNS,
+// drives it with Poisson client arrivals drawn from the world's demand,
+// and counts actual upstream queries with ECS off and on — same arrival
+// realization both times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/mapping.h"
+#include "topo/world.h"
+
+namespace eum::sim {
+
+struct QueryRateConfig {
+  /// ISP LDNSes sampled (all public-resolver sites are always included).
+  std::size_t isp_ldns_sample = 120;
+  /// CDN-hosted domains and their popularity skew.
+  std::size_t domain_count = 60;
+  double domain_zipf = 1.0;
+  /// Traffic horizon simulated per (LDNS, domain) pair, seconds.
+  double horizon_seconds = 3600.0;
+  /// Client DNS query rate per demand unit, queries/second.
+  double queries_per_demand_unit = 0.002;
+  /// TTL of the mapping system's dynamic answers.
+  std::uint32_t answer_ttl = 60;
+  std::uint64_t seed = 11;
+};
+
+/// Per-(domain, LDNS) outcome.
+struct PairQueryStats {
+  topo::LdnsId ldns = 0;
+  std::size_t domain = 0;
+  bool is_public = false;
+  std::uint64_t client_queries = 0;
+  std::uint64_t upstream_pre = 0;   ///< upstream queries, ECS off
+  std::uint64_t upstream_post = 0;  ///< upstream queries, ECS on
+  /// Queries per TTL prior to the roll-out (the Fig 24 popularity axis;
+  /// at most ~1 since a cached answer serves a whole TTL).
+  [[nodiscard]] double popularity(double horizon, std::uint32_t ttl) const {
+    return static_cast<double>(upstream_pre) * static_cast<double>(ttl) / horizon;
+  }
+  [[nodiscard]] double factor() const {
+    return upstream_pre == 0 ? 1.0
+                             : static_cast<double>(upstream_post) /
+                                   static_cast<double>(upstream_pre);
+  }
+};
+
+struct QueryRateResult {
+  std::vector<PairQueryStats> pairs;
+  double horizon_seconds = 0.0;
+  std::uint32_t answer_ttl = 0;
+  /// Aggregate upstream qps from public resolvers, ECS off / on.
+  double public_pre_qps = 0.0;
+  double public_post_qps = 0.0;
+  /// Aggregate upstream qps from (sampled) ISP resolvers — ECS-independent.
+  double isp_qps = 0.0;
+  /// Demand covered by the sampled ISP resolvers, as a fraction of all
+  /// non-public demand (for scaling the Fig 23 totals).
+  double isp_demand_coverage = 0.0;
+
+  [[nodiscard]] double public_factor() const {
+    return public_pre_qps > 0.0 ? public_post_qps / public_pre_qps : 1.0;
+  }
+
+  /// Fig 24: bucket pairs by popularity and report the mean factor.
+  /// With `ecs_pairs_only`, factors cover only ECS-capable (public) LDNS
+  /// pairs — the population the roll-out actually multiplied; the
+  /// pre-roll-out query shares always cover every pair.
+  struct Bucket {
+    double popularity_lo = 0.0;
+    double popularity_hi = 0.0;
+    double mean_factor = 1.0;
+    double pre_query_share = 0.0;  ///< share of total pre-roll-out queries
+    std::size_t pair_count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> popularity_buckets(std::size_t bucket_count = 10,
+                                                       bool ecs_pairs_only = false) const;
+};
+
+/// Run the study against a world and a mapping system (whose policy
+/// should be end_user; its ECS scope setting is what makes post-roll-out
+/// cache entries block-scoped).
+[[nodiscard]] QueryRateResult run_query_rate_study(const topo::World& world,
+                                                   cdn::MappingSystem& mapping,
+                                                   const QueryRateConfig& config);
+
+}  // namespace eum::sim

@@ -1,0 +1,86 @@
+#include "sim/rollout.h"
+
+#include <stdexcept>
+
+namespace eum::sim {
+
+RolloutSimulator::RolloutSimulator(const topo::World* world, measure::RumSimulator* rum,
+                                   RolloutConfig config)
+    : world_(world), rum_(rum), config_(config) {
+  if (world_ == nullptr || rum_ == nullptr) {
+    throw std::invalid_argument{"RolloutSimulator: world and rum are required"};
+  }
+  if (util::day_index(config_.start) > util::day_index(config_.end) ||
+      util::day_index(config_.ramp_start) > util::day_index(config_.ramp_end)) {
+    throw std::invalid_argument{"RolloutSimulator: inconsistent dates"};
+  }
+}
+
+double RolloutSimulator::rollout_fraction(const util::Date& date) const {
+  const int day = util::day_index(date);
+  const int ramp_lo = util::day_index(config_.ramp_start);
+  const int ramp_hi = util::day_index(config_.ramp_end);
+  if (day < ramp_lo) return 0.0;
+  if (day >= ramp_hi) return 1.0;
+  return static_cast<double>(day - ramp_lo) / static_cast<double>(ramp_hi - ramp_lo);
+}
+
+RolloutResult RolloutSimulator::run() {
+  RolloutResult result;
+  result.high_expectation = measure::high_expectation_countries(*world_);
+  util::Rng rng{config_.seed};
+
+  const int first = util::day_index(config_.start);
+  const int last = util::day_index(config_.end);
+  const int ramp_lo = util::day_index(config_.ramp_start);
+  const int ramp_hi = util::day_index(config_.ramp_end);
+
+  for (int day = first; day <= last; ++day) {
+    const util::Date date = util::date_from_day_index(day);
+    const double fraction = rollout_fraction(date);
+
+    DailyMetrics high{date, 0, 0, 0, 0, 0};
+    DailyMetrics low{date, 0, 0, 0, 0, 0};
+    for (std::size_t s = 0; s < config_.sessions_per_day; ++s) {
+      const bool end_user = rng.chance(fraction);
+      const auto sample = rum_->sample_qualified(end_user, rng);
+      if (!sample) continue;
+      DailyMetrics& group = result.high_expectation[sample->country] ? high : low;
+      ++group.sessions;
+      group.mapping_distance_miles += sample->mapping_distance_miles;
+      group.rtt_ms += sample->rtt_ms;
+      group.ttfb_ms += sample->ttfb_ms;
+      group.download_ms += sample->download_ms;
+
+      // Pool pre-ramp and post-ramp samples for the CDF figures.
+      MetricPools* pool = nullptr;
+      if (day < ramp_lo) {
+        pool = result.high_expectation[sample->country] ? &result.high_before
+                                                        : &result.low_before;
+      } else if (day >= ramp_hi) {
+        pool = result.high_expectation[sample->country] ? &result.high_after
+                                                        : &result.low_after;
+      }
+      if (pool != nullptr) {
+        pool->mapping_distance.add(sample->mapping_distance_miles);
+        pool->rtt.add(sample->rtt_ms);
+        pool->ttfb.add(sample->ttfb_ms);
+        pool->download.add(sample->download_ms);
+      }
+    }
+    for (DailyMetrics* group : {&high, &low}) {
+      if (group->sessions > 0) {
+        const auto n = static_cast<double>(group->sessions);
+        group->mapping_distance_miles /= n;
+        group->rtt_ms /= n;
+        group->ttfb_ms /= n;
+        group->download_ms /= n;
+      }
+    }
+    result.high_daily.push_back(high);
+    result.low_daily.push_back(low);
+  }
+  return result;
+}
+
+}  // namespace eum::sim

@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace eum::stats {
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins) {
+  if (!(lo > 0.0) || !(hi > lo) || bins == 0) {
+    throw std::invalid_argument{"LogHistogram: need 0 < lo < hi and bins >= 1"};
+  }
+  log_lo_ = std::log10(lo);
+  log_step_ = (std::log10(hi) - log_lo_) / static_cast<double>(bins);
+  bins_.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    bins_[i].lo = std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i));
+    bins_[i].hi = std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i + 1));
+  }
+}
+
+void LogHistogram::add(double value, double weight) {
+  if (weight <= 0.0) return;
+  std::size_t idx = 0;
+  if (value > 0.0) {
+    const double pos = (std::log10(value) - log_lo_) / log_step_;
+    idx = static_cast<std::size_t>(std::clamp(pos, 0.0, static_cast<double>(bins_.size() - 1)));
+  }
+  bins_[idx].weight += weight;
+  total_weight_ += weight;
+}
+
+double LogHistogram::fraction(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range{"LogHistogram::fraction: bad bin index"};
+  return total_weight_ > 0.0 ? bins_[i].weight / total_weight_ : 0.0;
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument{"LinearHistogram: need lo < hi and bins >= 1"};
+  }
+  step_ = (hi - lo) / static_cast<double>(bins);
+  bins_.resize(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    bins_[i].lo = lo + step_ * static_cast<double>(i);
+    bins_[i].hi = lo + step_ * static_cast<double>(i + 1);
+  }
+}
+
+void LinearHistogram::add(double value, double weight) {
+  if (weight <= 0.0) return;
+  const double pos = (value - lo_) / step_;
+  const auto idx =
+      static_cast<std::size_t>(std::clamp(pos, 0.0, static_cast<double>(bins_.size() - 1)));
+  bins_[idx].weight += weight;
+  total_weight_ += weight;
+}
+
+double LinearHistogram::fraction(std::size_t i) const {
+  if (i >= bins_.size()) throw std::out_of_range{"LinearHistogram::fraction: bad bin index"};
+  return total_weight_ > 0.0 ? bins_[i].weight / total_weight_ : 0.0;
+}
+
+std::string render_histogram(const std::vector<HistogramBin>& bins, double total_weight,
+                             std::size_t bar_width) {
+  double max_fraction = 0.0;
+  for (const HistogramBin& b : bins) {
+    if (total_weight > 0.0) max_fraction = std::max(max_fraction, b.weight / total_weight);
+  }
+  std::string out;
+  for (const HistogramBin& b : bins) {
+    const double frac = total_weight > 0.0 ? b.weight / total_weight : 0.0;
+    const auto bar_len = static_cast<std::size_t>(
+        max_fraction > 0.0 ? std::lround(frac / max_fraction * static_cast<double>(bar_width))
+                           : 0);
+    out += util::format("%10.1f ..%10.1f  %6.2f%%  ", b.lo, b.hi, frac * 100.0);
+    out.append(bar_len, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace eum::stats

@@ -1,0 +1,69 @@
+// Histograms for figure reproduction.
+//
+// Figures 5 and 7 use a logarithmic x-axis (10..10000 miles) with the
+// y-axis showing percent of client demand per bin; `LogHistogram` mirrors
+// that. `LinearHistogram` covers evenly binned exhibits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eum::stats {
+
+struct HistogramBin {
+  double lo = 0.0;          ///< inclusive lower edge
+  double hi = 0.0;          ///< exclusive upper edge (inclusive for the last bin)
+  double weight = 0.0;      ///< total weight that fell in this bin
+};
+
+/// Histogram with logarithmically spaced bins between [lo, hi].
+/// Values below lo clamp into the first bin; values above hi into the last
+/// (the paper's figures similarly clamp their axes).
+class LogHistogram {
+ public:
+  /// Precondition: 0 < lo < hi, bins >= 1.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] const std::vector<HistogramBin>& bins() const noexcept { return bins_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  /// Fraction of total weight in bin i (0 if the histogram is empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  std::vector<HistogramBin> bins_;
+  double log_lo_;
+  double log_step_;
+  double total_weight_ = 0.0;
+};
+
+/// Histogram with evenly spaced bins between [lo, hi]; clamping as above.
+class LinearHistogram {
+ public:
+  /// Precondition: lo < hi, bins >= 1.
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] const std::vector<HistogramBin>& bins() const noexcept { return bins_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  std::vector<HistogramBin> bins_;
+  double lo_;
+  double step_;
+  double total_weight_ = 0.0;
+};
+
+/// Render a histogram as rows of "lo..hi  percent  bar" text, used by the
+/// figure harnesses to print paper-like marginal distributions.
+[[nodiscard]] std::string render_histogram(const std::vector<HistogramBin>& bins,
+                                           double total_weight, std::size_t bar_width = 40);
+
+}  // namespace eum::stats

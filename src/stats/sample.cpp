@@ -1,0 +1,105 @@
+#include "stats/sample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eum::stats {
+
+void WeightedSample::add(double value, double weight) {
+  if (weight < 0.0 || !std::isfinite(weight) || !std::isfinite(value)) {
+    throw std::invalid_argument{"WeightedSample::add: value/weight must be finite, weight >= 0"};
+  }
+  if (weight == 0.0) return;
+  points_.push_back({value, weight});
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedSample::clear() noexcept {
+  points_.clear();
+  prefix_weight_.clear();
+  total_weight_ = 0.0;
+  sorted_ = false;
+}
+
+void WeightedSample::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.value < b.value; });
+  prefix_weight_.resize(points_.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    running += points_[i].weight;
+    prefix_weight_[i] = running;
+  }
+  sorted_ = true;
+}
+
+double WeightedSample::mean() const {
+  if (empty()) throw std::logic_error{"WeightedSample::mean on empty sample"};
+  double sum = 0.0;
+  for (const Point& p : points_) sum += p.value * p.weight;
+  return sum / total_weight_;
+}
+
+double WeightedSample::percentile(double q) const {
+  if (empty()) throw std::logic_error{"WeightedSample::percentile on empty sample"};
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile: q outside [0, 100]"};
+  ensure_sorted();
+  const double target = total_weight_ * q / 100.0;
+  const auto it = std::lower_bound(prefix_weight_.begin(), prefix_weight_.end(), target);
+  const auto idx = std::min(static_cast<std::size_t>(it - prefix_weight_.begin()),
+                            points_.size() - 1);
+  return points_[idx].value;
+}
+
+double WeightedSample::min() const {
+  if (empty()) throw std::logic_error{"WeightedSample::min on empty sample"};
+  ensure_sorted();
+  return points_.front().value;
+}
+
+double WeightedSample::max() const {
+  if (empty()) throw std::logic_error{"WeightedSample::max on empty sample"};
+  ensure_sorted();
+  return points_.back().value;
+}
+
+double WeightedSample::cdf_at(double x) const {
+  if (empty()) return 0.0;
+  ensure_sorted();
+  // Index of the last point with value <= x.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double needle, const Point& p) { return needle < p.value; });
+  if (it == points_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - points_.begin()) - 1;
+  return prefix_weight_[idx] / total_weight_;
+}
+
+BoxPlot WeightedSample::box_plot() const {
+  return BoxPlot{percentile(5), percentile(25), percentile(50), percentile(75), percentile(95)};
+}
+
+std::vector<CdfPoint> WeightedSample::cdf_curve(std::size_t points) const {
+  std::vector<CdfPoint> curve;
+  if (empty() || points < 2) return curve;
+  const double lo = min();
+  const double hi = max();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.push_back({x, cdf_at(x)});
+  }
+  return curve;
+}
+
+std::vector<CdfPoint> WeightedSample::cdf_at_values(std::span<const double> values) const {
+  std::vector<CdfPoint> curve;
+  curve.reserve(values.size());
+  for (const double x : values) curve.push_back({x, cdf_at(x)});
+  return curve;
+}
+
+}  // namespace eum::stats

@@ -1,0 +1,82 @@
+// Weighted sample statistics.
+//
+// Nearly every figure in the paper is demand-weighted: percentiles,
+// CDFs and histograms weight each client block by the content demand it
+// generates rather than counting blocks equally. `WeightedSample` is the
+// shared accumulator behind those figures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eum::stats {
+
+/// Five-number summary used by the paper's box plots
+/// (5th, 25th, 50th, 75th, 95th percentiles; see footnote 6).
+struct BoxPlot {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// One point of an empirical CDF: fraction of total weight with value <= x.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_fraction = 0.0;
+};
+
+/// Accumulates (value, weight) observations and answers weighted
+/// order-statistics queries. Queries sort lazily; adding after a query
+/// re-sorts on the next query.
+class WeightedSample {
+ public:
+  WeightedSample() = default;
+
+  void add(double value, double weight = 1.0);
+  void reserve(std::size_t n) { points_.reserve(n); }
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  /// Weighted mean. Precondition: !empty().
+  [[nodiscard]] double mean() const;
+
+  /// Weighted percentile, q in [0, 100]: the smallest value v such that at
+  /// least q% of the total weight lies at values <= v. Precondition: !empty().
+  [[nodiscard]] double percentile(double q) const;
+
+  /// Minimum / maximum observed value. Precondition: !empty().
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Fraction of total weight with value <= x (the empirical CDF at x).
+  [[nodiscard]] double cdf_at(double x) const;
+
+  [[nodiscard]] BoxPlot box_plot() const;
+
+  /// Evenly spaced CDF curve with `points` samples between min and max.
+  [[nodiscard]] std::vector<CdfPoint> cdf_curve(std::size_t points = 50) const;
+
+  /// CDF evaluated at caller-chosen values.
+  [[nodiscard]] std::vector<CdfPoint> cdf_at_values(std::span<const double> values) const;
+
+ private:
+  struct Point {
+    double value;
+    double weight;
+  };
+
+  void ensure_sorted() const;
+
+  mutable std::vector<Point> points_;
+  mutable std::vector<double> prefix_weight_;  ///< cumulative weights, valid when sorted_
+  mutable bool sorted_ = false;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace eum::stats

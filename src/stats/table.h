@@ -1,0 +1,32 @@
+// Minimal fixed-width table renderer used by the bench harnesses to print
+// paper-figure data as aligned rows.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eum::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision ("%.*f").
+[[nodiscard]] std::string num(double value, int precision = 1);
+
+}  // namespace eum::stats

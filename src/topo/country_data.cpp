@@ -1,0 +1,60 @@
+#include "topo/country_data.h"
+
+#include <stdexcept>
+
+namespace eum::topo {
+
+// Knob cheat-sheet (all targets from the paper):
+//   isp_centralization — raises Fig 6 medians (IN/TR/VN/MX > 1000 mi;
+//     KR/TW/NL tiny; Western Europe a small band).
+//   isp_offshore       — centralized resolvers at a foreign hub; drives
+//     the extreme Fig 6 medians (IN/TR/VN/MX) that in-country
+//     centralization alone cannot produce.
+//   public_adoption    — Fig 9 (VN/TR heaviest at ~40%+, worldwide ~8%);
+//     interpreted as the country's TOTAL public share including demand
+//     from outsourced small ASes (the generator adjusts for it).
+//   enterprise_share   — long per-country tails (JP's multinationals).
+//   anycast_detour     — Fig 8: SG/MY/TH/ID/AU/JP have nearby sites yet
+//     median public-resolver distances above 1000 miles, so more than
+//     half of their public demand must be routed past its nearest site.
+//   radius_miles       — country size; with no nearby public-resolver
+//     site this alone produces large Fig 8 distances (AR/BR/IN).
+std::vector<CountrySpec> default_countries() {
+  return {
+      //       code  center (lat, lon)  radius  demand  cent.  public  entrpr  detour  offsh  deploy
+      CountrySpec{"US", {39.0, -98.0},   1150,  0.270,  0.45,  0.070,  0.030,  0.08,  0.02,  30.0},
+      CountrySpec{"JP", {36.0, 138.0},    380,  0.080,  0.20,  0.020,  0.100,  0.50,  0.04,  10.0},
+      CountrySpec{"GB", {53.0, -1.5},     230,  0.060,  0.25,  0.055,  0.025,  0.06,  0.03,   8.0},
+      CountrySpec{"DE", {51.0, 10.0},     250,  0.052,  0.22,  0.040,  0.020,  0.05,  0.02,   8.0},
+      CountrySpec{"FR", {46.6, 2.4},      300,  0.048,  0.25,  0.045,  0.020,  0.05,  0.02,   7.0},
+      CountrySpec{"BR", {-14.2, -51.9},  1100,  0.048,  0.62,  0.150,  0.020,  0.20,  0.18,   5.0},
+      CountrySpec{"IN", {21.0, 78.0},     950,  0.042,  0.90,  0.130,  0.025,  0.15,  0.40,   4.0},
+      CountrySpec{"CA", {49.5, -96.0},   1100,  0.040,  0.40,  0.050,  0.025,  0.08,  0.04,   6.0},
+      CountrySpec{"IT", {42.8, 12.5},     340,  0.035,  0.35,  0.180,  0.020,  0.06,  0.04,   5.0},
+      CountrySpec{"AU", {-27.0, 140.0},  1050,  0.032,  0.55,  0.030,  0.030,  0.55,  0.10,   5.0},
+      CountrySpec{"RU", {56.2, 34.0},     420,  0.030,  0.55,  0.120,  0.020,  0.04,  0.08,   4.0},
+      CountrySpec{"ES", {40.2, -3.7},     330,  0.026,  0.30,  0.090,  0.020,  0.06,  0.05,   4.0},
+      CountrySpec{"KR", {36.5, 127.8},    130,  0.026,  0.06,  0.015,  0.015,  0.05,  0.01,   5.0},
+      CountrySpec{"NL", {52.2, 5.3},      100,  0.022,  0.15,  0.040,  0.020,  0.04,  0.01,   5.0},
+      CountrySpec{"MX", {23.5, -102.0},   620,  0.020,  0.80,  0.110,  0.020,  0.18,  0.38,   3.0},
+      CountrySpec{"TR", {39.0, 35.0},     430,  0.020,  0.88,  0.400,  0.020,  0.15,  0.48,   2.5},
+      CountrySpec{"TW", {23.8, 121.0},    110,  0.018,  0.08,  0.080,  0.015,  0.04,  0.01,   4.0},
+      CountrySpec{"ID", {-4.5, 117.0},   1150,  0.018,  0.70,  0.170,  0.020,  0.50,  0.30,   2.5},
+      CountrySpec{"AR", {-34.5, -64.0},   700,  0.015,  0.65,  0.140,  0.020,  0.25,  0.22,   2.0},
+      CountrySpec{"TH", {15.0, 101.0},    380,  0.015,  0.55,  0.100,  0.020,  0.55,  0.25,   2.5},
+      CountrySpec{"VN", {16.2, 107.5},    480,  0.015,  0.85,  0.450,  0.020,  0.45,  0.40,   2.0},
+      CountrySpec{"MY", {3.8, 102.2},     300,  0.012,  0.45,  0.160,  0.025,  0.60,  0.30,   2.5},
+      CountrySpec{"CH", {46.8, 8.2},      110,  0.012,  0.15,  0.050,  0.030,  0.04,  0.01,   4.0},
+      CountrySpec{"HK", {22.3, 114.2},     28,  0.012,  0.05,  0.060,  0.025,  0.08,  0.02,   4.0},
+      CountrySpec{"SG", {1.35, 103.8},     16,  0.008,  0.05,  0.030,  0.030,  0.60,  0.02,   4.0},
+  };
+}
+
+CountryId country_index(const std::vector<CountrySpec>& specs, const std::string& code) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].code == code) return static_cast<CountryId>(i);
+  }
+  throw std::out_of_range{"country_index: unknown country code " + code};
+}
+
+}  // namespace eum::topo

@@ -1,0 +1,21 @@
+// Calibrated country table for the synthetic world.
+#pragma once
+
+#include <vector>
+
+#include "topo/world.h"
+
+namespace eum::topo {
+
+/// The paper's top-25 countries by client demand (Figure 6), with
+/// modelling knobs calibrated against the published per-country data:
+/// Fig 6 (client-LDNS distance), Fig 8 (public-resolver distance),
+/// Fig 9 (public-resolver adoption). Demand shares are normalized by the
+/// world generator.
+[[nodiscard]] std::vector<CountrySpec> default_countries();
+
+/// Index of a country code within a spec vector; throws if absent.
+[[nodiscard]] CountryId country_index(const std::vector<CountrySpec>& specs,
+                                      const std::string& code);
+
+}  // namespace eum::topo

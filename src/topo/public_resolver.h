@@ -1,0 +1,47 @@
+// Public-resolver providers (Google Public DNS / OpenDNS analogues).
+//
+// Providers run anycast site fleets; clients reach the "closest" site by
+// BGP anycast, which has well-known failure modes (§3.2: "IP anycast has
+// many known limitations that can result in a fraction of the clients
+// being routed to far away LDNS locations"). Crucially for the paper,
+// the 2014-era fleets had no South American or Indian sites, which is
+// what makes AR/BR/IN distances so large in Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+#include "topo/latency.h"
+#include "util/rng.h"
+
+namespace eum::topo {
+
+struct PublicSiteSpec {
+  std::string country_code;  ///< where the site lives
+  geo::GeoPoint location;
+};
+
+struct PublicProviderSpec {
+  std::string name;
+  double market_share = 0.5;  ///< among public-resolver demand
+  bool supports_ecs = true;   ///< the roll-out targets ECS-capable providers
+  std::vector<PublicSiteSpec> sites;
+};
+
+/// The two-provider fleet used by default: a large provider with 9 sites
+/// (US x3, EU x2, Asia x3, AU) and a smaller one with 7. Neither has a
+/// site in South America or India.
+[[nodiscard]] std::vector<PublicProviderSpec> default_public_providers();
+
+/// Pick the anycast site a client at `client_location` is routed to.
+/// Normally the lowest-latency site; with probability `detour_prob` the
+/// client is mis-routed to a farther site (rank >= 2), modelling peering
+/// pathologies. Returns the site index within `sites`.
+[[nodiscard]] std::size_t anycast_select(const std::vector<PublicSiteSpec>& sites,
+                                         const geo::GeoPoint& client_location,
+                                         const LatencyModel& latency, double detour_prob,
+                                         util::Rng& rng);
+
+}  // namespace eum::topo

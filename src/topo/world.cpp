@@ -1,0 +1,55 @@
+#include "topo/world.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eum::topo {
+
+double World::total_demand() const {
+  double total = 0.0;
+  for (const ClientBlock& block : blocks) total += block.demand;
+  return total;
+}
+
+const Ldns& World::primary_ldns(const ClientBlock& block) const {
+  if (block.ldns_uses.empty()) throw std::logic_error{"block has no LDNS association"};
+  const auto it = std::max_element(
+      block.ldns_uses.begin(), block.ldns_uses.end(),
+      [](const LdnsUse& a, const LdnsUse& b) { return a.fraction < b.fraction; });
+  return ldnses.at(it->ldns);
+}
+
+double World::public_resolver_demand() const {
+  double total = 0.0;
+  for (const ClientBlock& block : blocks) {
+    for (const LdnsUse& use : block.ldns_uses) {
+      if (ldnses.at(use.ldns).type == LdnsType::public_site) {
+        total += block.demand * use.fraction;
+      }
+    }
+  }
+  return total;
+}
+
+const ClientBlock* World::block_by_prefix(const net::IpPrefix& prefix) const {
+  const auto it = block_index_.find(prefix);
+  return it == block_index_.end() ? nullptr : &blocks[it->second];
+}
+
+const Ldns* World::ldns_by_address(const net::IpAddr& addr) const {
+  const auto it = ldns_index_.find(net::IpPrefix{addr, addr.bit_width()});
+  return it == ldns_index_.end() ? nullptr : &ldnses[it->second];
+}
+
+void World::build_indexes() {
+  block_index_.clear();
+  block_index_.reserve(blocks.size());
+  for (const ClientBlock& block : blocks) block_index_.emplace(block.prefix, block.id);
+  ldns_index_.clear();
+  ldns_index_.reserve(ldnses.size());
+  for (const Ldns& ldns : ldnses) {
+    ldns_index_.emplace(net::IpPrefix{ldns.address, ldns.address.bit_width()}, ldns.id);
+  }
+}
+
+}  // namespace eum::topo

@@ -1,0 +1,508 @@
+#include "topo/world_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "topo/country_data.h"
+#include "util/hash.h"
+
+namespace eum::topo {
+
+namespace {
+
+constexpr std::uint32_t kClientBase = 0x01000000;          // 1.0.0.0, /24s upward
+constexpr std::uint32_t kIspLdnsBase = 0xC8000000;         // 200.0.0.0
+constexpr std::uint32_t kEnterpriseLdnsBase = 0xC9000000;  // 201.0.0.0
+constexpr std::uint32_t kPublicLdnsBase = 0xCA000000;      // 202.0.0.0
+
+/// Offset a point by a 2-D gaussian with the given standard deviation in
+/// miles (adequate for sub-continental jitters).
+geo::GeoPoint jitter(const geo::GeoPoint& base, double sigma_miles, util::Rng& rng) {
+  const double dlat_miles = rng.normal(0.0, sigma_miles);
+  const double dlon_miles = rng.normal(0.0, sigma_miles);
+  const double lat = std::clamp(base.lat_deg + dlat_miles / 69.0, -89.0, 89.0);
+  const double cos_lat = std::max(0.2, std::cos(lat * 0.017453292519943295));
+  double lon = base.lon_deg + dlon_miles / (69.0 * cos_lat);
+  if (lon > 180.0) lon -= 360.0;
+  if (lon < -180.0) lon += 360.0;
+  return geo::GeoPoint{lat, lon};
+}
+
+/// Offset by a lognormal radial distance in a uniform direction.
+geo::GeoPoint displace(const geo::GeoPoint& base, double median_miles, double sigma,
+                       util::Rng& rng) {
+  const double distance = rng.lognormal(std::log(median_miles), sigma);
+  const double bearing = rng.uniform(0.0, 6.283185307179586);
+  const double dlat_miles = distance * std::cos(bearing);
+  const double dlon_miles = distance * std::sin(bearing);
+  const double lat = std::clamp(base.lat_deg + dlat_miles / 69.0, -89.0, 89.0);
+  const double cos_lat = std::max(0.2, std::cos(lat * 0.017453292519943295));
+  double lon = base.lon_deg + dlon_miles / (69.0 * cos_lat);
+  if (lon > 180.0) lon -= 360.0;
+  if (lon < -180.0) lon += 360.0;
+  return geo::GeoPoint{lat, lon};
+}
+
+/// Largest-remainder apportionment of `total` items over `weights`.
+std::vector<std::size_t> apportion(std::size_t total, const std::vector<double>& weights,
+                                   std::size_t minimum) {
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::size_t> counts(weights.size(), minimum);
+  if (sum <= 0.0 || total <= minimum * weights.size()) return counts;
+  const std::size_t distributable = total - minimum * weights.size();
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(distributable) * weights[i] / sum;
+    const auto whole = static_cast<std::size_t>(exact);
+    counts[i] += whole;
+    assigned += whole;
+    remainders.emplace_back(exact - static_cast<double>(whole), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t k = 0; assigned < distributable && k < remainders.size(); ++k, ++assigned) {
+    ++counts[remainders[k].second];
+  }
+  return counts;
+}
+
+struct ProviderRuntime {
+  PublicProviderSpec spec;
+  std::vector<LdnsId> site_ldns;  ///< parallel to spec.sites
+};
+
+}  // namespace
+
+World generate_world(const WorldGenConfig& config) {
+  if (config.target_blocks == 0 || config.target_ases == 0 || config.ping_targets == 0) {
+    throw std::invalid_argument{"generate_world: sizes must be positive"};
+  }
+  util::Rng master{config.seed};
+  World world;
+  world.countries = default_countries();
+
+  // Normalize country demand shares.
+  {
+    double sum = 0.0;
+    for (const CountrySpec& c : world.countries) sum += c.demand_share;
+    for (CountrySpec& c : world.countries) c.demand_share /= sum;
+  }
+  const LatencyModel latency{config.latency, util::mix64(config.seed ^ 0x1a7e9c)};
+
+  // ---- Cities ----------------------------------------------------------
+  util::Rng city_rng = master.fork(1);
+  std::vector<std::vector<CityId>> country_cities(world.countries.size());
+  for (CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    const CountrySpec& spec = world.countries[ci];
+    const auto n_cities =
+        static_cast<std::size_t>(std::clamp(3.0 + spec.radius_miles / 130.0, 3.0, 14.0));
+    for (std::size_t k = 0; k < n_cities; ++k) {
+      City city;
+      city.id = static_cast<CityId>(world.cities.size());
+      city.country = ci;
+      city.is_hub = (k == 0);
+      if (k == 0) {
+        city.location = jitter(spec.center, spec.radius_miles * 0.12, city_rng);
+      } else {
+        city.location = jitter(spec.center, spec.radius_miles * 0.55, city_rng);
+      }
+      city.population_weight = 1.0 / std::pow(static_cast<double>(k + 1), 0.85);
+      country_cities[ci].push_back(city.id);
+      world.cities.push_back(city);
+    }
+    double wsum = 0.0;
+    for (const CityId id : country_cities[ci]) wsum += world.cities[id].population_weight;
+    for (const CityId id : country_cities[ci]) world.cities[id].population_weight /= wsum;
+  }
+
+  // ---- Autonomous systems ----------------------------------------------
+  util::Rng as_rng = master.fork(2);
+  {
+    // AS counts skew toward big internet economies but sublinearly.
+    std::vector<double> weights;
+    weights.reserve(world.countries.size());
+    for (const CountrySpec& c : world.countries) weights.push_back(std::sqrt(c.demand_share));
+    const auto counts = apportion(config.target_ases, weights, 4);
+    AsId next_asn = 100;
+    for (CountryId ci = 0; ci < world.countries.size(); ++ci) {
+      const CountrySpec& spec = world.countries[ci];
+      const std::size_t n = counts[ci];
+      std::vector<double> as_weights(n);
+      double wsum = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        as_weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), config.as_zipf_exponent);
+        wsum += as_weights[r];
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        AutonomousSystem as;
+        as.asn = next_asn++;
+        as.country = ci;
+        as.demand_share = spec.demand_share * as_weights[r] / wsum;
+        const bool small = r >= static_cast<std::size_t>(
+                                    static_cast<double>(n) * (1.0 - config.small_as_fraction));
+        if (small && as_rng.chance(config.small_as_outsource_prob)) {
+          as.strategy = DnsStrategy::outsourced;
+        } else if (small && as_rng.chance(0.08)) {
+          as.strategy = DnsStrategy::enterprise;
+        } else if (as_rng.chance(spec.isp_centralization)) {
+          as.strategy = DnsStrategy::isp_centralized;
+        } else {
+          as.strategy = DnsStrategy::isp_local;
+        }
+        world.ases.push_back(as);
+      }
+    }
+  }
+
+  // ---- Client blocks ----------------------------------------------------
+  // Each (AS, city) group is allocated at a /20 boundary, so /20 and finer
+  // aggregates stay metro-local (Fig 22), and the AS announces the minimal
+  // cover of its /20s as its BGP CIDRs (§5.1 aggregation).
+  util::Rng block_rng = master.fork(3);
+  std::uint32_t next_block24 = kClientBase >> 8;  // /24 counter
+  {
+    std::vector<double> as_weights;
+    as_weights.reserve(world.ases.size());
+    for (const AutonomousSystem& as : world.ases) as_weights.push_back(as.demand_share);
+    const auto counts = apportion(config.target_blocks, as_weights, 1);
+
+    for (std::size_t ai = 0; ai < world.ases.size(); ++ai) {
+      AutonomousSystem& as = world.ases[ai];
+      const std::size_t n_blocks = counts[ai];
+      const auto& cities = country_cities[as.country];
+
+      std::vector<double> cweights;
+      cweights.reserve(cities.size());
+      for (const CityId id : cities) cweights.push_back(world.cities[id].population_weight);
+      const util::WeightedPicker city_picker{cweights};
+      std::vector<CityId> block_cities(n_blocks);
+      for (auto& c : block_cities) c = cities[city_picker.pick(block_rng)];
+      std::sort(block_cities.begin(), block_cities.end());
+
+      std::vector<double> demands(n_blocks);
+      double dsum = 0.0;
+      for (auto& d : demands) {
+        d = block_rng.lognormal(0.0, config.block_demand_sigma);
+        dsum += d;
+      }
+
+      std::vector<net::IpPrefix> covering19s;
+      // ASes announce /19-or-coarser CIDRs; align each AS to a /18 so its
+      // announcements never cover another AS's space.
+      next_block24 = (next_block24 + 63U) & ~63U;
+      CityId previous_city = block_cities.empty() ? 0 : block_cities.front();
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (b == 0 || block_cities[b] != previous_city) {
+          // Mostly /20-aligned so /20 aggregates stay metro-local; an
+          // occasional /21 alignment lets some /20s straddle two cities
+          // (Fig 22a: 87.3%, not 100%, of /20 demand has radius <= 100mi).
+          const std::uint32_t align = block_rng.chance(0.85) ? 16U : 8U;
+          next_block24 = (next_block24 + align - 1U) & ~(align - 1U);
+          previous_city = block_cities[b];
+        }
+        if (covering19s.empty() ||
+            !covering19s.back().contains(net::IpAddr{net::IpV4Addr{next_block24 << 8}})) {
+          covering19s.push_back(
+              net::IpPrefix{net::IpV4Addr{next_block24 << 8}, 19});
+        }
+        ClientBlock block;
+        block.id = static_cast<BlockId>(world.blocks.size());
+        block.prefix = net::IpPrefix{net::IpV4Addr{next_block24 << 8}, 24};
+        ++next_block24;
+        block.country = as.country;
+        block.as_index = static_cast<AsId>(ai);
+        block.city = block_cities[b];
+        block.location = jitter(world.cities[block_cities[b]].location, 18.0, block_rng);
+        block.demand = demands[b] / dsum * as.demand_share;
+        world.blocks.push_back(std::move(block));
+      }
+      // Announcement style varies by operator: some aggregate their /19s
+      // maximally, others announce each /19 (tunes the §5.1 reduction
+      // ratio to the paper's ~8.5:1).
+      as.announced_cidrs = block_rng.chance(0.5) ? net::minimal_cover(std::move(covering19s))
+                                                 : std::move(covering19s);
+      for (const net::IpPrefix& cidr : as.announced_cidrs) world.bgp.add(cidr);
+    }
+  }
+  // Scale demand to a fixed total of 1e6 traffic units.
+  {
+    const double total = world.total_demand();
+    for (ClientBlock& block : world.blocks) block.demand *= 1e6 / total;
+  }
+
+  // Per-country demand shares of outsourced ASes, to correct the public
+  // adoption roll: the CountrySpec target is the TOTAL public share.
+  std::vector<double> outsourced_share(world.countries.size(), 0.0);
+  {
+    std::vector<double> country_demand(world.countries.size(), 0.0);
+    for (const ClientBlock& block : world.blocks) {
+      country_demand[block.country] += block.demand;
+      if (world.ases[block.as_index].strategy == DnsStrategy::outsourced) {
+        outsourced_share[block.country] += block.demand;
+      }
+    }
+    for (std::size_t ci = 0; ci < world.countries.size(); ++ci) {
+      if (country_demand[ci] > 0.0) outsourced_share[ci] /= country_demand[ci];
+    }
+  }
+
+  // ---- Ping targets ------------------------------------------------------
+  util::Rng target_rng = master.fork(4);
+  std::vector<std::vector<PingTargetId>> city_targets(world.cities.size());
+  {
+    std::vector<double> city_demand(world.cities.size(), 0.0);
+    for (const ClientBlock& block : world.blocks) city_demand[block.city] += block.demand;
+    const std::size_t want = std::max(config.ping_targets, world.cities.size());
+    const auto counts = apportion(want, city_demand, 1);
+    for (CityId ci = 0; ci < world.cities.size(); ++ci) {
+      for (std::size_t k = 0; k < counts[ci]; ++k) {
+        PingTarget target;
+        target.id = static_cast<PingTargetId>(world.ping_targets.size());
+        target.location = jitter(world.cities[ci].location, 12.0, target_rng);
+        target.country = world.cities[ci].country;
+        city_targets[ci].push_back(target.id);
+        world.ping_targets.push_back(target);
+      }
+    }
+    for (ClientBlock& block : world.blocks) {
+      const auto& targets = city_targets[block.city];
+      block.ping_target = targets[target_rng.below(targets.size())];
+    }
+  }
+
+  // ---- LDNS population ---------------------------------------------------
+  util::Rng ldns_rng = master.fork(5);
+  std::uint32_t next_isp_ldns = kIspLdnsBase + 1;
+  std::uint32_t next_ent_ldns = kEnterpriseLdnsBase + 1;
+  std::uint32_t next_pub_ldns = kPublicLdnsBase + 1;
+
+  const auto new_ping_target = [&](const geo::GeoPoint& where, CountryId country) {
+    PingTarget target;
+    target.id = static_cast<PingTargetId>(world.ping_targets.size());
+    target.location = where;
+    target.country = country;
+    world.ping_targets.push_back(target);
+    return target.id;
+  };
+
+  const auto add_ldns = [&](net::IpAddr addr, const geo::GeoPoint& where, CountryId country,
+                            LdnsType type, bool ecs, PingTargetId target) {
+    Ldns ldns;
+    ldns.id = static_cast<LdnsId>(world.ldnses.size());
+    ldns.address = addr;
+    ldns.location = where;
+    ldns.country = country;
+    ldns.type = type;
+    ldns.supports_ecs = ecs;
+    ldns.ping_target = target;
+    world.ldnses.push_back(ldns);
+    return ldns.id;
+  };
+
+  // Public-resolver sites.
+  std::vector<ProviderRuntime> providers;
+  for (const PublicProviderSpec& spec : default_public_providers()) {
+    ProviderRuntime runtime;
+    runtime.spec = spec;
+    for (const PublicSiteSpec& site : spec.sites) {
+      const CountryId country = country_index(world.countries, site.country_code);
+      const PingTargetId target = new_ping_target(site.location, country);
+      runtime.site_ldns.push_back(add_ldns(net::IpV4Addr{next_pub_ldns++}, site.location,
+                                           country, LdnsType::public_site, spec.supports_ecs,
+                                           target));
+    }
+    providers.push_back(std::move(runtime));
+  }
+  std::vector<double> provider_shares;
+  for (const auto& p : providers) provider_shares.push_back(p.spec.market_share);
+  const util::WeightedPicker provider_picker{provider_shares};
+
+  // Enterprise (multinational HQ) resolvers, concentrated in hub cities of
+  // high-demand countries.
+  std::vector<LdnsId> enterprise_pool;
+  {
+    std::vector<double> weights;
+    for (const CountrySpec& c : world.countries) weights.push_back(c.demand_share);
+    const util::WeightedPicker country_picker{weights};
+    for (std::size_t k = 0; k < config.enterprise_ldns_count; ++k) {
+      const auto ci = static_cast<CountryId>(country_picker.pick(ldns_rng));
+      const CityId hub = country_cities[ci].front();
+      const geo::GeoPoint where = jitter(world.cities[hub].location, 15.0, ldns_rng);
+      const PingTargetId target = new_ping_target(where, ci);
+      enterprise_pool.push_back(add_ldns(net::IpV4Addr{next_ent_ldns++}, where, ci,
+                                         LdnsType::enterprise, false, target));
+    }
+  }
+
+  // Foreign interconnection hubs hosting offshore ISP resolvers.
+  std::vector<CountryId> offshore_hubs;
+  for (const char* code : {"US", "GB", "DE", "NL", "SG", "JP", "HK"}) {
+    offshore_hubs.push_back(country_index(world.countries, code));
+  }
+
+  // ISP resolvers, created on demand per (AS, city) or per AS when
+  // centralized; centralized resolvers may live at a foreign hub
+  // (isp_offshore), the paper's extreme-distance pattern.
+  std::unordered_map<std::uint64_t, LdnsId> isp_ldns;  // key: as_index<<32 | home city
+  const auto isp_ldns_for = [&](AsId as_index, CityId city) {
+    const AutonomousSystem& as = world.ases[as_index];
+    const CountrySpec& spec = world.countries[as.country];
+    CityId home = city;
+    if (as.strategy == DnsStrategy::isp_centralized) {
+      // One resolver per AS: at the national hub, or offshore. The choice
+      // must be stable per AS, so derive it from the AS index.
+      util::Rng stable{util::mix64(config.seed ^ (0xabcdULL + as_index))};
+      if (stable.chance(spec.isp_offshore)) {
+        // Nearest-ish foreign hub, weighted by inverse distance.
+        std::vector<double> hub_weights;
+        for (const CountryId hub_country : offshore_hubs) {
+          const CityId hub_city = country_cities[hub_country].front();
+          const double miles = geo::great_circle_miles(world.cities[city].location,
+                                                       world.cities[hub_city].location);
+          hub_weights.push_back(1.0 / ((400.0 + miles) * (400.0 + miles)));
+        }
+        const util::WeightedPicker hub_picker{hub_weights};
+        home = country_cities[offshore_hubs[hub_picker.pick(stable)]].front();
+      } else {
+        home = country_cities[as.country].front();
+      }
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(as_index) << 32) | home;
+    if (const auto it = isp_ldns.find(key); it != isp_ldns.end()) return it->second;
+    const CountrySpec& home_spec = world.countries[world.cities[home].country];
+    const double median_miles =
+        std::max(config.isp_local_median_floor_miles,
+                 home_spec.radius_miles * config.isp_local_radius_factor);
+    const geo::GeoPoint where =
+        displace(world.cities[home].location, median_miles, config.isp_local_sigma, ldns_rng);
+    const auto& targets = city_targets[home];
+    const PingTargetId target = targets[ldns_rng.below(targets.size())];
+    const LdnsId id = add_ldns(net::IpAddr{net::IpV4Addr{next_isp_ldns++}},
+                               where, world.cities[home].country, LdnsType::isp, false, target);
+    isp_ldns.emplace(key, id);
+    return id;
+  };
+
+  // ---- Client -> LDNS association ---------------------------------------
+  util::Rng assoc_rng = master.fork(6);
+  const double mean_block_demand = 1e6 / static_cast<double>(world.blocks.size());
+  for (ClientBlock& block : world.blocks) {
+    const AutonomousSystem& as = world.ases[block.as_index];
+    const CountrySpec& spec = world.countries[block.country];
+
+    const auto pick_public = [&]() {
+      const std::size_t pi = provider_picker.pick(assoc_rng);
+      const ProviderRuntime& provider = providers[pi];
+      const std::size_t site = anycast_select(provider.spec.sites, block.location, latency,
+                                              spec.anycast_detour, assoc_rng);
+      return provider.site_ldns[site];
+    };
+    const auto pick_enterprise = [&]() {
+      return enterprise_pool[assoc_rng.below(enterprise_pool.size())];
+    };
+    const auto pick_isp = [&]() {
+      // Only low-demand blocks sit behind dedicated small resolvers, so
+      // the resulting LDNS tail is numerous but carries little demand.
+      if (block.demand < 0.6 * mean_block_demand &&
+          assoc_rng.chance(config.small_resolver_prob)) {
+        // Dedicated small resolver serving (essentially) this block.
+        const geo::GeoPoint where = displace(block.location, 15.0, 0.8, assoc_rng);
+        return add_ldns(net::IpAddr{net::IpV4Addr{next_isp_ldns++}}, where, block.country,
+                        LdnsType::isp, false, block.ping_target);
+      }
+      return isp_ldns_for(block.as_index, block.city);
+    };
+
+    // Adjusted adoption: the country target includes outsourced-AS demand.
+    const double adoption = std::clamp(
+        (spec.public_adoption - outsourced_share[block.country]) /
+            std::max(1e-9, 1.0 - outsourced_share[block.country]),
+        0.0, 1.0);
+
+    LdnsId primary = 0;
+    bool primary_public = false;
+    if (as.strategy == DnsStrategy::outsourced) {
+      primary = pick_public();
+      primary_public = true;
+    } else if (as.strategy == DnsStrategy::enterprise) {
+      primary = pick_enterprise();
+    } else {
+      const double roll = assoc_rng.uniform();
+      if (roll < adoption) {
+        primary = pick_public();
+        primary_public = true;
+      } else if (roll < adoption + spec.enterprise_share) {
+        primary = pick_enterprise();
+      } else {
+        primary = pick_isp();
+      }
+    }
+
+    block.ldns_uses.push_back(LdnsUse{primary, 1.0});
+    if (assoc_rng.chance(config.secondary_ldns_prob)) {
+      // Dual-configured stubs: a minority of queries use a second resolver.
+      // Public primaries fall back to the ISP resolver and vice versa
+      // (with a modest public fallback rate), keeping the net public share
+      // near the country target.
+      std::optional<LdnsId> secondary;
+      if (primary_public && as.strategy != DnsStrategy::outsourced) {
+        secondary = isp_ldns_for(block.as_index, block.city);
+      } else if (!primary_public && assoc_rng.chance(0.30)) {
+        secondary = pick_public();
+      }
+      if (secondary && *secondary != primary) {
+        block.ldns_uses[0].fraction = 0.75;
+        block.ldns_uses.push_back(LdnsUse{*secondary, 0.25});
+      }
+    }
+  }
+
+  // ---- Deployment universe ----------------------------------------------
+  util::Rng deploy_rng = master.fork(7);
+  {
+    std::vector<double> weights;
+    for (const CountrySpec& c : world.countries) weights.push_back(c.deployment_weight);
+    const auto counts = apportion(config.deployment_universe, weights, 2);
+    for (CountryId ci = 0; ci < world.countries.size(); ++ci) {
+      std::vector<double> cweights;
+      for (const CityId id : country_cities[ci]) {
+        cweights.push_back(world.cities[id].population_weight);
+      }
+      const util::WeightedPicker city_picker{cweights};
+      for (std::size_t k = 0; k < counts[ci]; ++k) {
+        DeploymentSite site;
+        site.id = static_cast<std::uint32_t>(world.deployment_universe.size());
+        site.city = country_cities[ci][city_picker.pick(deploy_rng)];
+        site.country = ci;
+        site.location = jitter(world.cities[site.city].location, 14.0, deploy_rng);
+        world.deployment_universe.push_back(site);
+      }
+    }
+    // Shuffle so that any prefix of the universe is a geographically
+    // spread random sample (site ids stay stable; they key the latency
+    // salting). CdnNetwork::build(world, N) then yields a sensible
+    // N-location CDN, and the §6 study's random orderings are unbiased.
+    for (std::size_t i = world.deployment_universe.size() - 1; i > 0; --i) {
+      std::swap(world.deployment_universe[i],
+                world.deployment_universe[deploy_rng.below(i + 1)]);
+    }
+  }
+
+  // ---- Geo database -------------------------------------------------------
+  for (const ClientBlock& block : world.blocks) {
+    world.geodb.add(block.prefix,
+                    geo::GeoInfo{block.location, block.country, world.ases[block.as_index].asn});
+  }
+  for (const Ldns& ldns : world.ldnses) {
+    world.geodb.add(net::IpPrefix{ldns.address, ldns.address.bit_width()},
+                    geo::GeoInfo{ldns.location, ldns.country, 0});
+  }
+
+  world.build_indexes();
+  return world;
+}
+
+}  // namespace eum::topo

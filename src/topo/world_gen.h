@@ -1,0 +1,64 @@
+// Seeded generator for synthetic Worlds (see world.h).
+//
+// Everything downstream (the client-LDNS analyses of §3, the roll-out
+// simulation of §4, the scaling study of §5 and the deployment study of
+// §6) consumes a World. The generator is deterministic in the seed and
+// calibrated so that the published aggregate distributions emerge:
+//   - the client-LDNS distance mix of Figs 5-8 (via per-country ISP
+//     centralization, public-resolver adoption and anycast detours),
+//   - the demand concentration of Fig 21 (Zipf across ASes, lognormal
+//     within), and
+//   - the AS-size effect of Fig 10 (small ASes outsource DNS).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/public_resolver.h"
+#include "topo/world.h"
+
+namespace eum::topo {
+
+struct WorldGenConfig {
+  std::uint64_t seed = 42;
+
+  /// Approximate number of /24 client blocks (paper: 3.76M; default is a
+  /// laptop-scale world preserving the distributions).
+  std::size_t target_blocks = 100'000;
+  /// Approximate number of autonomous systems (paper: 37,294).
+  std::size_t target_ases = 3000;
+  /// Candidate CDN deployment locations (§6 universe: 2642).
+  std::size_t deployment_universe = 2642;
+  /// Latency-measurement proxy points (paper: 8K).
+  std::size_t ping_targets = 4000;
+
+  /// Lognormal sigma of within-AS block demand (Fig 21 calibration).
+  double block_demand_sigma = 1.3;
+  /// Zipf exponent of AS demand within a country (Fig 10/21 calibration).
+  double as_zipf_exponent = 1.12;
+  /// Median displacement of an in-city ISP resolver from its clients'
+  /// city scales with the country's size (regional resolver farms in big
+  /// countries): median = max(floor, radius * factor). Fig 5: the typical
+  /// client-LDNS distance is metro scale, not zero.
+  double isp_local_median_floor_miles = 30.0;
+  double isp_local_radius_factor = 0.09;
+  double isp_local_sigma = 0.9;
+  /// Probability that a LOW-demand block is served by its own dedicated
+  /// small resolver (long, thin tail of the Fig 21 LDNS curve).
+  double small_resolver_prob = 0.25;
+  /// Fraction of a country's ASes (the smallest ones) eligible to
+  /// outsource DNS to a public resolver.
+  double small_as_fraction = 0.40;
+  /// Outsourcing probability for those small ASes (Fig 10 effect).
+  double small_as_outsource_prob = 0.45;
+  /// Probability a block uses a second LDNS with minority share.
+  double secondary_ldns_prob = 0.15;
+  /// Number of centralized multinational-corporation LDNSes.
+  std::size_t enterprise_ldns_count = 120;
+
+  LatencyParams latency;
+};
+
+/// Generate a world. Throws std::invalid_argument on nonsensical configs.
+[[nodiscard]] World generate_world(const WorldGenConfig& config);
+
+}  // namespace eum::topo

@@ -1,0 +1,326 @@
+#include "topo/world_io.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace eum::topo {
+
+namespace {
+
+constexpr const char* kMagic = "eum-world";
+constexpr int kVersion = 1;
+
+// Doubles are written in hexfloat so reload is bit-exact.
+void put_double(std::ostream& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  out << buffer;
+}
+
+double get_double(std::istringstream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) throw WorldIoError{std::string{"missing field: "} + what};
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    throw WorldIoError{std::string{"bad numeric field: "} + what};
+  }
+  return value;
+}
+
+template <typename T>
+T get_int(std::istringstream& in, const char* what) {
+  long long value = 0;
+  if (!(in >> value)) throw WorldIoError{std::string{"missing field: "} + what};
+  return static_cast<T>(value);
+}
+
+std::string get_token(std::istringstream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) throw WorldIoError{std::string{"missing field: "} + what};
+  return token;
+}
+
+std::istringstream expect_line(std::istream& in, const char* what) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return std::istringstream{line};
+  }
+  throw WorldIoError{std::string{"unexpected end of file, wanted "} + what};
+}
+
+}  // namespace
+
+void save_world(const World& world, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+
+  out << "countries " << world.countries.size() << "\n";
+  for (const CountrySpec& c : world.countries) {
+    out << c.code << " ";
+    put_double(out, c.center.lat_deg);
+    out << " ";
+    put_double(out, c.center.lon_deg);
+    for (const double value : {c.radius_miles, c.demand_share, c.isp_centralization,
+                               c.public_adoption, c.enterprise_share, c.anycast_detour,
+                               c.isp_offshore, c.deployment_weight}) {
+      out << " ";
+      put_double(out, value);
+    }
+    out << "\n";
+  }
+
+  out << "cities " << world.cities.size() << "\n";
+  for (const City& c : world.cities) {
+    out << c.id << " " << c.country << " ";
+    put_double(out, c.location.lat_deg);
+    out << " ";
+    put_double(out, c.location.lon_deg);
+    out << " ";
+    put_double(out, c.population_weight);
+    out << " " << (c.is_hub ? 1 : 0) << "\n";
+  }
+
+  out << "ases " << world.ases.size() << "\n";
+  for (const AutonomousSystem& as : world.ases) {
+    out << as.asn << " " << as.country << " ";
+    put_double(out, as.demand_share);
+    out << " " << static_cast<int>(as.strategy) << " " << as.announced_cidrs.size();
+    for (const net::IpPrefix& cidr : as.announced_cidrs) out << " " << cidr.to_string();
+    out << "\n";
+  }
+
+  out << "ldnses " << world.ldnses.size() << "\n";
+  for (const Ldns& ldns : world.ldnses) {
+    out << ldns.id << " " << ldns.address.to_string() << " ";
+    put_double(out, ldns.location.lat_deg);
+    out << " ";
+    put_double(out, ldns.location.lon_deg);
+    out << " " << ldns.country << " " << static_cast<int>(ldns.type) << " "
+        << (ldns.supports_ecs ? 1 : 0) << " " << ldns.ping_target << "\n";
+  }
+
+  out << "blocks " << world.blocks.size() << "\n";
+  for (const ClientBlock& block : world.blocks) {
+    out << block.id << " " << block.prefix.to_string() << " ";
+    put_double(out, block.location.lat_deg);
+    out << " ";
+    put_double(out, block.location.lon_deg);
+    out << " " << block.country << " " << block.as_index << " " << block.city << " ";
+    put_double(out, block.demand);
+    out << " " << block.ping_target << " " << block.ldns_uses.size();
+    for (const LdnsUse& use : block.ldns_uses) {
+      out << " " << use.ldns << " ";
+      put_double(out, use.fraction);
+    }
+    out << "\n";
+  }
+
+  out << "ping_targets " << world.ping_targets.size() << "\n";
+  for (const PingTarget& target : world.ping_targets) {
+    out << target.id << " ";
+    put_double(out, target.location.lat_deg);
+    out << " ";
+    put_double(out, target.location.lon_deg);
+    out << " " << target.country << "\n";
+  }
+
+  out << "deployments " << world.deployment_universe.size() << "\n";
+  for (const DeploymentSite& site : world.deployment_universe) {
+    out << site.id << " ";
+    put_double(out, site.location.lat_deg);
+    out << " ";
+    put_double(out, site.location.lon_deg);
+    out << " " << site.country << " " << site.city << "\n";
+  }
+
+  if (!out) throw WorldIoError{"stream failure while writing world"};
+}
+
+World load_world(std::istream& in) {
+  World world;
+  {
+    auto header = expect_line(in, "header");
+    const std::string magic = get_token(header, "magic");
+    const int version = get_int<int>(header, "version");
+    if (magic != kMagic) throw WorldIoError{"not an eum world file"};
+    if (version != kVersion) {
+      throw WorldIoError{"unsupported world file version " + std::to_string(version)};
+    }
+  }
+
+  const auto read_section = [&](const char* name) {
+    auto line = expect_line(in, name);
+    const std::string token = get_token(line, name);
+    if (token != name) {
+      throw WorldIoError{std::string{"expected section '"} + name + "', found '" + token + "'"};
+    }
+    return get_int<std::size_t>(line, "section size");
+  };
+
+  const std::size_t n_countries = read_section("countries");
+  world.countries.reserve(n_countries);
+  for (std::size_t i = 0; i < n_countries; ++i) {
+    auto line = expect_line(in, "country");
+    CountrySpec spec;
+    spec.code = get_token(line, "code");
+    spec.center.lat_deg = get_double(line, "lat");
+    spec.center.lon_deg = get_double(line, "lon");
+    spec.radius_miles = get_double(line, "radius");
+    spec.demand_share = get_double(line, "demand");
+    spec.isp_centralization = get_double(line, "centralization");
+    spec.public_adoption = get_double(line, "adoption");
+    spec.enterprise_share = get_double(line, "enterprise");
+    spec.anycast_detour = get_double(line, "detour");
+    spec.isp_offshore = get_double(line, "offshore");
+    spec.deployment_weight = get_double(line, "deploy_weight");
+    world.countries.push_back(std::move(spec));
+  }
+
+  const std::size_t n_cities = read_section("cities");
+  world.cities.reserve(n_cities);
+  for (std::size_t i = 0; i < n_cities; ++i) {
+    auto line = expect_line(in, "city");
+    City city;
+    city.id = get_int<CityId>(line, "id");
+    city.country = get_int<CountryId>(line, "country");
+    city.location.lat_deg = get_double(line, "lat");
+    city.location.lon_deg = get_double(line, "lon");
+    city.population_weight = get_double(line, "weight");
+    city.is_hub = get_int<int>(line, "hub") != 0;
+    world.cities.push_back(city);
+  }
+
+  const std::size_t n_ases = read_section("ases");
+  world.ases.reserve(n_ases);
+  for (std::size_t i = 0; i < n_ases; ++i) {
+    auto line = expect_line(in, "as");
+    AutonomousSystem as;
+    as.asn = get_int<AsId>(line, "asn");
+    as.country = get_int<CountryId>(line, "country");
+    as.demand_share = get_double(line, "demand");
+    as.strategy = static_cast<DnsStrategy>(get_int<int>(line, "strategy"));
+    const auto n_cidrs = get_int<std::size_t>(line, "cidr count");
+    for (std::size_t c = 0; c < n_cidrs; ++c) {
+      const auto cidr = net::IpPrefix::parse(get_token(line, "cidr"));
+      if (!cidr) throw WorldIoError{"bad CIDR in AS record"};
+      as.announced_cidrs.push_back(*cidr);
+      world.bgp.add(*cidr);
+    }
+    world.ases.push_back(std::move(as));
+  }
+
+  const std::size_t n_ldns = read_section("ldnses");
+  world.ldnses.reserve(n_ldns);
+  for (std::size_t i = 0; i < n_ldns; ++i) {
+    auto line = expect_line(in, "ldns");
+    Ldns ldns;
+    ldns.id = get_int<LdnsId>(line, "id");
+    const auto address = net::IpAddr::parse(get_token(line, "address"));
+    if (!address) throw WorldIoError{"bad LDNS address"};
+    ldns.address = *address;
+    ldns.location.lat_deg = get_double(line, "lat");
+    ldns.location.lon_deg = get_double(line, "lon");
+    ldns.country = get_int<CountryId>(line, "country");
+    ldns.type = static_cast<LdnsType>(get_int<int>(line, "type"));
+    ldns.supports_ecs = get_int<int>(line, "ecs") != 0;
+    ldns.ping_target = get_int<PingTargetId>(line, "target");
+    world.ldnses.push_back(ldns);
+  }
+
+  const std::size_t n_blocks = read_section("blocks");
+  world.blocks.reserve(n_blocks);
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    auto line = expect_line(in, "block");
+    ClientBlock block;
+    block.id = get_int<BlockId>(line, "id");
+    const auto prefix = net::IpPrefix::parse(get_token(line, "prefix"));
+    if (!prefix) throw WorldIoError{"bad block prefix"};
+    block.prefix = *prefix;
+    block.location.lat_deg = get_double(line, "lat");
+    block.location.lon_deg = get_double(line, "lon");
+    block.country = get_int<CountryId>(line, "country");
+    block.as_index = get_int<AsId>(line, "as");
+    block.city = get_int<CityId>(line, "city");
+    block.demand = get_double(line, "demand");
+    block.ping_target = get_int<PingTargetId>(line, "target");
+    const auto n_uses = get_int<std::size_t>(line, "use count");
+    for (std::size_t u = 0; u < n_uses; ++u) {
+      LdnsUse use;
+      use.ldns = get_int<LdnsId>(line, "use ldns");
+      use.fraction = get_double(line, "use fraction");
+      block.ldns_uses.push_back(use);
+    }
+    world.blocks.push_back(std::move(block));
+  }
+
+  const std::size_t n_targets = read_section("ping_targets");
+  world.ping_targets.reserve(n_targets);
+  for (std::size_t i = 0; i < n_targets; ++i) {
+    auto line = expect_line(in, "ping_target");
+    PingTarget target;
+    target.id = get_int<PingTargetId>(line, "id");
+    target.location.lat_deg = get_double(line, "lat");
+    target.location.lon_deg = get_double(line, "lon");
+    target.country = get_int<CountryId>(line, "country");
+    world.ping_targets.push_back(target);
+  }
+
+  const std::size_t n_sites = read_section("deployments");
+  world.deployment_universe.reserve(n_sites);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    auto line = expect_line(in, "deployment");
+    DeploymentSite site;
+    site.id = get_int<std::uint32_t>(line, "id");
+    site.location.lat_deg = get_double(line, "lat");
+    site.location.lon_deg = get_double(line, "lon");
+    site.country = get_int<CountryId>(line, "country");
+    site.city = get_int<CityId>(line, "city");
+    world.deployment_universe.push_back(site);
+  }
+
+  // Validate cross-references before rebuilding derived structures.
+  for (const ClientBlock& block : world.blocks) {
+    if (block.as_index >= world.ases.size() || block.city >= world.cities.size() ||
+        block.country >= world.countries.size() ||
+        block.ping_target >= world.ping_targets.size()) {
+      throw WorldIoError{"block references out-of-range entity"};
+    }
+    for (const LdnsUse& use : block.ldns_uses) {
+      if (use.ldns >= world.ldnses.size()) throw WorldIoError{"block references unknown LDNS"};
+    }
+  }
+  for (const Ldns& ldns : world.ldnses) {
+    if (ldns.ping_target >= world.ping_targets.size()) {
+      throw WorldIoError{"LDNS references unknown ping target"};
+    }
+  }
+
+  // Rebuild the geo database and indexes.
+  for (const ClientBlock& block : world.blocks) {
+    world.geodb.add(block.prefix,
+                    geo::GeoInfo{block.location, block.country, world.ases[block.as_index].asn});
+  }
+  for (const Ldns& ldns : world.ldnses) {
+    world.geodb.add(net::IpPrefix{ldns.address, ldns.address.bit_width()},
+                    geo::GeoInfo{ldns.location, ldns.country, 0});
+  }
+  world.build_indexes();
+  return world;
+}
+
+void save_world_file(const World& world, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw WorldIoError{"cannot open for writing: " + path};
+  save_world(world, out);
+}
+
+World load_world_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw WorldIoError{"cannot open for reading: " + path};
+  return load_world(in);
+}
+
+}  // namespace eum::topo

@@ -1,0 +1,34 @@
+// World serialization.
+//
+// A generated world can be saved to a versioned, line-oriented text
+// format and reloaded exactly (derived structures — geo database, BGP
+// table, lookup indexes — are rebuilt on load). This pins an experiment
+// world independent of generator evolution, the role the frozen
+// NetSession snapshot played for the paper's analyses.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "topo/world.h"
+
+namespace eum::topo {
+
+class WorldIoError : public std::runtime_error {
+ public:
+  explicit WorldIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Write `world` to `out`. Throws WorldIoError on stream failure.
+void save_world(const World& world, std::ostream& out);
+
+/// Read a world written by save_world. Throws WorldIoError on malformed
+/// input, version mismatch, or stream failure.
+[[nodiscard]] World load_world(std::istream& in);
+
+/// Convenience file wrappers.
+void save_world_file(const World& world, const std::string& path);
+[[nodiscard]] World load_world_file(const std::string& path);
+
+}  // namespace eum::topo

@@ -1,0 +1,35 @@
+// Hashing primitives used by the consistent-hashing local load balancer
+// and by hash-map keys across the library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace eum::util {
+
+/// 64-bit FNV-1a over bytes.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Strong 64-bit integer mixer (final stage of splitmix64/Murmur3).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) noexcept {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace eum::util

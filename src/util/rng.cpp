@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eum::util {
+
+WeightedPicker::WeightedPicker(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument{"WeightedPicker: weights must be finite and non-negative"};
+    }
+    running += w;
+    cumulative_.push_back(running);
+  }
+}
+
+std::size_t WeightedPicker::pick(Rng& rng) const noexcept {
+  const double needle = rng.uniform() * cumulative_.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), needle);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be positive"};
+  std::vector<double> weights(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  picker_ = WeightedPicker{weights};
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept { return picker_.pick(rng) + 1; }
+
+}  // namespace eum::util

@@ -1,0 +1,174 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the library draw from `Rng`, a
+// xoshiro256++ generator seeded via splitmix64. Simulations are fully
+// reproducible given a seed; independent streams are derived with
+// `fork()` so that adding draws to one subsystem does not perturb
+// another (important when comparing mapping policies on the same world).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace eum::util {
+
+/// splitmix64 step; used for seeding and hash mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream. The child is seeded from the
+  /// parent's next output mixed with `salt`, so distinct salts give
+  /// distinct streams even from the same parent state.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    std::uint64_t sm = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64(sm)};
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (single value; the pair's twin is discarded
+  /// to keep the generator stateless beyond its word state).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean. Precondition: mean > 0.
+  [[nodiscard]] double exponential(double mean) noexcept {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed demand).
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Precomputed alias-free weighted sampler over indices [0, n).
+/// O(log n) per draw via binary search over the cumulative weights.
+class WeightedPicker {
+ public:
+  WeightedPicker() = default;
+  explicit WeightedPicker(std::span<const double> weights);
+
+  /// Number of items.
+  [[nodiscard]] std::size_t size() const noexcept { return cumulative_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cumulative_.empty(); }
+  /// Sum of all weights.
+  [[nodiscard]] double total() const noexcept {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+  /// Draw an index with probability proportional to its weight.
+  /// Precondition: !empty() and total() > 0.
+  [[nodiscard]] std::size_t pick(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Zipf(s) sampler over ranks 1..n: P(k) proportional to 1/k^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return picker_.size(); }
+
+ private:
+  WeightedPicker picker_;
+};
+
+}  // namespace eum::util

@@ -1,0 +1,81 @@
+// Simulated time for the roll-out timeline and DNS TTL accounting.
+//
+// The paper's evaluation spans Jan 1 - Jun 30 2014 with the end-user
+// mapping ramp between Mar 28 and Apr 15. We model time as seconds since
+// a simulation epoch (Jan 1 2014 00:00 UTC) and provide calendar helpers
+// for that window so figure harnesses can label series with real dates.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace eum::util {
+
+/// A point in simulated time, in seconds since Jan 1 2014 00:00 UTC.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t seconds) noexcept : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr std::int64_t seconds() const noexcept { return seconds_; }
+  [[nodiscard]] constexpr double days() const noexcept {
+    return static_cast<double>(seconds_) / 86400.0;
+  }
+
+  constexpr SimTime& operator+=(std::int64_t secs) noexcept {
+    seconds_ += secs;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime t, std::int64_t secs) noexcept {
+    return SimTime{t.seconds_ + secs};
+  }
+  [[nodiscard]] friend constexpr std::int64_t operator-(SimTime a, SimTime b) noexcept {
+    return a.seconds_ - b.seconds_;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Calendar date within the simulated year(s).
+struct Date {
+  int year = 2014;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend constexpr auto operator<=>(const Date&, const Date&) noexcept = default;
+};
+
+/// Days since Jan 1 2014 for a date (2014 and 2015 supported; 2014 is not a
+/// leap year). Throws std::out_of_range for unsupported years or invalid dates.
+[[nodiscard]] int day_index(const Date& date);
+
+/// Inverse of day_index.
+[[nodiscard]] Date date_from_day_index(int day_idx);
+
+/// SimTime at 00:00 UTC of the given date.
+[[nodiscard]] SimTime start_of(const Date& date);
+
+/// "2014-03-28" style formatting.
+[[nodiscard]] std::string to_string(const Date& date);
+
+/// Three-letter month name ("Jan".."Dec"); month in 1..12.
+[[nodiscard]] std::string month_name(int month);
+
+/// A mutable simulation clock shared by simulation components.
+class SimClock {
+ public:
+  SimClock() = default;
+  constexpr explicit SimClock(SimTime start) noexcept : now_(start) {}
+
+  [[nodiscard]] constexpr SimTime now() const noexcept { return now_; }
+  constexpr void advance(std::int64_t seconds) noexcept { now_ += seconds; }
+  constexpr void set(SimTime t) noexcept { now_ = t; }
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace eum::util

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "geo/coords.h"
+#include "measure/alt_mechanisms.h"
+#include "test_world.h"
+
+namespace eum::measure {
+namespace {
+
+using eum::testing::test_latency;
+using eum::testing::tiny_world;
+
+struct MechanismFixture : ::testing::Test {
+  MechanismFixture()
+      : network(cdn::CdnNetwork::build(tiny_world(), 60)),
+        mapping(&tiny_world(), &network, &test_latency(), cdn::MappingConfig{}) {
+    // A (block, public LDNS) pair with a distant resolver, where the
+    // mechanisms differ the most.
+    const auto& world = tiny_world();
+    for (const auto& b : world.blocks) {
+      for (const auto& use : b.ldns_uses) {
+        const auto& l = world.ldnses[use.ldns];
+        if (l.type == topo::LdnsType::public_site &&
+            geo::great_circle_miles(b.location, l.location) > 2500.0) {
+          block = b.id;
+          ldns = l.id;
+          return;
+        }
+      }
+    }
+  }
+
+  std::optional<MechanismOutcome> price(RoutingMechanism mechanism, std::size_t bytes,
+                                        std::uint64_t seed = 1) {
+    util::Rng rng{seed};
+    return price_download(mechanism, tiny_world(), mapping, test_latency(), block, ldns,
+                          bytes, RumConfig{}, rng);
+  }
+
+  cdn::CdnNetwork network;
+  cdn::MappingSystem mapping;
+  topo::BlockId block = 0;
+  topo::LdnsId ldns = 0;
+};
+
+TEST_F(MechanismFixture, AllMechanismsPriceSuccessfully) {
+  for (const auto mechanism :
+       {RoutingMechanism::ns_dns, RoutingMechanism::eu_dns, RoutingMechanism::http_redirect,
+        RoutingMechanism::metafile}) {
+    const auto outcome = price(mechanism, 100'000);
+    ASSERT_TRUE(outcome.has_value()) << to_string(mechanism);
+    EXPECT_GT(outcome->startup_ms, 0.0);
+    EXPECT_GT(outcome->transfer_ms, 0.0);
+    EXPECT_GT(outcome->delivery_rtt_ms, 0.0);
+    EXPECT_DOUBLE_EQ(outcome->total_ms(), outcome->startup_ms + outcome->transfer_ms);
+  }
+}
+
+TEST_F(MechanismFixture, ClientAwareMechanismsDeliverFromNearbyServers) {
+  const auto ns = price(RoutingMechanism::ns_dns, 100'000);
+  for (const auto mechanism : {RoutingMechanism::eu_dns, RoutingMechanism::http_redirect,
+                               RoutingMechanism::metafile}) {
+    const auto outcome = price(mechanism, 100'000);
+    ASSERT_TRUE(outcome && ns);
+    EXPECT_LT(outcome->delivery_rtt_ms, ns->delivery_rtt_ms) << to_string(mechanism);
+  }
+}
+
+TEST_F(MechanismFixture, RedirectPenaltyShowsInStartup) {
+  const auto eu = price(RoutingMechanism::eu_dns, 100'000);
+  const auto redirect = price(RoutingMechanism::http_redirect, 100'000);
+  const auto metafile = price(RoutingMechanism::metafile, 100'000);
+  ASSERT_TRUE(eu && redirect && metafile);
+  EXPECT_GT(redirect->startup_ms, eu->startup_ms);
+  // The metafile costs strictly more than the bare redirect (it also
+  // transfers the metafile body).
+  EXPECT_GT(metafile->startup_ms, redirect->startup_ms);
+  // ...but delivers from the same (client-mapped) server.
+  EXPECT_FLOAT_EQ(static_cast<float>(redirect->transfer_ms),
+                  static_cast<float>(metafile->transfer_ms));
+}
+
+TEST_F(MechanismFixture, RedirectBeatsNsDnsOnlyForLargeObjects) {
+  // Paper §7: "this process incurs a redirection penalty that is
+  // acceptable only for larger downloads such as media files."
+  const auto small_ns = price(RoutingMechanism::ns_dns, 20'000);
+  const auto small_redirect = price(RoutingMechanism::http_redirect, 20'000);
+  const auto large_ns = price(RoutingMechanism::ns_dns, 20'000'000);
+  const auto large_redirect = price(RoutingMechanism::http_redirect, 20'000'000);
+  ASSERT_TRUE(small_ns && small_redirect && large_ns && large_redirect);
+  EXPECT_GT(small_redirect->total_ms(), small_ns->total_ms());  // penalty dominates
+  EXPECT_LT(large_redirect->total_ms(), large_ns->total_ms());  // transfer dominates
+}
+
+TEST_F(MechanismFixture, EuDnsDominatesEverythingAtEverySize) {
+  for (const std::size_t bytes : {5'000UL, 100'000UL, 5'000'000UL}) {
+    const auto eu = price(RoutingMechanism::eu_dns, bytes);
+    for (const auto other : {RoutingMechanism::ns_dns, RoutingMechanism::http_redirect,
+                             RoutingMechanism::metafile}) {
+      const auto outcome = price(other, bytes);
+      ASSERT_TRUE(eu && outcome);
+      EXPECT_LE(eu->total_ms(), outcome->total_ms() + 1e-6)
+          << to_string(other) << " at " << bytes;
+    }
+  }
+}
+
+TEST(MechanismNames, AllDistinct) {
+  std::set<std::string> names;
+  for (const auto mechanism :
+       {RoutingMechanism::ns_dns, RoutingMechanism::eu_dns, RoutingMechanism::http_redirect,
+        RoutingMechanism::metafile}) {
+    EXPECT_TRUE(names.insert(to_string(mechanism)).second);
+  }
+}
+
+}  // namespace
+}  // namespace eum::measure

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cdn/load_balancer.h"
+#include "cdn/mapping.h"
+#include "cdn/network.h"
+#include "cdn/ping_mesh.h"
+#include "cdn/scoring.h"
+#include "test_world.h"
+
+namespace eum::cdn {
+namespace {
+
+using eum::testing::test_latency;
+using eum::testing::tiny_world;
+
+// ---------- CdnNetwork ----------
+
+TEST(CdnNetwork, BuildAssignsDistinctServerBlocks) {
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 40, 6);
+  EXPECT_EQ(network.size(), 40U);
+  std::set<std::string> blocks;
+  for (const Deployment& d : network.deployments()) {
+    EXPECT_EQ(d.servers.size(), 6U);
+    EXPECT_TRUE(blocks.insert(d.server_block.to_string()).second);
+    for (const Server& s : d.servers) {
+      EXPECT_TRUE(d.server_block.contains(net::IpAddr{s.address}));
+    }
+  }
+}
+
+TEST(CdnNetwork, DeploymentOfFindsOwner) {
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 10);
+  const Deployment& d = network.deployments()[3];
+  EXPECT_EQ(network.deployment_of(net::IpAddr{d.servers[0].address}), &d);
+  EXPECT_EQ(network.deployment_of(*net::IpAddr::parse("8.8.8.8")), nullptr);
+}
+
+TEST(CdnNetwork, BuildRejectsBadArguments) {
+  const auto& world = tiny_world();
+  EXPECT_THROW(CdnNetwork::build(world, world.deployment_universe.size() + 1),
+               std::invalid_argument);
+  EXPECT_THROW(CdnNetwork::build(world, 5, 0), std::invalid_argument);
+  EXPECT_THROW(CdnNetwork::build(world, 5, 300), std::invalid_argument);
+}
+
+TEST(CdnNetwork, LivenessControls) {
+  const auto& world = tiny_world();
+  CdnNetwork network = CdnNetwork::build(world, 5, 3);
+  network.set_cluster_alive(2, false);
+  EXPECT_FALSE(network.deployments()[2].alive);
+  network.set_server_alive(3, 1, false);
+  EXPECT_EQ(network.deployments()[3].alive_servers(), 2U);
+  EXPECT_THROW(network.set_cluster_alive(99, false), std::out_of_range);
+}
+
+// ---------- PingMesh ----------
+
+TEST(PingMesh, DimensionsMatch) {
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 12);
+  const PingMesh mesh = PingMesh::measure(world, network, test_latency());
+  EXPECT_EQ(mesh.deployment_count(), 12U);
+  EXPECT_EQ(mesh.target_count(), world.ping_targets.size());
+  for (std::size_t d = 0; d < mesh.deployment_count(); ++d) {
+    EXPECT_EQ(mesh.row(d).size(), mesh.target_count());
+    for (std::size_t t = 0; t < mesh.target_count(); ++t) {
+      EXPECT_GT(mesh.rtt_ms(d, static_cast<topo::PingTargetId>(t)), 0.0F);
+    }
+  }
+}
+
+TEST(PingMesh, NetworkAndSiteMeasurementsAgree) {
+  // Measuring through a CdnNetwork must equal measuring the raw sites
+  // (salting is by universe site id).
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 8);
+  const PingMesh via_network = PingMesh::measure(world, network, test_latency());
+  const PingMesh via_sites = PingMesh::measure_sites(
+      world, std::span(world.deployment_universe.data(), 8), test_latency());
+  for (std::size_t d = 0; d < 8; ++d) {
+    for (std::size_t t = 0; t < via_network.target_count(); ++t) {
+      EXPECT_FLOAT_EQ(via_network.rtt_ms(d, static_cast<topo::PingTargetId>(t)),
+                      via_sites.rtt_ms(d, static_cast<topo::PingTargetId>(t)));
+    }
+  }
+}
+
+// ---------- Scoring ----------
+
+TEST(Scoring, TargetCandidatesAreSortedTopK) {
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 30);
+  const PingMesh mesh = PingMesh::measure(world, network, test_latency());
+  const Scoring scoring = Scoring::build(world, network, mesh, 5);
+  for (topo::PingTargetId t = 0; t < 50; ++t) {
+    const auto candidates = scoring.target_candidates(t);
+    ASSERT_EQ(candidates.size(), 5U);
+    // Sorted ascending and matching a brute-force minimum.
+    float brute_min = std::numeric_limits<float>::infinity();
+    for (std::size_t d = 0; d < network.size(); ++d) brute_min = std::min(brute_min, mesh.rtt_ms(d, t));
+    EXPECT_FLOAT_EQ(candidates[0].score_ms, brute_min);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_LE(candidates[i - 1].score_ms, candidates[i].score_ms);
+    }
+  }
+}
+
+TEST(Scoring, TopKLargerThanDeploymentsPadsWithInfinity) {
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 3);
+  const PingMesh mesh = PingMesh::measure(world, network, test_latency());
+  const Scoring scoring = Scoring::build(world, network, mesh, 6);
+  const auto candidates = scoring.target_candidates(0);
+  ASSERT_EQ(candidates.size(), 6U);
+  EXPECT_TRUE(std::isfinite(candidates[2].score_ms));
+  EXPECT_FALSE(std::isfinite(candidates[3].score_ms));
+}
+
+TEST(Scoring, ClusterCandidatesFavorClientCentroid) {
+  // The best cluster deployment minimizes the weighted mean over the
+  // LDNS's member targets; verify against brute force for a busy LDNS.
+  const auto& world = tiny_world();
+  const CdnNetwork network = CdnNetwork::build(world, 25);
+  const PingMesh mesh = PingMesh::measure(world, network, test_latency());
+  const Scoring scoring = Scoring::build(world, network, mesh, 4);
+
+  // Find the busiest LDNS and its members.
+  std::unordered_map<topo::LdnsId, std::unordered_map<topo::PingTargetId, double>> members;
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : block.ldns_uses) {
+      members[use.ldns][block.ping_target] += block.demand * use.fraction;
+    }
+  }
+  topo::LdnsId busiest = members.begin()->first;
+  std::size_t best_size = 0;
+  for (const auto& [id, m] : members) {
+    if (m.size() > best_size) {
+      best_size = m.size();
+      busiest = id;
+    }
+  }
+  double brute_best = std::numeric_limits<double>::infinity();
+  DeploymentId brute_dep = 0;
+  for (std::size_t d = 0; d < network.size(); ++d) {
+    double score = 0.0;
+    double wsum = 0.0;
+    for (const auto& [target, weight] : members[busiest]) {
+      score += weight * mesh.rtt_ms(d, target);
+      wsum += weight;
+    }
+    score /= wsum;
+    if (score < brute_best) {
+      brute_best = score;
+      brute_dep = static_cast<DeploymentId>(d);
+    }
+  }
+  const auto candidates = scoring.cluster_candidates(busiest);
+  EXPECT_EQ(candidates[0].deployment, brute_dep);
+  EXPECT_NEAR(candidates[0].score_ms, brute_best, 1e-2);
+}
+
+TEST(Scoring, RejectsMismatchedMesh) {
+  const auto& world = tiny_world();
+  const CdnNetwork big = CdnNetwork::build(world, 10);
+  const CdnNetwork small = CdnNetwork::build(world, 5);
+  const PingMesh mesh = PingMesh::measure(world, big, test_latency());
+  EXPECT_THROW(Scoring::build(world, small, mesh, 4), std::invalid_argument);
+  EXPECT_THROW(Scoring::build(world, big, mesh, 0), std::invalid_argument);
+}
+
+// ---------- GlobalLoadBalancer ----------
+
+struct LbFixture : ::testing::Test {
+  LbFixture()
+      : network(CdnNetwork::build(tiny_world(), 20, 4, 100.0)),
+        mesh(PingMesh::measure(tiny_world(), network, test_latency())),
+        scoring(Scoring::build(tiny_world(), network, mesh, 4)) {}
+
+  CdnNetwork network;
+  PingMesh mesh;
+  Scoring scoring;
+};
+
+TEST_F(LbFixture, AssignsBestCandidate) {
+  GlobalLoadBalancer lb{&network, &scoring, &mesh};
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_EQ(*assigned, scoring.target_candidates(0)[0].deployment);
+  EXPECT_DOUBLE_EQ(network.deployments()[*assigned].load, 1.0);
+}
+
+TEST_F(LbFixture, SkipsDeadCluster) {
+  GlobalLoadBalancer lb{&network, &scoring, &mesh};
+  const auto candidates = scoring.target_candidates(0);
+  network.set_cluster_alive(candidates[0].deployment, false);
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_EQ(*assigned, candidates[1].deployment);
+}
+
+TEST_F(LbFixture, SpillsOnOverload) {
+  GlobalLoadBalancer lb{&network, &scoring, &mesh};
+  const auto candidates = scoring.target_candidates(0);
+  network.deployments()[candidates[0].deployment].load = 99.5;  // capacity 100
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_EQ(*assigned, candidates[1].deployment);
+}
+
+TEST_F(LbFixture, LoadUnawareIgnoresCapacity) {
+  GlobalLbConfig config;
+  config.load_aware = false;
+  GlobalLoadBalancer lb{&network, &scoring, &mesh, config};
+  const auto candidates = scoring.target_candidates(0);
+  network.deployments()[candidates[0].deployment].load = 1e12;
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_EQ(*assigned, candidates[0].deployment);
+}
+
+TEST_F(LbFixture, FullScanFallbackWhenCandidatesDead) {
+  GlobalLoadBalancer lb{&network, &scoring, &mesh};
+  for (const Candidate& c : scoring.target_candidates(0)) {
+    if (std::isfinite(c.score_ms)) network.set_cluster_alive(c.deployment, false);
+  }
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_TRUE(network.deployments()[*assigned].alive);
+}
+
+TEST_F(LbFixture, NulloptWhenEverythingDead) {
+  GlobalLoadBalancer lb{&network, &scoring, &mesh};
+  for (std::size_t d = 0; d < network.size(); ++d) {
+    network.set_cluster_alive(static_cast<DeploymentId>(d), false);
+  }
+  EXPECT_FALSE(lb.assign_for_target(0, 1.0).has_value());
+}
+
+TEST_F(LbFixture, OverloadFactorExtendsCapacity) {
+  GlobalLbConfig config;
+  config.overload_factor = 2.0;
+  GlobalLoadBalancer lb{&network, &scoring, &mesh, config};
+  const auto candidates = scoring.target_candidates(0);
+  network.deployments()[candidates[0].deployment].load = 150.0;  // 1.5x capacity
+  const auto assigned = lb.assign_for_target(0, 1.0);
+  ASSERT_TRUE(assigned.has_value());
+  EXPECT_EQ(*assigned, candidates[0].deployment);
+}
+
+// ---------- LocalLoadBalancer ----------
+
+TEST(LocalLoadBalancer, SameDomainSameServers) {
+  CdnNetwork network = CdnNetwork::build(tiny_world(), 1, 8);
+  Deployment& cluster = network.deployments()[0];
+  const LocalLoadBalancer lb{2};
+  const auto first = lb.pick_servers(cluster, "www.shop.example");
+  const auto second = lb.pick_servers(cluster, "www.shop.example");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 2U);
+}
+
+TEST(LocalLoadBalancer, DifferentDomainsSpreadAcrossServers) {
+  CdnNetwork network = CdnNetwork::build(tiny_world(), 1, 8);
+  Deployment& cluster = network.deployments()[0];
+  const LocalLoadBalancer lb{2};
+  std::set<std::uint32_t> used;
+  for (int i = 0; i < 40; ++i) {
+    const auto servers = lb.pick_servers(cluster, "domain-" + std::to_string(i) + ".example");
+    for (const net::IpAddr& s : servers) used.insert(s.v4().value());
+  }
+  EXPECT_GE(used.size(), 6U);  // rendezvous hashing spreads domains
+}
+
+TEST(LocalLoadBalancer, SkipsDeadServers) {
+  CdnNetwork network = CdnNetwork::build(tiny_world(), 1, 4);
+  Deployment& cluster = network.deployments()[0];
+  const LocalLoadBalancer lb{2};
+  const auto before = lb.pick_servers(cluster, "x.example");
+  // Kill the first-ranked server; the answer changes but stays live.
+  for (std::size_t i = 0; i < cluster.servers.size(); ++i) {
+    if (net::IpAddr{cluster.servers[i].address} == before[0]) {
+      cluster.servers[i].alive = false;
+    }
+  }
+  const auto after = lb.pick_servers(cluster, "x.example");
+  EXPECT_EQ(after.size(), 2U);
+  EXPECT_EQ(std::find(after.begin(), after.end(), before[0]), after.end());
+  // Minimal disruption: the surviving pick is retained.
+  EXPECT_NE(std::find(after.begin(), after.end(), before[1]), after.end());
+}
+
+TEST(LocalLoadBalancer, DegradedClusterReturnsFewer) {
+  CdnNetwork network = CdnNetwork::build(tiny_world(), 1, 2);
+  Deployment& cluster = network.deployments()[0];
+  cluster.servers[0].alive = false;
+  const LocalLoadBalancer lb{2};
+  EXPECT_EQ(lb.pick_servers(cluster, "x.example").size(), 1U);
+  cluster.servers[1].alive = false;
+  EXPECT_TRUE(lb.pick_servers(cluster, "x.example").empty());
+}
+
+TEST(LocalLoadBalancer, ServerCapacitySkipsLoaded) {
+  CdnNetwork network = CdnNetwork::build(tiny_world(), 1, 3);
+  Deployment& cluster = network.deployments()[0];
+  const LocalLoadBalancer lb{2};
+  const auto initial = lb.pick_servers(cluster, "y.example", 5.0, 8.0);
+  EXPECT_EQ(initial.size(), 2U);
+  // The two picked servers carry 2.5 each; a further 7-unit request
+  // exceeds their capacity of 8, so the third server must be chosen.
+  const auto next = lb.pick_servers(cluster, "y.example", 7.0, 8.0);
+  ASSERT_EQ(next.size(), 1U);
+  EXPECT_EQ(std::find(initial.begin(), initial.end(), next[0]), initial.end());
+}
+
+}  // namespace
+}  // namespace eum::cdn

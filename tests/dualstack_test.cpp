@@ -1,0 +1,143 @@
+// Dual-stack serving: AAAA answers via the servers' IPv6 aliases, and
+// UDP response-size discipline (TC bit).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cdn/mapping.h"
+#include "dnsserver/udp.h"
+#include "test_world.h"
+
+namespace eum {
+namespace {
+
+using dns::DnsName;
+using dns::Message;
+using dns::RecordType;
+using eum::testing::test_latency;
+using eum::testing::tiny_world;
+using namespace std::chrono_literals;
+
+TEST(V6Alias, RoundTrips) {
+  const net::IpV4Addr v4{203, 1, 2, 3};
+  const net::IpV6Addr alias = cdn::CdnNetwork::v6_alias(v4);
+  EXPECT_EQ(alias.to_string(), "2001:db8:cd::cb01:203");
+  const auto back = cdn::CdnNetwork::v4_of_alias(alias);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v4);
+}
+
+TEST(V6Alias, RejectsForeignV6) {
+  EXPECT_FALSE(cdn::CdnNetwork::v4_of_alias(*net::IpV6Addr::parse("2001:db8::1")).has_value());
+  EXPECT_FALSE(cdn::CdnNetwork::v4_of_alias(*net::IpV6Addr::parse("::")).has_value());
+}
+
+struct DualStackFixture : ::testing::Test {
+  DualStackFixture()
+      : network(cdn::CdnNetwork::build(tiny_world(), 40)),
+        mapping(&tiny_world(), &network, &test_latency(), cdn::MappingConfig{}) {
+    authority.add_dynamic_domain(DnsName::from_text("g.cdn.example"), mapping.dns_handler());
+  }
+
+  cdn::CdnNetwork network;
+  cdn::MappingSystem mapping;
+  dnsserver::AuthoritativeServer authority;
+};
+
+TEST_F(DualStackFixture, AaaaQueryGetsV6Aliases) {
+  const auto& world = tiny_world();
+  const Message query = Message::make_query(
+      1, DnsName::from_text("www.g.cdn.example"), RecordType::AAAA);
+  const Message response = authority.handle(query, world.ldnses.front().address);
+  ASSERT_GE(response.answers.size(), 2U);
+  for (const auto& record : response.answers) {
+    EXPECT_EQ(record.type, RecordType::AAAA);
+  }
+  // The v6 answers resolve back to a live deployment.
+  const auto addresses = response.answer_addresses();
+  ASSERT_FALSE(addresses.empty());
+  EXPECT_TRUE(addresses[0].is_v6());
+  EXPECT_NE(network.deployment_of(addresses[0]), nullptr);
+}
+
+TEST_F(DualStackFixture, AandAaaaAgreeOnCluster) {
+  const auto& world = tiny_world();
+  const net::IpAddr resolver = world.ldnses.front().address;
+  const Message a_response = authority.handle(
+      Message::make_query(2, DnsName::from_text("x.g.cdn.example"), RecordType::A), resolver);
+  const Message aaaa_response = authority.handle(
+      Message::make_query(3, DnsName::from_text("x.g.cdn.example"), RecordType::AAAA),
+      resolver);
+  const auto a_addrs = a_response.answer_addresses();
+  const auto aaaa_addrs = aaaa_response.answer_addresses();
+  ASSERT_FALSE(a_addrs.empty());
+  ASSERT_FALSE(aaaa_addrs.empty());
+  EXPECT_EQ(network.deployment_of(a_addrs[0])->id, network.deployment_of(aaaa_addrs[0])->id);
+}
+
+TEST_F(DualStackFixture, V6DisabledYieldsNoAaaa) {
+  cdn::MappingConfig config;
+  config.serve_ipv6 = false;
+  cdn::MappingSystem v4_only{&tiny_world(), &network, &test_latency(), config};
+  dnsserver::AuthoritativeServer server;
+  server.add_dynamic_domain(DnsName::from_text("g.cdn.example"), v4_only.dns_handler());
+  const Message response = server.handle(
+      Message::make_query(4, DnsName::from_text("x.g.cdn.example"), RecordType::AAAA),
+      tiny_world().ldnses.front().address);
+  EXPECT_TRUE(response.answers.empty());
+}
+
+// ---------- UDP truncation ----------
+
+TEST(UdpTruncation, OversizeResponseGetsTcBit) {
+  // An authority whose answer is ~1.5 KB; a non-EDNS query caps the
+  // response at 512 octets, so the server must truncate and set TC.
+  dnsserver::AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      DnsName::from_text("big.example"),
+      [](const dnsserver::DynamicQuery&) -> std::optional<dnsserver::DynamicAnswer> {
+        dnsserver::DynamicAnswer answer;
+        for (std::uint32_t i = 0; i < 100; ++i) {
+          answer.addresses.emplace_back(net::IpV4Addr{0xCB000000U + i});
+        }
+        return answer;
+      });
+  dnsserver::UdpAuthorityServer server{&engine,
+                                       dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  std::atomic<bool> stop{false};
+  std::thread serving{[&] { server.serve_until(stop); }};
+
+  dnsserver::UdpDnsClient client;
+  const auto qname = DnsName::from_text("www.big.example");
+
+  // Plain query: truncated.
+  const auto plain = client.query(Message::make_query(1, qname, RecordType::A),
+                                  server.endpoint(), 2000ms);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->header.truncated);
+  EXPECT_TRUE(plain->answers.empty());
+
+  // EDNS query advertising 4096 octets: full answer.
+  Message edns_query = Message::make_query(2, qname, RecordType::A);
+  edns_query.edns = dns::EdnsRecord{};
+  edns_query.edns->udp_payload_size = 4096;
+  const auto big = client.query(edns_query, server.endpoint(), 2000ms);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_FALSE(big->header.truncated);
+  EXPECT_EQ(big->answers.size(), 100U);
+
+  // EDNS advertising a small payload: truncated again.
+  Message small_query = Message::make_query(3, qname, RecordType::A);
+  small_query.edns = dns::EdnsRecord{};
+  small_query.edns->udp_payload_size = 600;
+  const auto small = client.query(small_query, server.endpoint(), 2000ms);
+  ASSERT_TRUE(small.has_value());
+  EXPECT_TRUE(small->header.truncated);
+
+  stop = true;
+  serving.join();
+}
+
+}  // namespace
+}  // namespace eum

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/coords.h"
+#include "geo/geodb.h"
+
+namespace eum::geo {
+namespace {
+
+constexpr GeoPoint kNewYork{40.7128, -74.0060};
+constexpr GeoPoint kLondon{51.5074, -0.1278};
+constexpr GeoPoint kTokyo{35.6762, 139.6503};
+constexpr GeoPoint kSydney{-33.8688, 151.2093};
+
+TEST(GreatCircle, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(great_circle_miles(kNewYork, kNewYork), 0.0);
+}
+
+TEST(GreatCircle, KnownCityDistances) {
+  // Reference values from standard haversine calculators (miles).
+  EXPECT_NEAR(great_circle_miles(kNewYork, kLondon), 3461.0, 25.0);
+  EXPECT_NEAR(great_circle_miles(kTokyo, kSydney), 4863.0, 40.0);
+  EXPECT_NEAR(great_circle_miles(kLondon, kTokyo), 5956.0, 45.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  EXPECT_DOUBLE_EQ(great_circle_miles(kNewYork, kTokyo),
+                   great_circle_miles(kTokyo, kNewYork));
+}
+
+TEST(GreatCircle, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_miles(a, b), 3.141592653589793 * kEarthRadiusMiles, 1.0);
+}
+
+TEST(GreatCircle, DatelineCrossing) {
+  const GeoPoint west{0.0, 179.5};
+  const GeoPoint east{0.0, -179.5};
+  EXPECT_NEAR(great_circle_miles(west, east), 69.1, 1.0);
+}
+
+TEST(GreatCircle, TriangleInequalitySpotCheck) {
+  const double direct = great_circle_miles(kNewYork, kSydney);
+  const double via = great_circle_miles(kNewYork, kTokyo) + great_circle_miles(kTokyo, kSydney);
+  EXPECT_LE(direct, via + 1e-6);
+}
+
+TEST(Centroid, SinglePoint) {
+  const WeightedPoint points[] = {{kTokyo, 2.0}};
+  const GeoPoint c = centroid(points);
+  EXPECT_NEAR(c.lat_deg, kTokyo.lat_deg, 1e-9);
+  EXPECT_NEAR(c.lon_deg, kTokyo.lon_deg, 1e-9);
+}
+
+TEST(Centroid, MidpointOfEqualWeights) {
+  const WeightedPoint points[] = {{{0.0, 0.0}, 1.0}, {{0.0, 10.0}, 1.0}};
+  const GeoPoint c = centroid(points);
+  EXPECT_NEAR(c.lat_deg, 0.0, 1e-9);
+  EXPECT_NEAR(c.lon_deg, 5.0, 1e-9);
+}
+
+TEST(Centroid, WeightsPullCentroid) {
+  const WeightedPoint points[] = {{{0.0, 0.0}, 3.0}, {{0.0, 10.0}, 1.0}};
+  const GeoPoint c = centroid(points);
+  EXPECT_LT(c.lon_deg, 5.0);
+  EXPECT_GT(c.lon_deg, 0.0);
+}
+
+TEST(Centroid, ErrorsOnEmptyOrBadInput) {
+  EXPECT_THROW((void)centroid({}), std::invalid_argument);
+  const WeightedPoint negative[] = {{{0.0, 0.0}, -1.0}};
+  EXPECT_THROW((void)centroid(negative), std::invalid_argument);
+  const WeightedPoint zero[] = {{{0.0, 0.0}, 0.0}};
+  EXPECT_THROW((void)centroid(zero), std::invalid_argument);
+}
+
+TEST(MeanDistance, WeightedRadius) {
+  // Two clusters of clients 100 miles either side of the reference.
+  const GeoPoint ref{0.0, 0.0};
+  const GeoPoint east{0.0, 100.0 / 69.17};  // ~100 miles at the equator
+  const GeoPoint west{0.0, -100.0 / 69.17};
+  const WeightedPoint points[] = {{east, 1.0}, {west, 1.0}};
+  EXPECT_NEAR(mean_distance_to(points, ref), 100.0, 1.0);
+  const WeightedPoint skewed[] = {{east, 3.0}, {ref, 1.0}};
+  EXPECT_NEAR(mean_distance_to(skewed, ref), 75.0, 1.0);
+}
+
+TEST(MeanDistance, ErrorsOnEmpty) {
+  EXPECT_THROW((void)mean_distance_to({}, GeoPoint{}), std::invalid_argument);
+}
+
+// ---------- GeoDatabase ----------
+
+TEST(GeoDatabase, LongestPrefixLookup) {
+  GeoDatabase db;
+  db.add(*net::IpPrefix::parse("10.0.0.0/8"), GeoInfo{kNewYork, 1, 100});
+  db.add(*net::IpPrefix::parse("10.1.0.0/16"), GeoInfo{kLondon, 2, 200});
+  const GeoInfo* coarse = db.lookup(*net::IpAddr::parse("10.2.3.4"));
+  ASSERT_NE(coarse, nullptr);
+  EXPECT_EQ(coarse->asn, 100U);
+  const GeoInfo* fine = db.lookup(*net::IpAddr::parse("10.1.3.4"));
+  ASSERT_NE(fine, nullptr);
+  EXPECT_EQ(fine->asn, 200U);
+  EXPECT_EQ(db.lookup(*net::IpAddr::parse("11.0.0.1")), nullptr);
+  EXPECT_EQ(db.size(), 2U);
+}
+
+TEST(GeoDatabase, DistanceBetweenKnownAddresses) {
+  GeoDatabase db;
+  db.add(*net::IpPrefix::parse("1.1.1.0/24"), GeoInfo{kNewYork, 1, 1});
+  db.add(*net::IpPrefix::parse("2.2.2.0/24"), GeoInfo{kLondon, 2, 2});
+  const auto distance =
+      db.distance_miles(*net::IpAddr::parse("1.1.1.9"), *net::IpAddr::parse("2.2.2.9"));
+  ASSERT_TRUE(distance.has_value());
+  EXPECT_NEAR(*distance, 3461.0, 25.0);
+  EXPECT_FALSE(db.distance_miles(*net::IpAddr::parse("1.1.1.9"),
+                                 *net::IpAddr::parse("9.9.9.9")).has_value());
+}
+
+}  // namespace
+}  // namespace eum::geo

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "cdn/mapping.h"
+#include "measure/analysis.h"
+#include "measure/rum.h"
+#include "measure/tcp_model.h"
+#include "test_world.h"
+
+namespace eum::measure {
+namespace {
+
+using eum::testing::test_latency;
+using eum::testing::tiny_world;
+
+// ---------- tcp_model ----------
+
+TEST(TcpModel, SlowStartRoundsGrowWithBytes) {
+  const TcpParams params;
+  EXPECT_DOUBLE_EQ(slow_start_rounds(0, params), 0.0);
+  const double small = slow_start_rounds(10'000, params);
+  const double medium = slow_start_rounds(100'000, params);
+  const double large = slow_start_rounds(1'000'000, params);
+  EXPECT_GE(small, 1.0);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+}
+
+TEST(TcpModel, ParallelismReducesRounds) {
+  TcpParams serial;
+  serial.parallel_connections = 1.0;
+  TcpParams parallel;
+  parallel.parallel_connections = 6.0;
+  EXPECT_GT(slow_start_rounds(500'000, serial), slow_start_rounds(500'000, parallel));
+}
+
+TEST(TcpModel, DownloadTimeLinearInRttForFixedBytes) {
+  const TcpParams params;
+  const double at100 = download_time_ms(100.0, 100'000, params);
+  const double at200 = download_time_ms(200.0, 100'000, params);
+  const double serialization = 100'000.0 / params.client_bandwidth_bps * 1000.0;
+  // Doubling RTT doubles the round-trip component exactly.
+  EXPECT_NEAR(at200 - serialization, 2.0 * (at100 - serialization), 1e-9);
+}
+
+TEST(TcpModel, DownloadTimeIncludesSerializationFloor) {
+  TcpParams params;
+  params.client_bandwidth_bps = 1e6;  // 1 MB/s
+  // At zero RTT only serialization remains: 500KB -> 500ms.
+  EXPECT_NEAR(download_time_ms(0.0, 500'000, params), 500.0, 1e-9);
+}
+
+TEST(TcpModel, TtfbCalibratedToPaper) {
+  // Paper §4.3: high-expectation mean RTT fell 200->100 ms while TTFB
+  // fell 1000->700 ms; with construction time 400 ms the model must
+  // reproduce both points.
+  EXPECT_NEAR(ttfb_ms(200.0, 400.0), 1000.0, 1e-9);
+  EXPECT_NEAR(ttfb_ms(100.0, 400.0), 700.0, 1e-9);
+}
+
+TEST(TcpModel, RejectsBadInput) {
+  EXPECT_THROW((void)ttfb_ms(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ttfb_ms(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)download_time_ms(-1.0, 100), std::invalid_argument);
+  TcpParams bad;
+  bad.mss_bytes = 0;
+  EXPECT_THROW((void)slow_start_rounds(100, bad), std::invalid_argument);
+}
+
+// Property sweep: download time is monotone in both RTT and bytes.
+class DownloadMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DownloadMonotone, InRttAndBytes) {
+  const std::size_t bytes = GetParam();
+  double previous = -1.0;
+  for (double rtt = 10.0; rtt <= 310.0; rtt += 50.0) {
+    const double t = download_time_ms(rtt, bytes);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+  EXPECT_LE(download_time_ms(100.0, bytes), download_time_ms(100.0, bytes * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, DownloadMonotone,
+                         ::testing::Values(1'000, 30'000, 90'000, 400'000, 2'000'000));
+
+// ---------- analysis ----------
+
+TEST(Analysis, DistanceSampleFiltersWork) {
+  const auto& world = tiny_world();
+  const auto all = client_ldns_distance_sample(world);
+  EXPECT_GT(all.size(), world.blocks.size() - 1);  // >= one entry per block
+  EXPECT_NEAR(all.total_weight(), world.total_demand(), 1.0);
+
+  DistanceFilter public_only;
+  public_only.public_only = true;
+  const auto pub = client_ldns_distance_sample(world, public_only);
+  EXPECT_LT(pub.total_weight(), all.total_weight());
+  EXPECT_NEAR(pub.total_weight() / all.total_weight(), public_resolver_share(world), 1e-9);
+
+  DistanceFilter by_country;
+  by_country.country = 0;  // US
+  const auto us = client_ldns_distance_sample(world, by_country);
+  EXPECT_LT(us.total_weight(), all.total_weight());
+  EXPECT_GT(us.total_weight(), 0.0);
+}
+
+TEST(Analysis, PublicShareByCountryWeightedlyAveragesToGlobal) {
+  const auto& world = tiny_world();
+  double weighted = 0.0;
+  double total = 0.0;
+  std::vector<double> country_demand(world.countries.size(), 0.0);
+  for (const topo::ClientBlock& b : world.blocks) country_demand[b.country] += b.demand;
+  for (topo::CountryId ci = 0; ci < world.countries.size(); ++ci) {
+    weighted += public_resolver_share(world, ci) * country_demand[ci];
+    total += country_demand[ci];
+  }
+  EXPECT_NEAR(weighted / total, public_resolver_share(world), 1e-9);
+}
+
+TEST(Analysis, LdnsClustersCoverAllUsedLdns) {
+  const auto& world = tiny_world();
+  const auto clusters = ldns_clusters(world);
+  std::set<topo::LdnsId> used;
+  for (const topo::ClientBlock& b : world.blocks) {
+    for (const topo::LdnsUse& use : b.ldns_uses) used.insert(use.ldns);
+  }
+  EXPECT_EQ(clusters.size(), used.size());
+  double demand_sum = 0.0;
+  for (const auto& [id, stats] : clusters) {
+    EXPECT_GE(stats.radius_miles, 0.0);
+    EXPECT_GE(stats.mean_client_ldns_miles, 0.0);
+    demand_sum += stats.demand;
+  }
+  EXPECT_NEAR(demand_sum, world.total_demand(), 1.0);
+}
+
+TEST(Analysis, PublicClustersHaveLargeRadii) {
+  // Paper §3.3: public resolvers serve geographically huge client
+  // clusters, and the LDNS is typically NOT at the cluster centroid.
+  const auto& world = tiny_world();
+  const auto clusters = ldns_clusters(world);
+  stats::WeightedSample public_radii;
+  stats::WeightedSample isp_radii;
+  for (const auto& [id, cs] : clusters) {
+    if (world.ldnses[id].type == topo::LdnsType::public_site) {
+      public_radii.add(cs.radius_miles, cs.demand);
+      EXPECT_GT(cs.mean_client_ldns_miles, 0.5 * cs.radius_miles);
+    } else if (world.ldnses[id].type == topo::LdnsType::isp) {
+      isp_radii.add(cs.radius_miles, cs.demand);
+    }
+  }
+  EXPECT_GT(public_radii.percentile(50), 10.0 * isp_radii.percentile(50));
+}
+
+TEST(Analysis, CoverageCurveBasics) {
+  const auto& world = tiny_world();
+  const CoverageCurve blocks = block_coverage(world);
+  EXPECT_EQ(blocks.sorted_demand.size(), world.blocks.size());
+  EXPECT_TRUE(std::is_sorted(blocks.sorted_demand.rbegin(), blocks.sorted_demand.rend()));
+  EXPECT_EQ(blocks.units_for_fraction(0.0), 1U);  // first unit crosses zero
+  EXPECT_EQ(blocks.units_for_fraction(1.0), world.blocks.size());
+  EXPECT_LT(blocks.units_for_fraction(0.5), blocks.units_for_fraction(0.95));
+}
+
+TEST(Analysis, FewerLdnsThanBlocksForSameCoverage) {
+  // The essence of Figure 21.
+  const auto& world = tiny_world();
+  const CoverageCurve blocks = block_coverage(world);
+  const CoverageCurve ldns = ldns_coverage(world);
+  EXPECT_LT(ldns.units_for_fraction(0.5), blocks.units_for_fraction(0.5));
+  EXPECT_LT(ldns.units_for_fraction(0.95), blocks.units_for_fraction(0.95));
+}
+
+TEST(Analysis, PrefixClusterSweepPartitionsDemand) {
+  const auto& world = tiny_world();
+  const auto sweep = prefix_clusters(world, 16);
+  EXPECT_GT(sweep.cluster_count, 0U);
+  EXPECT_LE(sweep.cluster_count, world.blocks.size());
+  EXPECT_NEAR(sweep.radii.total_weight(), world.total_demand(), 1.0);
+}
+
+TEST(Analysis, Slash24ClustersAreSingleBlocks) {
+  const auto& world = tiny_world();
+  const auto sweep = prefix_clusters(world, 24);
+  EXPECT_EQ(sweep.cluster_count, world.blocks.size());
+  // A /24 cluster is one block: radius 0.
+  EXPECT_NEAR(sweep.radii.percentile(99), 0.0, 1e-9);
+}
+
+// ---------- RUM ----------
+
+struct RumFixture : ::testing::Test {
+  RumFixture()
+      : network(cdn::CdnNetwork::build(tiny_world(), 60)),
+        mapping(&tiny_world(), &network, &test_latency(), cdn::MappingConfig{}),
+        rum(&tiny_world(), &mapping, &test_latency()) {}
+
+  cdn::CdnNetwork network;
+  cdn::MappingSystem mapping;
+  RumSimulator rum;
+};
+
+TEST_F(RumFixture, QualifiedPairsArePublicOnly) {
+  const auto& world = tiny_world();
+  ASSERT_FALSE(rum.qualified_pairs().empty());
+  for (const auto& [block, ldns] : rum.qualified_pairs()) {
+    EXPECT_EQ(world.ldnses[ldns].type, topo::LdnsType::public_site);
+  }
+}
+
+TEST_F(RumFixture, SessionMetricsAreConsistent) {
+  util::Rng rng{5};
+  for (int i = 0; i < 200; ++i) {
+    const auto sample = rum.sample_qualified(i % 2 == 0, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_GE(sample->mapping_distance_miles, 0.0);
+    EXPECT_GT(sample->rtt_ms, 0.0);
+    // TTFB includes 3 RTTs plus construction; download at least 1 round.
+    EXPECT_GT(sample->ttfb_ms, 3.0 * sample->rtt_ms);
+    EXPECT_GT(sample->download_ms, 0.9 * sample->rtt_ms);
+    EXPECT_LT(sample->country, tiny_world().countries.size());
+  }
+}
+
+TEST_F(RumFixture, EndUserSessionsHaveShorterDistances) {
+  util::Rng rng{6};
+  double ns_sum = 0.0;
+  double eu_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto ns = rum.sample_qualified(false, rng);
+    const auto eu = rum.sample_qualified(true, rng);
+    if (!ns || !eu) continue;
+    ns_sum += ns->mapping_distance_miles;
+    eu_sum += eu->mapping_distance_miles;
+    ++n;
+  }
+  ASSERT_GT(n, 500);
+  // Paper Fig 13: several-fold decrease in mean mapping distance.
+  EXPECT_LT(eu_sum, 0.5 * ns_sum);
+}
+
+TEST_F(RumFixture, RejectsBadConstruction) {
+  EXPECT_THROW(RumSimulator(nullptr, &mapping, &test_latency()), std::invalid_argument);
+  RumConfig config;
+  config.domains.clear();
+  EXPECT_THROW(RumSimulator(&tiny_world(), &mapping, &test_latency(), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eum::measure

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/cidr_aggregation.h"
+#include "util/rng.h"
+
+namespace eum::net {
+namespace {
+
+IpPrefix pfx(const char* text) { return *IpPrefix::parse(text); }
+
+TEST(CidrTable, CoveringFindsMostSpecific) {
+  CidrTable table;
+  table.add(pfx("10.0.0.0/8"));
+  table.add(pfx("10.1.0.0/16"));
+  EXPECT_EQ(table.covering(pfx("10.1.2.0/24")), pfx("10.1.0.0/16"));
+  EXPECT_EQ(table.covering(pfx("10.9.2.0/24")), pfx("10.0.0.0/8"));
+  EXPECT_FALSE(table.covering(pfx("11.0.0.0/24")).has_value());
+  EXPECT_EQ(table.size(), 2U);
+}
+
+TEST(CidrTable, MoreSpecificAnnouncementDoesNotCoverBroaderBlock) {
+  CidrTable table;
+  table.add(pfx("10.1.2.0/25"));
+  // A /25 cannot cover a /24 block.
+  EXPECT_FALSE(table.covering(pfx("10.1.2.0/24")).has_value());
+}
+
+TEST(CidrTable, ExactLengthCoverIsAllowed) {
+  CidrTable table;
+  table.add(pfx("10.1.2.0/24"));
+  EXPECT_EQ(table.covering(pfx("10.1.2.0/24")), pfx("10.1.2.0/24"));
+}
+
+TEST(AggregateBlocks, MergesWithinCidr) {
+  CidrTable table;
+  table.add(pfx("10.1.0.0/16"));
+  const std::vector<IpPrefix> blocks{pfx("10.1.0.0/24"), pfx("10.1.1.0/24"),
+                                     pfx("10.1.2.0/24"), pfx("172.16.5.0/24")};
+  const AggregationResult result = aggregate_blocks(blocks, table);
+  // 3 blocks merge into the /16; the uncovered one stays.
+  EXPECT_EQ(result.units.size(), 2U);
+  EXPECT_EQ(result.covered_blocks, 3U);
+  EXPECT_EQ(result.uncovered_blocks, 1U);
+  const std::set<IpPrefix> units(result.units.begin(), result.units.end());
+  EXPECT_TRUE(units.contains(pfx("10.1.0.0/16")));
+  EXPECT_TRUE(units.contains(pfx("172.16.5.0/24")));
+}
+
+TEST(AggregateBlocks, EmptyInput) {
+  const AggregationResult result = aggregate_blocks({}, CidrTable{});
+  EXPECT_TRUE(result.units.empty());
+}
+
+TEST(AggregateBlocks, NoTableKeepsEveryBlock) {
+  const std::vector<IpPrefix> blocks{pfx("1.0.0.0/24"), pfx("1.0.1.0/24")};
+  const AggregationResult result = aggregate_blocks(blocks, CidrTable{});
+  EXPECT_EQ(result.units.size(), 2U);
+  EXPECT_EQ(result.uncovered_blocks, 2U);
+}
+
+TEST(MinimalCover, MergesSiblings) {
+  const auto cover = minimal_cover({pfx("10.0.0.0/24"), pfx("10.0.1.0/24")});
+  ASSERT_EQ(cover.size(), 1U);
+  EXPECT_EQ(cover[0], pfx("10.0.0.0/23"));
+}
+
+TEST(MinimalCover, DoesNotMergeNonSiblings) {
+  // .1 and .2 are adjacent but not siblings (their /23 parents differ).
+  const auto cover = minimal_cover({pfx("10.0.1.0/24"), pfx("10.0.2.0/24")});
+  EXPECT_EQ(cover.size(), 2U);
+}
+
+TEST(MinimalCover, CascadingMerge) {
+  std::vector<IpPrefix> blocks;
+  for (int i = 0; i < 16; ++i) {
+    blocks.push_back(IpPrefix{IpAddr{IpV4Addr{0x0A000000U + (static_cast<std::uint32_t>(i) << 8)}}, 24});
+  }
+  const auto cover = minimal_cover(blocks);
+  ASSERT_EQ(cover.size(), 1U);
+  EXPECT_EQ(cover[0], pfx("10.0.0.0/20"));
+}
+
+TEST(MinimalCover, UnalignedRun) {
+  // Blocks 1..4: cannot merge into one; expect {1/24, 2/23, 4/24}.
+  std::vector<IpPrefix> blocks;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    blocks.push_back(IpPrefix{IpAddr{IpV4Addr{0x0A000000U + (i << 8)}}, 24});
+  }
+  const auto cover = minimal_cover(blocks);
+  const std::set<IpPrefix> set(cover.begin(), cover.end());
+  EXPECT_EQ(cover.size(), 3U);
+  EXPECT_TRUE(set.contains(pfx("10.0.1.0/24")));
+  EXPECT_TRUE(set.contains(pfx("10.0.2.0/23")));
+  EXPECT_TRUE(set.contains(pfx("10.0.4.0/24")));
+}
+
+TEST(MinimalCover, DeduplicatesInput) {
+  const auto cover = minimal_cover({pfx("10.0.0.0/24"), pfx("10.0.0.0/24")});
+  EXPECT_EQ(cover.size(), 1U);
+}
+
+TEST(MinimalCover, RejectsV6) {
+  EXPECT_THROW(minimal_cover({*IpPrefix::parse("2001:db8::/32")}), std::invalid_argument);
+}
+
+// Property: a minimal cover spans exactly the same set of addresses.
+class CoverExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverExactness, SameAddressSpace) {
+  util::Rng rng{GetParam()};
+  // Random set of /24s inside 10.0.0.0/16.
+  std::set<IpPrefix> blocks;
+  for (int i = 0; i < 60; ++i) {
+    const std::uint32_t third = static_cast<std::uint32_t>(rng.below(256));
+    blocks.insert(IpPrefix{IpAddr{IpV4Addr{0x0A000000U | (third << 8)}}, 24});
+  }
+  const auto cover =
+      minimal_cover(std::vector<IpPrefix>(blocks.begin(), blocks.end()));
+  // Every original /24 is covered by exactly one cover prefix...
+  for (const IpPrefix& block : blocks) {
+    int covering = 0;
+    for (const IpPrefix& c : cover) covering += c.contains(block) ? 1 : 0;
+    EXPECT_EQ(covering, 1) << block.to_string();
+  }
+  // ...and the cover does not include any /24 outside the original set.
+  std::uint64_t cover_size = 0;
+  for (const IpPrefix& c : cover) cover_size += c.v4_size();
+  EXPECT_EQ(cover_size, blocks.size() * 256);
+  // Cover prefixes are mutually non-overlapping.
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    for (std::size_t j = i + 1; j < cover.size(); ++j) {
+      EXPECT_FALSE(cover[i].overlaps(cover[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverExactness, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace eum::net

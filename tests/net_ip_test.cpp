@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "net/ip.h"
+
+namespace eum::net {
+namespace {
+
+// ---------- IPv4 ----------
+
+TEST(IpV4, ParseAndFormat) {
+  const auto addr = IpV4Addr::parse("1.2.3.4");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0x01020304U);
+  EXPECT_EQ(addr->to_string(), "1.2.3.4");
+}
+
+TEST(IpV4, OctetAccess) {
+  const IpV4Addr addr{10, 20, 30, 40};
+  EXPECT_EQ(addr.octet(0), 10);
+  EXPECT_EQ(addr.octet(3), 40);
+  const auto bytes = addr.bytes();
+  EXPECT_EQ(bytes[1], 20);
+}
+
+TEST(IpV4, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpV4Addr::parse(""));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3"));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.-1"));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.a"));
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.04"));   // leading zero (octal ambiguity)
+  EXPECT_FALSE(IpV4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(IpV4Addr::parse(" 1.2.3.4"));
+  EXPECT_FALSE(IpV4Addr::parse("1..3.4"));
+}
+
+TEST(IpV4, ParseBoundaries) {
+  EXPECT_EQ(IpV4Addr::parse("0.0.0.0")->value(), 0U);
+  EXPECT_EQ(IpV4Addr::parse("255.255.255.255")->value(), 0xFFFFFFFFU);
+}
+
+TEST(IpV4, Ordering) {
+  EXPECT_LT(IpV4Addr(1, 0, 0, 0), IpV4Addr(2, 0, 0, 0));
+  EXPECT_EQ(IpV4Addr{0x01020304}, (IpV4Addr{1, 2, 3, 4}));
+}
+
+// Round-trip property over a sweep of addresses.
+class V4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(V4RoundTrip, ParseFormatIdentity) {
+  const IpV4Addr addr{GetParam()};
+  const auto reparsed = IpV4Addr::parse(addr.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, V4RoundTrip,
+                         ::testing::Values(0U, 1U, 0x01020304U, 0x7F000001U, 0xC0A80101U,
+                                           0xCB007B01U, 0xFFFFFFFFU, 0x0A000000U));
+
+// ---------- IPv6 ----------
+
+TEST(IpV6, ParseFull) {
+  const auto addr = IpV6Addr::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->group(0), 0x2001);
+  EXPECT_EQ(addr->group(1), 0x0db8);
+  EXPECT_EQ(addr->group(7), 0x0001);
+}
+
+TEST(IpV6, ParseCompressed) {
+  const auto addr = IpV6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->group(0), 0x2001);
+  EXPECT_EQ(addr->group(2), 0);
+  EXPECT_EQ(addr->group(7), 1);
+}
+
+TEST(IpV6, ParseAllZeros) {
+  const auto addr = IpV6Addr::parse("::");
+  ASSERT_TRUE(addr.has_value());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(addr->group(i), 0);
+  EXPECT_EQ(addr->to_string(), "::");
+}
+
+TEST(IpV6, ParseLeadingAndTrailingCompression) {
+  EXPECT_EQ(IpV6Addr::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(IpV6Addr::parse("fe80::")->to_string(), "fe80::");
+}
+
+TEST(IpV6, CanonicalFormCompressesLongestRun) {
+  // Longest zero run wins; a single zero group is not compressed.
+  EXPECT_EQ(IpV6Addr::parse("2001:0:0:1:0:0:0:1")->to_string(), "2001:0:0:1::1");
+  EXPECT_EQ(IpV6Addr::parse("2001:db8:0:1:1:1:1:1")->to_string(), "2001:db8:0:1:1:1:1:1");
+}
+
+TEST(IpV6, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpV6Addr::parse(""));
+  EXPECT_FALSE(IpV6Addr::parse(":::"));
+  EXPECT_FALSE(IpV6Addr::parse("1:2:3:4:5:6:7"));          // too few
+  EXPECT_FALSE(IpV6Addr::parse("1:2:3:4:5:6:7:8:9"));      // too many
+  EXPECT_FALSE(IpV6Addr::parse("1::2::3"));                // two compressions
+  EXPECT_FALSE(IpV6Addr::parse("12345::1"));               // group too wide
+  EXPECT_FALSE(IpV6Addr::parse("g::1"));                   // non-hex
+  EXPECT_FALSE(IpV6Addr::parse("1:2:3:4:5:6:7:8:"));
+}
+
+class V6RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(V6RoundTrip, ParseFormatIdentity) {
+  const auto addr = IpV6Addr::parse(GetParam());
+  ASSERT_TRUE(addr.has_value());
+  const auto reparsed = IpV6Addr::parse(addr->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, V6RoundTrip,
+                         ::testing::Values("::", "::1", "2001:db8::1", "fe80::1:2:3",
+                                           "2001:db8:1:2:3:4:5:6", "ff02::fb",
+                                           "2001:0:0:1:0:0:0:1", "64:ff9b::a00:1"));
+
+// ---------- IpAddr (either family) ----------
+
+TEST(IpAddr, FamilyDiscrimination) {
+  const IpAddr v4{IpV4Addr{1, 2, 3, 4}};
+  EXPECT_TRUE(v4.is_v4());
+  EXPECT_EQ(v4.family(), Family::v4);
+  EXPECT_EQ(v4.bit_width(), 32);
+  const IpAddr v6{*IpV6Addr::parse("2001:db8::1")};
+  EXPECT_TRUE(v6.is_v6());
+  EXPECT_EQ(v6.bit_width(), 128);
+}
+
+TEST(IpAddr, CrossFamilyAccessThrows) {
+  const IpAddr v4{IpV4Addr{1, 2, 3, 4}};
+  EXPECT_THROW((void)v4.v6(), std::logic_error);
+  const IpAddr v6{*IpV6Addr::parse("::1")};
+  EXPECT_THROW((void)v6.v4(), std::logic_error);
+}
+
+TEST(IpAddr, BitIndexing) {
+  const IpAddr addr{IpV4Addr{0x80000001U}};
+  EXPECT_TRUE(addr.bit(0));
+  EXPECT_FALSE(addr.bit(1));
+  EXPECT_TRUE(addr.bit(31));
+  EXPECT_THROW((void)addr.bit(32), std::out_of_range);
+  EXPECT_THROW((void)addr.bit(-1), std::out_of_range);
+
+  const IpAddr v6{*IpV6Addr::parse("8000::1")};
+  EXPECT_TRUE(v6.bit(0));
+  EXPECT_TRUE(v6.bit(127));
+  EXPECT_FALSE(v6.bit(64));
+}
+
+TEST(IpAddr, ParseEitherFamily) {
+  EXPECT_TRUE(IpAddr::parse("1.2.3.4")->is_v4());
+  EXPECT_TRUE(IpAddr::parse("::1")->is_v6());
+  EXPECT_FALSE(IpAddr::parse("not-an-ip"));
+  EXPECT_FALSE(IpAddr::parse("1.2.3.4.5"));
+}
+
+TEST(IpAddr, OrderingAcrossValues) {
+  EXPECT_LT((IpAddr{IpV4Addr{1, 0, 0, 0}}), (IpAddr{IpV4Addr{1, 0, 0, 1}}));
+  EXPECT_EQ((IpAddr{IpV4Addr{9, 9, 9, 9}}), (IpAddr{IpV4Addr{9, 9, 9, 9}}));
+}
+
+}  // namespace
+}  // namespace eum::net

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "net/prefix.h"
+
+namespace eum::net {
+namespace {
+
+IpAddr v4(const char* text) { return *IpAddr::parse(text); }
+
+TEST(IpPrefix, CanonicalizesHostBits) {
+  const IpPrefix p{v4("10.1.2.3"), 8};
+  EXPECT_EQ(p.address().v4().to_string(), "10.0.0.0");
+  EXPECT_EQ(p.length(), 8);
+  EXPECT_EQ(p, (IpPrefix{v4("10.255.255.255"), 8}));
+}
+
+TEST(IpPrefix, DefaultIsV4Default) {
+  const IpPrefix p;
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_EQ(p.to_string(), "0.0.0.0/0");
+}
+
+TEST(IpPrefix, ZeroLengthContainsEverythingSameFamily) {
+  const IpPrefix p{v4("0.0.0.0"), 0};
+  EXPECT_TRUE(p.contains(v4("255.255.255.255")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("::1")));
+}
+
+TEST(IpPrefix, ContainsAddress) {
+  const IpPrefix p{v4("192.168.1.0"), 24};
+  EXPECT_TRUE(p.contains(v4("192.168.1.0")));
+  EXPECT_TRUE(p.contains(v4("192.168.1.255")));
+  EXPECT_FALSE(p.contains(v4("192.168.2.0")));
+}
+
+TEST(IpPrefix, ContainsPrefix) {
+  const IpPrefix p16{v4("10.1.0.0"), 16};
+  const IpPrefix p24{v4("10.1.5.0"), 24};
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(IpPrefix, Overlaps) {
+  const IpPrefix a{v4("10.0.0.0"), 8};
+  const IpPrefix b{v4("10.5.0.0"), 16};
+  const IpPrefix c{v4("11.0.0.0"), 8};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(IpPrefix, Supernet) {
+  const IpPrefix p{v4("192.168.129.0"), 24};
+  EXPECT_EQ(p.supernet(17).to_string(), "192.168.128.0/17");
+  EXPECT_EQ(p.supernet(0).to_string(), "0.0.0.0/0");
+  EXPECT_THROW((void)p.supernet(25), std::invalid_argument);
+  EXPECT_THROW((void)p.supernet(-1), std::invalid_argument);
+}
+
+TEST(IpPrefix, V4Size) {
+  EXPECT_EQ((IpPrefix{v4("1.2.3.0"), 24}).v4_size(), 256U);
+  EXPECT_EQ((IpPrefix{v4("0.0.0.0"), 0}).v4_size(), 1ULL << 32);
+  EXPECT_EQ((IpPrefix{v4("1.2.3.4"), 32}).v4_size(), 1U);
+}
+
+TEST(IpPrefix, ParseAndFormat) {
+  const auto p = IpPrefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "172.16.0.0/12");
+  EXPECT_EQ(IpPrefix::parse("172.16.99.1/12")->to_string(), "172.16.0.0/12");
+}
+
+TEST(IpPrefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpPrefix::parse("1.2.3.4"));        // no slash
+  EXPECT_FALSE(IpPrefix::parse("1.2.3.4/33"));     // too long
+  EXPECT_FALSE(IpPrefix::parse("1.2.3.4/-1"));
+  EXPECT_FALSE(IpPrefix::parse("1.2.3.4/"));
+  EXPECT_FALSE(IpPrefix::parse("x/24"));
+  EXPECT_FALSE(IpPrefix::parse("::1/129"));
+}
+
+TEST(IpPrefix, RejectsBadLength) {
+  EXPECT_THROW((IpPrefix{v4("1.2.3.4"), 33}), std::invalid_argument);
+  EXPECT_THROW((IpPrefix{v4("1.2.3.4"), -1}), std::invalid_argument);
+  EXPECT_NO_THROW((IpPrefix{*IpAddr::parse("::1"), 128}));
+  EXPECT_THROW((IpPrefix{*IpAddr::parse("::1"), 129}), std::invalid_argument);
+}
+
+TEST(IpPrefix, V6Canonicalization) {
+  const IpPrefix p{*IpAddr::parse("2001:db8:ffff::1"), 32};
+  EXPECT_EQ(p.to_string(), "2001:db8::/32");
+  EXPECT_TRUE(p.contains(*IpAddr::parse("2001:db8:1234::5")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("2001:db9::1")));
+}
+
+TEST(IpPrefix, V6NonByteAlignedLength) {
+  const IpPrefix p{*IpAddr::parse("ffff:ffff::"), 20};
+  EXPECT_EQ(p.to_string(), "ffff:f000::/20");
+  EXPECT_TRUE(p.contains(*IpAddr::parse("ffff:f123::9")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("ffff:e000::")));
+}
+
+TEST(IpPrefixHash, EqualPrefixesHashEqual) {
+  const IpPrefixHash hash;
+  EXPECT_EQ(hash(IpPrefix{v4("10.1.2.3"), 8}), hash(IpPrefix{v4("10.9.9.9"), 8}));
+  EXPECT_NE(hash(IpPrefix{v4("10.0.0.0"), 8}), hash(IpPrefix{v4("10.0.0.0"), 9}));
+}
+
+// Property sweep: block_of(addr, x) contains addr for every x, and
+// supernets nest.
+class BlockNesting : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BlockNesting, SupernetsNest) {
+  const IpAddr addr{IpV4Addr{GetParam()}};
+  IpPrefix previous = IpPrefix::block_of(addr, 32);
+  for (int length = 31; length >= 0; --length) {
+    const IpPrefix block = IpPrefix::block_of(addr, length);
+    EXPECT_TRUE(block.contains(addr));
+    EXPECT_TRUE(block.contains(previous));
+    previous = block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlockNesting,
+                         ::testing::Values(0U, 0xFFFFFFFFU, 0x01020304U, 0xCB112233U,
+                                           0x80000000U, 0x7FFFFFFFU));
+
+}  // namespace
+}  // namespace eum::net

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/prefix_trie.h"
+#include "util/rng.h"
+
+namespace eum::net {
+namespace {
+
+IpAddr v4(const char* text) { return *IpAddr::parse(text); }
+IpPrefix pfx(const char* text) { return *IpPrefix::parse(text); }
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.longest_match(v4("1.2.3.4")), nullptr);
+  EXPECT_EQ(trie.exact(pfx("1.2.3.0/24")), nullptr);
+}
+
+TEST(PrefixTrie, InsertAndExact) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 2));  // overwrite
+  ASSERT_NE(trie.exact(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.exact(pfx("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.size(), 1U);
+  EXPECT_EQ(trie.exact(pfx("10.0.0.0/9")), nullptr);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.insert(pfx("10.0.0.0/8"), "eight");
+  trie.insert(pfx("10.1.0.0/16"), "sixteen");
+  trie.insert(pfx("10.1.2.0/24"), "twentyfour");
+  EXPECT_EQ(*trie.longest_match(v4("10.1.2.3")), "twentyfour");
+  EXPECT_EQ(*trie.longest_match(v4("10.1.3.1")), "sixteen");
+  EXPECT_EQ(*trie.longest_match(v4("10.2.0.1")), "eight");
+  EXPECT_EQ(trie.longest_match(v4("11.0.0.0")), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 99);
+  EXPECT_EQ(*trie.longest_match(v4("200.1.2.3")), 99);
+}
+
+TEST(PrefixTrie, LongestMatchEntryReturnsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("192.168.0.0/16"), 5);
+  const auto entry = trie.longest_match_entry(v4("192.168.44.1"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, pfx("192.168.0.0/16"));
+  EXPECT_EQ(entry->second, 5);
+  EXPECT_FALSE(trie.longest_match_entry(v4("1.1.1.1")).has_value());
+}
+
+TEST(PrefixTrie, Erase) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_FALSE(trie.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(trie.size(), 1U);
+  EXPECT_EQ(*trie.longest_match(v4("10.1.2.3")), 1);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 7);
+  EXPECT_EQ(*trie.longest_match(v4("1.2.3.4")), 7);
+  EXPECT_EQ(trie.longest_match(v4("1.2.3.5")), nullptr);
+}
+
+TEST(PrefixTrie, BothFamiliesCoexist) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 4);
+  trie.insert(*IpPrefix::parse("2001:db8::/32"), 6);
+  EXPECT_EQ(*trie.longest_match(v4("10.1.1.1")), 4);
+  EXPECT_EQ(*trie.longest_match(*IpAddr::parse("2001:db8::99")), 6);
+  EXPECT_EQ(trie.longest_match(*IpAddr::parse("2001:db9::1")), nullptr);
+  EXPECT_EQ(trie.size(), 2U);
+}
+
+TEST(PrefixTrie, VisitEnumeratesAll) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.128.0.0/9"), 2);
+  trie.insert(pfx("192.168.1.0/24"), 3);
+  trie.insert(*IpPrefix::parse("fd00::/8"), 4);
+  std::map<std::string, int> seen;
+  trie.visit([&](const IpPrefix& prefix, const int& value) {
+    seen[prefix.to_string()] = value;
+  });
+  ASSERT_EQ(seen.size(), 4U);
+  EXPECT_EQ(seen["10.0.0.0/8"], 1);
+  EXPECT_EQ(seen["10.128.0.0/9"], 2);
+  EXPECT_EQ(seen["192.168.1.0/24"], 3);
+  EXPECT_EQ(seen["fd00::/8"], 4);
+}
+
+TEST(PrefixTrie, RootPrefixVisit) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 42);
+  int visits = 0;
+  trie.visit([&](const IpPrefix& prefix, const int& value) {
+    EXPECT_EQ(prefix.length(), 0);
+    EXPECT_EQ(value, 42);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+// Property: longest_match agrees with a brute-force scan over random sets.
+class TrieVsLinear : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsLinear, Agree) {
+  util::Rng rng{GetParam()};
+  PrefixTrie<int> trie;
+  std::vector<std::pair<IpPrefix, int>> entries;
+  for (int i = 0; i < 200; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng());
+    const int length = static_cast<int>(rng.below(33));
+    const IpPrefix prefix{IpAddr{IpV4Addr{addr}}, length};
+    trie.insert(prefix, i);
+    // Keep the latest value for duplicate prefixes, as the trie does.
+    bool replaced = false;
+    for (auto& [p, val] : entries) {
+      if (p == prefix) {
+        val = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) entries.emplace_back(prefix, i);
+  }
+  for (int probe = 0; probe < 500; ++probe) {
+    const IpAddr addr{IpV4Addr{static_cast<std::uint32_t>(rng())}};
+    std::optional<int> expected;
+    int best_length = -1;
+    for (const auto& [prefix, value] : entries) {
+      if (prefix.contains(addr) && prefix.length() > best_length) {
+        best_length = prefix.length();
+        expected = value;
+      }
+    }
+    const int* actual = trie.longest_match(addr);
+    if (expected.has_value()) {
+      ASSERT_NE(actual, nullptr);
+      EXPECT_EQ(*actual, *expected);
+    } else {
+      EXPECT_EQ(actual, nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsLinear, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace eum::net

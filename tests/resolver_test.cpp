@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "dnsserver/resolver.h"
+#include "dnsserver/transport.h"
+
+namespace eum::dnsserver {
+namespace {
+
+using dns::ClientSubnetOption;
+using dns::DnsName;
+using dns::Message;
+using dns::Rcode;
+using dns::RecordType;
+
+net::IpAddr v4(const char* text) { return *net::IpAddr::parse(text); }
+
+/// Authority answering every A query under g.cdn.example with an address
+/// derived from the ECS block (so the test can see which unit mapped) and
+/// a configurable scope.
+class EcsFixture : public ::testing::Test {
+ protected:
+  EcsFixture() {
+    server_.add_dynamic_domain(
+        DnsName::from_text("g.cdn.example"),
+        [this](const DynamicQuery& query) -> std::optional<DynamicAnswer> {
+          ++dynamic_calls_;
+          DynamicAnswer answer;
+          answer.ttl = ttl_;
+          answer.ecs_scope_len = scope_;
+          if (query.client_block) {
+            // Address encodes the client's /24 so answers are distinguishable.
+            const auto base = query.client_block->address().v4().value();
+            answer.addresses = {net::IpAddr{net::IpV4Addr{0xCB000000U | (base >> 8 & 0xFF)}}};
+          } else {
+            answer.addresses = {v4("203.0.113.99")};
+          }
+          return answer;
+        });
+    directory_.add_authority(DnsName::from_text("g.cdn.example"), &server_);
+  }
+
+  RecursiveResolver make_resolver(bool ecs) {
+    ResolverConfig config;
+    config.ecs_enabled = ecs;
+    return RecursiveResolver{config, &clock_, &directory_, v4("202.0.0.1")};
+  }
+
+  Message client_query(std::uint16_t id, const char* name = "www.g.cdn.example") {
+    return Message::make_query(id, DnsName::from_text(name), RecordType::A);
+  }
+
+  util::SimClock clock_;
+  AuthoritativeServer server_;
+  AuthorityDirectory directory_;
+  int dynamic_calls_ = 0;
+  std::uint32_t ttl_ = 60;
+  int scope_ = 24;
+};
+
+TEST_F(EcsFixture, ResolvesAndCaches) {
+  RecursiveResolver resolver = make_resolver(false);
+  const Message first = resolver.resolve(client_query(1), v4("1.2.3.4"));
+  EXPECT_EQ(first.header.rcode, Rcode::no_error);
+  ASSERT_EQ(first.answers.size(), 1U);
+  EXPECT_EQ(resolver.stats().cache_misses, 1U);
+
+  const Message second = resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(second.answers, first.answers);
+  EXPECT_EQ(resolver.stats().cache_hits, 1U);
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+  EXPECT_EQ(dynamic_calls_, 1);
+}
+
+TEST_F(EcsFixture, NonEcsCacheSharedAcrossClients) {
+  RecursiveResolver resolver = make_resolver(false);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  (void)resolver.resolve(client_query(2), v4("99.88.77.66"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);  // one entry serves all
+}
+
+TEST_F(EcsFixture, EcsCachePartitionsByScopeBlock) {
+  RecursiveResolver resolver = make_resolver(true);
+  const Message a = resolver.resolve(client_query(1), v4("1.2.3.4"));
+  const Message b = resolver.resolve(client_query(2), v4("1.2.4.4"));  // other /24
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+  EXPECT_NE(a.answers, b.answers);
+
+  // Same /24 as the first client: cache hit, same answer.
+  const Message c = resolver.resolve(client_query(3), v4("1.2.3.200"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+  EXPECT_EQ(c.answers, a.answers);
+  EXPECT_EQ(resolver.cache_size(), 2U);
+}
+
+TEST_F(EcsFixture, ScopeZeroAnswerIsGlobal) {
+  scope_ = 0;  // authority says the answer is client-independent
+  RecursiveResolver resolver = make_resolver(true);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  (void)resolver.resolve(client_query(2), v4("200.100.50.25"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+}
+
+TEST_F(EcsFixture, BroaderScopeSharesAcrossTwentyFours) {
+  scope_ = 20;  // answers valid for a whole /20
+  RecursiveResolver resolver = make_resolver(true);
+  (void)resolver.resolve(client_query(1), v4("1.2.16.4"));
+  // 1.2.17.x is in the same /20 as 1.2.16.x.
+  (void)resolver.resolve(client_query(2), v4("1.2.17.9"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+  // 1.2.32.x is in a different /20.
+  (void)resolver.resolve(client_query(3), v4("1.2.32.9"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, TtlExpiryForcesRefetch) {
+  RecursiveResolver resolver = make_resolver(false);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  clock_.advance(59);
+  (void)resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+  clock_.advance(2);  // past the 60s TTL
+  (void)resolver.resolve(client_query(3), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, CachedTtlAges) {
+  RecursiveResolver resolver = make_resolver(false);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  clock_.advance(25);
+  const Message aged = resolver.resolve(client_query(2), v4("1.2.3.4"));
+  ASSERT_EQ(aged.answers.size(), 1U);
+  EXPECT_EQ(aged.answers[0].ttl, 35U);
+}
+
+TEST_F(EcsFixture, NegativeAnswersCachedWithNegativeTtl) {
+  AuthoritativeServer nx_server;
+  nx_server.add_dynamic_domain(DnsName::from_text("g.cdn.example"),
+                               [](const DynamicQuery&) { return std::optional<DynamicAnswer>{}; });
+  AuthorityDirectory directory;
+  directory.add_authority(DnsName::from_text("g.cdn.example"), &nx_server);
+  ResolverConfig config;
+  config.negative_ttl = 10;
+  RecursiveResolver resolver{config, &clock_, &directory, v4("202.0.0.1")};
+
+  EXPECT_EQ(resolver.resolve(client_query(1), v4("1.2.3.4")).header.rcode, Rcode::nx_domain);
+  EXPECT_EQ(resolver.resolve(client_query(2), v4("1.2.3.4")).header.rcode, Rcode::nx_domain);
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+  clock_.advance(11);
+  (void)resolver.resolve(client_query(3), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, NegativeTtlFromSoaMinimum) {
+  // RFC 2308: negative answers cache for the SOA MINIMUM, not the
+  // resolver's default.
+  AuthoritativeServer static_server;
+  dns::SoaRecord soa;
+  soa.mname = DnsName::from_text("ns1.static.example");
+  soa.minimum = 5;  // much shorter than the resolver default of 30
+  Zone zone{DnsName::from_text("static.example"), soa};
+  static_server.add_zone(std::move(zone));
+  AuthorityDirectory directory;
+  directory.add_authority(DnsName::from_text("static.example"), &static_server);
+  ResolverConfig config;
+  config.negative_ttl = 300;
+  RecursiveResolver resolver{config, &clock_, &directory, v4("202.0.0.1")};
+
+  const auto query = [&](std::uint16_t id) {
+    return resolver.resolve(
+        Message::make_query(id, DnsName::from_text("no.static.example"), RecordType::A),
+        v4("1.2.3.4"));
+  };
+  EXPECT_EQ(query(1).header.rcode, Rcode::nx_domain);
+  clock_.advance(4);
+  (void)query(2);
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);  // still cached
+  clock_.advance(2);  // past the 5s SOA minimum, far before negative_ttl
+  (void)query(3);
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, ScopeBroaderThanSourceClampedToSource) {
+  // An authority replying scope /32 to a /24 announcement only proved
+  // knowledge of 24 bits; the cache entry must cover at most the /24.
+  scope_ = 32;
+  RecursiveResolver resolver = make_resolver(true);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  // Another host of the same /24 must hit the (clamped) entry.
+  (void)resolver.resolve(client_query(2), v4("1.2.3.77"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+}
+
+TEST_F(EcsFixture, ForwardedEcsFromClientQueryWins) {
+  RecursiveResolver resolver = make_resolver(true);
+  // A downstream forwarder already attached ECS for 50.60.70.0/24.
+  const auto ecs = ClientSubnetOption::for_query(v4("50.60.70.80"), 24);
+  const Message query =
+      Message::make_query(1, DnsName::from_text("www.g.cdn.example"), RecordType::A, ecs);
+  const Message response = resolver.resolve(query, v4("1.2.3.4"));
+  ASSERT_EQ(response.answers.size(), 1U);
+  // Answer derived from 50.60.70/24, not from the connection address 1.2.3/24.
+  EXPECT_EQ(response.answer_addresses()[0].v4().value(), 0xCB000000U | 70U);
+}
+
+TEST_F(EcsFixture, RefusedUpstreamPropagates) {
+  RecursiveResolver resolver = make_resolver(false);
+  const Message response = resolver.resolve(client_query(1, "www.unknown.example"),
+                                            v4("1.2.3.4"));
+  EXPECT_EQ(response.header.rcode, Rcode::refused);
+}
+
+TEST_F(EcsFixture, FormErrOnMultiQuestionClientQuery) {
+  RecursiveResolver resolver = make_resolver(false);
+  Message query = client_query(1);
+  query.questions.push_back(query.questions.front());
+  EXPECT_EQ(resolver.resolve(query, v4("1.2.3.4")).header.rcode, Rcode::form_err);
+}
+
+TEST_F(EcsFixture, FlushCacheDropsEntries) {
+  RecursiveResolver resolver = make_resolver(true);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.cache_size(), 1U);
+  resolver.flush_cache();
+  EXPECT_EQ(resolver.cache_size(), 0U);
+  (void)resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, CacheCapacityTriggersEviction) {
+  ResolverConfig config;
+  config.ecs_enabled = true;
+  config.max_cache_entries = 4;
+  RecursiveResolver resolver{config, &clock_, &directory_, v4("202.0.0.1")};
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const net::IpAddr client{net::IpV4Addr{0x01020000U + (i << 8) + 1}};
+    (void)resolver.resolve(client_query(static_cast<std::uint16_t>(i + 1)), client);
+  }
+  EXPECT_LE(resolver.cache_size(), 4U);
+  EXPECT_GT(resolver.stats().cache_evictions, 0U);
+}
+
+TEST_F(EcsFixture, UpstreamQueryHookFires) {
+  RecursiveResolver resolver = make_resolver(false);
+  std::vector<std::string> names;
+  resolver.on_upstream_query = [&](const DnsName& name) { names.push_back(name.to_string()); };
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  (void)resolver.resolve(client_query(2), v4("1.2.3.4"));  // cache hit: no hook
+  ASSERT_EQ(names.size(), 1U);
+  EXPECT_EQ(names[0], "www.g.cdn.example");
+}
+
+TEST_F(EcsFixture, RejectsBadConstruction) {
+  ResolverConfig config;
+  EXPECT_THROW(RecursiveResolver(config, nullptr, &directory_, v4("1.1.1.1")),
+               std::invalid_argument);
+  EXPECT_THROW(RecursiveResolver(config, &clock_, nullptr, v4("1.1.1.1")),
+               std::invalid_argument);
+  config.ecs_source_len = 40;
+  EXPECT_THROW(RecursiveResolver(config, &clock_, &directory_, v4("1.1.1.1")),
+               std::invalid_argument);
+}
+
+TEST(ResolverCname, ChasesAcrossAuthorities) {
+  // Zone 1: www.shop.example CNAME e1.g.cdn.example (static).
+  util::SimClock clock;
+  AuthoritativeServer shop_server;
+  dns::SoaRecord soa;
+  soa.mname = DnsName::from_text("ns1.shop.example");
+  soa.minimum = 30;
+  Zone shop_zone{DnsName::from_text("shop.example"), soa};
+  shop_zone.add_cname(DnsName::from_text("www.shop.example"),
+                      DnsName::from_text("e1.g.cdn.example"), 300);
+  shop_server.add_zone(std::move(shop_zone));
+
+  // Authority 2: dynamic CDN answers.
+  AuthoritativeServer cdn_server;
+  cdn_server.add_dynamic_domain(DnsName::from_text("g.cdn.example"),
+                                [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+                                  DynamicAnswer answer;
+                                  answer.addresses = {*net::IpAddr::parse("203.1.2.3")};
+                                  return answer;
+                                });
+
+  AuthorityDirectory directory;
+  directory.add_authority(DnsName::from_text("shop.example"), &shop_server);
+  directory.add_authority(DnsName::from_text("g.cdn.example"), &cdn_server);
+
+  ResolverConfig config;
+  RecursiveResolver resolver{config, &clock, &directory, *net::IpAddr::parse("200.0.0.9")};
+  const Message response = resolver.resolve(
+      Message::make_query(1, DnsName::from_text("www.shop.example"), RecordType::A),
+      *net::IpAddr::parse("1.2.3.4"));
+  EXPECT_EQ(response.header.rcode, Rcode::no_error);
+  ASSERT_EQ(response.answers.size(), 2U);  // CNAME + A
+  EXPECT_EQ(response.answer_addresses().at(0), *net::IpAddr::parse("203.1.2.3"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+
+  // The CNAME and the target are cached independently.
+  (void)resolver.resolve(
+      Message::make_query(2, DnsName::from_text("www.shop.example"), RecordType::A),
+      *net::IpAddr::parse("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+}  // namespace
+}  // namespace eum::dnsserver

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "sim/deployment_study.h"
+#include "sim/op_rates.h"
+#include "sim/query_rate.h"
+#include "sim/rollout.h"
+#include "test_world.h"
+
+namespace eum::sim {
+namespace {
+
+using eum::testing::test_latency;
+using eum::testing::tiny_world;
+
+// ---------- roll-out ----------
+
+struct RolloutFixture : ::testing::Test {
+  RolloutFixture()
+      : network(cdn::CdnNetwork::build(tiny_world(), 60)),
+        mapping(&tiny_world(), &network, &test_latency(), cdn::MappingConfig{}),
+        rum(&tiny_world(), &mapping, &test_latency()) {}
+
+  cdn::CdnNetwork network;
+  cdn::MappingSystem mapping;
+  measure::RumSimulator rum;
+};
+
+TEST_F(RolloutFixture, FractionFollowsPaperTimeline) {
+  RolloutConfig config;
+  RolloutSimulator sim{&tiny_world(), &rum, config};
+  EXPECT_DOUBLE_EQ(sim.rollout_fraction(util::Date{2014, 1, 15}), 0.0);
+  EXPECT_DOUBLE_EQ(sim.rollout_fraction(util::Date{2014, 3, 27}), 0.0);
+  EXPECT_DOUBLE_EQ(sim.rollout_fraction(util::Date{2014, 3, 28}), 0.0);
+  EXPECT_GT(sim.rollout_fraction(util::Date{2014, 4, 5}), 0.3);
+  EXPECT_LT(sim.rollout_fraction(util::Date{2014, 4, 5}), 0.6);
+  EXPECT_DOUBLE_EQ(sim.rollout_fraction(util::Date{2014, 4, 15}), 1.0);
+  EXPECT_DOUBLE_EQ(sim.rollout_fraction(util::Date{2014, 6, 30}), 1.0);
+}
+
+TEST_F(RolloutFixture, RejectsInconsistentDates) {
+  RolloutConfig config;
+  config.ramp_start = util::Date{2014, 4, 20};
+  config.ramp_end = util::Date{2014, 4, 10};
+  EXPECT_THROW(RolloutSimulator(&tiny_world(), &rum, config), std::invalid_argument);
+}
+
+TEST_F(RolloutFixture, RunReproducesPaperShape) {
+  RolloutConfig config;
+  // A compressed timeline keeps the test fast: one month per phase.
+  config.start = util::Date{2014, 3, 1};
+  config.end = util::Date{2014, 5, 10};
+  config.sessions_per_day = 150;
+  RolloutSimulator sim{&tiny_world(), &rum, config};
+  const RolloutResult result = sim.run();
+
+  ASSERT_EQ(result.high_daily.size(), result.low_daily.size());
+  ASSERT_FALSE(result.high_before.mapping_distance.empty());
+  ASSERT_FALSE(result.high_after.mapping_distance.empty());
+
+  // Headline paper results, as shape assertions (§4.3 / §8):
+  //  - mapping distance falls several-fold for the high-expectation group;
+  const double dist_before = result.high_before.mapping_distance.mean();
+  const double dist_after = result.high_after.mapping_distance.mean();
+  EXPECT_LT(dist_after, 0.4 * dist_before);
+  //  - RTT and download time improve substantially;
+  EXPECT_LT(result.high_after.rtt.mean(), 0.75 * result.high_before.rtt.mean());
+  EXPECT_LT(result.high_after.download.mean(), 0.8 * result.high_before.download.mean());
+  //  - TTFB improves, but by a smaller fraction than RTT (construction
+  //    time is mapping-independent);
+  const double ttfb_gain =
+      1.0 - result.high_after.ttfb.mean() / result.high_before.ttfb.mean();
+  const double rtt_gain = 1.0 - result.high_after.rtt.mean() / result.high_before.rtt.mean();
+  EXPECT_GT(ttfb_gain, 0.08);
+  EXPECT_LT(ttfb_gain, rtt_gain);
+  //  - the low-expectation group improves by a smaller absolute amount
+  //    and starts from shorter distances (Fig 13's two curves).
+  const double low_delta = result.low_before.mapping_distance.mean() -
+                           result.low_after.mapping_distance.mean();
+  EXPECT_GT(low_delta, 0.0);
+  EXPECT_LT(low_delta, dist_before - dist_after);
+  EXPECT_LT(result.low_before.mapping_distance.mean(), dist_before);
+  //  - all percentiles improve (paper: "all percentiles see improvement").
+  for (const double q : {25.0, 50.0, 75.0, 90.0}) {
+    EXPECT_LE(result.high_after.mapping_distance.percentile(q),
+              result.high_before.mapping_distance.percentile(q) + 1.0)
+        << "q=" << q;
+  }
+}
+
+// ---------- query rate ----------
+
+TEST(QueryRate, EcsMultipliesPublicResolverQueries) {
+  const auto& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 40);
+  cdn::MappingSystem mapping{&world, &network, &test_latency(), cdn::MappingConfig{}};
+
+  QueryRateConfig config;
+  config.isp_ldns_sample = 25;
+  config.domain_count = 10;
+  config.horizon_seconds = 900.0;
+  config.queries_per_demand_unit = 0.004;
+  const QueryRateResult result = run_query_rate_study(world, mapping, config);
+
+  ASSERT_FALSE(result.pairs.empty());
+  // Public resolvers send ECS: their upstream rate multiplies (paper: 8x).
+  EXPECT_GT(result.public_factor(), 2.0);
+  EXPECT_GT(result.public_post_qps, result.public_pre_qps);
+  // ISP resolvers do not send ECS: identical counts both runs.
+  for (const PairQueryStats& pair : result.pairs) {
+    if (!pair.is_public) {
+      EXPECT_EQ(pair.upstream_pre, pair.upstream_post);
+    }
+    EXPECT_LE(pair.upstream_pre, pair.client_queries);
+    EXPECT_LE(pair.upstream_post, pair.client_queries);
+  }
+  EXPECT_GT(result.isp_demand_coverage, 0.0);
+  EXPECT_LE(result.isp_demand_coverage, 1.0);
+}
+
+TEST(QueryRate, PopularPairsSeeBiggerIncrease) {
+  // Paper Fig 24: pairs near 1 query/TTL pre-roll-out increase the most.
+  const auto& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 40);
+  cdn::MappingSystem mapping{&world, &network, &test_latency(), cdn::MappingConfig{}};
+  QueryRateConfig config;
+  config.isp_ldns_sample = 10;
+  config.domain_count = 12;
+  config.horizon_seconds = 900.0;
+  config.queries_per_demand_unit = 0.004;
+  const QueryRateResult result = run_query_rate_study(world, mapping, config);
+  const auto buckets = result.popularity_buckets(5);
+  ASSERT_EQ(buckets.size(), 5U);
+  // Compare the most popular populated bucket to the least popular one.
+  const QueryRateResult::Bucket* low = nullptr;
+  const QueryRateResult::Bucket* high = nullptr;
+  for (const auto& bucket : buckets) {
+    if (bucket.pair_count == 0) continue;
+    if (low == nullptr) low = &bucket;
+    high = &bucket;
+  }
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  if (low != high) {
+    EXPECT_GE(high->mean_factor, low->mean_factor);
+  }
+  // Bucket shares of pre-roll-out queries sum to ~1.
+  double share = 0.0;
+  for (const auto& bucket : buckets) share += bucket.pre_query_share;
+  EXPECT_NEAR(share, 1.0, 1e-6);
+}
+
+TEST(QueryRate, PopularityNeverExceedsOnePerTtl) {
+  const auto& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 40);
+  cdn::MappingSystem mapping{&world, &network, &test_latency(), cdn::MappingConfig{}};
+  QueryRateConfig config;
+  config.isp_ldns_sample = 10;
+  config.domain_count = 6;
+  config.horizon_seconds = 600.0;
+  config.queries_per_demand_unit = 0.004;
+  const QueryRateResult result = run_query_rate_study(world, mapping, config);
+  for (const PairQueryStats& pair : result.pairs) {
+    // Allow one extra query of slack for the partial window at the end.
+    EXPECT_LE(pair.popularity(config.horizon_seconds, config.answer_ttl), 1.1);
+  }
+}
+
+// ---------- deployment study ----------
+
+TEST(DeploymentStudy, ReproducesFigure25Shape) {
+  const auto& world = tiny_world();
+  DeploymentStudyConfig config;
+  config.deployment_counts = {10, 20, 40, 80};
+  config.runs = 4;
+  const auto rows = run_deployment_study(world, test_latency(), config);
+  ASSERT_EQ(rows.size(), 4U);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DeploymentStudyRow& row = rows[i];
+    // Ordering within a row: mean <= p95 <= p99 for each scheme.
+    for (const SchemeLatency* scheme : {&row.ns, &row.eu, &row.cans}) {
+      EXPECT_LE(scheme->mean_ms, scheme->p95_ms);
+      EXPECT_LE(scheme->p95_ms, scheme->p99_ms);
+    }
+    // EU mapping can use exact client knowledge: never worse than NS.
+    EXPECT_LE(row.eu.mean_ms, row.ns.mean_ms + 0.5);
+    EXPECT_LE(row.eu.p99_ms, row.ns.p99_ms + 0.5);
+    // CANS sits between the two extremes at the tail (paper §6).
+    EXPECT_LE(row.cans.p99_ms, row.ns.p99_ms + 0.5);
+    EXPECT_GE(row.cans.p99_ms, row.eu.p99_ms - 0.5);
+    // More deployments help every scheme.
+    if (i > 0) {
+      EXPECT_LE(row.eu.mean_ms, rows[i - 1].eu.mean_ms + 0.5);
+      EXPECT_LE(row.ns.mean_ms, rows[i - 1].ns.mean_ms + 0.5);
+    }
+  }
+  // The paper's key claim: the EU-over-NS advantage at the 99th percentile
+  // grows (or at least persists) with deployment count, because NS-based
+  // mapping cannot fix clients with remote LDNSes no matter how many
+  // deployments exist.
+  const double gap_small = rows.front().ns.p99_ms - rows.front().eu.p99_ms;
+  const double gap_large = rows.back().ns.p99_ms - rows.back().eu.p99_ms;
+  EXPECT_GT(gap_large, 0.0);
+  (void)gap_small;  // printed by the bench; noisy at this scale
+}
+
+TEST(DeploymentStudy, RejectsBadConfig) {
+  const auto& world = tiny_world();
+  DeploymentStudyConfig config;
+  config.runs = 0;
+  EXPECT_THROW(run_deployment_study(world, test_latency(), config), std::invalid_argument);
+  config.runs = 1;
+  config.deployment_counts = {world.deployment_universe.size() + 1};
+  EXPECT_THROW(run_deployment_study(world, test_latency(), config), std::invalid_argument);
+  config.deployment_counts.clear();
+  EXPECT_THROW(run_deployment_study(world, test_latency(), config), std::invalid_argument);
+}
+
+TEST(DeploymentStudy, DeterministicForSeed) {
+  const auto& world = tiny_world();
+  DeploymentStudyConfig config;
+  config.deployment_counts = {15, 30};
+  config.runs = 2;
+  const auto a = run_deployment_study(world, test_latency(), config);
+  const auto b = run_deployment_study(world, test_latency(), config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].eu.mean_ms, b[i].eu.mean_ms);
+    EXPECT_DOUBLE_EQ(a[i].ns.p99_ms, b[i].ns.p99_ms);
+  }
+}
+
+// ---------- operational rates ----------
+
+TEST(OpRates, HourlySeriesHasExpectedStructure) {
+  const auto& world = tiny_world();
+  const auto series =
+      operational_rates(world, util::Date{2014, 1, 7}, util::Date{2014, 1, 20});
+  ASSERT_EQ(series.size(), 13U * 24U);
+  for (const HourlyRates& point : series) {
+    EXPECT_GT(point.client_requests_per_s, 0.0);
+    // Fig 2 caption: multiple content requests follow one DNS resolution.
+    EXPECT_GT(point.client_requests_per_s / point.dns_queries_per_s, 10.0);
+    EXPECT_LT(point.client_requests_per_s / point.dns_queries_per_s, 30.0);
+  }
+  EXPECT_THROW(operational_rates(world, util::Date{2014, 1, 7}, util::Date{2014, 1, 7}),
+               std::invalid_argument);
+}
+
+TEST(OpRates, WeekendsDip) {
+  const auto& world = tiny_world();
+  OpRateConfig config;
+  config.diurnal_amplitude = 0.0;  // isolate the weekly pattern
+  const auto series =
+      operational_rates(world, util::Date{2014, 1, 6}, util::Date{2014, 1, 13}, config);
+  // Jan 6 2014 was a Monday; Jan 11/12 the weekend.
+  const double monday = series[12].client_requests_per_s;          // Jan 6, noon
+  const double saturday = series[5 * 24 + 12].client_requests_per_s;  // Jan 11, noon
+  EXPECT_LT(saturday, monday);
+}
+
+TEST(OpRates, RumVolumesGrowAndSplitByGroup) {
+  const auto& world = tiny_world();
+  const auto high = measure::high_expectation_countries(world);
+  const auto months = rum_measurement_volumes(world, high);
+  ASSERT_EQ(months.size(), 6U);
+  EXPECT_NEAR(months.front().high_expectation_millions + months.front().low_expectation_millions,
+              33.0, 1e-6);
+  EXPECT_NEAR(months.back().high_expectation_millions + months.back().low_expectation_millions,
+              58.0, 1e-6);
+  for (std::size_t i = 1; i < months.size(); ++i) {
+    EXPECT_GT(months[i].high_expectation_millions + months[i].low_expectation_millions,
+              months[i - 1].high_expectation_millions + months[i - 1].low_expectation_millions);
+  }
+  EXPECT_THROW(rum_measurement_volumes(world, std::vector<bool>{true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eum::sim

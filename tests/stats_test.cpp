@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/sample.h"
+#include "stats/table.h"
+
+namespace eum::stats {
+namespace {
+
+// ---------- WeightedSample ----------
+
+TEST(WeightedSample, MeanUnweighted) {
+  WeightedSample s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(WeightedSample, MeanWeighted) {
+  WeightedSample s;
+  s.add(1.0, 1.0);
+  s.add(10.0, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), (1.0 + 90.0) / 10.0);
+}
+
+TEST(WeightedSample, PercentileMedianOddCount) {
+  WeightedSample s;
+  for (const double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+}
+
+TEST(WeightedSample, PercentileExtremes) {
+  WeightedSample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(WeightedSample, WeightShiftsPercentile) {
+  WeightedSample s;
+  s.add(1.0, 99.0);
+  s.add(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.5), 100.0);
+}
+
+TEST(WeightedSample, ZeroWeightIgnored) {
+  WeightedSample s;
+  s.add(5.0, 0.0);
+  EXPECT_TRUE(s.empty());
+  s.add(1.0, 2.0);
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 2.0);
+}
+
+TEST(WeightedSample, AddAfterQueryResorts) {
+  WeightedSample s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(WeightedSample, CdfAt) {
+  WeightedSample s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(WeightedSample, BoxPlotOrdering) {
+  WeightedSample s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  const BoxPlot box = s.box_plot();
+  EXPECT_LT(box.p5, box.p25);
+  EXPECT_LT(box.p25, box.p50);
+  EXPECT_LT(box.p50, box.p75);
+  EXPECT_LT(box.p75, box.p95);
+  EXPECT_NEAR(box.p50, 500.0, 2.0);
+}
+
+TEST(WeightedSample, CdfCurveMonotone) {
+  WeightedSample s;
+  for (int i = 0; i < 100; ++i) s.add(i * i);
+  const auto curve = s.cdf_curve(20);
+  ASSERT_EQ(curve.size(), 20U);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].cumulative_fraction, curve[i - 1].cumulative_fraction);
+    EXPECT_GE(curve[i].value, curve[i - 1].value);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().cumulative_fraction, 1.0);
+}
+
+TEST(WeightedSample, CdfAtValues) {
+  WeightedSample s;
+  s.add(10.0);
+  s.add(20.0);
+  const double xs[] = {5.0, 15.0, 25.0};
+  const auto curve = s.cdf_at_values(xs);
+  ASSERT_EQ(curve.size(), 3U);
+  EXPECT_DOUBLE_EQ(curve[0].cumulative_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].cumulative_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].cumulative_fraction, 1.0);
+}
+
+TEST(WeightedSample, ErrorsOnEmptyAndBadInput) {
+  WeightedSample s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+  EXPECT_THROW(s.add(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(s.add(std::nan(""), 1.0), std::invalid_argument);
+}
+
+TEST(WeightedSample, ClearResets) {
+  WeightedSample s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.total_weight(), 0.0);
+}
+
+// Property: for any q1 <= q2, percentile(q1) <= percentile(q2).
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, Holds) {
+  WeightedSample s;
+  // Deterministic pseudo-random values from the parameter seed.
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam()) * 2654435761U + 1;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    s.add(static_cast<double>(state >> 40), static_cast<double>((state >> 20) & 0xFF) + 1.0);
+  }
+  double previous = s.percentile(0);
+  for (int q = 5; q <= 100; q += 5) {
+    const double current = s.percentile(q);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Range(1, 12));
+
+// ---------- Histograms ----------
+
+TEST(LogHistogram, BinsSpanGeometrically) {
+  LogHistogram h{10.0, 10000.0, 3};
+  ASSERT_EQ(h.bin_count(), 3U);
+  EXPECT_NEAR(h.bins()[0].hi, 100.0, 1e-9);
+  EXPECT_NEAR(h.bins()[1].hi, 1000.0, 1e-9);
+  EXPECT_NEAR(h.bins()[2].hi, 10000.0, 1e-9);
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h{10.0, 1000.0, 2};
+  h.add(1.0, 1.0);      // below: first bin
+  h.add(1e9, 2.0);      // above: last bin
+  h.add(0.0, 1.0);      // zero distance: first bin
+  EXPECT_DOUBLE_EQ(h.bins()[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(h.bins()[1].weight, 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(LogHistogram, FractionNormalized) {
+  LogHistogram h{1.0, 100.0, 2};
+  h.add(2.0, 1.0);
+  h.add(50.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+  EXPECT_THROW((void)h.fraction(2), std::out_of_range);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogram, EvenBins) {
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.bins()[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(h.bins()[2].weight, 1.0);
+  EXPECT_DOUBLE_EQ(h.bins()[4].weight, 1.0);
+}
+
+TEST(LinearHistogram, NegativeWeightIgnored) {
+  LinearHistogram h{0.0, 1.0, 1};
+  h.add(0.5, -1.0);
+  h.add(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(RenderHistogram, ProducesOneLinePerBin) {
+  LogHistogram h{10.0, 1000.0, 4};
+  h.add(20.0, 1.0);
+  h.add(500.0, 2.0);
+  const std::string text = render_histogram(h.bins(), h.total_weight());
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+// ---------- Table ----------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{"name", "value"};
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{"a", "b"};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TableNum, Precision) {
+  EXPECT_EQ(num(3.14159, 2), "3.14");
+  EXPECT_EQ(num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace eum::stats

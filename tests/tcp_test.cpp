@@ -1,0 +1,140 @@
+// DNS-over-TCP and the UDP->TCP truncation fallback, over real sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dnsserver/tcp.h"
+
+namespace eum::dnsserver {
+namespace {
+
+using namespace std::chrono_literals;
+using dns::DnsName;
+using dns::Message;
+using dns::RecordType;
+
+net::IpAddr v4(const char* text) { return *net::IpAddr::parse(text); }
+
+/// Engine with a small and a large dynamic answer.
+AuthoritativeServer make_engine() {
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      DnsName::from_text("small.example"),
+      [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.addresses = {*net::IpAddr::parse("203.0.0.1")};
+        return answer;
+      });
+  engine.add_dynamic_domain(
+      DnsName::from_text("big.example"),
+      [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        for (std::uint32_t i = 0; i < 120; ++i) {
+          answer.addresses.emplace_back(net::IpV4Addr{0xCB000000U + i});
+        }
+        return answer;
+      });
+  return engine;
+}
+
+struct TcpFixture : ::testing::Test {
+  TcpFixture()
+      : engine(make_engine()),
+        udp_server(&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}),
+        tcp_server(&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}) {
+    udp_thread = std::thread{[this] { udp_server.serve_until(stop); }};
+    tcp_thread = std::thread{[this] { tcp_server.serve_until(stop); }};
+  }
+  ~TcpFixture() override {
+    stop = true;
+    udp_thread.join();
+    tcp_thread.join();
+  }
+
+  AuthoritativeServer engine;
+  UdpAuthorityServer udp_server;
+  TcpAuthorityServer tcp_server;
+  std::atomic<bool> stop{false};
+  std::thread udp_thread;
+  std::thread tcp_thread;
+};
+
+TEST_F(TcpFixture, PlainTcpQuery) {
+  TcpDnsStream stream = TcpDnsStream::connect(tcp_server.endpoint(), 2000ms);
+  stream.send(Message::make_query(5, DnsName::from_text("a.small.example"), RecordType::A));
+  const auto response = stream.receive(2000ms);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->header.id, 5);
+  ASSERT_EQ(response->answers.size(), 1U);
+  EXPECT_EQ(response->answer_addresses()[0], v4("203.0.0.1"));
+}
+
+TEST_F(TcpFixture, LargeAnswerNotTruncatedOverTcp) {
+  TcpDnsStream stream = TcpDnsStream::connect(tcp_server.endpoint(), 2000ms);
+  stream.send(Message::make_query(6, DnsName::from_text("a.big.example"), RecordType::A));
+  const auto response = stream.receive(2000ms);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->header.truncated);
+  EXPECT_EQ(response->answers.size(), 120U);
+}
+
+TEST_F(TcpFixture, MultipleQueriesOnOneConnection) {
+  TcpDnsStream stream = TcpDnsStream::connect(tcp_server.endpoint(), 2000ms);
+  for (std::uint16_t id = 1; id <= 4; ++id) {
+    stream.send(Message::make_query(id, DnsName::from_text("x.small.example"), RecordType::A));
+    const auto response = stream.receive(2000ms);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->header.id, id);
+  }
+}
+
+TEST_F(TcpFixture, FallbackUsesUdpWhenAnswerFits) {
+  FallbackDnsClient client{udp_server.endpoint(), tcp_server.endpoint()};
+  const auto outcome = client.query(
+      Message::make_query(7, DnsName::from_text("a.small.example"), RecordType::A), 2000ms);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->used_tcp);
+  EXPECT_EQ(outcome->response.answers.size(), 1U);
+}
+
+TEST_F(TcpFixture, FallbackUpgradesToTcpOnTruncation) {
+  FallbackDnsClient client{udp_server.endpoint(), tcp_server.endpoint()};
+  // Non-EDNS query: the 120-record answer cannot fit 512 octets over UDP.
+  const auto outcome = client.query(
+      Message::make_query(8, DnsName::from_text("a.big.example"), RecordType::A), 2000ms);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->used_tcp);
+  EXPECT_FALSE(outcome->response.header.truncated);
+  EXPECT_EQ(outcome->response.answers.size(), 120U);
+}
+
+TEST_F(TcpFixture, EcsCarriesOverTcp) {
+  TcpDnsStream stream = TcpDnsStream::connect(tcp_server.endpoint(), 2000ms);
+  const auto ecs = dns::ClientSubnetOption::for_query(v4("198.51.100.7"), 24);
+  stream.send(
+      Message::make_query(9, DnsName::from_text("a.small.example"), RecordType::A, ecs));
+  const auto response = stream.receive(2000ms);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_NE(response->client_subnet(), nullptr);
+  EXPECT_EQ(response->client_subnet()->address(), v4("198.51.100.0"));
+}
+
+TEST(TcpStream, ConnectFailsToClosedPort) {
+  // A listener we immediately destroy leaves a (very likely) closed port.
+  std::uint16_t port = 0;
+  {
+    TcpListener listener{UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+    port = listener.local_endpoint().port;
+  }
+  EXPECT_THROW(TcpDnsStream::connect(UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port}, 500ms),
+               std::system_error);
+}
+
+TEST(TcpListener, AcceptTimesOutCleanly) {
+  TcpListener listener{UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  EXPECT_EQ(listener.accept_fd(50ms), -1);
+}
+
+}  // namespace
+}  // namespace eum::dnsserver

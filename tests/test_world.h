@@ -1,0 +1,43 @@
+// Shared fixture worlds for the higher-level tests. Generated once per
+// process; the configs are small enough to keep the suite fast while
+// still exercising every generator code path.
+#pragma once
+
+#include "topo/world_gen.h"
+
+namespace eum::testing {
+
+/// A small world (~6K blocks) shared by topo/cdn/measure/sim tests.
+inline const topo::World& small_world() {
+  static const topo::World world = [] {
+    topo::WorldGenConfig config;
+    config.seed = 4242;
+    config.target_blocks = 6000;
+    config.target_ases = 260;
+    config.ping_targets = 600;
+    config.deployment_universe = 400;
+    return topo::generate_world(config);
+  }();
+  return world;
+}
+
+/// A tiny world for tests that build many mapping systems.
+inline const topo::World& tiny_world() {
+  static const topo::World world = [] {
+    topo::WorldGenConfig config;
+    config.seed = 7;
+    config.target_blocks = 1200;
+    config.target_ases = 100;
+    config.ping_targets = 200;
+    config.deployment_universe = 120;
+    return topo::generate_world(config);
+  }();
+  return world;
+}
+
+inline const topo::LatencyModel& test_latency() {
+  static const topo::LatencyModel model{topo::LatencyParams{}, 4242};
+  return model;
+}
+
+}  // namespace eum::testing

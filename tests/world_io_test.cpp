@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "measure/analysis.h"
+#include "test_world.h"
+#include "topo/world_io.h"
+
+namespace eum::topo {
+namespace {
+
+using eum::testing::tiny_world;
+
+TEST(WorldIo, RoundTripPreservesEverything) {
+  const World& original = tiny_world();
+  std::stringstream stream;
+  save_world(original, stream);
+  const World loaded = load_world(stream);
+
+  ASSERT_EQ(loaded.countries.size(), original.countries.size());
+  ASSERT_EQ(loaded.cities.size(), original.cities.size());
+  ASSERT_EQ(loaded.ases.size(), original.ases.size());
+  ASSERT_EQ(loaded.ldnses.size(), original.ldnses.size());
+  ASSERT_EQ(loaded.blocks.size(), original.blocks.size());
+  ASSERT_EQ(loaded.ping_targets.size(), original.ping_targets.size());
+  ASSERT_EQ(loaded.deployment_universe.size(), original.deployment_universe.size());
+
+  for (std::size_t i = 0; i < original.blocks.size(); ++i) {
+    const ClientBlock& a = original.blocks[i];
+    const ClientBlock& b = loaded.blocks[i];
+    EXPECT_EQ(a.prefix, b.prefix);
+    EXPECT_DOUBLE_EQ(a.demand, b.demand);  // hexfloat: bit-exact
+    EXPECT_DOUBLE_EQ(a.location.lat_deg, b.location.lat_deg);
+    EXPECT_EQ(a.as_index, b.as_index);
+    ASSERT_EQ(a.ldns_uses.size(), b.ldns_uses.size());
+    for (std::size_t u = 0; u < a.ldns_uses.size(); ++u) {
+      EXPECT_EQ(a.ldns_uses[u].ldns, b.ldns_uses[u].ldns);
+      EXPECT_DOUBLE_EQ(a.ldns_uses[u].fraction, b.ldns_uses[u].fraction);
+    }
+  }
+  for (std::size_t i = 0; i < original.ldnses.size(); ++i) {
+    EXPECT_EQ(loaded.ldnses[i].address, original.ldnses[i].address);
+    EXPECT_EQ(loaded.ldnses[i].type, original.ldnses[i].type);
+    EXPECT_EQ(loaded.ldnses[i].supports_ecs, original.ldnses[i].supports_ecs);
+  }
+  for (std::size_t i = 0; i < original.ases.size(); ++i) {
+    EXPECT_EQ(loaded.ases[i].announced_cidrs, original.ases[i].announced_cidrs);
+    EXPECT_EQ(loaded.ases[i].strategy, original.ases[i].strategy);
+  }
+}
+
+TEST(WorldIo, DerivedStructuresRebuilt) {
+  const World& original = tiny_world();
+  std::stringstream stream;
+  save_world(original, stream);
+  const World loaded = load_world(stream);
+
+  // Indexes work.
+  const ClientBlock& block = loaded.blocks.front();
+  EXPECT_EQ(loaded.block_by_prefix(block.prefix), &block);
+  EXPECT_EQ(loaded.ldns_by_address(loaded.ldnses[3].address), &loaded.ldnses[3]);
+  // Geo database answers like the original.
+  const net::IpAddr probe{net::IpV4Addr{block.prefix.address().v4().value() + 1}};
+  ASSERT_NE(loaded.geodb.lookup(probe), nullptr);
+  EXPECT_EQ(loaded.geodb.lookup(probe)->country, block.country);
+  // BGP table covers all blocks again.
+  for (const ClientBlock& b : loaded.blocks) {
+    EXPECT_TRUE(loaded.bgp.covering(b.prefix).has_value());
+  }
+}
+
+TEST(WorldIo, AnalysesIdenticalOnLoadedWorld) {
+  const World& original = tiny_world();
+  std::stringstream stream;
+  save_world(original, stream);
+  const World loaded = load_world(stream);
+  const auto a = measure::client_ldns_distance_sample(original);
+  const auto b = measure::client_ldns_distance_sample(loaded);
+  EXPECT_DOUBLE_EQ(a.percentile(50), b.percentile(50));
+  EXPECT_DOUBLE_EQ(a.total_weight(), b.total_weight());
+  EXPECT_DOUBLE_EQ(measure::public_resolver_share(original),
+                   measure::public_resolver_share(loaded));
+}
+
+TEST(WorldIo, RejectsGarbage) {
+  std::stringstream bad{"not-a-world 1\n"};
+  EXPECT_THROW(load_world(bad), WorldIoError);
+  std::stringstream empty;
+  EXPECT_THROW(load_world(empty), WorldIoError);
+  std::stringstream version{"eum-world 999\n"};
+  EXPECT_THROW(load_world(version), WorldIoError);
+}
+
+TEST(WorldIo, RejectsTruncatedFile) {
+  const World& original = tiny_world();
+  std::stringstream stream;
+  save_world(original, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated{text};
+  EXPECT_THROW(load_world(truncated), WorldIoError);
+}
+
+TEST(WorldIo, RejectsDanglingReference) {
+  // Hand-craft a minimal file with a block referencing a missing LDNS.
+  std::stringstream bad{
+      "eum-world 1\n"
+      "countries 1\nXX 0x0p+0 0x0p+0 0x1p+6 0x1p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x1p+0\n"
+      "cities 1\n0 0 0x0p+0 0x0p+0 0x1p+0 1\n"
+      "ases 1\n100 0 0x1p+0 0 1 1.0.0.0/19\n"
+      "ldnses 0\n"
+      "blocks 1\n0 1.0.0.0/24 0x0p+0 0x0p+0 0 0 0 0x1p+0 0 1 5 0x1p+0\n"
+      "ping_targets 1\n0 0x0p+0 0x0p+0 0\n"
+      "deployments 0\n"};
+  EXPECT_THROW(load_world(bad), WorldIoError);
+}
+
+TEST(WorldIo, FileHelpersWork) {
+  const std::string path = ::testing::TempDir() + "/eum_world_io_test.world";
+  save_world_file(tiny_world(), path);
+  const World loaded = load_world_file(path);
+  EXPECT_EQ(loaded.blocks.size(), tiny_world().blocks.size());
+  EXPECT_THROW(load_world_file("/nonexistent/p/a/t/h"), WorldIoError);
+  (void)std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eum::topo

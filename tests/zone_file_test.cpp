@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "dnsserver/authoritative.h"
+#include "dnsserver/zone_file.h"
+
+namespace eum::dnsserver {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+constexpr const char* kSampleZone = R"(
+; the static side of the CDN's namespace
+$ORIGIN cdn.example.
+$TTL 300
+@       SOA ns1 hostmaster 2014032801 3600 600 86400 30
+@       NS ns1
+ns1     A 203.0.113.53
+www     A 203.0.113.1
+www 60  A 203.0.113.2          ; explicit per-record TTL
+v6      AAAA 2001:db8::1
+alias   CNAME www
+child   NS ns.child.example.   ; delegation
+info    TXT "hello world" "k=v"
+abs.example.  A 198.51.100.9   ; absolute owner name outside relative space
+)";
+
+TEST(ZoneFile, ParsesSampleZone) {
+  // The absolute owner is out of zone, so restrict the sample.
+  std::string text{kSampleZone};
+  text = text.substr(0, text.find("abs.example."));
+  const Zone zone = parse_zone_file(text);
+  EXPECT_EQ(zone.origin().to_string(), "cdn.example");
+  // SOA + NS + 3 A + AAAA + CNAME + NS + TXT = 9.
+  EXPECT_EQ(zone.record_count(), 9U);
+
+  const LookupResult www = zone.lookup(DnsName::from_text("www.cdn.example"), RecordType::A);
+  EXPECT_EQ(www.status, LookupStatus::success);
+  ASSERT_EQ(www.answers.size(), 2U);
+  EXPECT_EQ(www.answers[0].ttl, 300U);  // $TTL default
+  EXPECT_EQ(www.answers[1].ttl, 60U);   // explicit TTL
+
+  const LookupResult v6 = zone.lookup(DnsName::from_text("v6.cdn.example"), RecordType::AAAA);
+  EXPECT_EQ(v6.status, LookupStatus::success);
+  EXPECT_EQ(std::get<dns::AaaaRecord>(v6.answers[0].rdata).address.to_string(), "2001:db8::1");
+
+  const LookupResult alias =
+      zone.lookup(DnsName::from_text("alias.cdn.example"), RecordType::A);
+  EXPECT_EQ(alias.status, LookupStatus::success);
+  ASSERT_EQ(alias.answers.size(), 3U);  // CNAME + both A records
+
+  const LookupResult delegated =
+      zone.lookup(DnsName::from_text("deep.child.cdn.example"), RecordType::A);
+  EXPECT_EQ(delegated.status, LookupStatus::delegation);
+  EXPECT_EQ(std::get<dns::NsRecord>(delegated.referral[0].rdata).nameserver.to_string(),
+            "ns.child.example");
+
+  const LookupResult txt = zone.lookup(DnsName::from_text("info.cdn.example"), RecordType::TXT);
+  ASSERT_EQ(txt.answers.size(), 1U);
+  const auto& strings = std::get<dns::TxtRecord>(txt.answers[0].rdata).strings;
+  ASSERT_EQ(strings.size(), 2U);
+  EXPECT_EQ(strings[0], "hello world");
+  EXPECT_EQ(strings[1], "k=v");
+}
+
+TEST(ZoneFile, SoaFieldsParsed) {
+  const Zone zone = parse_zone_file(
+      "$ORIGIN z.example.\n@ SOA mname.z.example. rname.z.example. 7 1 2 3 4\n");
+  const LookupResult soa = zone.lookup(DnsName::from_text("z.example"), RecordType::SOA);
+  ASSERT_EQ(soa.answers.size(), 1U);
+  const auto& record = std::get<dns::SoaRecord>(soa.answers[0].rdata);
+  EXPECT_EQ(record.serial, 7U);
+  EXPECT_EQ(record.refresh, 1U);
+  EXPECT_EQ(record.retry, 2U);
+  EXPECT_EQ(record.expire, 3U);
+  EXPECT_EQ(record.minimum, 4U);
+  EXPECT_EQ(record.mname.to_string(), "mname.z.example");
+}
+
+TEST(ZoneFile, FallbackOriginUsedWithoutDirective) {
+  const Zone zone = parse_zone_file("@ SOA ns1 host 1 1 1 1 1\nwww A 1.2.3.4\n",
+                                    DnsName::from_text("fallback.example"));
+  EXPECT_EQ(zone.origin().to_string(), "fallback.example");
+  EXPECT_EQ(zone.lookup(DnsName::from_text("www.fallback.example"), RecordType::A).status,
+            LookupStatus::success);
+}
+
+TEST(ZoneFile, AtSignAndAbsoluteNames) {
+  const Zone zone = parse_zone_file(
+      "$ORIGIN o.example.\n@ SOA ns1 host 1 1 1 1 1\n@ A 9.9.9.9\nwww.o.example. A 8.8.8.8\n");
+  EXPECT_EQ(zone.lookup(DnsName::from_text("o.example"), RecordType::A).status,
+            LookupStatus::success);
+  EXPECT_EQ(zone.lookup(DnsName::from_text("www.o.example"), RecordType::A).status,
+            LookupStatus::success);
+}
+
+TEST(ZoneFile, ErrorsCarryLineNumbers) {
+  const auto expect_error_line = [](const char* text, std::size_t line) {
+    try {
+      (void)parse_zone_file(text, DnsName::from_text("e.example"));
+      FAIL() << "expected ZoneFileError";
+    } catch (const ZoneFileError& error) {
+      EXPECT_EQ(error.line(), line) << error.what();
+    }
+  };
+  expect_error_line("www A 1.2.3.4\n", 1);                        // record before SOA
+  expect_error_line("@ SOA ns1 host 1 1 1 1 1\nwww A bad\n", 2);  // bad address
+  expect_error_line("@ SOA ns1 host 1 1 1 1 1\nwww A\n", 2);      // missing fields
+  expect_error_line("@ SOA ns1 host 1 1 1 1 1\nwww FROB x\n", 2); // unknown type
+  expect_error_line("@ SOA ns1 host 1 1 1 1 1\n@ SOA ns1 host 1 1 1 1 1\n", 2);  // dup SOA
+  expect_error_line("$TTL abc\n", 1);
+  expect_error_line("$ORIGIN\n", 1);
+  expect_error_line("@ SOA ns1 host 1 1 1 1 1\ninfo TXT \"unterminated\n", 2);
+}
+
+TEST(ZoneFile, EmptyInputRejected) {
+  EXPECT_THROW(parse_zone_file(""), ZoneFileError);
+  EXPECT_THROW(parse_zone_file("; only a comment\n\n"), ZoneFileError);
+}
+
+TEST(ZoneFile, CnameConflictDetected) {
+  EXPECT_THROW(parse_zone_file("$ORIGIN c.example.\n@ SOA ns1 host 1 1 1 1 1\n"
+                               "x CNAME y\nx A 1.2.3.4\n"),
+               ZoneFileError);
+}
+
+TEST(ZoneFile, ParsedZoneServesThroughEngine) {
+  AuthoritativeServer server;
+  server.add_zone(parse_zone_file(
+      "$ORIGIN static.example.\n$TTL 120\n@ SOA ns1 host 1 1 1 1 1\nwww A 10.0.0.1\n"));
+  const auto response = server.handle(
+      dns::Message::make_query(1, DnsName::from_text("www.static.example"), RecordType::A),
+      *net::IpAddr::parse("9.9.9.9"));
+  ASSERT_EQ(response.answers.size(), 1U);
+  EXPECT_EQ(response.answers[0].ttl, 120U);
+}
+
+}  // namespace
+}  // namespace eum::dnsserver

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "dnsserver/zone.h"
+
+namespace eum::dnsserver {
+namespace {
+
+using dns::DnsName;
+using dns::RecordType;
+
+dns::SoaRecord test_soa() {
+  dns::SoaRecord soa;
+  soa.mname = DnsName::from_text("ns1.cdn.example");
+  soa.rname = DnsName::from_text("hostmaster.cdn.example");
+  soa.serial = 1;
+  soa.minimum = 30;
+  return soa;
+}
+
+Zone make_zone() {
+  Zone zone{DnsName::from_text("cdn.example"), test_soa()};
+  zone.add_a(DnsName::from_text("www.cdn.example"), net::IpV4Addr{1, 1, 1, 1}, 60);
+  zone.add_a(DnsName::from_text("www.cdn.example"), net::IpV4Addr{1, 1, 1, 2}, 60);
+  zone.add_cname(DnsName::from_text("alias.cdn.example"), DnsName::from_text("www.cdn.example"),
+                 300);
+  zone.add_cname(DnsName::from_text("external.cdn.example"),
+                 DnsName::from_text("www.other.example"), 300);
+  zone.add_ns(DnsName::from_text("child.cdn.example"), DnsName::from_text("ns.child.example"),
+              3600);
+  zone.add_a(DnsName::from_text("deep.child.cdn.example"), net::IpV4Addr{2, 2, 2, 2}, 60);
+  return zone;
+}
+
+TEST(Zone, ContainsRespectsOrigin) {
+  const Zone zone = make_zone();
+  EXPECT_TRUE(zone.contains(DnsName::from_text("cdn.example")));
+  EXPECT_TRUE(zone.contains(DnsName::from_text("a.b.cdn.example")));
+  EXPECT_FALSE(zone.contains(DnsName::from_text("example")));
+  EXPECT_FALSE(zone.contains(DnsName::from_text("cdn.example.org")));
+}
+
+TEST(Zone, SuccessReturnsAllRecordsOfType) {
+  const Zone zone = make_zone();
+  const LookupResult result = zone.lookup(DnsName::from_text("www.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::success);
+  EXPECT_EQ(result.answers.size(), 2U);
+}
+
+TEST(Zone, NxDomainForMissingName) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("nope.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::nx_domain);
+  EXPECT_TRUE(result.answers.empty());
+  ASSERT_TRUE(result.soa.has_value());
+  EXPECT_EQ(result.soa->type, RecordType::SOA);
+}
+
+TEST(Zone, NoDataForExistingNameWrongType) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("www.cdn.example"), RecordType::TXT);
+  EXPECT_EQ(result.status, LookupStatus::no_data);
+  EXPECT_TRUE(result.answers.empty());
+}
+
+TEST(Zone, CnameChaseWithinZone) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("alias.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::success);
+  ASSERT_EQ(result.answers.size(), 3U);  // CNAME + 2 A records
+  EXPECT_TRUE(std::holds_alternative<dns::CnameRecord>(result.answers[0].rdata));
+  EXPECT_TRUE(std::holds_alternative<dns::ARecord>(result.answers[1].rdata));
+}
+
+TEST(Zone, CnameQueryReturnsCnameItself) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("alias.cdn.example"), RecordType::CNAME);
+  EXPECT_EQ(result.status, LookupStatus::success);
+  ASSERT_EQ(result.answers.size(), 1U);
+  EXPECT_TRUE(std::holds_alternative<dns::CnameRecord>(result.answers[0].rdata));
+}
+
+TEST(Zone, CnameLeavingZoneReportsOutOfZone) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("external.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::out_of_zone);
+  ASSERT_EQ(result.answers.size(), 1U);
+  EXPECT_EQ(std::get<dns::CnameRecord>(result.answers[0].rdata).target.to_string(),
+            "www.other.example");
+}
+
+TEST(Zone, DelegationBeatsData) {
+  const Zone zone = make_zone();
+  // deep.child.cdn.example sits below the child delegation: referral, not data.
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("deep.child.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::delegation);
+  ASSERT_EQ(result.referral.size(), 1U);
+  EXPECT_EQ(std::get<dns::NsRecord>(result.referral[0].rdata).nameserver.to_string(),
+            "ns.child.example");
+}
+
+TEST(Zone, DelegationAtExactName) {
+  const Zone zone = make_zone();
+  const LookupResult result =
+      zone.lookup(DnsName::from_text("child.cdn.example"), RecordType::A);
+  EXPECT_EQ(result.status, LookupStatus::delegation);
+}
+
+TEST(Zone, ApexNsIsNotDelegation) {
+  Zone zone{DnsName::from_text("cdn.example"), test_soa()};
+  zone.add_ns(DnsName::from_text("cdn.example"), DnsName::from_text("ns1.cdn.example"), 3600);
+  const LookupResult result = zone.lookup(DnsName::from_text("cdn.example"), RecordType::NS);
+  EXPECT_EQ(result.status, LookupStatus::success);
+}
+
+TEST(Zone, SoaLookupAtApex) {
+  const Zone zone = make_zone();
+  const LookupResult result = zone.lookup(DnsName::from_text("cdn.example"), RecordType::SOA);
+  EXPECT_EQ(result.status, LookupStatus::success);
+  ASSERT_EQ(result.answers.size(), 1U);
+}
+
+TEST(Zone, RejectsOutOfZoneRecord) {
+  Zone zone{DnsName::from_text("cdn.example"), test_soa()};
+  EXPECT_THROW(zone.add_a(DnsName::from_text("www.other.example"), net::IpV4Addr{1, 2, 3, 4}, 60),
+               std::invalid_argument);
+  EXPECT_THROW(zone.lookup(DnsName::from_text("www.other.example"), RecordType::A),
+               std::invalid_argument);
+}
+
+TEST(Zone, RejectsCnameAndOtherData) {
+  Zone zone{DnsName::from_text("cdn.example"), test_soa()};
+  const DnsName name = DnsName::from_text("both.cdn.example");
+  zone.add_cname(name, DnsName::from_text("www.cdn.example"), 60);
+  EXPECT_THROW(zone.add_a(name, net::IpV4Addr{1, 2, 3, 4}, 60), std::invalid_argument);
+
+  const DnsName name2 = DnsName::from_text("data.cdn.example");
+  zone.add_a(name2, net::IpV4Addr{1, 2, 3, 4}, 60);
+  EXPECT_THROW(zone.add_cname(name2, DnsName::from_text("www.cdn.example"), 60),
+               std::invalid_argument);
+}
+
+TEST(Zone, CnameLoopTerminates) {
+  Zone zone{DnsName::from_text("cdn.example"), test_soa()};
+  zone.add_cname(DnsName::from_text("a.cdn.example"), DnsName::from_text("b.cdn.example"), 60);
+  zone.add_cname(DnsName::from_text("b.cdn.example"), DnsName::from_text("a.cdn.example"), 60);
+  const LookupResult result = zone.lookup(DnsName::from_text("a.cdn.example"), RecordType::A);
+  // Must not hang; the chain cap reports NODATA with the partial chain.
+  EXPECT_EQ(result.status, LookupStatus::no_data);
+}
+
+TEST(Zone, RecordCountIncludesSoa) {
+  const Zone zone = make_zone();
+  // SOA + 2 A + 2 CNAME + 1 NS + 1 A(deep) = 7.
+  EXPECT_EQ(zone.record_count(), 7U);
+}
+
+}  // namespace
+}  // namespace eum::dnsserver
