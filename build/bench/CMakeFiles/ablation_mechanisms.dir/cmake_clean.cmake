@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o"
+  "CMakeFiles/ablation_mechanisms.dir/ablation_mechanisms.cpp.o.d"
+  "ablation_mechanisms"
+  "ablation_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

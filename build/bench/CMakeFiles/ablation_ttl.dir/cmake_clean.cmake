@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ttl.dir/ablation_ttl.cpp.o"
+  "CMakeFiles/ablation_ttl.dir/ablation_ttl.cpp.o.d"
+  "ablation_ttl"
+  "ablation_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_request_rates.dir/fig02_request_rates.cpp.o"
+  "CMakeFiles/fig02_request_rates.dir/fig02_request_rates.cpp.o.d"
+  "fig02_request_rates"
+  "fig02_request_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_request_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

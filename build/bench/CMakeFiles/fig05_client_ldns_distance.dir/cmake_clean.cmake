@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_client_ldns_distance.dir/fig05_client_ldns_distance.cpp.o"
+  "CMakeFiles/fig05_client_ldns_distance.dir/fig05_client_ldns_distance.cpp.o.d"
+  "fig05_client_ldns_distance"
+  "fig05_client_ldns_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_client_ldns_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

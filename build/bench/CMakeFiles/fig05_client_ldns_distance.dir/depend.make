@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_client_ldns_distance.
+# This may be replaced when dependencies are built.

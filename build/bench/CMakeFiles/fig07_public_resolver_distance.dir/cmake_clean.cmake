@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_public_resolver_distance.dir/fig07_public_resolver_distance.cpp.o"
+  "CMakeFiles/fig07_public_resolver_distance.dir/fig07_public_resolver_distance.cpp.o.d"
+  "fig07_public_resolver_distance"
+  "fig07_public_resolver_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_public_resolver_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

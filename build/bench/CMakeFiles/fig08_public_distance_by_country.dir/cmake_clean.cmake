@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_public_distance_by_country.dir/fig08_public_distance_by_country.cpp.o"
+  "CMakeFiles/fig08_public_distance_by_country.dir/fig08_public_distance_by_country.cpp.o.d"
+  "fig08_public_distance_by_country"
+  "fig08_public_distance_by_country.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_public_distance_by_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_public_adoption.dir/fig09_public_adoption.cpp.o"
+  "CMakeFiles/fig09_public_adoption.dir/fig09_public_adoption.cpp.o.d"
+  "fig09_public_adoption"
+  "fig09_public_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_public_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

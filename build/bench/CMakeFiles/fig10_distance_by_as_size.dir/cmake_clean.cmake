@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distance_by_as_size.dir/fig10_distance_by_as_size.cpp.o"
+  "CMakeFiles/fig10_distance_by_as_size.dir/fig10_distance_by_as_size.cpp.o.d"
+  "fig10_distance_by_as_size"
+  "fig10_distance_by_as_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distance_by_as_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

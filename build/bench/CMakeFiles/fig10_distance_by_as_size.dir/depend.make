@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_distance_by_as_size.
+# This may be replaced when dependencies are built.

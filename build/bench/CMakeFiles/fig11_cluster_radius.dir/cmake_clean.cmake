@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cluster_radius.dir/fig11_cluster_radius.cpp.o"
+  "CMakeFiles/fig11_cluster_radius.dir/fig11_cluster_radius.cpp.o.d"
+  "fig11_cluster_radius"
+  "fig11_cluster_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cluster_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rum_volume.dir/fig12_rum_volume.cpp.o"
+  "CMakeFiles/fig12_rum_volume.dir/fig12_rum_volume.cpp.o.d"
+  "fig12_rum_volume"
+  "fig12_rum_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rum_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_rum_volume.
+# This may be replaced when dependencies are built.

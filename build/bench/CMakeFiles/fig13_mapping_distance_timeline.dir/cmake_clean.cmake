@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mapping_distance_timeline.dir/fig13_mapping_distance_timeline.cpp.o"
+  "CMakeFiles/fig13_mapping_distance_timeline.dir/fig13_mapping_distance_timeline.cpp.o.d"
+  "fig13_mapping_distance_timeline"
+  "fig13_mapping_distance_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mapping_distance_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_mapping_distance_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mapping_distance_cdf.dir/fig14_mapping_distance_cdf.cpp.o"
+  "CMakeFiles/fig14_mapping_distance_cdf.dir/fig14_mapping_distance_cdf.cpp.o.d"
+  "fig14_mapping_distance_cdf"
+  "fig14_mapping_distance_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mapping_distance_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

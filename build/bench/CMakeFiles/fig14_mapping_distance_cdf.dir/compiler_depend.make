@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_mapping_distance_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rtt_timeline.dir/fig15_rtt_timeline.cpp.o"
+  "CMakeFiles/fig15_rtt_timeline.dir/fig15_rtt_timeline.cpp.o.d"
+  "fig15_rtt_timeline"
+  "fig15_rtt_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rtt_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rtt_cdf.dir/fig16_rtt_cdf.cpp.o"
+  "CMakeFiles/fig16_rtt_cdf.dir/fig16_rtt_cdf.cpp.o.d"
+  "fig16_rtt_cdf"
+  "fig16_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

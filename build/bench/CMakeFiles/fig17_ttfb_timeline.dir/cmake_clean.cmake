@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ttfb_timeline.dir/fig17_ttfb_timeline.cpp.o"
+  "CMakeFiles/fig17_ttfb_timeline.dir/fig17_ttfb_timeline.cpp.o.d"
+  "fig17_ttfb_timeline"
+  "fig17_ttfb_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ttfb_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_ttfb_cdf.cpp" "bench/CMakeFiles/fig18_ttfb_cdf.dir/fig18_ttfb_cdf.cpp.o" "gcc" "bench/CMakeFiles/fig18_ttfb_cdf.dir/fig18_ttfb_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/eum_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/eum_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsserver/CMakeFiles/eum_dnsserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/eum_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/eum_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eum_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

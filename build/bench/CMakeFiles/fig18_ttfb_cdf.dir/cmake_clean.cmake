@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_ttfb_cdf.dir/fig18_ttfb_cdf.cpp.o"
+  "CMakeFiles/fig18_ttfb_cdf.dir/fig18_ttfb_cdf.cpp.o.d"
+  "fig18_ttfb_cdf"
+  "fig18_ttfb_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_ttfb_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

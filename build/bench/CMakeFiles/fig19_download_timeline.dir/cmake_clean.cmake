@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_download_timeline.dir/fig19_download_timeline.cpp.o"
+  "CMakeFiles/fig19_download_timeline.dir/fig19_download_timeline.cpp.o.d"
+  "fig19_download_timeline"
+  "fig19_download_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_download_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

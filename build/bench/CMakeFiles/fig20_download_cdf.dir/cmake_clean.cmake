@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_download_cdf.dir/fig20_download_cdf.cpp.o"
+  "CMakeFiles/fig20_download_cdf.dir/fig20_download_cdf.cpp.o.d"
+  "fig20_download_cdf"
+  "fig20_download_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_download_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

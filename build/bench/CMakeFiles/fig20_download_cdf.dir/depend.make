@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_download_cdf.
+# This may be replaced when dependencies are built.

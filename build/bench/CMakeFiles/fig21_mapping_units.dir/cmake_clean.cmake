@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_mapping_units.dir/fig21_mapping_units.cpp.o"
+  "CMakeFiles/fig21_mapping_units.dir/fig21_mapping_units.cpp.o.d"
+  "fig21_mapping_units"
+  "fig21_mapping_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_mapping_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_prefix_granularity.dir/fig22_prefix_granularity.cpp.o"
+  "CMakeFiles/fig22_prefix_granularity.dir/fig22_prefix_granularity.cpp.o.d"
+  "fig22_prefix_granularity"
+  "fig22_prefix_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_prefix_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_query_rate.dir/fig23_query_rate.cpp.o"
+  "CMakeFiles/fig23_query_rate.dir/fig23_query_rate.cpp.o.d"
+  "fig23_query_rate"
+  "fig23_query_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_query_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig23_query_rate.
+# This may be replaced when dependencies are built.

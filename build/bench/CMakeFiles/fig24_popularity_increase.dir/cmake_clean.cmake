@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_popularity_increase.dir/fig24_popularity_increase.cpp.o"
+  "CMakeFiles/fig24_popularity_increase.dir/fig24_popularity_increase.cpp.o.d"
+  "fig24_popularity_increase"
+  "fig24_popularity_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_popularity_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_popularity_increase.
+# This may be replaced when dependencies are built.

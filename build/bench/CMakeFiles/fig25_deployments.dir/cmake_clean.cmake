@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_deployments.dir/fig25_deployments.cpp.o"
+  "CMakeFiles/fig25_deployments.dir/fig25_deployments.cpp.o.d"
+  "fig25_deployments"
+  "fig25_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

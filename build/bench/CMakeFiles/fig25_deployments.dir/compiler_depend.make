@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig25_deployments.
+# This may be replaced when dependencies are built.

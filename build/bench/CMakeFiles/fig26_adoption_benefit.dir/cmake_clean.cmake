@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_adoption_benefit.dir/fig26_adoption_benefit.cpp.o"
+  "CMakeFiles/fig26_adoption_benefit.dir/fig26_adoption_benefit.cpp.o.d"
+  "fig26_adoption_benefit"
+  "fig26_adoption_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_adoption_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig26_adoption_benefit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecs_dns_server.dir/ecs_dns_server.cpp.o"
+  "CMakeFiles/ecs_dns_server.dir/ecs_dns_server.cpp.o.d"
+  "ecs_dns_server"
+  "ecs_dns_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecs_dns_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldns_discovery.dir/ldns_discovery.cpp.o"
+  "CMakeFiles/ldns_discovery.dir/ldns_discovery.cpp.o.d"
+  "ldns_discovery"
+  "ldns_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldns_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

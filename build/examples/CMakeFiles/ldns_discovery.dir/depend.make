@@ -1,0 +1,2 @@
+# Empty dependencies file for ldns_discovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollout_study.dir/rollout_study.cpp.o"
+  "CMakeFiles/rollout_study.dir/rollout_study.cpp.o.d"
+  "rollout_study"
+  "rollout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_report.dir/world_report.cpp.o"
+  "CMakeFiles/world_report.dir/world_report.cpp.o.d"
+  "world_report"
+  "world_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/liveness.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/liveness.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/liveness.cpp.o.d"
+  "/root/repo/src/cdn/load_balancer.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/load_balancer.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/cdn/mapping.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/mapping.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/mapping.cpp.o.d"
+  "/root/repo/src/cdn/network.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/network.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/network.cpp.o.d"
+  "/root/repo/src/cdn/ping_mesh.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/ping_mesh.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/ping_mesh.cpp.o.d"
+  "/root/repo/src/cdn/scoring.cpp" "src/cdn/CMakeFiles/eum_cdn.dir/scoring.cpp.o" "gcc" "src/cdn/CMakeFiles/eum_cdn.dir/scoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/eum_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsserver/CMakeFiles/eum_dnsserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eum_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/eum_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

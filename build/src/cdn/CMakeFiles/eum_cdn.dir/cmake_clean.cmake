@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_cdn.dir/liveness.cpp.o"
+  "CMakeFiles/eum_cdn.dir/liveness.cpp.o.d"
+  "CMakeFiles/eum_cdn.dir/load_balancer.cpp.o"
+  "CMakeFiles/eum_cdn.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/eum_cdn.dir/mapping.cpp.o"
+  "CMakeFiles/eum_cdn.dir/mapping.cpp.o.d"
+  "CMakeFiles/eum_cdn.dir/network.cpp.o"
+  "CMakeFiles/eum_cdn.dir/network.cpp.o.d"
+  "CMakeFiles/eum_cdn.dir/ping_mesh.cpp.o"
+  "CMakeFiles/eum_cdn.dir/ping_mesh.cpp.o.d"
+  "CMakeFiles/eum_cdn.dir/scoring.cpp.o"
+  "CMakeFiles/eum_cdn.dir/scoring.cpp.o.d"
+  "libeum_cdn.a"
+  "libeum_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_dns.dir/edns.cpp.o"
+  "CMakeFiles/eum_dns.dir/edns.cpp.o.d"
+  "CMakeFiles/eum_dns.dir/message.cpp.o"
+  "CMakeFiles/eum_dns.dir/message.cpp.o.d"
+  "CMakeFiles/eum_dns.dir/name.cpp.o"
+  "CMakeFiles/eum_dns.dir/name.cpp.o.d"
+  "CMakeFiles/eum_dns.dir/rdata.cpp.o"
+  "CMakeFiles/eum_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/eum_dns.dir/types.cpp.o"
+  "CMakeFiles/eum_dns.dir/types.cpp.o.d"
+  "libeum_dns.a"
+  "libeum_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

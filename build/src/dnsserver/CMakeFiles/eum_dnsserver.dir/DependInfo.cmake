@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnsserver/authoritative.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/authoritative.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/authoritative.cpp.o.d"
+  "/root/repo/src/dnsserver/resolver.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/resolver.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/resolver.cpp.o.d"
+  "/root/repo/src/dnsserver/tcp.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/tcp.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/tcp.cpp.o.d"
+  "/root/repo/src/dnsserver/transport.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/transport.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/transport.cpp.o.d"
+  "/root/repo/src/dnsserver/udp.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/udp.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/udp.cpp.o.d"
+  "/root/repo/src/dnsserver/zone.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/zone.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/zone.cpp.o.d"
+  "/root/repo/src/dnsserver/zone_file.cpp" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/zone_file.cpp.o" "gcc" "src/dnsserver/CMakeFiles/eum_dnsserver.dir/zone_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/eum_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

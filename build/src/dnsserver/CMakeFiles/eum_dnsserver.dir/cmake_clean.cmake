@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_dnsserver.dir/authoritative.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/authoritative.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/resolver.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/resolver.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/tcp.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/tcp.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/transport.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/transport.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/udp.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/udp.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/zone.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/zone.cpp.o.d"
+  "CMakeFiles/eum_dnsserver.dir/zone_file.cpp.o"
+  "CMakeFiles/eum_dnsserver.dir/zone_file.cpp.o.d"
+  "libeum_dnsserver.a"
+  "libeum_dnsserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_dnsserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_geo.dir/coords.cpp.o"
+  "CMakeFiles/eum_geo.dir/coords.cpp.o.d"
+  "libeum_geo.a"
+  "libeum_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

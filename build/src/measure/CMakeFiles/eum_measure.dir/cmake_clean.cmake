@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_measure.dir/alt_mechanisms.cpp.o"
+  "CMakeFiles/eum_measure.dir/alt_mechanisms.cpp.o.d"
+  "CMakeFiles/eum_measure.dir/analysis.cpp.o"
+  "CMakeFiles/eum_measure.dir/analysis.cpp.o.d"
+  "CMakeFiles/eum_measure.dir/pairing.cpp.o"
+  "CMakeFiles/eum_measure.dir/pairing.cpp.o.d"
+  "CMakeFiles/eum_measure.dir/rum.cpp.o"
+  "CMakeFiles/eum_measure.dir/rum.cpp.o.d"
+  "CMakeFiles/eum_measure.dir/tcp_model.cpp.o"
+  "CMakeFiles/eum_measure.dir/tcp_model.cpp.o.d"
+  "libeum_measure.a"
+  "libeum_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeum_measure.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cidr_aggregation.cpp" "src/net/CMakeFiles/eum_net.dir/cidr_aggregation.cpp.o" "gcc" "src/net/CMakeFiles/eum_net.dir/cidr_aggregation.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/eum_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/eum_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/eum_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/eum_net.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

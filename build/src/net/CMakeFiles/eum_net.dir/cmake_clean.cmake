@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_net.dir/cidr_aggregation.cpp.o"
+  "CMakeFiles/eum_net.dir/cidr_aggregation.cpp.o.d"
+  "CMakeFiles/eum_net.dir/ip.cpp.o"
+  "CMakeFiles/eum_net.dir/ip.cpp.o.d"
+  "CMakeFiles/eum_net.dir/prefix.cpp.o"
+  "CMakeFiles/eum_net.dir/prefix.cpp.o.d"
+  "libeum_net.a"
+  "libeum_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/deployment_study.cpp" "src/sim/CMakeFiles/eum_sim.dir/deployment_study.cpp.o" "gcc" "src/sim/CMakeFiles/eum_sim.dir/deployment_study.cpp.o.d"
+  "/root/repo/src/sim/op_rates.cpp" "src/sim/CMakeFiles/eum_sim.dir/op_rates.cpp.o" "gcc" "src/sim/CMakeFiles/eum_sim.dir/op_rates.cpp.o.d"
+  "/root/repo/src/sim/query_rate.cpp" "src/sim/CMakeFiles/eum_sim.dir/query_rate.cpp.o" "gcc" "src/sim/CMakeFiles/eum_sim.dir/query_rate.cpp.o.d"
+  "/root/repo/src/sim/rollout.cpp" "src/sim/CMakeFiles/eum_sim.dir/rollout.cpp.o" "gcc" "src/sim/CMakeFiles/eum_sim.dir/rollout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/eum_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/eum_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsserver/CMakeFiles/eum_dnsserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/eum_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/eum_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eum_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_sim.dir/deployment_study.cpp.o"
+  "CMakeFiles/eum_sim.dir/deployment_study.cpp.o.d"
+  "CMakeFiles/eum_sim.dir/op_rates.cpp.o"
+  "CMakeFiles/eum_sim.dir/op_rates.cpp.o.d"
+  "CMakeFiles/eum_sim.dir/query_rate.cpp.o"
+  "CMakeFiles/eum_sim.dir/query_rate.cpp.o.d"
+  "CMakeFiles/eum_sim.dir/rollout.cpp.o"
+  "CMakeFiles/eum_sim.dir/rollout.cpp.o.d"
+  "libeum_sim.a"
+  "libeum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeum_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_stats.dir/histogram.cpp.o"
+  "CMakeFiles/eum_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/eum_stats.dir/sample.cpp.o"
+  "CMakeFiles/eum_stats.dir/sample.cpp.o.d"
+  "CMakeFiles/eum_stats.dir/table.cpp.o"
+  "CMakeFiles/eum_stats.dir/table.cpp.o.d"
+  "libeum_stats.a"
+  "libeum_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

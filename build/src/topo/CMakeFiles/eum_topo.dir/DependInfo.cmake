@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/country_data.cpp" "src/topo/CMakeFiles/eum_topo.dir/country_data.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/country_data.cpp.o.d"
+  "/root/repo/src/topo/latency.cpp" "src/topo/CMakeFiles/eum_topo.dir/latency.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/latency.cpp.o.d"
+  "/root/repo/src/topo/public_resolver.cpp" "src/topo/CMakeFiles/eum_topo.dir/public_resolver.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/public_resolver.cpp.o.d"
+  "/root/repo/src/topo/world.cpp" "src/topo/CMakeFiles/eum_topo.dir/world.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/world.cpp.o.d"
+  "/root/repo/src/topo/world_gen.cpp" "src/topo/CMakeFiles/eum_topo.dir/world_gen.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/world_gen.cpp.o.d"
+  "/root/repo/src/topo/world_io.cpp" "src/topo/CMakeFiles/eum_topo.dir/world_io.cpp.o" "gcc" "src/topo/CMakeFiles/eum_topo.dir/world_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/eum_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_topo.dir/country_data.cpp.o"
+  "CMakeFiles/eum_topo.dir/country_data.cpp.o.d"
+  "CMakeFiles/eum_topo.dir/latency.cpp.o"
+  "CMakeFiles/eum_topo.dir/latency.cpp.o.d"
+  "CMakeFiles/eum_topo.dir/public_resolver.cpp.o"
+  "CMakeFiles/eum_topo.dir/public_resolver.cpp.o.d"
+  "CMakeFiles/eum_topo.dir/world.cpp.o"
+  "CMakeFiles/eum_topo.dir/world.cpp.o.d"
+  "CMakeFiles/eum_topo.dir/world_gen.cpp.o"
+  "CMakeFiles/eum_topo.dir/world_gen.cpp.o.d"
+  "CMakeFiles/eum_topo.dir/world_io.cpp.o"
+  "CMakeFiles/eum_topo.dir/world_io.cpp.o.d"
+  "libeum_topo.a"
+  "libeum_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

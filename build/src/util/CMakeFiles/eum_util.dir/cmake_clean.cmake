@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eum_util.dir/rng.cpp.o"
+  "CMakeFiles/eum_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eum_util.dir/sim_clock.cpp.o"
+  "CMakeFiles/eum_util.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/eum_util.dir/strings.cpp.o"
+  "CMakeFiles/eum_util.dir/strings.cpp.o.d"
+  "libeum_util.a"
+  "libeum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

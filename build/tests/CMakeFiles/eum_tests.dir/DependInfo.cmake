@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alt_mechanisms_test.cpp" "tests/CMakeFiles/eum_tests.dir/alt_mechanisms_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/alt_mechanisms_test.cpp.o.d"
+  "/root/repo/tests/authoritative_test.cpp" "tests/CMakeFiles/eum_tests.dir/authoritative_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/authoritative_test.cpp.o.d"
+  "/root/repo/tests/cdn_test.cpp" "tests/CMakeFiles/eum_tests.dir/cdn_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/cdn_test.cpp.o.d"
+  "/root/repo/tests/dns_fuzz_test.cpp" "tests/CMakeFiles/eum_tests.dir/dns_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/dns_fuzz_test.cpp.o.d"
+  "/root/repo/tests/dns_message_test.cpp" "tests/CMakeFiles/eum_tests.dir/dns_message_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/dns_message_test.cpp.o.d"
+  "/root/repo/tests/dns_name_test.cpp" "tests/CMakeFiles/eum_tests.dir/dns_name_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/dns_name_test.cpp.o.d"
+  "/root/repo/tests/dualstack_test.cpp" "tests/CMakeFiles/eum_tests.dir/dualstack_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/dualstack_test.cpp.o.d"
+  "/root/repo/tests/ecs_property_test.cpp" "tests/CMakeFiles/eum_tests.dir/ecs_property_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/ecs_property_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/eum_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/eum_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/liveness_test.cpp" "tests/CMakeFiles/eum_tests.dir/liveness_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/liveness_test.cpp.o.d"
+  "/root/repo/tests/load_conservation_test.cpp" "tests/CMakeFiles/eum_tests.dir/load_conservation_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/load_conservation_test.cpp.o.d"
+  "/root/repo/tests/mapping_test.cpp" "tests/CMakeFiles/eum_tests.dir/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/measure_test.cpp" "tests/CMakeFiles/eum_tests.dir/measure_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/measure_test.cpp.o.d"
+  "/root/repo/tests/net_cidr_test.cpp" "tests/CMakeFiles/eum_tests.dir/net_cidr_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/net_cidr_test.cpp.o.d"
+  "/root/repo/tests/net_ip_test.cpp" "tests/CMakeFiles/eum_tests.dir/net_ip_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/net_ip_test.cpp.o.d"
+  "/root/repo/tests/net_prefix_test.cpp" "tests/CMakeFiles/eum_tests.dir/net_prefix_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/net_prefix_test.cpp.o.d"
+  "/root/repo/tests/net_trie_test.cpp" "tests/CMakeFiles/eum_tests.dir/net_trie_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/net_trie_test.cpp.o.d"
+  "/root/repo/tests/pairing_test.cpp" "tests/CMakeFiles/eum_tests.dir/pairing_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/pairing_test.cpp.o.d"
+  "/root/repo/tests/resolver_test.cpp" "tests/CMakeFiles/eum_tests.dir/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/resolver_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/eum_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/eum_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/eum_tests.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/tcp_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/eum_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/traffic_class_test.cpp" "tests/CMakeFiles/eum_tests.dir/traffic_class_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/traffic_class_test.cpp.o.d"
+  "/root/repo/tests/two_tier_test.cpp" "tests/CMakeFiles/eum_tests.dir/two_tier_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/two_tier_test.cpp.o.d"
+  "/root/repo/tests/udp_test.cpp" "tests/CMakeFiles/eum_tests.dir/udp_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/udp_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/eum_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/world_io_test.cpp" "tests/CMakeFiles/eum_tests.dir/world_io_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/world_io_test.cpp.o.d"
+  "/root/repo/tests/zone_file_test.cpp" "tests/CMakeFiles/eum_tests.dir/zone_file_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/zone_file_test.cpp.o.d"
+  "/root/repo/tests/zone_test.cpp" "tests/CMakeFiles/eum_tests.dir/zone_test.cpp.o" "gcc" "tests/CMakeFiles/eum_tests.dir/zone_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eum_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/eum_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/eum_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnsserver/CMakeFiles/eum_dnsserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/eum_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/eum_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eum_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
