@@ -156,6 +156,79 @@ void BM_ResolverCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ResolverCacheHit);
 
+dnsserver::ScopedEcsCache::Entry cache_bench_entry(std::uint32_t answer,
+                                                   std::optional<net::IpPrefix> scope) {
+  dnsserver::ScopedEcsCache::Entry entry;
+  entry.scope = scope;
+  entry.answers.push_back(dns::ResourceRecord{
+      dns::DnsName::from_text("www.g.cdn.example"), dns::RecordType::A,
+      dns::RecordClass::IN, 300, dns::ARecord{net::IpV4Addr{answer}}});
+  entry.inserted = util::SimTime{0};
+  entry.expires = util::SimTime{300};
+  return entry;
+}
+
+/// Longest-scope-match lookup against a key holding `Arg` scoped slots
+/// (the per-name entry counts ECS multiplies, paper §5.2).
+void BM_ScopedCacheLookupHit(benchmark::State& state) {
+  dnsserver::ScopedEcsCache cache{dnsserver::ScopedCacheConfig{1 << 16, 8}};
+  const dnsserver::ScopedEcsCache::Key key{dns::DnsName::from_text("www.g.cdn.example"),
+                                           dns::RecordType::A};
+  const auto slots = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    cache.store(key, cache_bench_entry(0xCB000000U + i,
+                                       net::IpPrefix{net::IpAddr{net::IpV4Addr{0x0A000000U + (i << 8)}}, 24}));
+  }
+  const net::IpAddr client{net::IpV4Addr{0x0A000000U + ((slots - 1) << 8) + 9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(key, client, util::SimTime{1}));
+  }
+}
+BENCHMARK(BM_ScopedCacheLookupHit)->Arg(1)->Arg(16)->Arg(64);
+
+/// Steady-state store into a full cache: every insert evicts the LRU
+/// tail, exercising the unlink/reap path.
+void BM_ScopedCacheStoreEvict(benchmark::State& state) {
+  dnsserver::ScopedEcsCache cache{dnsserver::ScopedCacheConfig{4096, 8}};
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const dnsserver::ScopedEcsCache::Key key{
+        dns::DnsName::from_text("h" + std::to_string(i & 0x3FFF) + ".g.cdn.example"),
+        dns::RecordType::A};
+    cache.store(key, cache_bench_entry(0xCB000000U + i, std::nullopt));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScopedCacheStoreEvict);
+
+/// Shard contention: parallel threads hitting a shared cache, mostly
+/// lookups. Compare Threads(1) vs Threads(4) to see sharding pay off.
+void BM_ScopedCacheParallelMixed(benchmark::State& state) {
+  static dnsserver::ScopedEcsCache cache{dnsserver::ScopedCacheConfig{1 << 14, 8}};
+  if (state.thread_index() == 0) {
+    cache.clear();
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      const dnsserver::ScopedEcsCache::Key key{
+          dns::DnsName::from_text("h" + std::to_string(i) + ".g.cdn.example"),
+          dns::RecordType::A};
+      cache.store(key, cache_bench_entry(0xCB000000U + i, std::nullopt));
+    }
+  }
+  std::uint32_t i = static_cast<std::uint32_t>(state.thread_index()) * 2654435761U;
+  const net::IpAddr client{net::IpV4Addr{0x0A000009U}};
+  for (auto _ : state) {
+    const dnsserver::ScopedEcsCache::Key key{
+        dns::DnsName::from_text("h" + std::to_string(i++ & 1023) + ".g.cdn.example"),
+        dns::RecordType::A};
+    if ((i & 15U) == 0) {
+      cache.store(key, cache_bench_entry(i, std::nullopt));
+    } else {
+      benchmark::DoNotOptimize(cache.lookup(key, client, util::SimTime{1}));
+    }
+  }
+}
+BENCHMARK(BM_ScopedCacheParallelMixed)->Threads(1)->Threads(4);
+
 void BM_WorldGeneration(benchmark::State& state) {
   for (auto _ : state) {
     topo::WorldGenConfig config;

@@ -9,8 +9,9 @@
 // `whoami.g.cdn.example` reporting what it saw — the same trick as
 // Akamai's whoami.akamai.net (paper §3.1).
 //
-// Usage: ecs_dns_server [port]
-//   (port 0 = ephemeral; the bound port is printed)
+// Usage: ecs_dns_server [port] [workers]
+//   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
+//   through that many SO_REUSEPORT sockets, one thread each.)
 //
 // Try it with dig:
 //   dig @127.0.0.1 -p <port> www.g.cdn.example A +subnet=1.0.3.0/24
@@ -18,14 +19,18 @@
 //
 // If no query arrives for 30 seconds the server exits (so the example is
 // safe to run unattended); it first demonstrates itself by sending two
-// queries through its own UdpDnsClient.
+// queries through its own UdpDnsClient, and prints the per-worker
+// counter table on the way out.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "cdn/mapping.h"
 #include "dnsserver/udp.h"
+#include "stats/table.h"
 #include "topo/world_gen.h"
 
 using namespace eum;
@@ -33,6 +38,8 @@ using namespace std::chrono_literals;
 
 int main(int argc, char** argv) {
   const auto port = static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 0);
+  const auto workers =
+      static_cast<std::size_t>(argc > 2 ? std::max(1, std::atoi(argv[2])) : 2);
 
   // World + CDN + mapping system.
   topo::WorldGenConfig world_config;
@@ -46,18 +53,23 @@ int main(int argc, char** argv) {
 
   // Authoritative engine: the mapping system behind g.cdn.example, plus a
   // whoami TXT responder. Unknown resolvers (like 127.0.0.1) fall back to
-  // a default LDNS so interactive dig queries still get answers.
+  // a default LDNS so interactive dig queries still get answers. The
+  // mapping system mutates server load state on every decision, so with
+  // multiple UDP workers the handler is serialized behind a mutex — the
+  // sockets, wire codec, and dispatch still run concurrently.
   dnsserver::AuthoritativeServer engine;
   const topo::Ldns& fallback_ldns = world.ldnses.front();
   auto inner = mapping.dns_handler();
+  auto mapping_mutex = std::make_shared<std::mutex>();
   engine.add_dynamic_domain(
       dns::DnsName::from_text("g.cdn.example"),
-      [&, inner](const dnsserver::DynamicQuery& query)
+      [&, inner, mapping_mutex](const dnsserver::DynamicQuery& query)
           -> std::optional<dnsserver::DynamicAnswer> {
         dnsserver::DynamicQuery patched = query;
         if (world.ldns_by_address(query.resolver) == nullptr) {
           patched.resolver = fallback_ldns.address;
         }
+        const std::scoped_lock lock{*mapping_mutex};
         return inner(patched);
       });
   engine.add_zone([&] {
@@ -67,22 +79,15 @@ int main(int argc, char** argv) {
     return dnsserver::Zone{dns::DnsName::from_text("whoami.example"), soa};
   }());
 
-  dnsserver::UdpAuthorityServer server{&engine,
-                                       dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port}};
+  dnsserver::UdpAuthorityServer server{
+      &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port},
+      dnsserver::UdpServerConfig{workers}};
   const auto endpoint = server.endpoint();
-  std::printf("ecs_dns_server listening on 127.0.0.1:%u\n", endpoint.port);
+  std::printf("ecs_dns_server listening on 127.0.0.1:%u (%zu worker%s)\n", endpoint.port,
+              server.worker_count(), server.worker_count() == 1 ? "" : "s");
   std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
               endpoint.port);
-
-  std::atomic<bool> stop{false};
-  std::thread serving{[&] {
-    // Exit after 30 idle seconds.
-    int idle_polls = 0;
-    while (!stop.load(std::memory_order_relaxed) && idle_polls < 600) {
-      idle_polls = server.serve_once(50ms) ? 0 : idle_polls + 1;
-    }
-    stop = true;
-  }};
+  server.start();
 
   // Self-demonstration: one plain and one ECS query over the real socket.
   {
@@ -112,9 +117,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Exit after 30 seconds without a new query.
   std::printf("\nserving until 30 s of idle time pass (Ctrl-C to quit sooner)...\n");
-  serving.join();
-  std::printf("server exiting; %llu queries handled\n",
-              static_cast<unsigned long long>(engine.stats().queries));
+  std::uint64_t last_seen = 0;
+  int idle_polls = 0;
+  while (idle_polls < 600) {
+    std::this_thread::sleep_for(50ms);
+    const std::uint64_t seen = server.stats().queries;
+    idle_polls = seen == last_seen ? idle_polls + 1 : 0;
+    last_seen = seen;
+  }
+  server.stop();
+
+  std::printf("server exiting; %llu queries handled\n\n%s\n",
+              static_cast<unsigned long long>(engine.stats().queries),
+              dnsserver::udp_server_stats_table(server.stats()).render().c_str());
   return 0;
 }

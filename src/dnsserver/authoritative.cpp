@@ -12,6 +12,30 @@ using dns::ResourceRecord;
 
 void AuthoritativeServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
 
+AuthServerStats AuthoritativeServer::stats() const noexcept {
+  AuthServerStats snapshot;
+  snapshot.queries = stats_.queries.load(std::memory_order_relaxed);
+  snapshot.queries_with_ecs = stats_.queries_with_ecs.load(std::memory_order_relaxed);
+  snapshot.dynamic_answers = stats_.dynamic_answers.load(std::memory_order_relaxed);
+  snapshot.referrals = stats_.referrals.load(std::memory_order_relaxed);
+  snapshot.static_answers = stats_.static_answers.load(std::memory_order_relaxed);
+  snapshot.negative_answers = stats_.negative_answers.load(std::memory_order_relaxed);
+  snapshot.refused = stats_.refused.load(std::memory_order_relaxed);
+  snapshot.form_errors = stats_.form_errors.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void AuthoritativeServer::reset_stats() noexcept {
+  stats_.queries.store(0, std::memory_order_relaxed);
+  stats_.queries_with_ecs.store(0, std::memory_order_relaxed);
+  stats_.dynamic_answers.store(0, std::memory_order_relaxed);
+  stats_.referrals.store(0, std::memory_order_relaxed);
+  stats_.static_answers.store(0, std::memory_order_relaxed);
+  stats_.negative_answers.store(0, std::memory_order_relaxed);
+  stats_.refused.store(0, std::memory_order_relaxed);
+  stats_.form_errors.store(0, std::memory_order_relaxed);
+}
+
 void AuthoritativeServer::add_dynamic_domain(DnsName suffix, DynamicAnswerFn handler) {
   dynamic_domains_.emplace_back(std::move(suffix), std::move(handler));
 }

@@ -8,6 +8,7 @@
 // request message to one response message.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -53,7 +54,7 @@ struct DynamicAnswer {
 
 using DynamicAnswerFn = std::function<std::optional<DynamicAnswer>(const DynamicQuery&)>;
 
-/// Query counters (feeds the Figure 23 analysis).
+/// Query counter snapshot (feeds the Figure 23 analysis).
 struct AuthServerStats {
   std::uint64_t queries = 0;
   std::uint64_t queries_with_ecs = 0;
@@ -82,14 +83,45 @@ class AuthoritativeServer {
 
   /// Answer one query arriving from `source` (the LDNS unicast address).
   /// `server_address` is the address the query was received on (passed to
-  /// dynamic handlers; defaults to unspecified).
+  /// dynamic handlers; defaults to unspecified). Safe to call from many
+  /// threads concurrently provided registration (add_zone /
+  /// add_dynamic_domain / set_ecs_enabled) has finished and the dynamic
+  /// handlers themselves are thread-safe — counters are relaxed atomics
+  /// so the multithreaded UDP front end stays race-free.
   [[nodiscard]] dns::Message handle(const dns::Message& query, const net::IpAddr& source,
                                     const net::IpAddr& server_address = net::IpAddr{});
 
-  [[nodiscard]] const AuthServerStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = AuthServerStats{}; }
+  [[nodiscard]] AuthServerStats stats() const noexcept;
+  void reset_stats() noexcept;
 
  private:
+  /// Counters a concurrent transport may bump from several threads.
+  /// Copyable (relaxed snapshot) so the enclosing server stays movable.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> queries_with_ecs{0};
+    std::atomic<std::uint64_t> dynamic_answers{0};
+    std::atomic<std::uint64_t> referrals{0};
+    std::atomic<std::uint64_t> static_answers{0};
+    std::atomic<std::uint64_t> negative_answers{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> form_errors{0};
+
+    AtomicStats() = default;
+    AtomicStats(const AtomicStats& other) noexcept { *this = other; }
+    AtomicStats& operator=(const AtomicStats& other) noexcept {
+      queries = other.queries.load(std::memory_order_relaxed);
+      queries_with_ecs = other.queries_with_ecs.load(std::memory_order_relaxed);
+      dynamic_answers = other.dynamic_answers.load(std::memory_order_relaxed);
+      referrals = other.referrals.load(std::memory_order_relaxed);
+      static_answers = other.static_answers.load(std::memory_order_relaxed);
+      negative_answers = other.negative_answers.load(std::memory_order_relaxed);
+      refused = other.refused.load(std::memory_order_relaxed);
+      form_errors = other.form_errors.load(std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   [[nodiscard]] const Zone* zone_for(const dns::DnsName& name) const noexcept;
   [[nodiscard]] std::pair<const dns::DnsName*, const DynamicAnswerFn*> dynamic_for(
       const dns::DnsName& name) const noexcept;
@@ -97,7 +129,7 @@ class AuthoritativeServer {
   std::vector<Zone> zones_;
   std::vector<std::pair<dns::DnsName, DynamicAnswerFn>> dynamic_domains_;
   bool ecs_enabled_ = true;
-  AuthServerStats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace eum::dnsserver

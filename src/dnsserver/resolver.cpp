@@ -1,6 +1,7 @@
 #include "dnsserver/resolver.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace eum::dnsserver {
 
@@ -10,9 +11,27 @@ using dns::Rcode;
 using dns::RecordType;
 using dns::ResourceRecord;
 
+stats::Table resolver_stats_table(const ResolverStats& stats) {
+  stats::Table table{"counter", "value"};
+  table.add_row("client_queries", stats.client_queries);
+  table.add_row("cache_hits", stats.cache_hits);
+  table.add_row("cache_misses", stats.cache_misses);
+  table.add_row("upstream_queries", stats.upstream_queries);
+  table.add_row("referrals_followed", stats.referrals_followed);
+  table.add_row("cache_evictions", stats.cache_evictions);
+  table.add_row("cache_expirations", stats.cache_expirations);
+  table.add_row("scoped_hits", stats.scoped_hits);
+  table.add_row("mean_scope_depth", stats.mean_scope_depth(), 2);
+  return table;
+}
+
 RecursiveResolver::RecursiveResolver(ResolverConfig config, const util::SimClock* clock,
                                      Upstream* upstream, net::IpAddr own_address)
-    : config_(config), clock_(clock), upstream_(upstream), own_address_(own_address) {
+    : config_(config),
+      clock_(clock),
+      upstream_(upstream),
+      own_address_(own_address),
+      cache_(ScopedCacheConfig{config.max_cache_entries, config.cache_shards}) {
   if (clock_ == nullptr || upstream_ == nullptr) {
     throw std::invalid_argument{"RecursiveResolver: clock and upstream are required"};
   }
@@ -22,48 +41,21 @@ RecursiveResolver::RecursiveResolver(ResolverConfig config, const util::SimClock
   }
 }
 
-const RecursiveResolver::CacheEntry* RecursiveResolver::cache_lookup(
-    const CacheKey& key, const net::IpAddr& client_addr) {
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) return nullptr;
-  const util::SimTime now = clock_->now();
-  // Drop expired entries in passing.
-  auto& entries = it->second;
-  const auto before = entries.size();
-  std::erase_if(entries, [&](const CacheEntry& e) { return e.expires <= now; });
-  cache_entries_ -= before - entries.size();
-  for (const CacheEntry& entry : entries) {
-    if (!entry.scope || entry.scope->contains(client_addr)) return &entry;
-  }
-  return nullptr;
+ResolverStats RecursiveResolver::stats() const noexcept {
+  ResolverStats merged = stats_;
+  const ScopedCacheStats cache = cache_.stats();
+  merged.cache_hits = cache.hits;
+  merged.cache_misses = cache.misses;
+  merged.cache_evictions = cache.evictions;
+  merged.cache_expirations = cache.expirations;
+  merged.scoped_hits = cache.scoped_hits;
+  merged.scope_depth_total = cache.scope_depth_total;
+  return merged;
 }
 
-void RecursiveResolver::cache_store(const CacheKey& key, CacheEntry entry) {
-  if (cache_entries_ >= config_.max_cache_entries) {
-    // Full sweep of expired entries; if still full, drop the map wholesale.
-    // (Production resolvers use LRU; a sweep keeps the simulation honest
-    // without tracking recency on the hot path.)
-    const util::SimTime now = clock_->now();
-    for (auto& [k, entries] : cache_) {
-      const auto before = entries.size();
-      std::erase_if(entries, [&](const CacheEntry& e) { return e.expires <= now; });
-      cache_entries_ -= before - entries.size();
-    }
-    if (cache_entries_ >= config_.max_cache_entries) {
-      stats_.cache_evictions += cache_entries_;
-      flush_cache();
-    }
-  }
-  auto& entries = cache_[key];
-  // Replace an entry with the identical scope rather than duplicating.
-  for (CacheEntry& existing : entries) {
-    if (existing.scope == entry.scope) {
-      existing = std::move(entry);
-      return;
-    }
-  }
-  entries.push_back(std::move(entry));
-  ++cache_entries_;
+void RecursiveResolver::reset_stats() noexcept {
+  stats_ = ResolverStats{};
+  cache_.reset_stats();
 }
 
 Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
@@ -111,8 +103,8 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
   }
 
   // Cache the outcome.
-  CacheKey key{name, type};
-  CacheEntry entry;
+  ScopedEcsCache::Key key{name, type};
+  ScopedEcsCache::Entry entry;
   entry.inserted = clock_->now();
   std::uint32_t ttl = config_.max_ttl;
   if (response.header.rcode == Rcode::no_error && !response.answers.empty()) {
@@ -144,7 +136,7 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
         std::min(resp_ecs->scope_prefix_len(), resp_ecs->source_prefix_len());
     entry.scope = net::IpPrefix{resp_ecs->address(), effective};
   }
-  cache_store(key, std::move(entry));
+  cache_.store(key, std::move(entry));
   return response;
 }
 
@@ -168,24 +160,26 @@ Message RecursiveResolver::resolve(const Message& client_query, const net::IpAdd
       ecs_client = client_addr;
     }
   }
+  // Cache lookups must use the same address the upstream query announces:
+  // a forwarded ECS option replaces the connection address entirely, or
+  // scoped entries for other blocks would (mis)match the connection.
+  const net::IpAddr& lookup_addr = ecs_client ? *ecs_client : client_addr;
 
   // Resolve with CNAME chasing across authorities.
   DnsName current = question.name;
   RecordType type = question.type;
   for (int hop = 0; hop < 8; ++hop) {
-    CacheKey key{current, type};
+    const ScopedEcsCache::Key key{current, type};
     std::vector<ResourceRecord> answers;
     Rcode rcode = Rcode::no_error;
 
-    if (const CacheEntry* cached = cache_lookup(key, client_addr)) {
-      ++stats_.cache_hits;
+    if (const auto cached = cache_.lookup(key, lookup_addr, clock_->now())) {
       rcode = cached->rcode;
       // Age TTLs by the time the entry has been cached.
       const auto age = static_cast<std::uint32_t>(clock_->now() - cached->inserted);
       answers = cached->answers;
       for (ResourceRecord& r : answers) r.ttl = r.ttl > age ? r.ttl - age : 0;
     } else {
-      ++stats_.cache_misses;
       const Message upstream_response = query_upstream(current, type, ecs_client);
       rcode = upstream_response.header.rcode;
       answers = upstream_response.answers;
@@ -210,11 +204,6 @@ Message RecursiveResolver::resolve(const Message& client_query, const net::IpAdd
   }
   response.header.rcode = Rcode::serv_fail;  // CNAME chain too long
   return response;
-}
-
-void RecursiveResolver::flush_cache() noexcept {
-  cache_.clear();
-  cache_entries_ = 0;
 }
 
 }  // namespace eum::dnsserver

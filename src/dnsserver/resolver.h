@@ -4,21 +4,21 @@
 // (paper §2, Figure 3/4). With end-user mapping it forwards a /x prefix
 // of the client's IP in an EDNS0 client-subnet option and must cache the
 // answer per scope block — which is precisely what multiplies the query
-// rate seen by the authorities (§5.2, Figures 23/24). The cache here
-// implements RFC 7871 §7.3 semantics: an answer with scope /y may only be
-// reused for clients inside that /y block; scope /0 answers are global.
+// rate seen by the authorities (§5.2, Figures 23/24). The cache is the
+// sharded RFC 7871 §7.3 scoped cache in scoped_cache.h: lookups key on
+// the ECS address (the forwarded client subnet when present, per
+// §7.1.1 — never the bare connection address), prefer the longest
+// matching scope, and evict per-shard LRU under pressure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "dns/message.h"
 #include "dnsserver/authoritative.h"
-#include "util/hash.h"
+#include "dnsserver/scoped_cache.h"
+#include "stats/table.h"
 #include "util/sim_clock.h"
 
 namespace eum::dnsserver {
@@ -59,6 +59,8 @@ struct ResolverConfig {
   std::uint32_t negative_ttl = 30;
   /// Cache capacity in entries (scoped answers count individually).
   std::size_t max_cache_entries = 1 << 20;
+  /// Independently-locked cache shards (rounded up to a power of two).
+  std::size_t cache_shards = 8;
 };
 
 struct ResolverStats {
@@ -67,8 +69,20 @@ struct ResolverStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t upstream_queries = 0;
   std::uint64_t referrals_followed = 0;
-  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_evictions = 0;     ///< LRU pressure evictions
+  std::uint64_t cache_expirations = 0;   ///< TTL-expired entries reaped
+  std::uint64_t scoped_hits = 0;         ///< hits served by a scoped entry
+  std::uint64_t scope_depth_total = 0;   ///< sum of matched scope lengths
+  /// Mean matched scope length over scoped hits (0 when none).
+  [[nodiscard]] double mean_scope_depth() const noexcept {
+    return scoped_hits == 0 ? 0.0
+                            : static_cast<double>(scope_depth_total) /
+                                  static_cast<double>(scoped_hits);
+  }
 };
+
+/// Render resolver counters as a two-column table for benches/examples.
+[[nodiscard]] stats::Table resolver_stats_table(const ResolverStats& stats);
 
 class RecursiveResolver {
  public:
@@ -82,9 +96,11 @@ class RecursiveResolver {
   [[nodiscard]] dns::Message resolve(const dns::Message& client_query,
                                      const net::IpAddr& client_addr);
 
-  [[nodiscard]] const ResolverStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = ResolverStats{}; }
-  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_entries_; }
+  /// Counter snapshot (resolver counters merged with the cache's own).
+  [[nodiscard]] ResolverStats stats() const noexcept;
+  void reset_stats() noexcept;
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
+  [[nodiscard]] const ScopedEcsCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const net::IpAddr& address() const noexcept { return own_address_; }
   [[nodiscard]] const ResolverConfig& config() const noexcept { return config_; }
 
@@ -92,34 +108,9 @@ class RecursiveResolver {
   std::function<void(const dns::DnsName&)> on_upstream_query;
 
   /// Drop every cached entry.
-  void flush_cache() noexcept;
+  void flush_cache() noexcept { cache_.clear(); }
 
  private:
-  struct CacheKey {
-    dns::DnsName name;
-    dns::RecordType type;
-    bool operator==(const CacheKey&) const noexcept = default;
-  };
-  struct CacheKeyHash {
-    std::size_t operator()(const CacheKey& key) const noexcept {
-      return util::hash_combine(dns::DnsNameHash{}(key.name),
-                                static_cast<std::uint64_t>(key.type));
-    }
-  };
-  struct CacheEntry {
-    /// Scope the answer is valid for; nullopt = valid for every client
-    /// (non-ECS answer or scope /0).
-    std::optional<net::IpPrefix> scope;
-    std::vector<dns::ResourceRecord> answers;
-    dns::Rcode rcode = dns::Rcode::no_error;
-    util::SimTime inserted;
-    util::SimTime expires;
-  };
-
-  [[nodiscard]] const CacheEntry* cache_lookup(const CacheKey& key,
-                                               const net::IpAddr& client_addr);
-  void cache_store(const CacheKey& key, CacheEntry entry);
-
   /// One upstream round for (name, type), with optional ECS. Returns the
   /// response and caches it.
   [[nodiscard]] dns::Message query_upstream(const dns::DnsName& name, dns::RecordType type,
@@ -130,8 +121,7 @@ class RecursiveResolver {
   Upstream* upstream_;
   net::IpAddr own_address_;
   ResolverStats stats_;
-  std::unordered_map<CacheKey, std::vector<CacheEntry>, CacheKeyHash> cache_;
-  std::size_t cache_entries_ = 0;
+  ScopedEcsCache cache_;
   std::uint16_t next_id_ = 1;
 };
 

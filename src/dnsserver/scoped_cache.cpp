@@ -1,0 +1,170 @@
+#include "dnsserver/scoped_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace eum::dnsserver {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 1));
+}
+
+}  // namespace
+
+ScopedEcsCache::ScopedEcsCache(ScopedCacheConfig config)
+    : shard_count_(round_up_pow2(config.shards)),
+      shard_mask_(shard_count_ - 1),
+      per_shard_capacity_(std::max<std::size_t>(1, config.max_entries / shard_count_)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  if (config.max_entries == 0) {
+    throw std::invalid_argument{"ScopedEcsCache: max_entries must be positive"};
+  }
+}
+
+ScopedEcsCache::Shard& ScopedEcsCache::shard_for(const Key& key) const noexcept {
+  // Re-mix the key hash so shard choice and bucket choice use
+  // independent bits.
+  return shards_[util::mix64(KeyHash{}(key)) & shard_mask_];
+}
+
+void ScopedEcsCache::unlink(Shard& shard, NodeList::iterator node) {
+  const auto it = shard.index.find(node->key);
+  auto& slots = it->second;
+  slots.erase(std::find(slots.begin(), slots.end(), node));
+  if (slots.empty()) shard.index.erase(it);  // reap the key, not just the slot
+  shard.lru.erase(node);
+  --shard.entries;
+}
+
+std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
+                                                            const net::IpAddr& client,
+                                                            util::SimTime now) {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock{shard.mutex};
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  // Reap expired entries under this key in passing, then pick the
+  // longest matching scope among the survivors. A global entry (no
+  // scope) matches every client with specificity -1, so any scoped
+  // match beats it.
+  auto& slots = it->second;
+  NodeList::iterator best = shard.lru.end();
+  int best_depth = -2;
+  for (std::size_t i = 0; i < slots.size();) {
+    const NodeList::iterator node = slots[i];
+    if (node->entry.expires <= now) {
+      ++shard.stats.expirations;
+      shard.lru.erase(node);
+      slots[i] = slots.back();
+      slots.pop_back();
+      --shard.entries;
+      continue;
+    }
+    const auto& scope = node->entry.scope;
+    const int depth = scope ? scope->length() : -1;
+    if ((!scope || scope->contains(client)) && depth > best_depth) {
+      best = node;
+      best_depth = depth;
+    }
+    ++i;
+  }
+  if (slots.empty()) shard.index.erase(it);
+  if (best == shard.lru.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  if (best_depth >= 0) {
+    ++shard.stats.scoped_hits;
+    shard.stats.scope_depth_total += static_cast<std::uint64_t>(best_depth);
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, best);  // promote
+  return best->entry;
+}
+
+void ScopedEcsCache::store(const Key& key, Entry entry) {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock{shard.mutex};
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    // Refresh in place when an entry with the identical scope exists.
+    for (const NodeList::iterator node : it->second) {
+      if (node->entry.scope == entry.scope) {
+        node->entry = std::move(entry);
+        shard.lru.splice(shard.lru.begin(), shard.lru, node);
+        ++shard.stats.replacements;
+        return;
+      }
+    }
+  }
+  // Evict coldest entries until the new one fits; the LRU back is the
+  // least recently touched node across every key in the shard.
+  while (shard.entries >= per_shard_capacity_ && !shard.lru.empty()) {
+    const auto victim = std::prev(shard.lru.end());
+    const bool expired = victim->entry.expires <= entry.inserted;
+    unlink(shard, victim);
+    ++(expired ? shard.stats.expirations : shard.stats.evictions);
+  }
+  shard.lru.push_front(Node{key, std::move(entry)});
+  shard.index[key].push_back(shard.lru.begin());
+  ++shard.entries;
+  ++shard.stats.insertions;
+}
+
+std::size_t ScopedEcsCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::scoped_lock lock{shards_[i].mutex};
+    total += shards_[i].entries;
+  }
+  return total;
+}
+
+std::size_t ScopedEcsCache::key_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::scoped_lock lock{shards_[i].mutex};
+    total += shards_[i].index.size();
+  }
+  return total;
+}
+
+ScopedCacheStats ScopedEcsCache::stats() const {
+  ScopedCacheStats total;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::scoped_lock lock{shards_[i].mutex};
+    const ScopedCacheStats& s = shards_[i].stats;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.replacements += s.replacements;
+    total.evictions += s.evictions;
+    total.expirations += s.expirations;
+    total.scoped_hits += s.scoped_hits;
+    total.scope_depth_total += s.scope_depth_total;
+  }
+  return total;
+}
+
+void ScopedEcsCache::reset_stats() {
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::scoped_lock lock{shards_[i].mutex};
+    shards_[i].stats = ScopedCacheStats{};
+  }
+}
+
+void ScopedEcsCache::clear() {
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const std::scoped_lock lock{shards_[i].mutex};
+    shards_[i].lru.clear();
+    shards_[i].index.clear();
+    shards_[i].entries = 0;
+  }
+}
+
+}  // namespace eum::dnsserver

@@ -1,0 +1,137 @@
+// Sharded, LRU-evicting, RFC 7871-scoped resolver cache.
+//
+// This is the LDNS cache the paper's query-rate analysis hinges on
+// (§5.2-5.3): with end-user mapping every /x client block gets its own
+// scoped answer, so the cache must (a) key lookups by the *ECS address*
+// of the query, (b) honour scope containment, and (c) when several
+// cached scopes cover one client, return the **longest matching scope**
+// (RFC 7871 §7.3.1's most-specific-match rule) — a /0 or non-ECS answer
+// is merely the fallback of last resort, never a shadow over a
+// finer-grained entry.
+//
+// The cache is split into independently-lockable shards (key-hashed) so
+// a multithreaded front end scales without a global lock, and each shard
+// runs an intrusive LRU so a full cache evicts the coldest entries one
+// at a time instead of dumping all state.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/hash.h"
+#include "util/sim_clock.h"
+
+namespace eum::dnsserver {
+
+struct ScopedCacheConfig {
+  /// Total capacity in entries across all shards (scoped answers count
+  /// individually, exactly as they multiply authority load in Fig. 23).
+  std::size_t max_entries = 1 << 20;
+  /// Number of independently-locked shards; rounded up to a power of two.
+  std::size_t shards = 8;
+};
+
+/// Monotonic counters, aggregated over all shards.
+struct ScopedCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t replacements = 0;      ///< same-scope overwrite (refresh)
+  std::uint64_t evictions = 0;         ///< LRU pressure evictions
+  std::uint64_t expirations = 0;       ///< TTL-expired entries reaped
+  std::uint64_t scoped_hits = 0;       ///< hits on a non-global entry
+  std::uint64_t scope_depth_total = 0; ///< sum of matched scope lengths
+  /// Mean prefix length of scoped hits (0 when there were none).
+  [[nodiscard]] double mean_scope_depth() const noexcept {
+    return scoped_hits == 0 ? 0.0
+                            : static_cast<double>(scope_depth_total) /
+                                  static_cast<double>(scoped_hits);
+  }
+};
+
+class ScopedEcsCache {
+ public:
+  struct Key {
+    dns::DnsName name;
+    dns::RecordType type = dns::RecordType::A;
+    bool operator==(const Key&) const noexcept = default;
+  };
+
+  struct Entry {
+    /// Scope the answer is valid for; nullopt = valid for every client
+    /// (non-ECS answer or scope /0).
+    std::optional<net::IpPrefix> scope;
+    std::vector<dns::ResourceRecord> answers;
+    dns::Rcode rcode = dns::Rcode::no_error;
+    util::SimTime inserted;
+    util::SimTime expires;
+  };
+
+  explicit ScopedEcsCache(ScopedCacheConfig config);
+
+  /// Longest-scope-match lookup for `client` at time `now`. Expired
+  /// entries under the key are reaped in passing; a hit is promoted to
+  /// the front of its shard's LRU. Returns a copy so the entry stays
+  /// valid regardless of concurrent eviction.
+  [[nodiscard]] std::optional<Entry> lookup(const Key& key, const net::IpAddr& client,
+                                            util::SimTime now);
+
+  /// Insert `entry`; an existing entry with the identical scope is
+  /// replaced in place. When the shard is at capacity the least recently
+  /// used entries are evicted (never a wholesale flush).
+  void store(const Key& key, Entry entry);
+
+  /// Live entries across all shards.
+  [[nodiscard]] std::size_t size() const;
+  /// Distinct (name, type) keys across all shards — stays bounded: a key
+  /// whose last entry expires or is evicted is erased, not left behind
+  /// as an empty bucket.
+  [[nodiscard]] std::size_t key_count() const;
+
+  [[nodiscard]] ScopedCacheStats stats() const;
+  void reset_stats();
+
+  /// Drop every cached entry (counters unaffected).
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      return util::hash_combine(dns::DnsNameHash{}(key.name),
+                                static_cast<std::uint64_t>(key.type));
+    }
+  };
+  struct Node {
+    Key key;
+    Entry entry;
+  };
+  using NodeList = std::list<Node>;
+  struct Shard {
+    mutable std::mutex mutex;
+    /// front = most recently used.
+    NodeList lru;
+    std::unordered_map<Key, std::vector<NodeList::iterator>, KeyHash> index;
+    std::size_t entries = 0;
+    ScopedCacheStats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) const noexcept;
+  /// Remove `node` from its shard (list + index, reaping empty keys).
+  /// Caller holds the shard lock.
+  static void unlink(Shard& shard, NodeList::iterator node);
+
+  std::size_t shard_count_;
+  std::size_t shard_mask_;
+  std::size_t per_shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace eum::dnsserver

@@ -28,14 +28,14 @@ std::optional<Message> AuthorityDirectory::forward_to(const net::IpAddr& server,
   if (!server.is_v4()) return std::nullopt;
   const auto it = servers_by_address_.find(server.v4().value());
   if (it == servers_by_address_.end()) return std::nullopt;
-  ++forwarded_;
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
   const Message parsed_query = Message::decode(query.encode());
   const Message response = it->second->handle(parsed_query, source, server);
   return Message::decode(response.encode());
 }
 
 Message AuthorityDirectory::forward(const Message& query, const net::IpAddr& source) {
-  ++forwarded_;
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
   // Encode/decode both directions so all simulated traffic passes through
   // the real codec.
   const Message parsed_query = Message::decode(query.encode());

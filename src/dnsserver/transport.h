@@ -6,6 +6,7 @@
 // carry (including EDNS0/ECS encoding) — only the socket is elided.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <functional>
@@ -19,6 +20,10 @@ namespace eum::dnsserver {
 class AuthorityDirectory : public Upstream {
  public:
   AuthorityDirectory() = default;
+  AuthorityDirectory(AuthorityDirectory&& other) noexcept
+      : authorities_(std::move(other.authorities_)),
+        servers_by_address_(std::move(other.servers_by_address_)),
+        forwarded_(other.forwarded_.load(std::memory_order_relaxed)) {}
 
   /// Route queries for names at/below `suffix` to `server` (borrowed;
   /// must outlive the directory). Longest suffix wins.
@@ -28,8 +33,12 @@ class AuthorityDirectory : public Upstream {
   /// target of delegation glue (borrowed; must outlive the directory).
   void add_server(const net::IpAddr& address, AuthoritativeServer* server);
 
-  /// Total messages forwarded (both directions counted once).
-  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  /// Total messages forwarded (both directions counted once). The
+  /// counter is a relaxed atomic so concurrent resolvers can share one
+  /// directory, mirroring the SO_REUSEPORT UDP front end.
+  [[nodiscard]] std::uint64_t forwarded() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
 
   /// Forward a query to the owning authority, round-tripping the wire
   /// encoding both ways. Returns REFUSED if no authority matches.
@@ -45,7 +54,7 @@ class AuthorityDirectory : public Upstream {
  private:
   std::vector<std::pair<dns::DnsName, AuthoritativeServer*>> authorities_;
   std::unordered_map<std::uint32_t, AuthoritativeServer*> servers_by_address_;
-  std::uint64_t forwarded_ = 0;
+  std::atomic<std::uint64_t> forwarded_{0};
 };
 
 /// Client-side stub resolver: what the paper calls "the client requests

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <stdexcept>
 #include <system_error>
 #include <utility>
 
@@ -35,9 +36,19 @@ UdpEndpoint from_sockaddr(const sockaddr_in& sa) {
 
 }  // namespace
 
-UdpSocket::UdpSocket(const UdpEndpoint& endpoint) {
+UdpSocket::UdpSocket(const UdpEndpoint& endpoint, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw_errno("socket");
+  if (reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
   const sockaddr_in sa = to_sockaddr(endpoint);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
     const int saved = errno;
@@ -104,39 +115,101 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::millise
   return buffer;
 }
 
-UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind)
-    : engine_(engine), socket_(bind) {
+stats::Table udp_server_stats_table(const UdpServerStats& stats) {
+  stats::Table table{"counter", "value"};
+  table.add_row("queries", stats.queries);
+  table.add_row("truncated", stats.truncated);
+  table.add_row("wire_errors", stats.wire_errors);
+  for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+    table.add_row("worker_" + std::to_string(w) + "_queries", stats.per_worker[w]);
+  }
+  return table;
+}
+
+UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind,
+                                       UdpServerConfig config)
+    : engine_(engine), config_(config) {
   if (engine_ == nullptr) throw std::invalid_argument{"UdpAuthorityServer: null engine"};
+  if (config_.workers == 0) throw std::invalid_argument{"UdpAuthorityServer: need >= 1 worker"};
+  // Bind the first socket (resolving an ephemeral port), then the rest of
+  // the SO_REUSEPORT group onto the resolved endpoint. SO_REUSEPORT must
+  // be set on the first socket too or later binds are refused.
+  const bool shared = config_.workers > 1;
+  sockets_.emplace_back(bind, shared);
+  const UdpEndpoint resolved = sockets_.front().local_endpoint();
+  for (std::size_t w = 1; w < config_.workers; ++w) {
+    sockets_.emplace_back(resolved, true);
+  }
+  worker_queries_ = std::make_unique<std::atomic<std::uint64_t>[]>(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) worker_queries_[w] = 0;
+}
+
+UdpAuthorityServer::~UdpAuthorityServer() { stop(); }
+
+void UdpAuthorityServer::start() {
+  if (!threads_.empty()) return;
+  stopping_.store(false, std::memory_order_relaxed);
+  threads_.reserve(sockets_.size());
+  for (std::size_t w = 0; w < sockets_.size(); ++w) {
+    threads_.emplace_back([this, w] {
+      while (!stopping_.load(std::memory_order_relaxed)) {
+        serve_on(sockets_[w], w, config_.poll_interval);
+      }
+    });
+  }
+}
+
+void UdpAuthorityServer::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
 }
 
 bool UdpAuthorityServer::serve_once(std::chrono::milliseconds timeout) {
+  return serve_on(sockets_.front(), 0, timeout);
+}
+
+bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
+                                  std::chrono::milliseconds timeout) {
   UdpEndpoint peer;
-  const auto datagram = socket_.receive(timeout, peer);
+  const auto datagram = socket.receive(timeout, peer);
   if (!datagram) return false;
   dns::Message response;
   try {
     const dns::Message query = dns::Message::decode(*datagram);
     response = engine_->handle(query, net::IpAddr{peer.address});
+    worker_queries_[worker].fetch_add(1, std::memory_order_relaxed);
     // RFC 1035 / RFC 6891 size discipline: a response larger than the
     // requester's advertised UDP payload (512 octets without EDNS) is
-    // truncated — answers dropped and TC set so the client retries over
-    // a bigger channel.
+    // truncated — DNS sections dropped and TC set so the client retries
+    // over a bigger channel. The OPT pseudo-record (Message::edns) is
+    // NOT a droppable section: RFC 6891 §7 / RFC 7871 §7.2.2 require the
+    // TC=1 response to keep it so the client still learns our payload
+    // limit and the answer's ECS scope.
+    std::vector<std::uint8_t> wire = response.encode();
     const std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
-    if (response.encode().size() > limit) {
+    if (wire.size() > limit) {
       response.answers.clear();
       response.authorities.clear();
       response.additionals.clear();
       response.header.truncated = true;
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+      wire = response.encode();
     }
+    socket.send_to(wire, peer);
+    return true;
   } catch (const dns::WireError&) {
     // Unparseable datagram: best-effort FORMERR if we can extract an id.
+    wire_errors_.fetch_add(1, std::memory_order_relaxed);
     if (datagram->size() < 2) return true;  // too short even for an id; drop
     response.header.id =
         static_cast<std::uint16_t>(((*datagram)[0] << 8) | (*datagram)[1]);
     response.header.is_response = true;
     response.header.rcode = dns::Rcode::form_err;
   }
-  socket_.send_to(response.encode(), peer);
+  socket.send_to(response.encode(), peer);
   return true;
 }
 
@@ -145,6 +218,18 @@ void UdpAuthorityServer::serve_until(const std::atomic<bool>& stop) {
   while (!stop.load(std::memory_order_relaxed)) {
     serve_once(50ms);
   }
+}
+
+UdpServerStats UdpAuthorityServer::stats() const {
+  UdpServerStats snapshot;
+  snapshot.truncated = truncated_.load(std::memory_order_relaxed);
+  snapshot.wire_errors = wire_errors_.load(std::memory_order_relaxed);
+  snapshot.per_worker.resize(sockets_.size());
+  for (std::size_t w = 0; w < sockets_.size(); ++w) {
+    snapshot.per_worker[w] = worker_queries_[w].load(std::memory_order_relaxed);
+    snapshot.queries += snapshot.per_worker[w];
+  }
+  return snapshot;
 }
 
 UdpDnsClient::UdpDnsClient() : socket_(UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}) {}

@@ -3,16 +3,25 @@
 // The simulation uses the in-memory transport, but the authoritative
 // engine is transport-agnostic, and this module serves it over genuine
 // UDP (see examples/ecs_dns_server.cpp, which answers `dig +subnet`
-// queries). IPv4 localhost-oriented; RAII socket ownership throughout.
+// queries). The server runs N worker threads, each with its own
+// SO_REUSEPORT socket bound to the same endpoint so the kernel
+// load-balances datagrams across workers — the front end the paper's
+// authorities need to absorb the ~8x query-rate increase finer ECS
+// granularity causes (§5.3, Fig. 23). IPv4 localhost-oriented; RAII
+// socket ownership throughout.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "dns/message.h"
 #include "dnsserver/authoritative.h"
+#include "stats/table.h"
 
 namespace eum::dnsserver {
 
@@ -27,9 +36,11 @@ struct UdpEndpoint {
 /// RAII wrapper over a bound UDP socket.
 class UdpSocket {
  public:
-  /// Bind to `endpoint`; port 0 picks an ephemeral port.
+  /// Bind to `endpoint`; port 0 picks an ephemeral port. With
+  /// `reuse_port`, SO_REUSEPORT is set before binding so several sockets
+  /// can share one endpoint and the kernel spreads datagrams over them.
   /// Throws std::system_error on failure.
-  explicit UdpSocket(const UdpEndpoint& endpoint);
+  explicit UdpSocket(const UdpEndpoint& endpoint, bool reuse_port = false);
   ~UdpSocket();
 
   UdpSocket(UdpSocket&& other) noexcept;
@@ -52,23 +63,72 @@ class UdpSocket {
   int fd_ = -1;
 };
 
-/// Serves an AuthoritativeServer over UDP.
+struct UdpServerConfig {
+  /// Worker threads started by start(); each owns one SO_REUSEPORT
+  /// socket on the shared endpoint.
+  std::size_t workers = 1;
+  /// Poll granularity of the worker loops (stop-flag latency bound).
+  std::chrono::milliseconds poll_interval{50};
+};
+
+/// Counter snapshot for the UDP front end.
+struct UdpServerStats {
+  std::uint64_t queries = 0;            ///< datagrams answered
+  std::uint64_t truncated = 0;          ///< TC=1 responses sent
+  std::uint64_t wire_errors = 0;        ///< unparseable datagrams
+  std::vector<std::uint64_t> per_worker;  ///< queries answered per worker
+};
+
+/// Render UDP server counters as a two-column table for benches/examples.
+[[nodiscard]] stats::Table udp_server_stats_table(const UdpServerStats& stats);
+
+/// Serves an AuthoritativeServer over UDP with a pool of SO_REUSEPORT
+/// worker threads. `serve_once`/`serve_until` remain for single-threaded
+/// callers and always use worker 0's socket.
 class UdpAuthorityServer {
  public:
-  /// `engine` is borrowed and must outlive the server.
-  UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind);
+  /// `engine` is borrowed and must outlive the server. All sockets are
+  /// bound up front; start() only spawns the threads.
+  UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind,
+                     UdpServerConfig config = {});
+  ~UdpAuthorityServer();
 
-  [[nodiscard]] UdpEndpoint endpoint() const { return socket_.local_endpoint(); }
+  UdpAuthorityServer(const UdpAuthorityServer&) = delete;
+  UdpAuthorityServer& operator=(const UdpAuthorityServer&) = delete;
 
-  /// Handle at most one request; returns true if one was served.
+  [[nodiscard]] UdpEndpoint endpoint() const { return sockets_.front().local_endpoint(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept { return sockets_.size(); }
+
+  /// Spawn the worker threads; idempotent. Each worker serves its own
+  /// socket until stop().
+  void start();
+
+  /// Stop and join the worker threads; idempotent (also run by the
+  /// destructor).
+  void stop();
+
+  /// Handle at most one request on worker 0's socket; returns true if
+  /// one was served. Do not mix with start() — workers own the sockets.
   bool serve_once(std::chrono::milliseconds timeout);
 
-  /// Serve until `stop` becomes true (checked between datagrams).
+  /// Serve single-threaded until `stop` becomes true (checked between
+  /// datagrams).
   void serve_until(const std::atomic<bool>& stop);
 
+  [[nodiscard]] UdpServerStats stats() const;
+
  private:
+  /// One receive/handle/send round on `socket`, crediting `worker`.
+  bool serve_on(UdpSocket& socket, std::size_t worker, std::chrono::milliseconds timeout);
+
   AuthoritativeServer* engine_;
-  UdpSocket socket_;
+  UdpServerConfig config_;
+  std::vector<UdpSocket> sockets_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_queries_;
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> wire_errors_{0};
 };
 
 /// One-shot DNS-over-UDP client.

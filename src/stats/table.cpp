@@ -21,6 +21,14 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void Table::add_row(std::string label, std::uint64_t value) {
+  add_row({std::move(label), std::to_string(value)});
+}
+
+void Table::add_row(std::string label, double value, int precision) {
+  add_row({std::move(label), num(value, precision)});
+}
+
 std::string Table::render() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();

@@ -2,6 +2,7 @@
 // paper-figure data as aligned rows.
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -15,6 +16,11 @@ class Table {
 
   /// Add a row; must have exactly as many cells as there are headers.
   void add_row(std::vector<std::string> cells);
+
+  /// Two-column counter-table conveniences ("name", value). Only valid
+  /// on tables with exactly two columns.
+  void add_row(std::string label, std::uint64_t value);
+  void add_row(std::string label, double value, int precision = 1);
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 

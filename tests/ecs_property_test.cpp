@@ -103,6 +103,97 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.seed);
     });
 
+TEST(EcsCacheInvariant, ForwardedEcsAnswersMatchTheForwardedBlockNotTheConnection) {
+  // Property: under random interleavings of direct and forwarded queries
+  // the answer always matches the *ECS* block (RFC 7871 §7.1.1) — the
+  // connection address a forwarder happens to use must never select the
+  // cached entry. Fails on the seed, which looked up by connection
+  // address.
+  BlockEchoAuthority authority{24};
+  util::SimClock clock;
+  ResolverConfig config;
+  config.ecs_enabled = true;
+  RecursiveResolver resolver{config, &clock, authority.directory(),
+                             *net::IpAddr::parse("202.0.0.1")};
+  util::Rng rng{99};
+  const auto qname = DnsName::from_text("www.g.cdn.example");
+  std::uint16_t id = 1;
+  for (int step = 0; step < 2000; ++step) {
+    // Both pools draw from the same 20 /24s so forwarder connection
+    // addresses collide with other clients' ECS blocks constantly.
+    const auto block = [&] {
+      return 0x0A000000U + (static_cast<std::uint32_t>(rng.below(20)) << 8);
+    };
+    const net::IpAddr conn{net::IpV4Addr{block() + 1 + static_cast<std::uint32_t>(rng.below(200))}};
+    if (rng.chance(0.5)) {
+      // Forwarded query: independent ECS address.
+      const net::IpAddr ecs_client{
+          net::IpV4Addr{block() + 1 + static_cast<std::uint32_t>(rng.below(200))}};
+      const auto ecs = dns::ClientSubnetOption::for_query(ecs_client, 24);
+      const Message response =
+          resolver.resolve(Message::make_query(id++, qname, RecordType::A, ecs), conn);
+      const auto addresses = response.answer_addresses();
+      ASSERT_EQ(addresses.size(), 1U);
+      EXPECT_EQ(addresses[0], authority.expected_for(ecs_client))
+          << "forwarded ECS " << ecs_client.to_string() << " over connection "
+          << conn.to_string() << " step " << step;
+    } else {
+      const Message response =
+          resolver.resolve(Message::make_query(id++, qname, RecordType::A), conn);
+      const auto addresses = response.answer_addresses();
+      ASSERT_EQ(addresses.size(), 1U);
+      EXPECT_EQ(addresses[0], authority.expected_for(conn)) << "direct client "
+                                                            << conn.to_string();
+    }
+  }
+}
+
+TEST(EcsCacheInvariant, CoexistingNestedScopesServeTheLongestMatch) {
+  // An authority whose answers depend only on the /16 but whose reported
+  // scope flaps between /16 and /24 (both claims are truthful). The cache
+  // accumulates nested entries for the same name; longest-scope-match
+  // must still return the block-correct answer for every client.
+  util::SimClock clock;
+  AuthoritativeServer server;
+  AuthorityDirectory directory;
+  int flip = 0;
+  server.add_dynamic_domain(
+      DnsName::from_text("g.cdn.example"),
+      [&flip](const DynamicQuery& query) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.ttl = 300;
+        answer.ecs_scope_len = (flip++ % 2 == 0) ? 16 : 24;
+        const net::IpPrefix block16{query.client_block->address(), 16};
+        answer.addresses = {net::IpAddr{
+            net::IpV4Addr{0xCB000000U | (block16.address().v4().value() >> 16 & 0xFFFF)}}};
+        return answer;
+      });
+  directory.add_authority(DnsName::from_text("g.cdn.example"), &server);
+  ResolverConfig config;
+  config.ecs_enabled = true;
+  RecursiveResolver resolver{config, &clock, &directory, *net::IpAddr::parse("202.0.0.1")};
+
+  util::Rng rng{7};
+  const auto qname = DnsName::from_text("www.g.cdn.example");
+  std::uint16_t id = 1;
+  for (int step = 0; step < 1500; ++step) {
+    const std::uint32_t base =
+        (static_cast<std::uint32_t>(rng.below(4)) << 16) |
+        (static_cast<std::uint32_t>(rng.below(6)) << 8);
+    const net::IpAddr client{net::IpV4Addr{0x0A000000U + base + 1}};
+    const Message response =
+        resolver.resolve(Message::make_query(id++, qname, RecordType::A), client);
+    const auto addresses = response.answer_addresses();
+    ASSERT_EQ(addresses.size(), 1U);
+    const std::uint32_t expected16 = (0x0A000000U + base) >> 16;
+    EXPECT_EQ(addresses[0].v4().value(), 0xCB000000U | expected16)
+        << "client " << client.to_string() << " step " << step;
+  }
+  // The flapping scopes really did create coexisting entries per name.
+  EXPECT_GT(resolver.cache_size(), 4U);
+  EXPECT_GT(resolver.stats().scoped_hits, 1000U);
+}
+
 TEST(EcsCacheInvariant, MixedEcsAndPlainResolversShareAuthority) {
   // A non-ECS resolver and an ECS resolver against the same authority:
   // the plain one gets the client-independent answer, the ECS one the

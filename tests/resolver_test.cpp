@@ -202,6 +202,113 @@ TEST_F(EcsFixture, ForwardedEcsFromClientQueryWins) {
   EXPECT_EQ(response.answer_addresses()[0].v4().value(), 0xCB000000U | 70U);
 }
 
+TEST_F(EcsFixture, ForwardedEcsDoesNotHitConnectionScopedEntry) {
+  // Regression: the seed passed the *connection* address to the cache
+  // lookup while the upstream query used the ECS-derived address. A
+  // forwarded query whose connection address happens to fall inside an
+  // unrelated cached scope was served that block's answer — silent
+  // mapping corruption (RFC 7871 §7.1.1).
+  RecursiveResolver resolver = make_resolver(true);
+  // Seed a scoped entry for 1.2.3.0/24 via a direct client.
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+
+  // A forwarder whose connection address is inside that /24 relays a
+  // query for a client in 50.60.70.0/24.
+  const auto ecs = ClientSubnetOption::for_query(v4("50.60.70.80"), 24);
+  const Message forwarded =
+      Message::make_query(2, DnsName::from_text("www.g.cdn.example"), RecordType::A, ecs);
+  const Message response = resolver.resolve(forwarded, v4("1.2.3.50"));
+  ASSERT_EQ(response.answers.size(), 1U);
+  // Must be the 50.60.70/24 answer fetched upstream, not the cached
+  // 1.2.3/24 one.
+  EXPECT_EQ(response.answer_addresses()[0].v4().value(), 0xCB000000U | 70U);
+  EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+TEST_F(EcsFixture, ForwardedEcsHitsItsOwnScopedEntry) {
+  // Companion regression: two forwarded queries for the same client
+  // block must share one cache entry even when they arrive over
+  // different connections (the seed looked up by connection address and
+  // always missed).
+  RecursiveResolver resolver = make_resolver(true);
+  const auto ecs = ClientSubnetOption::for_query(v4("50.60.70.80"), 24);
+  const Message q1 =
+      Message::make_query(1, DnsName::from_text("www.g.cdn.example"), RecordType::A, ecs);
+  const Message q2 =
+      Message::make_query(2, DnsName::from_text("www.g.cdn.example"), RecordType::A, ecs);
+  const Message a = resolver.resolve(q1, v4("9.9.9.9"));
+  const Message b = resolver.resolve(q2, v4("8.8.8.8"));
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(resolver.stats().upstream_queries, 1U);
+  EXPECT_EQ(resolver.stats().cache_hits, 1U);
+}
+
+TEST_F(EcsFixture, EvictionKeepsRecentEntriesServing) {
+  // Regression for the seed's sweep-then-flush eviction: overflowing the
+  // cache by one entry dumped *all* state. LRU must keep the most
+  // recently used entries hot.
+  ResolverConfig config;
+  config.ecs_enabled = true;
+  config.max_cache_entries = 4;
+  config.cache_shards = 1;  // exact capacity semantics for the test
+  RecursiveResolver resolver{config, &clock_, &directory_, v4("202.0.0.1")};
+  for (std::uint32_t i = 0; i < 5; ++i) {  // 5 blocks through a 4-entry cache
+    const net::IpAddr client{net::IpV4Addr{0x01020000U + (i << 8) + 1}};
+    (void)resolver.resolve(client_query(static_cast<std::uint16_t>(i + 1)), client);
+  }
+  EXPECT_EQ(resolver.stats().upstream_queries, 5U);
+  EXPECT_EQ(resolver.cache_size(), 4U);
+  EXPECT_EQ(resolver.stats().cache_evictions, 1U);
+  // Blocks 2..5 must still be cached; only block 1 (the coldest) was
+  // evicted. The seed flushed everything and re-queried upstream.
+  for (std::uint32_t i = 1; i < 5; ++i) {
+    const net::IpAddr client{net::IpV4Addr{0x01020000U + (i << 8) + 7}};
+    (void)resolver.resolve(client_query(static_cast<std::uint16_t>(10 + i)), client);
+  }
+  EXPECT_EQ(resolver.stats().upstream_queries, 5U);
+  EXPECT_EQ(resolver.stats().cache_hits, 4U);
+}
+
+TEST_F(EcsFixture, ExpiredEntriesDoNotLeakCacheKeys) {
+  // Regression: the seed erased expired entries from the per-key vector
+  // but left the emptied vector keyed in the map forever.
+  RecursiveResolver resolver = make_resolver(false);
+  ttl_ = 30;
+  for (int i = 0; i < 20; ++i) {
+    const Message query = client_query(static_cast<std::uint16_t>(i + 1),
+                                       ("h" + std::to_string(i) + ".g.cdn.example").c_str());
+    (void)resolver.resolve(query, v4("1.2.3.4"));
+  }
+  EXPECT_EQ(resolver.cache().key_count(), 20U);
+  clock_.advance(31);
+  for (int i = 0; i < 20; ++i) {
+    const Message query = client_query(static_cast<std::uint16_t>(100 + i),
+                                       ("h" + std::to_string(i) + ".g.cdn.example").c_str());
+    (void)resolver.resolve(query, v4("1.2.3.4"));
+  }
+  // The fresh entries replaced the expired ones; no key accumulates
+  // empty slots.
+  EXPECT_EQ(resolver.cache().key_count(), 20U);
+  EXPECT_EQ(resolver.cache_size(), 20U);
+  EXPECT_EQ(resolver.stats().cache_expirations, 20U);
+}
+
+TEST_F(EcsFixture, ScopeDepthStatsTrackMatchedScopes) {
+  RecursiveResolver resolver = make_resolver(true);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  (void)resolver.resolve(client_query(2), v4("1.2.3.9"));   // /24 hit
+  (void)resolver.resolve(client_query(3), v4("1.2.3.77"));  // /24 hit
+  const ResolverStats stats = resolver.stats();
+  EXPECT_EQ(stats.scoped_hits, 2U);
+  EXPECT_EQ(stats.scope_depth_total, 48U);
+  EXPECT_NEAR(stats.mean_scope_depth(), 24.0, 1e-9);
+  // The counters render as a table for benches/examples.
+  const std::string rendered = resolver_stats_table(stats).render();
+  EXPECT_NE(rendered.find("scoped_hits"), std::string::npos);
+  EXPECT_NE(rendered.find("mean_scope_depth"), std::string::npos);
+}
+
 TEST_F(EcsFixture, RefusedUpstreamPropagates) {
   RecursiveResolver resolver = make_resolver(false);
   const Message response = resolver.resolve(client_query(1, "www.unknown.example"),

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "dnsserver/udp.h"
 
@@ -95,6 +98,136 @@ TEST_F(UdpFixture, MalformedDatagramGetsFormErr) {
   const Message response = Message::decode(*datagram);
   EXPECT_EQ(response.header.id, 0xABCD);
   EXPECT_EQ(response.header.rcode, dns::Rcode::form_err);
+}
+
+TEST(UdpTruncation, Tc1ResponseKeepsEdnsOptAndEcsScope) {
+  // RFC 6891 §7 / RFC 7871 §7.2.2: when a response is truncated to fit
+  // the client's advertised payload, the DNS sections are dropped but
+  // the OPT pseudo-record (with the ECS scope) must survive, so the
+  // client learns the payload limit and scope before retrying.
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      DnsName::from_text("g.cdn.example"),
+      [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.ttl = 20;
+        answer.ecs_scope_len = 24;
+        for (std::uint32_t i = 0; i < 60; ++i) {  // far beyond 512 octets
+          answer.addresses.push_back(net::IpAddr{net::IpV4Addr{0xCB000000U + i}});
+        }
+        return answer;
+      });
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  std::atomic<bool> stop{false};
+  std::thread thread{[&] { server.serve_until(stop); }};
+
+  UdpDnsClient client;
+  const auto ecs = ClientSubnetOption::for_query(v4("198.51.100.42"), 24);
+  Message query =
+      Message::make_query(9, DnsName::from_text("www.g.cdn.example"), RecordType::A, ecs);
+  query.edns->udp_payload_size = 512;
+  const auto response = client.query(query, server.endpoint(), 2000ms);
+  stop = true;
+  thread.join();
+
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->header.truncated);
+  EXPECT_TRUE(response->answers.empty());
+  ASSERT_TRUE(response->edns.has_value());  // the OPT must not be dropped
+  const ClientSubnetOption* echoed = response->client_subnet();
+  ASSERT_NE(echoed, nullptr);
+  EXPECT_EQ(echoed->scope_prefix_len(), 24);
+  EXPECT_EQ(echoed->address(), v4("198.51.100.0"));
+  EXPECT_EQ(server.stats().truncated, 1U);
+}
+
+TEST(UdpConcurrency, FourWorkersServeParallelClientsWithoutLoss) {
+  // The multithreaded front end: 4 SO_REUSEPORT workers, 8 client
+  // threads firing interleaved queries. Every query must come back with
+  // its own id and the answer derived from its qname — no lost or
+  // cross-wired responses. Run under TSan via scripts/tsan_check.sh.
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      DnsName::from_text("g.cdn.example"),
+      [](const DynamicQuery& query) -> std::optional<DynamicAnswer> {
+        // Answer encodes the first qname label's number: qN.g.cdn.example
+        // -> 203.0.0.N, so mismatched responses are detectable.
+        const std::string label = query.qname.to_string();
+        const int n = std::atoi(label.c_str() + 1);
+        DynamicAnswer answer;
+        answer.ttl = 20;
+        answer.addresses = {net::IpAddr{net::IpV4Addr{0xCB000000U + static_cast<std::uint32_t>(n)}}};
+        return answer;
+      });
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0},
+                            UdpServerConfig{4}};
+  ASSERT_EQ(server.worker_count(), 4U);
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 40;
+  std::atomic<int> answered{0};
+  std::atomic<int> mismatched{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      UdpDnsClient client;
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const int n = c * kQueriesPerClient + q;
+        const auto id = static_cast<std::uint16_t>(n + 1);
+        const Message query = Message::make_query(
+            id, DnsName::from_text("q" + std::to_string(n) + ".g.cdn.example"),
+            RecordType::A);
+        const auto response = client.query(query, server.endpoint(), 5000ms);
+        if (!response || response->header.id != id) continue;
+        const auto addresses = response->answer_addresses();
+        if (addresses.size() == 1 &&
+            addresses[0] == net::IpAddr{net::IpV4Addr{0xCB000000U + static_cast<std::uint32_t>(n)}}) {
+          ++answered;
+        } else {
+          ++mismatched;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  server.stop();
+
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+  EXPECT_EQ(engine.stats().queries, static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+  const UdpServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+  ASSERT_EQ(stats.per_worker.size(), 4U);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t w : stats.per_worker) sum += w;
+  EXPECT_EQ(sum, stats.queries);
+  // The counters render as a table for benches/examples.
+  const std::string rendered = udp_server_stats_table(stats).render();
+  EXPECT_NE(rendered.find("worker_0_queries"), std::string::npos);
+}
+
+TEST(UdpConcurrency, StartStopIsIdempotentAndRestartable) {
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(DnsName::from_text("g.cdn.example"),
+                            [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+                              DynamicAnswer answer;
+                              answer.addresses = {v4("203.0.9.1")};
+                              return answer;
+                            });
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0},
+                            UdpServerConfig{2}};
+  server.start();
+  server.start();  // no-op
+  UdpDnsClient client;
+  const Message query =
+      Message::make_query(3, DnsName::from_text("a.g.cdn.example"), RecordType::A);
+  EXPECT_TRUE(client.query(query, server.endpoint(), 2000ms).has_value());
+  server.stop();
+  server.stop();  // no-op
+  server.start();  // restart after stop
+  EXPECT_TRUE(client.query(query, server.endpoint(), 2000ms).has_value());
+  server.stop();
 }
 
 TEST(UdpSocket, BindEphemeralAndQueryTimeout) {
