@@ -4,17 +4,23 @@
 // per query (geo lookup / mapping decision / upstream wait), so worker
 // threads pay off by overlapping waits — the regime the paper's
 // authorities actually run in — and the speedup column is meaningful
-// even on small machines. Prints an aligned table; regen_figures.sh
-// captures it alongside the figure benches.
+// even on small machines. Prints an aligned table with registry-derived
+// serve-latency percentiles; regen_figures.sh captures it alongside the
+// figure benches. Results are also written as BENCH_udp_throughput.json
+// (path overridable via the EUM_BENCH_OUT environment variable) so the
+// perf trajectory accumulates across runs.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dnsserver/udp.h"
+#include "obs/metrics.h"
 #include "stats/table.h"
 
 namespace {
@@ -31,6 +37,7 @@ struct RunResult {
   std::uint64_t answered = 0;
   double seconds = 0.0;
   dnsserver::UdpServerStats stats;
+  obs::HistogramSnapshot latency;  ///< eum_udp_serve_latency_us, this run
   [[nodiscard]] double qps() const { return static_cast<double>(answered) / seconds; }
 };
 
@@ -79,8 +86,37 @@ RunResult run_config(std::size_t workers) {
   result.answered = answered.load();
   result.seconds = std::chrono::duration<double>(elapsed).count();
   result.stats = server.stats();
+  // Each run has its own engine, hence its own registry: the serve
+  // latency histogram covers exactly this configuration's window.
+  result.latency = server.registry().histogram("eum_udp_serve_latency_us").snapshot();
   server.stop();
   return result;
+}
+
+/// BENCH_udp_throughput.json: one object per worker configuration with
+/// throughput and registry-derived latency percentiles.
+void write_bench_json(const std::vector<RunResult>& results, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::perror("udp_throughput: fopen bench artifact");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"udp_throughput\",\n  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"workers\": %zu, \"queries\": %llu, \"qps\": %.0f, "
+                 "\"speedup\": %.3f, \"latency_us\": {\"count\": %llu, \"mean\": %.1f, "
+                 "\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"p999\": %.1f}}%s\n",
+                 r.workers, static_cast<unsigned long long>(r.answered), r.qps(),
+                 r.qps() / results.front().qps(),
+                 static_cast<unsigned long long>(r.latency.count), r.latency.mean(),
+                 r.latency.percentile(50), r.latency.percentile(90), r.latency.percentile(99),
+                 r.latency.percentile(99.9), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::cout << "wrote " << path << '\n';
 }
 
 }  // namespace
@@ -91,7 +127,8 @@ int main() {
     results.push_back(run_config(workers));
   }
 
-  stats::Table table{{"workers", "queries", "qps", "speedup", "per_worker_share"}};
+  stats::Table table{
+      {"workers", "queries", "qps", "speedup", "per_worker_share", "p50_us", "p99_us"}};
   for (const RunResult& result : results) {
     // How evenly the kernel spread load across the REUSEPORT sockets:
     // max worker share of total (1/workers is a perfect spread).
@@ -104,12 +141,16 @@ int main() {
     table.add_row({std::to_string(result.workers), std::to_string(result.answered),
                    stats::num(result.qps(), 0),
                    stats::num(result.qps() / results.front().qps(), 2),
-                   stats::num(share, 2)});
+                   stats::num(share, 2), stats::num(result.latency.percentile(50), 0),
+                   stats::num(result.latency.percentile(99), 0)});
   }
   std::cout << "UDP front-end throughput, " << kClientThreads
             << " closed-loop clients, " << kBackendLatency.count()
             << "us simulated backend latency per query\n\n"
             << table.render() << '\n';
+
+  const char* out_path = std::getenv("EUM_BENCH_OUT");
+  write_bench_json(results, out_path != nullptr ? out_path : "BENCH_udp_throughput.json");
 
   const double speedup = results.back().qps() / results.front().qps();
   std::cout << "\n4-worker speedup over 1 worker: " << stats::num(speedup, 2) << "x\n";

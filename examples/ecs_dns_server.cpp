@@ -9,9 +9,17 @@
 // `whoami.g.cdn.example` reporting what it saw — the same trick as
 // Akamai's whoami.akamai.net (paper §3.1).
 //
-// Usage: ecs_dns_server [port] [workers]
+// Usage: ecs_dns_server [port] [workers] [--metrics]
 //   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
 //   through that many SO_REUSEPORT sockets, one thread each.)
+//
+// With --metrics the full obs::MetricsRegistry — authority, resolver,
+// scoped-cache, and per-worker UDP counters plus latency-percentile
+// histograms — is dumped every 10 seconds in both Prometheus text format
+// and as a stats::Table, and the sampled structured query log is drained
+// to stderr as NDJSON. Sending SIGUSR1 triggers one extra dump on demand
+// (with or without --metrics):
+//   kill -USR1 $(pidof ecs_dns_server)
 //
 // Try it with dig:
 //   dig @127.0.0.1 -p <port> www.g.cdn.example A +subnet=1.0.3.0/24
@@ -19,27 +27,65 @@
 //
 // If no query arrives for 30 seconds the server exits (so the example is
 // safe to run unattended); it first demonstrates itself by sending two
-// queries through its own UdpDnsClient, and prints the per-worker
-// counter table on the way out.
+// queries through its own UdpDnsClient plus a short recursive-resolver
+// session (populating the scoped-cache metrics), and prints the
+// per-worker counter table on the way out.
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 
 #include "cdn/mapping.h"
+#include "dnsserver/transport.h"
 #include "dnsserver/udp.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "stats/table.h"
 #include "topo/world_gen.h"
+#include "util/sim_clock.h"
 
 using namespace eum;
 using namespace std::chrono_literals;
 
+namespace {
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+
+/// One full observability dump: Prometheus exposition + table to stdout,
+/// freshly logged query records to stderr as NDJSON.
+void dump_observability(const obs::MetricsRegistry& registry, obs::QueryLog& query_log) {
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  std::printf("--- metrics (prometheus) ---\n%s", obs::render_prometheus(snapshot).c_str());
+  std::printf("--- metrics (table) ---\n%s\n", obs::render_table(snapshot).render().c_str());
+  const std::size_t drained = query_log.drain_to(stderr);
+  std::printf("--- query log: %zu record%s drained to stderr (%llu dropped) ---\n", drained,
+              drained == 1 ? "" : "s",
+              static_cast<unsigned long long>(query_log.dropped()));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const auto port = static_cast<std::uint16_t>(argc > 1 ? std::atoi(argv[1]) : 0);
-  const auto workers =
-      static_cast<std::size_t>(argc > 2 ? std::max(1, std::atoi(argv[2])) : 2);
+  bool metrics = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const auto port =
+      static_cast<std::uint16_t>(!positional.empty() ? std::atoi(positional[0]) : 0);
+  const auto workers = static_cast<std::size_t>(
+      positional.size() > 1 ? std::max(1, std::atoi(positional[1])) : 2);
 
   // World + CDN + mapping system.
   topo::WorldGenConfig world_config;
@@ -51,13 +97,20 @@ int main(int argc, char** argv) {
   cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 400);
   cdn::MappingSystem mapping{&world, &network, &latency, cdn::MappingConfig{}};
 
+  // One registry for the whole serving stack: the authoritative engine,
+  // the demo recursive resolver (and its scoped cache), and the UDP
+  // front end all record into it, so one snapshot covers everything.
+  obs::MetricsRegistry registry;
+  obs::QueryLog query_log{obs::QueryLogConfig{4096, 8, 1}};
+
   // Authoritative engine: the mapping system behind g.cdn.example, plus a
   // whoami TXT responder. Unknown resolvers (like 127.0.0.1) fall back to
   // a default LDNS so interactive dig queries still get answers. The
   // mapping system mutates server load state on every decision, so with
   // multiple UDP workers the handler is serialized behind a mutex — the
   // sockets, wire codec, and dispatch still run concurrently.
-  dnsserver::AuthoritativeServer engine;
+  dnsserver::AuthoritativeServer engine{&registry};
+  engine.set_query_log(&query_log);
   const topo::Ldns& fallback_ldns = world.ldnses.front();
   auto inner = mapping.dns_handler();
   auto mapping_mutex = std::make_shared<std::mutex>();
@@ -72,6 +125,9 @@ int main(int argc, char** argv) {
         const std::scoped_lock lock{*mapping_mutex};
         return inner(patched);
       });
+  // Demo server: time every query so even a handful of digs shows real
+  // percentiles (production keeps the 1-in-16 sampling default).
+  engine.set_latency_sampling(1);
   engine.add_zone([&] {
     dns::SoaRecord soa;
     soa.mname = dns::DnsName::from_text("ns1.whoami.example");
@@ -81,8 +137,9 @@ int main(int argc, char** argv) {
 
   dnsserver::UdpAuthorityServer server{
       &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port},
-      dnsserver::UdpServerConfig{workers}};
+      dnsserver::UdpServerConfig{workers, std::chrono::milliseconds{50}, &registry}};
   const auto endpoint = server.endpoint();
+  std::signal(SIGUSR1, on_sigusr1);
   std::printf("ecs_dns_server listening on 127.0.0.1:%u (%zu worker%s)\n", endpoint.port,
               server.worker_count(), server.worker_count() == 1 ? "" : "s");
   std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
@@ -117,20 +174,63 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Exit after 30 seconds without a new query.
+  // A short recursive-resolver session through the in-memory transport:
+  // an ECS-forwarding LDNS resolving for a few client blocks populates
+  // the eum_resolver_* and scoped-cache (eum_cache_*) metric families in
+  // the shared registry — repeated clients in the same /24 hit the
+  // scoped entry cached from the first answer.
+  {
+    util::SimClock clock;
+    dnsserver::AuthorityDirectory directory;
+    directory.add_authority(dns::DnsName::from_text("g.cdn.example"), &engine);
+    dnsserver::ResolverConfig resolver_config;
+    resolver_config.ecs_enabled = true;
+    resolver_config.registry = &registry;
+    dnsserver::RecursiveResolver resolver{resolver_config, &clock, &directory,
+                                          world.ldnses.front().address};
+    resolver.set_query_log(&query_log);
+    const auto qname = dns::DnsName::from_text("www.g.cdn.example");
+    std::uint64_t hits = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t b = 100; b < 108; ++b) {
+        const net::IpAddr client{net::IpV4Addr{
+            world.blocks[b].prefix.address().v4().value() + 7 + static_cast<std::uint32_t>(round)}};
+        const auto query = dns::Message::make_query(
+            static_cast<std::uint16_t>(1000 + round * 16 + static_cast<int>(b)), qname,
+            dns::RecordType::A);
+        (void)resolver.resolve(query, client);
+      }
+      hits = resolver.stats().cache_hits;
+    }
+    std::printf("resolver demo    -> %llu client queries, %llu scoped-cache hits\n",
+                static_cast<unsigned long long>(resolver.stats().client_queries),
+                static_cast<unsigned long long>(hits));
+  }
+
+  if (metrics) dump_observability(registry, query_log);
+
+  // Exit after 30 seconds without a new query; with --metrics the full
+  // registry is dumped every 10 s, and SIGUSR1 forces a dump either way.
   std::printf("\nserving until 30 s of idle time pass (Ctrl-C to quit sooner)...\n");
   std::uint64_t last_seen = 0;
   int idle_polls = 0;
+  int polls_since_dump = 0;
   while (idle_polls < 600) {
     std::this_thread::sleep_for(50ms);
     const std::uint64_t seen = server.stats().queries;
     idle_polls = seen == last_seen ? idle_polls + 1 : 0;
     last_seen = seen;
+    if (g_dump_requested != 0 || (metrics && ++polls_since_dump >= 200)) {
+      g_dump_requested = 0;
+      polls_since_dump = 0;
+      dump_observability(registry, query_log);
+    }
   }
   server.stop();
 
   std::printf("server exiting; %llu queries handled\n\n%s\n",
               static_cast<unsigned long long>(engine.stats().queries),
               dnsserver::udp_server_stats_table(server.stats()).render().c_str());
+  if (metrics) dump_observability(registry, query_log);
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# One-command verification: the tier-1 gate (configure + build + ctest)
+# followed by the ThreadSanitizer gate for the concurrent DNS paths.
+#
+# Usage: scripts/check.sh [build-dir]   (default build; TSan uses
+#                                        build-tsan via tsan_check.sh)
+set -eu
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "check: tier-1 build + ctest ($BUILD)"
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$(nproc)"
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+echo "check: TSan gate"
+scripts/tsan_check.sh
+
+echo "check: OK"

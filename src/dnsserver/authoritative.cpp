@@ -1,6 +1,7 @@
 #include "dnsserver/authoritative.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace eum::dnsserver {
 
@@ -10,30 +11,49 @@ using dns::Rcode;
 using dns::RecordType;
 using dns::ResourceRecord;
 
+AuthoritativeServer::AuthoritativeServer(obs::MetricsRegistry* registry)
+    : owned_registry_(registry == nullptr ? std::make_unique<obs::MetricsRegistry>() : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()) {
+  queries_ = &registry_->counter("eum_authority_queries_total", "queries handled");
+  queries_with_ecs_ =
+      &registry_->counter("eum_authority_queries_with_ecs_total", "queries carrying ECS");
+  dynamic_answers_ =
+      &registry_->counter("eum_authority_dynamic_answers_total", "mapping-system answers");
+  referrals_ = &registry_->counter("eum_authority_referrals_total", "two-tier delegations");
+  static_answers_ = &registry_->counter("eum_authority_static_answers_total", "zone answers");
+  negative_answers_ =
+      &registry_->counter("eum_authority_negative_answers_total", "NXDOMAIN/NODATA answers");
+  refused_ = &registry_->counter("eum_authority_refused_total", "queries outside our zones");
+  form_errors_ = &registry_->counter("eum_authority_form_errors_total", "malformed queries");
+  handle_latency_ = &registry_->histogram("eum_authority_handle_latency_us",
+                                          "handle() serving latency, microseconds");
+}
+
 void AuthoritativeServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
 
 AuthServerStats AuthoritativeServer::stats() const noexcept {
   AuthServerStats snapshot;
-  snapshot.queries = stats_.queries.load(std::memory_order_relaxed);
-  snapshot.queries_with_ecs = stats_.queries_with_ecs.load(std::memory_order_relaxed);
-  snapshot.dynamic_answers = stats_.dynamic_answers.load(std::memory_order_relaxed);
-  snapshot.referrals = stats_.referrals.load(std::memory_order_relaxed);
-  snapshot.static_answers = stats_.static_answers.load(std::memory_order_relaxed);
-  snapshot.negative_answers = stats_.negative_answers.load(std::memory_order_relaxed);
-  snapshot.refused = stats_.refused.load(std::memory_order_relaxed);
-  snapshot.form_errors = stats_.form_errors.load(std::memory_order_relaxed);
+  snapshot.queries = queries_->value();
+  snapshot.queries_with_ecs = queries_with_ecs_->value();
+  snapshot.dynamic_answers = dynamic_answers_->value();
+  snapshot.referrals = referrals_->value();
+  snapshot.static_answers = static_answers_->value();
+  snapshot.negative_answers = negative_answers_->value();
+  snapshot.refused = refused_->value();
+  snapshot.form_errors = form_errors_->value();
   return snapshot;
 }
 
 void AuthoritativeServer::reset_stats() noexcept {
-  stats_.queries.store(0, std::memory_order_relaxed);
-  stats_.queries_with_ecs.store(0, std::memory_order_relaxed);
-  stats_.dynamic_answers.store(0, std::memory_order_relaxed);
-  stats_.referrals.store(0, std::memory_order_relaxed);
-  stats_.static_answers.store(0, std::memory_order_relaxed);
-  stats_.negative_answers.store(0, std::memory_order_relaxed);
-  stats_.refused.store(0, std::memory_order_relaxed);
-  stats_.form_errors.store(0, std::memory_order_relaxed);
+  queries_->reset();
+  queries_with_ecs_->reset();
+  dynamic_answers_->reset();
+  referrals_->reset();
+  static_answers_->reset();
+  negative_answers_->reset();
+  refused_->reset();
+  form_errors_->reset();
+  handle_latency_->reset();
 }
 
 void AuthoritativeServer::add_dynamic_domain(DnsName suffix, DynamicAnswerFn handler) {
@@ -67,13 +87,57 @@ std::pair<const DnsName*, const DynamicAnswerFn*> AuthoritativeServer::dynamic_f
 
 Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& source,
                                     const net::IpAddr& server_address) {
-  ++stats_.queries;
+  // Timing is sampled: two clock reads cost more than the rest of the
+  // instrumentation combined, so only every Nth query (and every
+  // query-log-sampled query) pays them. The tick is the queries counter
+  // handle_inner() bumps anyway; concurrent handlers may occasionally
+  // double- or zero-sample a tick, which sampling tolerates by design.
+  const bool time_hist =
+      latency_tracking_ && (queries_->value() & latency_sample_mask_) == 0;
+  const bool log_this = query_log_ != nullptr && query_log_->sample();
+  const bool timing = time_hist || log_this;
+  const auto start =
+      timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  obs::AnswerSource answer_source = obs::AnswerSource::static_answer;
+  Message response = handle_inner(query, source, server_address, answer_source);
+  if (timing) {
+    const auto latency_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                              start)
+            .count());
+    if (time_hist) handle_latency_->record(latency_us);
+    if (log_this) {
+      obs::QueryLogRecord record;
+      record.ts_us = obs::QueryLog::now_us();
+      record.client = source.to_string();
+      if (const dns::ClientSubnetOption* ecs = query.client_subnet()) {
+        record.ecs = ecs->source_block().to_string();
+      }
+      if (!query.questions.empty()) {
+        record.qname = query.questions.front().name.to_string();
+        record.qtype = dns::to_string(query.questions.front().type);
+      }
+      record.source = answer_source;
+      record.rcode = dns::to_string(response.header.rcode);
+      record.latency_us = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(latency_us, 0xFFFFFFFFull));
+      query_log_->log(std::move(record));
+    }
+  }
+  return response;
+}
+
+Message AuthoritativeServer::handle_inner(const Message& query, const net::IpAddr& source,
+                                          const net::IpAddr& server_address,
+                                          obs::AnswerSource& answer_source) {
+  queries_->add();
   Message response = Message::make_response(query);
   response.header.authoritative = true;
 
   if (query.header.is_response || query.questions.size() != 1 ||
       query.header.opcode != dns::Opcode::query) {
-    ++stats_.form_errors;
+    form_errors_->add();
+    answer_source = obs::AnswerSource::form_error;
     response.header.rcode = Rcode::form_err;
     return response;
   }
@@ -83,10 +147,11 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
   const dns::ClientSubnetOption* ecs = query.client_subnet();
   std::optional<net::IpPrefix> client_block;
   if (ecs != nullptr) {
-    ++stats_.queries_with_ecs;
+    queries_with_ecs_->add();
     if (ecs->scope_prefix_len() != 0) {
       // RFC 7871 §7.1.2: SCOPE PREFIX-LENGTH must be 0 in queries.
-      ++stats_.form_errors;
+      form_errors_->add();
+      answer_source = obs::AnswerSource::form_error;
       response.header.rcode = Rcode::form_err;
       return response;
     }
@@ -98,13 +163,15 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
     DynamicQuery dyn{question.name, question.type, source, client_block, server_address};
     const std::optional<DynamicAnswer> answer = (*handler)(dyn);
     if (!answer) {
-      ++stats_.negative_answers;
+      negative_answers_->add();
+      answer_source = obs::AnswerSource::negative;
       response.header.rcode = Rcode::nx_domain;
       return response;
     }
     if (!answer->referral.empty()) {
       // Delegation: NS records at the dynamic suffix plus A glue.
-      ++stats_.referrals;
+      referrals_->add();
+      answer_source = obs::AnswerSource::referral;
       response.header.authoritative = false;
       for (const DynamicReferral& ref : answer->referral) {
         response.authorities.push_back(ResourceRecord{*suffix, RecordType::NS,
@@ -122,7 +189,8 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
       }
       return response;
     }
-    ++stats_.dynamic_answers;
+    dynamic_answers_->add();
+    answer_source = obs::AnswerSource::dynamic_answer;
     for (const net::IpAddr& addr : answer->addresses) {
       ResourceRecord record;
       record.name = question.name;
@@ -148,7 +216,8 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
   // Static zones.
   const Zone* zone = zone_for(question.name);
   if (zone == nullptr) {
-    ++stats_.refused;
+    refused_->add();
+    answer_source = obs::AnswerSource::refused;
     response.header.authoritative = false;
     response.header.rcode = Rcode::refused;
     return response;
@@ -163,21 +232,25 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
   switch (result.status) {
     case LookupStatus::success:
     case LookupStatus::out_of_zone:
-      ++stats_.static_answers;
+      static_answers_->add();
+      answer_source = obs::AnswerSource::static_answer;
       response.answers = result.answers;
       break;
     case LookupStatus::no_data:
-      ++stats_.negative_answers;
+      negative_answers_->add();
+      answer_source = obs::AnswerSource::negative;
       response.answers = result.answers;  // possibly a partial CNAME chain
       if (result.soa) response.authorities.push_back(*result.soa);
       break;
     case LookupStatus::nx_domain:
-      ++stats_.negative_answers;
+      negative_answers_->add();
+      answer_source = obs::AnswerSource::negative;
       response.header.rcode = Rcode::nx_domain;
       if (result.soa) response.authorities.push_back(*result.soa);
       break;
     case LookupStatus::delegation:
-      ++stats_.static_answers;
+      static_answers_->add();
+      answer_source = obs::AnswerSource::referral;
       response.header.authoritative = false;
       response.authorities = result.referral;
       break;

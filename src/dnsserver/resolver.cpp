@@ -1,6 +1,7 @@
 #include "dnsserver/resolver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace eum::dnsserver {
@@ -31,7 +32,18 @@ RecursiveResolver::RecursiveResolver(ResolverConfig config, const util::SimClock
       clock_(clock),
       upstream_(upstream),
       own_address_(own_address),
-      cache_(ScopedCacheConfig{config.max_cache_entries, config.cache_shards}) {
+      owned_registry_(config.registry == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                                 : nullptr),
+      registry_(config.registry != nullptr ? config.registry : owned_registry_.get()),
+      client_queries_(
+          &registry_->counter("eum_resolver_client_queries_total", "client queries resolved")),
+      upstream_queries_(
+          &registry_->counter("eum_resolver_upstream_queries_total", "queries sent upstream")),
+      referrals_followed_(&registry_->counter("eum_resolver_referrals_followed_total",
+                                              "delegations chased via glue")),
+      resolve_latency_(&registry_->histogram("eum_resolver_resolve_latency_us",
+                                             "resolve() serving latency, microseconds")),
+      cache_(ScopedCacheConfig{config.max_cache_entries, config.cache_shards, registry_}) {
   if (clock_ == nullptr || upstream_ == nullptr) {
     throw std::invalid_argument{"RecursiveResolver: clock and upstream are required"};
   }
@@ -42,7 +54,10 @@ RecursiveResolver::RecursiveResolver(ResolverConfig config, const util::SimClock
 }
 
 ResolverStats RecursiveResolver::stats() const noexcept {
-  ResolverStats merged = stats_;
+  ResolverStats merged;
+  merged.client_queries = client_queries_->value();
+  merged.upstream_queries = upstream_queries_->value();
+  merged.referrals_followed = referrals_followed_->value();
   const ScopedCacheStats cache = cache_.stats();
   merged.cache_hits = cache.hits;
   merged.cache_misses = cache.misses;
@@ -54,7 +69,10 @@ ResolverStats RecursiveResolver::stats() const noexcept {
 }
 
 void RecursiveResolver::reset_stats() noexcept {
-  stats_ = ResolverStats{};
+  client_queries_->reset();
+  upstream_queries_->reset();
+  referrals_followed_->reset();
+  resolve_latency_->reset();
   cache_.reset_stats();
 }
 
@@ -68,7 +86,7 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
   }
   Message query = Message::make_query(next_id_++, name, type, std::move(ecs));
   query.header.recursion_desired = false;
-  ++stats_.upstream_queries;
+  upstream_queries_->add();
   if (on_upstream_query) on_upstream_query(name);
   Message response = upstream_->forward(query, own_address_);
 
@@ -94,11 +112,11 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
     }
     if (!glue) break;
     query.header.id = next_id_++;
-    ++stats_.upstream_queries;
+    upstream_queries_->add();
     if (on_upstream_query) on_upstream_query(name);
     const auto delegated = upstream_->forward_to(*glue, query, own_address_);
     if (!delegated) break;  // transport cannot address servers
-    ++stats_.referrals_followed;
+    referrals_followed_->add();
     response = *delegated;
   }
 
@@ -141,10 +159,46 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
 }
 
 Message RecursiveResolver::resolve(const Message& client_query, const net::IpAddr& client_addr) {
-  ++stats_.client_queries;
+  const bool timing = latency_tracking_ || query_log_ != nullptr;
+  const auto start =
+      timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  obs::AnswerSource answer_source = obs::AnswerSource::upstream;
+  Message response = resolve_inner(client_query, client_addr, answer_source);
+  if (timing) {
+    const auto latency_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                              start)
+            .count());
+    if (latency_tracking_) resolve_latency_->record(latency_us);
+    if (query_log_ != nullptr && query_log_->sample()) {
+      obs::QueryLogRecord record;
+      record.ts_us = obs::QueryLog::now_us();
+      record.client = client_addr.to_string();
+      if (const dns::ClientSubnetOption* ecs = client_query.client_subnet()) {
+        record.ecs = ecs->source_block().to_string();
+      }
+      if (!client_query.questions.empty()) {
+        record.qname = client_query.questions.front().name.to_string();
+        record.qtype = dns::to_string(client_query.questions.front().type);
+      }
+      record.source = answer_source;
+      record.rcode = dns::to_string(response.header.rcode);
+      record.latency_us =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(latency_us, 0xFFFFFFFFull));
+      query_log_->log(std::move(record));
+    }
+  }
+  return response;
+}
+
+Message RecursiveResolver::resolve_inner(const Message& client_query,
+                                         const net::IpAddr& client_addr,
+                                         obs::AnswerSource& answer_source) {
+  client_queries_->add();
   Message response = Message::make_response(client_query);
   response.header.recursion_available = true;
   if (client_query.questions.size() != 1) {
+    answer_source = obs::AnswerSource::form_error;
     response.header.rcode = Rcode::form_err;
     return response;
   }
@@ -165,7 +219,9 @@ Message RecursiveResolver::resolve(const Message& client_query, const net::IpAdd
   // scoped entries for other blocks would (mis)match the connection.
   const net::IpAddr& lookup_addr = ecs_client ? *ecs_client : client_addr;
 
-  // Resolve with CNAME chasing across authorities.
+  // Resolve with CNAME chasing across authorities. The logged answer
+  // source reflects the first hop: a scoped or global cache hit, or an
+  // upstream round trip.
   DnsName current = question.name;
   RecordType type = question.type;
   for (int hop = 0; hop < 8; ++hop) {
@@ -175,11 +231,16 @@ Message RecursiveResolver::resolve(const Message& client_query, const net::IpAdd
 
     if (const auto cached = cache_.lookup(key, lookup_addr, clock_->now())) {
       rcode = cached->rcode;
+      if (hop == 0) {
+        answer_source = cached->scope ? obs::AnswerSource::cache_hit_scoped
+                                      : obs::AnswerSource::cache_hit;
+      }
       // Age TTLs by the time the entry has been cached.
       const auto age = static_cast<std::uint32_t>(clock_->now() - cached->inserted);
       answers = cached->answers;
       for (ResourceRecord& r : answers) r.ttl = r.ttl > age ? r.ttl - age : 0;
     } else {
+      if (hop == 0) answer_source = obs::AnswerSource::upstream;
       const Message upstream_response = query_upstream(current, type, ecs_client);
       rcode = upstream_response.header.rcode;
       answers = upstream_response.answers;

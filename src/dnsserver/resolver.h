@@ -13,11 +13,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "dns/message.h"
 #include "dnsserver/authoritative.h"
 #include "dnsserver/scoped_cache.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "stats/table.h"
 #include "util/sim_clock.h"
 
@@ -61,8 +64,13 @@ struct ResolverConfig {
   std::size_t max_cache_entries = 1 << 20;
   /// Independently-locked cache shards (rounded up to a power of two).
   std::size_t cache_shards = 8;
+  /// Registry for eum_resolver_* metrics (borrowed; must outlive the
+  /// resolver). The scoped cache shares it. nullptr = private registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
+/// Counter snapshot — a thin view over the resolver's registry counters
+/// merged with the cache's.
 struct ResolverStats {
   std::uint64_t client_queries = 0;
   std::uint64_t cache_hits = 0;
@@ -98,7 +106,23 @@ class RecursiveResolver {
 
   /// Counter snapshot (resolver counters merged with the cache's own).
   [[nodiscard]] ResolverStats stats() const noexcept;
+
+  /// Reset contract (shared with the authority and UDP front end): zero
+  /// every monotonic metric stats() reports — the resolver's counters,
+  /// its resolve-latency histogram, AND the cache's merged counters —
+  /// in one call. Live state (cached entries, entry gauges) survives.
   void reset_stats() noexcept;
+
+  /// Attach a structured query log (borrowed): one record per client
+  /// query, with the cache outcome as the answer source.
+  void set_query_log(obs::QueryLog* log) noexcept { query_log_ = log; }
+
+  /// Record resolve() serving latency (on by default).
+  void set_latency_tracking(bool enabled) noexcept { latency_tracking_ = enabled; }
+
+  /// The registry this resolver (and its cache) records into.
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return *registry_; }
+
   [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
   [[nodiscard]] const ScopedEcsCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const net::IpAddr& address() const noexcept { return own_address_; }
@@ -115,12 +139,22 @@ class RecursiveResolver {
   /// response and caches it.
   [[nodiscard]] dns::Message query_upstream(const dns::DnsName& name, dns::RecordType type,
                                             const std::optional<net::IpAddr>& ecs_client);
+  [[nodiscard]] dns::Message resolve_inner(const dns::Message& client_query,
+                                           const net::IpAddr& client_addr,
+                                           obs::AnswerSource& answer_source);
 
   ResolverConfig config_;
   const util::SimClock* clock_;
   Upstream* upstream_;
   net::IpAddr own_address_;
-  ResolverStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;  ///< when none injected
+  obs::MetricsRegistry* registry_;
+  obs::Counter* client_queries_;
+  obs::Counter* upstream_queries_;
+  obs::Counter* referrals_followed_;
+  obs::LatencyHistogram* resolve_latency_;
+  obs::QueryLog* query_log_ = nullptr;
+  bool latency_tracking_ = true;
   ScopedEcsCache cache_;
   std::uint16_t next_id_ = 1;
 };

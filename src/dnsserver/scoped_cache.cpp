@@ -15,12 +15,33 @@ std::size_t round_up_pow2(std::size_t n) {
 }  // namespace
 
 ScopedEcsCache::ScopedEcsCache(ScopedCacheConfig config)
-    : shard_count_(round_up_pow2(config.shards)),
+    : owned_registry_(config.registry == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                                 : nullptr),
+      registry_(config.registry != nullptr ? config.registry : owned_registry_.get()),
+      shard_count_(round_up_pow2(config.shards)),
       shard_mask_(shard_count_ - 1),
       per_shard_capacity_(std::max<std::size_t>(1, config.max_entries / shard_count_)),
       shards_(std::make_unique<Shard[]>(shard_count_)) {
   if (config.max_entries == 0) {
     throw std::invalid_argument{"ScopedEcsCache: max_entries must be positive"};
+  }
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    ShardMetrics& m = shards_[i].metrics;
+    m.hits = &registry_->counter("eum_cache_hits_total", "scoped-cache hits", labels);
+    m.misses = &registry_->counter("eum_cache_misses_total", "scoped-cache misses", labels);
+    m.insertions = &registry_->counter("eum_cache_insertions_total", "entries inserted", labels);
+    m.replacements =
+        &registry_->counter("eum_cache_replacements_total", "same-scope refreshes", labels);
+    m.evictions =
+        &registry_->counter("eum_cache_evictions_total", "LRU pressure evictions", labels);
+    m.expirations =
+        &registry_->counter("eum_cache_expirations_total", "TTL-expired entries reaped", labels);
+    m.scoped_hits =
+        &registry_->counter("eum_cache_scoped_hits_total", "hits on non-global entries", labels);
+    m.scope_depth_total = &registry_->counter("eum_cache_scope_depth_bits_total",
+                                              "sum of matched scope lengths", labels);
+    m.entries_gauge = &registry_->gauge("eum_cache_entries", "live cached entries", labels);
   }
 }
 
@@ -37,6 +58,7 @@ void ScopedEcsCache::unlink(Shard& shard, NodeList::iterator node) {
   if (slots.empty()) shard.index.erase(it);  // reap the key, not just the slot
   shard.lru.erase(node);
   --shard.entries;
+  shard.metrics.entries_gauge->add(-1);
 }
 
 std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
@@ -46,7 +68,7 @@ std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
   const std::scoped_lock lock{shard.mutex};
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.stats.misses;
+    shard.metrics.misses->add();
     return std::nullopt;
   }
   // Reap expired entries under this key in passing, then pick the
@@ -59,11 +81,12 @@ std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
   for (std::size_t i = 0; i < slots.size();) {
     const NodeList::iterator node = slots[i];
     if (node->entry.expires <= now) {
-      ++shard.stats.expirations;
+      shard.metrics.expirations->add();
       shard.lru.erase(node);
       slots[i] = slots.back();
       slots.pop_back();
       --shard.entries;
+      shard.metrics.entries_gauge->add(-1);
       continue;
     }
     const auto& scope = node->entry.scope;
@@ -76,13 +99,13 @@ std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
   }
   if (slots.empty()) shard.index.erase(it);
   if (best == shard.lru.end()) {
-    ++shard.stats.misses;
+    shard.metrics.misses->add();
     return std::nullopt;
   }
-  ++shard.stats.hits;
+  shard.metrics.hits->add();
   if (best_depth >= 0) {
-    ++shard.stats.scoped_hits;
-    shard.stats.scope_depth_total += static_cast<std::uint64_t>(best_depth);
+    shard.metrics.scoped_hits->add();
+    shard.metrics.scope_depth_total->add(static_cast<std::uint64_t>(best_depth));
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, best);  // promote
   return best->entry;
@@ -97,7 +120,7 @@ void ScopedEcsCache::store(const Key& key, Entry entry) {
       if (node->entry.scope == entry.scope) {
         node->entry = std::move(entry);
         shard.lru.splice(shard.lru.begin(), shard.lru, node);
-        ++shard.stats.replacements;
+        shard.metrics.replacements->add();
         return;
       }
     }
@@ -108,12 +131,13 @@ void ScopedEcsCache::store(const Key& key, Entry entry) {
     const auto victim = std::prev(shard.lru.end());
     const bool expired = victim->entry.expires <= entry.inserted;
     unlink(shard, victim);
-    ++(expired ? shard.stats.expirations : shard.stats.evictions);
+    (expired ? shard.metrics.expirations : shard.metrics.evictions)->add();
   }
   shard.lru.push_front(Node{key, std::move(entry)});
   shard.index[key].push_back(shard.lru.begin());
   ++shard.entries;
-  ++shard.stats.insertions;
+  shard.metrics.entries_gauge->add(1);
+  shard.metrics.insertions->add();
 }
 
 std::size_t ScopedEcsCache::size() const {
@@ -135,26 +159,34 @@ std::size_t ScopedEcsCache::key_count() const {
 }
 
 ScopedCacheStats ScopedEcsCache::stats() const {
+  // Counters are atomics: summing needs no shard locks.
   ScopedCacheStats total;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    const std::scoped_lock lock{shards_[i].mutex};
-    const ScopedCacheStats& s = shards_[i].stats;
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.insertions += s.insertions;
-    total.replacements += s.replacements;
-    total.evictions += s.evictions;
-    total.expirations += s.expirations;
-    total.scoped_hits += s.scoped_hits;
-    total.scope_depth_total += s.scope_depth_total;
+    const ShardMetrics& m = shards_[i].metrics;
+    total.hits += m.hits->value();
+    total.misses += m.misses->value();
+    total.insertions += m.insertions->value();
+    total.replacements += m.replacements->value();
+    total.evictions += m.evictions->value();
+    total.expirations += m.expirations->value();
+    total.scoped_hits += m.scoped_hits->value();
+    total.scope_depth_total += m.scope_depth_total->value();
   }
   return total;
 }
 
 void ScopedEcsCache::reset_stats() {
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    const std::scoped_lock lock{shards_[i].mutex};
-    shards_[i].stats = ScopedCacheStats{};
+    const ShardMetrics& m = shards_[i].metrics;
+    m.hits->reset();
+    m.misses->reset();
+    m.insertions->reset();
+    m.replacements->reset();
+    m.evictions->reset();
+    m.expirations->reset();
+    m.scoped_hits->reset();
+    m.scope_depth_total->reset();
+    // entries_gauge deliberately untouched: entries are still cached.
   }
 }
 
@@ -164,6 +196,7 @@ void ScopedEcsCache::clear() {
     shards_[i].lru.clear();
     shards_[i].index.clear();
     shards_[i].entries = 0;
+    shards_[i].metrics.entries_gauge->set(0);
   }
 }
 

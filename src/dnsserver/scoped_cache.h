@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "dns/message.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/sim_clock.h"
 
@@ -35,9 +36,16 @@ struct ScopedCacheConfig {
   std::size_t max_entries = 1 << 20;
   /// Number of independently-locked shards; rounded up to a power of two.
   std::size_t shards = 8;
+  /// Registry the cache records into (borrowed; must outlive the cache).
+  /// nullptr gives the cache a private registry. Counters are registered
+  /// per shard (eum_cache_*{shard="N"}) so each shard bumps its own
+  /// cache line and a hot shard stays attributable; the ScopedCacheStats
+  /// view sums them.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
-/// Monotonic counters, aggregated over all shards.
+/// Monotonic counters, aggregated over all shards — a thin snapshot view
+/// over the per-shard registry counters.
 struct ScopedCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -95,12 +103,18 @@ class ScopedEcsCache {
   [[nodiscard]] std::size_t key_count() const;
 
   [[nodiscard]] ScopedCacheStats stats() const;
+
+  /// Reset contract: zero the monotonic counters; the eum_cache_entries
+  /// gauges are live state and survive (entries are still cached).
   void reset_stats();
 
-  /// Drop every cached entry (counters unaffected).
+  /// Drop every cached entry (counters unaffected; entry gauges go to 0).
   void clear();
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// The registry this cache records into (its own unless one was injected).
+  [[nodiscard]] obs::MetricsRegistry& registry() const noexcept { return *registry_; }
 
  private:
   struct KeyHash {
@@ -114,13 +128,27 @@ class ScopedEcsCache {
     Entry entry;
   };
   using NodeList = std::list<Node>;
+  /// Per-shard registry counter handles: the shard bumps these while
+  /// holding its own lock, so the relaxed adds never contend across
+  /// shards the way one shared counter would.
+  struct ShardMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* insertions = nullptr;
+    obs::Counter* replacements = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* expirations = nullptr;
+    obs::Counter* scoped_hits = nullptr;
+    obs::Counter* scope_depth_total = nullptr;
+    obs::Gauge* entries_gauge = nullptr;
+  };
   struct Shard {
     mutable std::mutex mutex;
     /// front = most recently used.
     NodeList lru;
     std::unordered_map<Key, std::vector<NodeList::iterator>, KeyHash> index;
     std::size_t entries = 0;
-    ScopedCacheStats stats;
+    ShardMetrics metrics;
   };
 
   [[nodiscard]] Shard& shard_for(const Key& key) const noexcept;
@@ -128,6 +156,8 @@ class ScopedEcsCache {
   /// Caller holds the shard lock.
   static void unlink(Shard& shard, NodeList::iterator node);
 
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;  ///< when none injected
+  obs::MetricsRegistry* registry_;
   std::size_t shard_count_;
   std::size_t shard_mask_;
   std::size_t per_shard_capacity_;

@@ -121,16 +121,24 @@ stats::Table udp_server_stats_table(const UdpServerStats& stats) {
   table.add_row("truncated", stats.truncated);
   table.add_row("wire_errors", stats.wire_errors);
   for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
-    table.add_row("worker_" + std::to_string(w) + "_queries", stats.per_worker[w]);
+    const std::string prefix = "worker_" + std::to_string(w) + "_";
+    table.add_row(prefix + "queries", stats.per_worker[w]);
+    if (w < stats.per_worker_truncated.size()) {
+      table.add_row(prefix + "truncated", stats.per_worker_truncated[w]);
+    }
+    if (w < stats.per_worker_wire_errors.size()) {
+      table.add_row(prefix + "wire_errors", stats.per_worker_wire_errors[w]);
+    }
   }
   return table;
 }
 
 UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEndpoint& bind,
                                        UdpServerConfig config)
-    : engine_(engine), config_(config) {
+    : engine_(engine), config_(config), registry_(config.registry) {
   if (engine_ == nullptr) throw std::invalid_argument{"UdpAuthorityServer: null engine"};
   if (config_.workers == 0) throw std::invalid_argument{"UdpAuthorityServer: need >= 1 worker"};
+  if (registry_ == nullptr) registry_ = &engine_->registry();
   // Bind the first socket (resolving an ephemeral port), then the rest of
   // the SO_REUSEPORT group onto the resolved endpoint. SO_REUSEPORT must
   // be set on the first socket too or later binds are refused.
@@ -140,8 +148,20 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
   for (std::size_t w = 1; w < config_.workers; ++w) {
     sockets_.emplace_back(resolved, true);
   }
-  worker_queries_ = std::make_unique<std::atomic<std::uint64_t>[]>(config_.workers);
-  for (std::size_t w = 0; w < config_.workers; ++w) worker_queries_[w] = 0;
+  worker_metrics_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    const obs::Labels labels{{"worker", std::to_string(w)}};
+    WorkerMetrics metrics;
+    metrics.queries =
+        &registry_->counter("eum_udp_queries_total", "datagrams answered", labels);
+    metrics.truncated =
+        &registry_->counter("eum_udp_truncated_total", "TC=1 responses sent", labels);
+    metrics.wire_errors =
+        &registry_->counter("eum_udp_wire_errors_total", "unparseable datagrams", labels);
+    worker_metrics_.push_back(metrics);
+  }
+  serve_latency_ = &registry_->histogram(
+      "eum_udp_serve_latency_us", "datagram received to response sent, microseconds");
 }
 
 UdpAuthorityServer::~UdpAuthorityServer() { stop(); }
@@ -176,11 +196,15 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
   UdpEndpoint peer;
   const auto datagram = socket.receive(timeout, peer);
   if (!datagram) return false;
+  // Serve latency covers decode + handle + encode + send — what a client
+  // would see past the kernel's receive queue.
+  const auto received_at = std::chrono::steady_clock::now();
+  WorkerMetrics& metrics = worker_metrics_[worker];
   dns::Message response;
   try {
     const dns::Message query = dns::Message::decode(*datagram);
     response = engine_->handle(query, net::IpAddr{peer.address});
-    worker_queries_[worker].fetch_add(1, std::memory_order_relaxed);
+    metrics.queries->add();
     // RFC 1035 / RFC 6891 size discipline: a response larger than the
     // requester's advertised UDP payload (512 octets without EDNS) is
     // truncated — DNS sections dropped and TC set so the client retries
@@ -195,14 +219,18 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
       response.authorities.clear();
       response.additionals.clear();
       response.header.truncated = true;
-      truncated_.fetch_add(1, std::memory_order_relaxed);
+      metrics.truncated->add();
       wire = response.encode();
     }
     socket.send_to(wire, peer);
+    serve_latency_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                              received_at)
+            .count()));
     return true;
   } catch (const dns::WireError&) {
     // Unparseable datagram: best-effort FORMERR if we can extract an id.
-    wire_errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics.wire_errors->add();
     if (datagram->size() < 2) return true;  // too short even for an id; drop
     response.header.id =
         static_cast<std::uint16_t>(((*datagram)[0] << 8) | (*datagram)[1]);
@@ -210,6 +238,10 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
     response.header.rcode = dns::Rcode::form_err;
   }
   socket.send_to(response.encode(), peer);
+  serve_latency_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            received_at)
+          .count()));
   return true;
 }
 
@@ -222,14 +254,27 @@ void UdpAuthorityServer::serve_until(const std::atomic<bool>& stop) {
 
 UdpServerStats UdpAuthorityServer::stats() const {
   UdpServerStats snapshot;
-  snapshot.truncated = truncated_.load(std::memory_order_relaxed);
-  snapshot.wire_errors = wire_errors_.load(std::memory_order_relaxed);
-  snapshot.per_worker.resize(sockets_.size());
-  for (std::size_t w = 0; w < sockets_.size(); ++w) {
-    snapshot.per_worker[w] = worker_queries_[w].load(std::memory_order_relaxed);
+  snapshot.per_worker.resize(worker_metrics_.size());
+  snapshot.per_worker_truncated.resize(worker_metrics_.size());
+  snapshot.per_worker_wire_errors.resize(worker_metrics_.size());
+  for (std::size_t w = 0; w < worker_metrics_.size(); ++w) {
+    snapshot.per_worker[w] = worker_metrics_[w].queries->value();
+    snapshot.per_worker_truncated[w] = worker_metrics_[w].truncated->value();
+    snapshot.per_worker_wire_errors[w] = worker_metrics_[w].wire_errors->value();
     snapshot.queries += snapshot.per_worker[w];
+    snapshot.truncated += snapshot.per_worker_truncated[w];
+    snapshot.wire_errors += snapshot.per_worker_wire_errors[w];
   }
   return snapshot;
+}
+
+void UdpAuthorityServer::reset_stats() {
+  for (const WorkerMetrics& metrics : worker_metrics_) {
+    metrics.queries->reset();
+    metrics.truncated->reset();
+    metrics.wire_errors->reset();
+  }
+  serve_latency_->reset();
 }
 
 UdpDnsClient::UdpDnsClient() : socket_(UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}) {}

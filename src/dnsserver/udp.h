@@ -21,6 +21,7 @@
 
 #include "dns/message.h"
 #include "dnsserver/authoritative.h"
+#include "obs/metrics.h"
 #include "stats/table.h"
 
 namespace eum::dnsserver {
@@ -69,14 +70,23 @@ struct UdpServerConfig {
   std::size_t workers = 1;
   /// Poll granularity of the worker loops (stop-flag latency bound).
   std::chrono::milliseconds poll_interval{50};
+  /// Registry for eum_udp_* metrics (borrowed; must outlive the server).
+  /// nullptr shares the engine's registry, so one snapshot covers the
+  /// whole serving stack.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
-/// Counter snapshot for the UDP front end.
+/// Counter snapshot for the UDP front end — a thin view over the
+/// per-worker registry counters. Every counter is kept per worker
+/// (eum_udp_*{worker="N"}) so worker bumps never contend; the aggregate
+/// fields here are sums over the workers.
 struct UdpServerStats {
   std::uint64_t queries = 0;            ///< datagrams answered
   std::uint64_t truncated = 0;          ///< TC=1 responses sent
   std::uint64_t wire_errors = 0;        ///< unparseable datagrams
-  std::vector<std::uint64_t> per_worker;  ///< queries answered per worker
+  std::vector<std::uint64_t> per_worker;             ///< queries per worker
+  std::vector<std::uint64_t> per_worker_truncated;   ///< TC=1 per worker
+  std::vector<std::uint64_t> per_worker_wire_errors; ///< wire errors per worker
 };
 
 /// Render UDP server counters as a two-column table for benches/examples.
@@ -117,18 +127,35 @@ class UdpAuthorityServer {
 
   [[nodiscard]] UdpServerStats stats() const;
 
+  /// Reset contract (shared with the engine and resolver): zero the UDP
+  /// front end's own counters and serve-latency histogram. The wrapped
+  /// engine's metrics are its own — call engine->reset_stats() for those.
+  void reset_stats();
+
+  /// The registry the front end records into (the engine's unless one
+  /// was injected via UdpServerConfig).
+  [[nodiscard]] obs::MetricsRegistry& registry() const noexcept { return *registry_; }
+
  private:
+  /// Per-worker registry counter handles: only the owning worker thread
+  /// bumps these, so the relaxed adds never bounce between cores.
+  struct WorkerMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* truncated = nullptr;
+    obs::Counter* wire_errors = nullptr;
+  };
+
   /// One receive/handle/send round on `socket`, crediting `worker`.
   bool serve_on(UdpSocket& socket, std::size_t worker, std::chrono::milliseconds timeout);
 
   AuthoritativeServer* engine_;
   UdpServerConfig config_;
+  obs::MetricsRegistry* registry_;
   std::vector<UdpSocket> sockets_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
-  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_queries_;
-  std::atomic<std::uint64_t> truncated_{0};
-  std::atomic<std::uint64_t> wire_errors_{0};
+  std::vector<WorkerMetrics> worker_metrics_;
+  obs::LatencyHistogram* serve_latency_;  ///< datagram received -> response sent
 };
 
 /// One-shot DNS-over-UDP client.

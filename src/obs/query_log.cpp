@@ -1,0 +1,142 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "util/strings.h"
+
+namespace eum::obs {
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(AnswerSource source) noexcept {
+  switch (source) {
+    case AnswerSource::static_answer: return "static";
+    case AnswerSource::dynamic_answer: return "dynamic";
+    case AnswerSource::referral: return "referral";
+    case AnswerSource::negative: return "negative";
+    case AnswerSource::refused: return "refused";
+    case AnswerSource::form_error: return "form_error";
+    case AnswerSource::cache_hit: return "cache_hit";
+    case AnswerSource::cache_hit_scoped: return "cache_hit_scoped";
+    case AnswerSource::upstream: return "upstream";
+  }
+  return "unknown";
+}
+
+QueryLog::QueryLog(QueryLogConfig config)
+    : stripe_count_(std::bit_ceil(std::max<std::size_t>(config.stripes, 1))),
+      stripe_mask_(stripe_count_ - 1),
+      per_stripe_capacity_(std::max<std::size_t>(1, config.capacity / stripe_count_)),
+      stripes_(std::make_unique<Stripe[]>(stripe_count_)),
+      sample_every_(std::max<std::uint32_t>(config.sample_every, 1)) {
+  for (std::size_t i = 0; i < stripe_count_; ++i) {
+    stripes_[i].ring.resize(per_stripe_capacity_);
+  }
+}
+
+QueryLog::Stripe& QueryLog::stripe_for_thread() noexcept {
+  // Same per-thread round-robin slot scheme as LatencyHistogram: each
+  // worker thread settles on one stripe and only the drain pass ever
+  // crosses stripes.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return stripes_[slot & stripe_mask_];
+}
+
+bool QueryLog::sample() noexcept {
+  if (sample_every_ <= 1) return true;
+  return sampler_.fetch_add(1, std::memory_order_relaxed) % sample_every_ == 0;
+}
+
+void QueryLog::log(QueryLogRecord record) {
+  Stripe& stripe = stripe_for_thread();
+  bool overwrote = false;
+  {
+    const std::scoped_lock lock{stripe.mutex};
+    overwrote = stripe.used == stripe.ring.size();
+    stripe.ring[stripe.next] = std::move(record);
+    stripe.next = (stripe.next + 1) % stripe.ring.size();
+    if (!overwrote) ++stripe.used;
+  }
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  if (overwrote) dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<QueryLogRecord> QueryLog::drain() {
+  std::vector<QueryLogRecord> out;
+  for (std::size_t i = 0; i < stripe_count_; ++i) {
+    Stripe& stripe = stripes_[i];
+    const std::scoped_lock lock{stripe.mutex};
+    // Oldest record sits at `next` when the ring has wrapped, else at 0.
+    const std::size_t start =
+        stripe.used == stripe.ring.size() ? stripe.next : 0;
+    for (std::size_t k = 0; k < stripe.used; ++k) {
+      out.push_back(std::move(stripe.ring[(start + k) % stripe.ring.size()]));
+    }
+    stripe.used = 0;
+    stripe.next = 0;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const QueryLogRecord& a, const QueryLogRecord& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return out;
+}
+
+std::size_t QueryLog::drain_to(std::FILE* out) {
+  const std::vector<QueryLogRecord> records = drain();
+  for (const QueryLogRecord& record : records) {
+    const std::string line = to_ndjson(record);
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+  }
+  std::fflush(out);
+  return records.size();
+}
+
+std::string QueryLog::to_ndjson(const QueryLogRecord& record) {
+  std::string out = util::format("{\"ts_us\":%lld,\"client\":\"%s\",",
+                                 static_cast<long long>(record.ts_us),
+                                 json_escape(record.client).c_str());
+  if (!record.ecs.empty()) {
+    out += "\"ecs\":\"" + json_escape(record.ecs) + "\",";
+  }
+  out += util::format(
+      "\"qname\":\"%s\",\"qtype\":\"%s\",\"source\":\"%s\",\"rcode\":\"%s\","
+      "\"latency_us\":%u}",
+      json_escape(record.qname).c_str(), json_escape(record.qtype).c_str(),
+      to_string(record.source), json_escape(record.rcode).c_str(), record.latency_us);
+  return out;
+}
+
+std::int64_t QueryLog::now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace eum::obs

@@ -1,0 +1,121 @@
+// Sampled structured query log (dnstap-style) for the DNS serving stack.
+//
+// Every handled query can emit one record: timestamp, client, ECS
+// prefix, qname/qtype, answer source, rcode, and serving latency in
+// microseconds. Records land in a lock-striped ring buffer (each thread
+// writes its own stripe, so worker threads only ever contend with a
+// draining reader), and a drain pass renders them as NDJSON to a
+// pluggable sink — stderr, a file, or the caller's own consumer.
+//
+// The log is deliberately decoupled from the DNS types: producers fill
+// in pre-rendered strings, so `obs` stays below `dns`/`dnsserver` in the
+// layering and the log can carry resolver, authority, and transport
+// records alike.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eum::obs {
+
+/// Where the answer came from — the paper's serving-path taxonomy
+/// (static zone, mapping-system dynamic answer, two-tier referral) plus
+/// the resolver-side cache outcomes RFC 7871 adds.
+enum class AnswerSource : std::uint8_t {
+  static_answer,     ///< authoritative zone data
+  dynamic_answer,    ///< mapping-system (CDN) answer
+  referral,          ///< two-tier delegation
+  negative,          ///< NXDOMAIN / NODATA
+  refused,           ///< not our zone
+  form_error,        ///< malformed query
+  cache_hit,         ///< resolver: served by a global (scope-/0) entry
+  cache_hit_scoped,  ///< resolver: served by a scoped (RFC 7871) entry
+  upstream,          ///< resolver: forwarded to an authority
+};
+
+[[nodiscard]] const char* to_string(AnswerSource source) noexcept;
+
+struct QueryLogRecord {
+  std::int64_t ts_us = 0;        ///< wall clock, microseconds since the Unix epoch
+  std::string client;            ///< unicast source address
+  std::string ecs;               ///< announced ECS prefix ("1.2.3.0/24"), empty if none
+  std::string qname;
+  std::string qtype;             ///< "A", "AAAA", "TXT", ...
+  AnswerSource source = AnswerSource::static_answer;
+  std::string rcode;             ///< "NOERROR", "NXDOMAIN", ...
+  std::uint32_t latency_us = 0;  ///< serving latency
+};
+
+struct QueryLogConfig {
+  /// Total ring capacity in records, split evenly across stripes; when
+  /// full, the oldest record in the writing thread's stripe is
+  /// overwritten (and counted in dropped()).
+  std::size_t capacity = 4096;
+  /// Independently-locked stripes (rounded up to a power of two). Each
+  /// thread writes one stripe, picked by the same round-robin slot the
+  /// latency histograms use.
+  std::size_t stripes = 8;
+  /// Log every Nth sampled query; 1 = everything. Production query
+  /// streams are sampled exactly like the paper's telemetry pipelines.
+  std::uint32_t sample_every = 1;
+};
+
+class QueryLog {
+ public:
+  explicit QueryLog(QueryLogConfig config = {});
+
+  /// Cheap sampling decision; call before building a record so the hot
+  /// path skips the string work for unsampled queries.
+  [[nodiscard]] bool sample() noexcept;
+
+  /// Append one record (lock-striped; the critical section is a move).
+  void log(QueryLogRecord record);
+
+  /// Remove and return everything, oldest first (by timestamp).
+  [[nodiscard]] std::vector<QueryLogRecord> drain();
+
+  /// Drain as NDJSON lines to a stdio stream (stderr, or a file the
+  /// caller opened). Returns the number of records written.
+  std::size_t drain_to(std::FILE* out);
+
+  /// Records accepted into the ring (post-sampling).
+  [[nodiscard]] std::uint64_t logged() const noexcept {
+    return logged_.load(std::memory_order_relaxed);
+  }
+  /// Records overwritten before being drained.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// One NDJSON line (no trailing newline); empty `ecs` is omitted.
+  [[nodiscard]] static std::string to_ndjson(const QueryLogRecord& record);
+
+  /// Wall-clock helper for producers.
+  [[nodiscard]] static std::int64_t now_us() noexcept;
+
+ private:
+  struct Stripe {
+    std::mutex mutex;
+    std::vector<QueryLogRecord> ring;  ///< fixed capacity, circular
+    std::size_t next = 0;              ///< next write position
+    std::size_t used = 0;              ///< live records (<= ring.size())
+  };
+
+  [[nodiscard]] Stripe& stripe_for_thread() noexcept;
+
+  std::size_t stripe_count_;
+  std::size_t stripe_mask_;
+  std::size_t per_stripe_capacity_;
+  std::unique_ptr<Stripe[]> stripes_;
+  std::uint32_t sample_every_;
+  std::atomic<std::uint64_t> sampler_{0};
+  std::atomic<std::uint64_t> logged_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace eum::obs

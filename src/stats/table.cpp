@@ -9,6 +9,13 @@ namespace eum::stats {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
   if (headers_.empty()) throw std::invalid_argument{"Table: need at least one column"};
+  for (std::size_t a = 0; a < headers_.size(); ++a) {
+    for (std::size_t b = a + 1; b < headers_.size(); ++b) {
+      if (headers_[a] == headers_[b]) {
+        throw std::invalid_argument{"Table: duplicate header \"" + headers_[a] + "\""};
+      }
+    }
+  }
 }
 
 Table::Table(std::initializer_list<std::string> headers)
@@ -57,6 +64,15 @@ std::string Table::render() const {
   return out;
 }
 
-std::string num(double value, int precision) { return util::format("%.*f", precision, value); }
+std::string num(double value, int precision) {
+  std::string text = util::format("%.*f", precision, value);
+  // printf renders tiny negatives as "-0.0"; a sign on a zero reads as a
+  // regression in a counter table, so strip it when every digit is zero.
+  if (text.size() > 1 && text[0] == '-' &&
+      text.find_first_not_of("0.", 1) == std::string::npos) {
+    text.erase(0, 1);
+  }
+  return text;
+}
 
 }  // namespace eum::stats

@@ -11,6 +11,8 @@ namespace eum::stats {
 
 class Table {
  public:
+  /// Throws std::invalid_argument on an empty or duplicated header set —
+  /// duplicate columns would silently mislabel every row beneath them.
   explicit Table(std::vector<std::string> headers);
   Table(std::initializer_list<std::string> headers);
 
@@ -32,7 +34,8 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Format a double with the given precision ("%.*f").
+/// Format a double with the given precision ("%.*f"). Values that round
+/// to zero render unsigned ("0.0", never "-0.0").
 [[nodiscard]] std::string num(double value, int precision = 1);
 
 }  // namespace eum::stats

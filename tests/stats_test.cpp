@@ -235,9 +235,26 @@ TEST(Table, RejectsEmptyHeader) {
   EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
 }
 
+TEST(Table, RejectsDuplicateHeaders) {
+  EXPECT_THROW((Table{"value", "value"}), std::invalid_argument);
+  EXPECT_THROW((Table{"a", "b", "a"}), std::invalid_argument);
+  // Distinct headers stay accepted.
+  EXPECT_NO_THROW((Table{"a", "b", "c"}));
+}
+
 TEST(TableNum, Precision) {
   EXPECT_EQ(num(3.14159, 2), "3.14");
   EXPECT_EQ(num(3.0, 0), "3");
+}
+
+TEST(TableNum, NoNegativeZero) {
+  // A tiny negative rounds to zero digits; the sign must not survive.
+  EXPECT_EQ(num(-0.0001, 1), "0.0");
+  EXPECT_EQ(num(-0.0, 1), "0.0");
+  EXPECT_EQ(num(-0.4, 0), "0");
+  // Genuine negatives keep their sign.
+  EXPECT_EQ(num(-0.06, 1), "-0.1");
+  EXPECT_EQ(num(-1.0, 1), "-1.0");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // localhost, queried by the UDP client with and without ECS.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <string>
@@ -9,6 +10,8 @@
 #include <vector>
 
 #include "dnsserver/udp.h"
+#include "ndjson_check.h"
+#include "obs/query_log.h"
 
 namespace eum::dnsserver {
 namespace {
@@ -98,6 +101,40 @@ TEST_F(UdpFixture, MalformedDatagramGetsFormErr) {
   const Message response = Message::decode(*datagram);
   EXPECT_EQ(response.header.id, 0xABCD);
   EXPECT_EQ(response.header.rcode, dns::Rcode::form_err);
+  // wire_errors is per-worker like queries and truncated.
+  const UdpServerStats stats = server_->stats();
+  EXPECT_EQ(stats.wire_errors, 1U);
+  ASSERT_EQ(stats.per_worker_wire_errors.size(), 1U);
+  EXPECT_EQ(stats.per_worker_wire_errors[0], 1U);
+}
+
+TEST_F(UdpFixture, ResetStatsZeroesFrontEndCounters) {
+  UdpDnsClient client;
+  const Message query =
+      Message::make_query(5, DnsName::from_text("www.g.cdn.example"), RecordType::A);
+  ASSERT_TRUE(client.query(query, server_->endpoint(), 2000ms).has_value());
+  EXPECT_EQ(server_->stats().queries, 1U);
+  // The worker records serve latency after sending the reply, so the
+  // record can land a moment after the client sees the response; wait
+  // for it before snapshotting (and before reset, which must not race a
+  // late record back into the histogram).
+  const auto deadline = std::chrono::steady_clock::now() + 2000ms;
+  while (server_->registry().histogram("eum_udp_serve_latency_us").snapshot().count == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GT(server_->registry().histogram("eum_udp_serve_latency_us").snapshot().count, 0U);
+  server_->reset_stats();
+  const UdpServerStats after = server_->stats();
+  EXPECT_EQ(after.queries, 0U);
+  EXPECT_EQ(after.truncated, 0U);
+  EXPECT_EQ(after.wire_errors, 0U);
+  EXPECT_EQ(server_->registry().histogram("eum_udp_serve_latency_us").snapshot().count, 0U);
+  // The engine's own counters are a separate concern (reset contract is
+  // per component); the query it served stays counted until ITS reset.
+  EXPECT_EQ(engine_.stats().queries, 1U);
+  engine_.reset_stats();
+  EXPECT_EQ(engine_.stats().queries, 0U);
 }
 
 TEST(UdpTruncation, Tc1ResponseKeepsEdnsOptAndEcsScope) {
@@ -138,7 +175,14 @@ TEST(UdpTruncation, Tc1ResponseKeepsEdnsOptAndEcsScope) {
   ASSERT_NE(echoed, nullptr);
   EXPECT_EQ(echoed->scope_prefix_len(), 24);
   EXPECT_EQ(echoed->address(), v4("198.51.100.0"));
-  EXPECT_EQ(server.stats().truncated, 1U);
+  const UdpServerStats stats = server.stats();
+  EXPECT_EQ(stats.truncated, 1U);
+  // truncated is tracked per worker exactly like queries; with one
+  // worker, worker 0 owns the whole count.
+  ASSERT_EQ(stats.per_worker_truncated.size(), 1U);
+  EXPECT_EQ(stats.per_worker_truncated[0], 1U);
+  const std::string rendered = udp_server_stats_table(stats).render();
+  EXPECT_NE(rendered.find("worker_0_truncated"), std::string::npos);
 }
 
 TEST(UdpConcurrency, FourWorkersServeParallelClientsWithoutLoss) {
@@ -205,6 +249,67 @@ TEST(UdpConcurrency, FourWorkersServeParallelClientsWithoutLoss) {
   // The counters render as a table for benches/examples.
   const std::string rendered = udp_server_stats_table(stats).render();
   EXPECT_NE(rendered.find("worker_0_queries"), std::string::npos);
+}
+
+TEST(UdpConcurrency, QueryLogStaysValidNdjsonUnderFourWorkerLoad) {
+  // Acceptance gate: with 4 workers concurrently logging into one
+  // lock-striped query log, every drained record renders as valid NDJSON
+  // with the full schema, nothing is lost, and timestamps drain sorted.
+  AuthoritativeServer engine;
+  obs::QueryLog query_log{obs::QueryLogConfig{1 << 14, 8, 1}};
+  engine.set_query_log(&query_log);
+  engine.add_dynamic_domain(
+      DnsName::from_text("g.cdn.example"),
+      [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.ttl = 20;
+        answer.ecs_scope_len = 24;
+        answer.addresses = {v4("203.0.0.1")};
+        return answer;
+      });
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0},
+                            UdpServerConfig{4}};
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      UdpDnsClient client;
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const int n = c * kQueriesPerClient + q;
+        const auto ecs = ClientSubnetOption::for_query(
+            net::IpAddr{net::IpV4Addr{0x0A000000U + (static_cast<std::uint32_t>(n) << 8)}}, 24);
+        const Message query = Message::make_query(
+            static_cast<std::uint16_t>(n + 1),
+            DnsName::from_text("q" + std::to_string(n) + ".g.cdn.example"), RecordType::A,
+            ecs);
+        if (client.query(query, server.endpoint(), 5000ms)) ++answered;
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  server.stop();
+
+  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+  const std::vector<obs::QueryLogRecord> drained = query_log.drain();
+  ASSERT_EQ(drained.size(), static_cast<std::size_t>(kClients * kQueriesPerClient));
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end(),
+                             [](const obs::QueryLogRecord& a, const obs::QueryLogRecord& b) {
+                               return a.ts_us < b.ts_us;
+                             }));
+  for (const obs::QueryLogRecord& record : drained) {
+    const std::string line = obs::QueryLog::to_ndjson(record);
+    const auto fields = test::parse_ndjson_line(line);
+    ASSERT_TRUE(fields.has_value()) << line;
+    EXPECT_EQ(fields->at("source"), "dynamic");
+    EXPECT_EQ(fields->at("rcode"), "NOERROR");
+    EXPECT_EQ(fields->at("qtype"), "A");
+    EXPECT_NE(fields->find("ecs"), fields->end());
+    EXPECT_NE(fields->find("latency_us"), fields->end());
+  }
 }
 
 TEST(UdpConcurrency, StartStopIsIdempotentAndRestartable) {
