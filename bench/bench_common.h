@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cdn/mapping.h"
+#include "control/rollout_controller.h"
 #include "measure/analysis.h"
 #include "measure/rum.h"
 #include "sim/rollout.h"
@@ -72,6 +73,7 @@ struct RolloutBundle {
   std::unique_ptr<cdn::CdnNetwork> network;
   std::unique_ptr<cdn::MappingSystem> mapping;
   std::unique_ptr<measure::RumSimulator> rum;
+  std::unique_ptr<control::RolloutController> controller;
   sim::RolloutResult result;
 };
 
@@ -84,7 +86,16 @@ inline const RolloutBundle& rollout_bundle() {
                                                      &default_latency(), cdn::MappingConfig{});
     b.rum = std::make_unique<measure::RumSimulator>(&world, b.mapping.get(),
                                                     &default_latency());
-    sim::RolloutSimulator simulator{&world, b.rum.get(), sim::RolloutConfig{}};
+    // The ramp runs through the real control plane: the same
+    // RolloutController that gates end-user mapping per-LDNS on the live
+    // DNS path drives the simulated Mar 28 - Apr 15 cohort flips.
+    const sim::RolloutConfig config{};
+    control::RolloutRampConfig ramp;
+    ramp.ramp_start = config.ramp_start;
+    ramp.ramp_end = config.ramp_end;
+    ramp.seed = config.seed;
+    b.controller = std::make_unique<control::RolloutController>(ramp);
+    sim::RolloutSimulator simulator{&world, b.rum.get(), config, b.controller.get()};
     b.result = simulator.run();
     return b;
   }();

@@ -9,6 +9,13 @@
 // figure benches. Results are also written as BENCH_udp_throughput.json
 // (path overridable via the EUM_BENCH_OUT environment variable) so the
 // perf trajectory accumulates across runs.
+//
+// A second section measures control-plane churn: the real mapping system
+// served through the MapMaker's RCU snapshot fast path by 4 workers,
+// first with a static map (steady state), then with a background
+// republish every EUM_CHURN_MS milliseconds (default 50). The comparison
+// answers "what does continuous map publishing cost the serving path" —
+// the RCU design's claim is: nothing but the snapshot build's CPU.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -19,9 +26,12 @@
 #include <thread>
 #include <vector>
 
+#include "cdn/mapping.h"
+#include "control/map_maker.h"
 #include "dnsserver/udp.h"
 #include "obs/metrics.h"
 #include "stats/table.h"
+#include "topo/world_gen.h"
 
 namespace {
 
@@ -93,9 +103,129 @@ RunResult run_config(std::size_t workers) {
   return result;
 }
 
+// --- control-plane churn mode ------------------------------------------
+
+struct ChurnPhase {
+  std::uint64_t answered = 0;
+  std::uint64_t timeouts = 0;  ///< dropped queries (client gave up)
+  double seconds = 0.0;
+  obs::HistogramSnapshot latency;  ///< eum_udp_serve_latency_us, this phase
+  [[nodiscard]] double qps() const { return static_cast<double>(answered) / seconds; }
+};
+
+struct ChurnReport {
+  std::chrono::milliseconds interval{0};
+  ChurnPhase steady;
+  ChurnPhase churn;
+  std::uint64_t publishes = 0;
+  std::uint64_t final_version = 0;
+  [[nodiscard]] double p99_ratio() const {
+    const double base = steady.latency.percentile(99);
+    return base == 0.0 ? 0.0 : churn.latency.percentile(99) / base;
+  }
+};
+
+/// One measurement window against a running server: closed-loop ECS
+/// clients, serve-latency percentiles from the shared registry.
+ChurnPhase churn_phase(dnsserver::UdpAuthorityServer& server, const topo::World& world,
+                       std::chrono::milliseconds window) {
+  server.reset_stats();  // clean per-phase latency histogram
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      dnsserver::UdpDnsClient client;
+      const auto qname = dns::DnsName::from_text("www.g.cdn.example");
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Each query announces a different client /24, spreading the
+        // end-user mapping decisions over the snapshot's scoring tables.
+        const topo::ClientBlock& block =
+            world.blocks[(static_cast<std::uint64_t>(c) * 7919 + i++) % world.blocks.size()];
+        const auto ecs = dns::ClientSubnetOption::for_query(
+            net::IpAddr{net::IpV4Addr{block.prefix.address().v4().value() + 1}}, 24);
+        const auto query = dns::Message::make_query(static_cast<std::uint16_t>(i), qname,
+                                                    dns::RecordType::A, ecs);
+        if (client.query(query, server.endpoint(), 2000ms)) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(window);
+  stop = true;
+  for (std::thread& thread : clients) thread.join();
+
+  ChurnPhase phase;
+  phase.answered = answered.load();
+  phase.timeouts = timeouts.load();
+  phase.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  phase.latency = server.registry().histogram("eum_udp_serve_latency_us").snapshot();
+  return phase;
+}
+
+/// Steady-state vs churn percentiles over the real mapping stack: the
+/// same serving setup, measured once with a static published map and
+/// once with the MapMaker republishing every `interval`.
+ChurnReport run_churn(std::chrono::milliseconds interval) {
+  topo::WorldGenConfig world_config;
+  world_config.seed = 42;
+  world_config.target_blocks = 4000;
+  world_config.target_ases = 220;
+  world_config.ping_targets = 400;
+  const topo::World world = topo::generate_world(world_config);
+  const topo::LatencyModel latency{topo::LatencyParams{}, world_config.seed};
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 150);
+  cdn::MappingSystem mapping{&world, &network, &latency, cdn::MappingConfig{}};
+
+  control::MapMakerConfig maker_config;
+  maker_config.publish_unchanged = true;  // full-rate republish path
+  control::MapMaker maker{&mapping, nullptr, maker_config};
+  maker.install_fast_path();  // serving reads the RCU snapshot, lock-free
+
+  dnsserver::AuthoritativeServer engine;
+  const topo::Ldns& fallback_ldns = world.ldnses.front();
+  auto inner = mapping.dns_handler();
+  engine.add_dynamic_domain(
+      dns::DnsName::from_text("g.cdn.example"),
+      [&world, &fallback_ldns, inner](const dnsserver::DynamicQuery& query)
+          -> std::optional<dnsserver::DynamicAnswer> {
+        dnsserver::DynamicQuery patched = query;
+        if (world.ldns_by_address(query.resolver) == nullptr) {
+          patched.resolver = fallback_ldns.address;
+        }
+        return inner(patched);
+      });
+  dnsserver::UdpAuthorityServer server{
+      &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0},
+      dnsserver::UdpServerConfig{4}};
+  server.start();
+
+  ChurnReport report;
+  report.interval = interval;
+  report.steady = churn_phase(server, world, kMeasureWindow);
+
+  const std::uint64_t publishes_before = maker.publishes();
+  maker.start(interval);
+  report.churn = churn_phase(server, world, kMeasureWindow);
+  maker.stop();
+  report.publishes = maker.publishes() - publishes_before;
+  report.final_version = maker.version();
+  server.stop();
+  return report;
+}
+
 /// BENCH_udp_throughput.json: one object per worker configuration with
 /// throughput and registry-derived latency percentiles.
-void write_bench_json(const std::vector<RunResult>& results, const char* path) {
+void write_bench_json(const std::vector<RunResult>& results, const ChurnReport& churn,
+                      const char* path) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::perror("udp_throughput: fopen bench artifact");
@@ -114,7 +244,20 @@ void write_bench_json(const std::vector<RunResult>& results, const char* path) {
                  r.latency.percentile(50), r.latency.percentile(90), r.latency.percentile(99),
                  r.latency.percentile(99.9), i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  const auto phase_json = [out](const char* name, const ChurnPhase& p) {
+    std::fprintf(out,
+                 "    \"%s\": {\"answered\": %llu, \"dropped\": %llu, \"qps\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f},\n",
+                 name, static_cast<unsigned long long>(p.answered),
+                 static_cast<unsigned long long>(p.timeouts), p.qps(),
+                 p.latency.percentile(50), p.latency.percentile(99));
+  };
+  std::fprintf(out, "  ],\n  \"churn\": {\n    \"interval_ms\": %lld,\n",
+               static_cast<long long>(churn.interval.count()));
+  phase_json("steady", churn.steady);
+  phase_json("under_churn", churn.churn);
+  std::fprintf(out, "    \"publishes\": %llu,\n    \"p99_ratio\": %.3f\n  }\n}\n",
+               static_cast<unsigned long long>(churn.publishes), churn.p99_ratio());
   std::fclose(out);
   std::cout << "wrote " << path << '\n';
 }
@@ -149,8 +292,30 @@ int main() {
             << "us simulated backend latency per query\n\n"
             << table.render() << '\n';
 
+  const char* churn_ms = std::getenv("EUM_CHURN_MS");
+  const auto interval =
+      std::chrono::milliseconds{churn_ms != nullptr ? std::atoi(churn_ms) : 50};
+  const ChurnReport churn = run_churn(interval);
+  stats::Table churn_table{{"phase", "answered", "dropped", "qps", "p50_us", "p99_us"}};
+  const auto churn_row = [&](const char* name, const ChurnPhase& p) {
+    churn_table.add_row({name, std::to_string(p.answered), std::to_string(p.timeouts),
+                         stats::num(p.qps(), 0), stats::num(p.latency.percentile(50), 0),
+                         stats::num(p.latency.percentile(99), 0)});
+  };
+  churn_row("steady", churn.steady);
+  churn_row("churn", churn.churn);
+  std::cout << "\nControl-plane churn: real mapping stack, 4 workers, MapMaker republishing "
+               "every "
+            << interval.count() << " ms (snapshot fast path)\n\n"
+            << churn_table.render() << '\n'
+            << "\nsnapshots published during churn window: " << churn.publishes
+            << " (map version " << churn.final_version << ")"
+            << "\nchurn p99 / steady p99: " << stats::num(churn.p99_ratio(), 2)
+            << "x (target <= 1.20), dropped under churn: " << churn.churn.timeouts << '\n';
+
   const char* out_path = std::getenv("EUM_BENCH_OUT");
-  write_bench_json(results, out_path != nullptr ? out_path : "BENCH_udp_throughput.json");
+  write_bench_json(results, churn,
+                   out_path != nullptr ? out_path : "BENCH_udp_throughput.json");
 
   const double speedup = results.back().qps() / results.front().qps();
   std::cout << "\n4-worker speedup over 1 worker: " << stats::num(speedup, 2) << "x\n";

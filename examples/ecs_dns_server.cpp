@@ -10,15 +10,28 @@
 // Akamai's whoami.akamai.net (paper §3.1).
 //
 // Usage: ecs_dns_server [port] [workers] [--metrics]
+//                       [--rescore-interval=MS] [--rollout=SECONDS]
 //   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
 //   through that many SO_REUSEPORT sockets, one thread each.)
 //
+// The serving path runs through the control plane: a control::MapMaker
+// publishes immutable map snapshots and every query is answered from the
+// current snapshot, lock-free, so the UDP workers no longer serialize on
+// the mapping system. With --rescore-interval=MS the map maker
+// republishes on that cadence in the background (watch
+// eum_control_map_version climb in the metrics dumps). With
+// --rollout=SECONDS a staged end-user mapping roll-out ramps from 0% to
+// 100% of resolver cohorts over that many wall-clock seconds — before a
+// resolver's cohort flips, its ECS queries get NS-based answers with a
+// client-independent scope (/0), reproducing the paper's §4 staging on
+// the live DNS path.
+//
 // With --metrics the full obs::MetricsRegistry — authority, resolver,
-// scoped-cache, and per-worker UDP counters plus latency-percentile
-// histograms — is dumped every 10 seconds in both Prometheus text format
-// and as a stats::Table, and the sampled structured query log is drained
-// to stderr as NDJSON. Sending SIGUSR1 triggers one extra dump on demand
-// (with or without --metrics):
+// scoped-cache, control-plane, and per-worker UDP counters plus
+// latency-percentile histograms — is dumped every 10 seconds in both
+// Prometheus text format and as a stats::Table, and the sampled
+// structured query log is drained to stderr as NDJSON. Sending SIGUSR1
+// triggers one extra dump on demand (with or without --metrics):
 //   kill -USR1 $(pidof ecs_dns_server)
 //
 // Try it with dig:
@@ -32,14 +45,17 @@
 // per-worker counter table on the way out.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "cdn/mapping.h"
+#include "control/map_maker.h"
+#include "control/rollout_controller.h"
 #include "dnsserver/transport.h"
 #include "dnsserver/udp.h"
 #include "obs/metrics.h"
@@ -74,10 +90,16 @@ void dump_observability(const obs::MetricsRegistry& registry, obs::QueryLog& que
 
 int main(int argc, char** argv) {
   bool metrics = false;
+  long rescore_interval_ms = 0;  // 0 = no background republishing
+  long rollout_ramp_s = -1;      // < 0 = roll-out complete (EU for everyone)
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--rescore-interval=", 19) == 0) {
+      rescore_interval_ms = std::atol(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--rollout=", 10) == 0) {
+      rollout_ramp_s = std::atol(argv[i] + 10);
     } else {
       positional.push_back(argv[i]);
     }
@@ -103,26 +125,39 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   obs::QueryLog query_log{obs::QueryLogConfig{4096, 8, 1}};
 
+  // Control plane: the map maker builds and publishes immutable map
+  // snapshots into the shared registry's eum_control_* metrics, and the
+  // mapping system's handlers resolve every query against the published
+  // snapshot — lock-free, so the UDP workers need no mapping mutex.
+  control::MapMakerConfig maker_config;
+  maker_config.publish_unchanged = true;  // visible version bumps for the demo
+  maker_config.registry = &registry;
+  control::MapMaker maker{&mapping, nullptr, maker_config};
+  maker.install_fast_path();
+
+  // Staged roll-out: resolvers flip to end-user mapping cohort by cohort
+  // as the ramp fraction climbs (driven from the idle loop below).
+  control::RolloutController rollout;
+  if (rollout_ramp_s >= 0) {
+    rollout.set_fraction(rollout_ramp_s == 0 ? 1.0 : 0.0);
+    mapping.set_end_user_gate(rollout.gate());
+  }
+
   // Authoritative engine: the mapping system behind g.cdn.example, plus a
   // whoami TXT responder. Unknown resolvers (like 127.0.0.1) fall back to
-  // a default LDNS so interactive dig queries still get answers. The
-  // mapping system mutates server load state on every decision, so with
-  // multiple UDP workers the handler is serialized behind a mutex — the
-  // sockets, wire codec, and dispatch still run concurrently.
+  // a default LDNS so interactive dig queries still get answers.
   dnsserver::AuthoritativeServer engine{&registry};
   engine.set_query_log(&query_log);
   const topo::Ldns& fallback_ldns = world.ldnses.front();
   auto inner = mapping.dns_handler();
-  auto mapping_mutex = std::make_shared<std::mutex>();
   engine.add_dynamic_domain(
       dns::DnsName::from_text("g.cdn.example"),
-      [&, inner, mapping_mutex](const dnsserver::DynamicQuery& query)
+      [&, inner](const dnsserver::DynamicQuery& query)
           -> std::optional<dnsserver::DynamicAnswer> {
         dnsserver::DynamicQuery patched = query;
         if (world.ldns_by_address(query.resolver) == nullptr) {
           patched.resolver = fallback_ldns.address;
         }
-        const std::scoped_lock lock{*mapping_mutex};
         return inner(patched);
       });
   // Demo server: time every query so even a handful of digs shows real
@@ -145,6 +180,15 @@ int main(int argc, char** argv) {
   std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
               endpoint.port);
   server.start();
+  if (rescore_interval_ms > 0) {
+    maker.start(std::chrono::milliseconds{rescore_interval_ms});
+    std::printf("map maker republishing every %ld ms (map version %llu published)\n",
+                rescore_interval_ms, static_cast<unsigned long long>(maker.version()));
+  }
+  if (rollout_ramp_s > 0) {
+    std::printf("staged roll-out: 0%% -> 100%% of %u resolver cohorts over %ld s\n",
+                rollout.config().cohorts, rollout_ramp_s);
+  }
 
   // Self-demonstration: one plain and one ECS query over the real socket.
   {
@@ -167,10 +211,13 @@ int main(int argc, char** argv) {
         dns::Message::make_query(2, qname, dns::RecordType::A, ecs), endpoint, 2000ms);
     if (scoped && !scoped->answers.empty()) {
       const auto* echoed = scoped->client_subnet();
-      std::printf("ECS %s/24 query -> %s (end-user mapping; scope /%d echoed)\n",
+      const int scope = echoed != nullptr ? echoed->scope_prefix_len() : -1;
+      // Under --rollout the gate starts at 0%: the resolver's cohort has
+      // not flipped yet, so even the ECS query gets an NS-based /0 answer.
+      std::printf("ECS %s/24 query -> %s (%s mapping; scope /%d echoed)\n",
                   some_client.to_string().c_str(),
                   scoped->answer_addresses()[0].to_string().c_str(),
-                  echoed != nullptr ? echoed->scope_prefix_len() : -1);
+                  scope > 0 ? "end-user" : "NS-based (cohort not yet flipped)", scope);
     }
   }
 
@@ -207,30 +254,52 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(hits));
   }
 
-  if (metrics) dump_observability(registry, query_log);
+  if (metrics) {
+    maker.refresh_gauges();
+    dump_observability(registry, query_log);
+  }
 
   // Exit after 30 seconds without a new query; with --metrics the full
   // registry is dumped every 10 s, and SIGUSR1 forces a dump either way.
+  // The same 50 ms poll drives the wall-clock roll-out ramp.
   std::printf("\nserving until 30 s of idle time pass (Ctrl-C to quit sooner)...\n");
+  const auto serve_start = std::chrono::steady_clock::now();
   std::uint64_t last_seen = 0;
   int idle_polls = 0;
   int polls_since_dump = 0;
   while (idle_polls < 600) {
     std::this_thread::sleep_for(50ms);
+    if (rollout_ramp_s > 0) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_start)
+              .count();
+      const double before = rollout.fraction();
+      rollout.set_fraction(std::min(1.0, elapsed_s / static_cast<double>(rollout_ramp_s)));
+      if (rollout.fraction() >= 1.0 && before < 1.0) {
+        std::printf("roll-out complete: all %zu cohorts on end-user mapping\n",
+                    static_cast<std::size_t>(rollout.config().cohorts));
+      }
+    }
     const std::uint64_t seen = server.stats().queries;
     idle_polls = seen == last_seen ? idle_polls + 1 : 0;
     last_seen = seen;
     if (g_dump_requested != 0 || (metrics && ++polls_since_dump >= 200)) {
       g_dump_requested = 0;
       polls_since_dump = 0;
+      maker.refresh_gauges();
       dump_observability(registry, query_log);
     }
   }
+  maker.stop();
   server.stop();
 
-  std::printf("server exiting; %llu queries handled\n\n%s\n",
+  std::printf("server exiting; %llu queries handled (map version %llu)\n\n%s\n",
               static_cast<unsigned long long>(engine.stats().queries),
+              static_cast<unsigned long long>(maker.version()),
               dnsserver::udp_server_stats_table(server.stats()).render().c_str());
-  if (metrics) dump_observability(registry, query_log);
+  if (metrics) {
+    maker.refresh_gauges();
+    dump_observability(registry, query_log);
+  }
   return 0;
 }

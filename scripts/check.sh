@@ -15,6 +15,13 @@ cmake --build "$BUILD" -j "$(nproc)"
 (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
 
 echo "check: TSan gate"
-scripts/tsan_check.sh
+# `set -e` does not apply to every shell's handling of a failing command
+# whose status is later inspected; propagate the TSan stage explicitly so
+# a race can never slip through to "check: OK".
+scripts/tsan_check.sh || {
+  status=$?
+  echo "check: TSan gate FAILED (status $status)" >&2
+  exit "$status"
+}
 
 echo "check: OK"

@@ -73,6 +73,12 @@ std::optional<MapResult> MappingSystem::map_cluster(topo::LdnsId ldns, std::stri
 std::optional<MapResult> MappingSystem::map(topo::LdnsId ldns,
                                             std::optional<topo::BlockId> client_block,
                                             std::string_view domain, double load_units) {
+  // Staged roll-out: resolvers whose cohort has not flipped yet are
+  // answered NS-based even when the client block is known.
+  if (client_block && end_user_gate_ && !end_user_gate_(ldns)) client_block.reset();
+  // Control-plane fast path: resolve against the published immutable
+  // snapshot (lock-free) instead of the mutable scoring/LB state.
+  if (fast_path_) return fast_path_(ldns, client_block, domain, load_units);
   switch (config_.policy) {
     case MappingPolicy::end_user:
       if (client_block) return map_block(*client_block, domain, load_units);
@@ -93,9 +99,11 @@ dnsserver::DynamicAnswerFn MappingSystem::dns_handler() {
 
     // Identify the client block from ECS (end-user mapping path). The
     // announced source block may be broader than /24; we look up the /24
-    // at its base address — our worlds allocate clients at /24.
+    // at its base address — our worlds allocate clients at /24. The
+    // roll-out gate is applied here, not just in map(), so an ungated
+    // resolver's answer also carries the right (client-independent) scope.
     std::optional<topo::BlockId> block;
-    if (query.client_block && config_.policy == MappingPolicy::end_user) {
+    if (query.client_block && end_user_active(ldns->id)) {
       const net::IpPrefix block24{query.client_block->address(), 24};
       if (const topo::ClientBlock* found = world_->block_by_prefix(block24)) {
         block = found->id;
@@ -135,7 +143,7 @@ dnsserver::DynamicAnswerFn MappingSystem::top_level_handler(const dns::DnsName& 
     const topo::Ldns* ldns = world_->ldns_by_address(query.resolver);
     if (ldns == nullptr) return std::nullopt;
     std::optional<topo::BlockId> block;
-    if (query.client_block && config_.policy == MappingPolicy::end_user) {
+    if (query.client_block && end_user_active(ldns->id)) {
       const net::IpPrefix block24{query.client_block->address(), 24};
       if (const topo::ClientBlock* found = world_->block_by_prefix(block24)) block = found->id;
     }

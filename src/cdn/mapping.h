@@ -13,6 +13,7 @@
 // decides the answer; otherwise the resolver address does.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -57,6 +58,19 @@ struct MapResult {
   std::vector<net::IpAddr> servers;
   float expected_rtt_ms = 0.0F;  ///< mesh RTT from the chosen cluster to the unit
 };
+
+/// A thread-safe replacement for the mapping hot path. When installed
+/// (control::MapMaker::install_fast_path), every map() / DNS-handler
+/// decision is resolved against an immutable published map snapshot
+/// instead of this object's mutable scoring/LB state, so UDP workers
+/// serve lock-free while the control plane rebuilds in the background.
+using FastMapFn = std::function<std::optional<MapResult>(
+    topo::LdnsId, std::optional<topo::BlockId>, std::string_view domain, double load_units)>;
+
+/// Per-LDNS end-user gate (control::RolloutController): returning false
+/// answers the resolver's clients NS-based even when ECS is present —
+/// the paper's staged roll-out on the live DNS path.
+using EndUserGateFn = std::function<bool(topo::LdnsId)>;
 
 class MappingSystem {
  public:
@@ -122,10 +136,31 @@ class MappingSystem {
   [[nodiscard]] const Scoring& scoring() const noexcept { return scoring_; }
   [[nodiscard]] const MappingConfig& config() const noexcept { return config_; }
   [[nodiscard]] CdnNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] const CdnNetwork& network() const noexcept { return *network_; }
+  [[nodiscard]] const topo::World& world() const noexcept { return *world_; }
 
   /// Re-run scoring after liveness/topology changes (the paper's periodic
-  /// refresh; load state is preserved).
+  /// refresh; load state is preserved). Synchronous and unsafe against
+  /// concurrent map() calls — the control plane's MapMaker is the
+  /// serving-safe replacement.
   void rescore();
+
+  // --- control-plane hooks (src/control) --------------------------------
+
+  /// Install (or clear, with nullptr) the snapshot-reading fast path.
+  /// Setup-time only: install before serving threads start.
+  void set_fast_path(FastMapFn fast_path) { fast_path_ = std::move(fast_path); }
+
+  /// Install (or clear) the per-LDNS end-user gate. Setup-time only; the
+  /// gate itself must be safe to call from serving threads.
+  void set_end_user_gate(EndUserGateFn gate) { end_user_gate_ = std::move(gate); }
+
+  /// Is end-user mapping active for this resolver right now (policy says
+  /// end_user and the roll-out gate, if any, has flipped it on)?
+  [[nodiscard]] bool end_user_active(topo::LdnsId ldns) const {
+    return config_.policy == MappingPolicy::end_user &&
+           (!end_user_gate_ || end_user_gate_(ldns));
+  }
 
  private:
   [[nodiscard]] std::optional<MapResult> finish(std::optional<DeploymentId> deployment,
@@ -140,6 +175,8 @@ class MappingSystem {
   Scoring scoring_;
   std::unique_ptr<GlobalLoadBalancer> global_lb_;
   LocalLoadBalancer local_lb_;
+  FastMapFn fast_path_;
+  EndUserGateFn end_user_gate_;
 };
 
 }  // namespace eum::cdn

@@ -33,6 +33,8 @@ enum class TrafficClass : std::uint8_t {
 struct Candidate {
   DeploymentId deployment = 0;
   float score_ms = 0.0F;  ///< class-dependent score (lower is better)
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
 };
 
 class Scoring {
@@ -57,6 +59,9 @@ class Scoring {
   [[nodiscard]] topo::PingTargetId ldns_target(topo::LdnsId ldns) const {
     return ldns_target_.at(ldns);
   }
+
+  /// Same candidate tables (the map maker's publish-skip check).
+  friend bool operator==(const Scoring&, const Scoring&) = default;
 
  private:
   std::size_t top_k_ = 0;

@@ -1,0 +1,152 @@
+#include "control/map_maker.h"
+
+#include <stdexcept>
+
+namespace eum::control {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace
+
+MapMaker::MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock,
+                   MapMakerConfig config)
+    : mapping_(mapping),
+      clock_(clock),
+      config_(config),
+      started_at_(std::chrono::steady_clock::now()) {
+  if (mapping_ == nullptr) {
+    throw std::invalid_argument{"MapMaker: mapping system is required"};
+  }
+  if (config_.registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  } else {
+    registry_ = config_.registry;
+  }
+  map_version_ = &registry_->gauge("eum_control_map_version",
+                                   "version of the currently published map snapshot");
+  map_age_s_ = &registry_->gauge("eum_control_map_age_seconds",
+                                 "wall-clock seconds since the current map was published");
+  rebuilds_ = &registry_->counter("eum_control_rebuilds_total", "map rebuilds attempted");
+  publishes_ = &registry_->counter("eum_control_publishes_total", "map snapshots published");
+  publishes_skipped_ = &registry_->counter("eum_control_publishes_skipped_total",
+                                           "rebuilds skipped as serving-identical");
+  rebuild_latency_ = &registry_->histogram("eum_control_rebuild_latency_us",
+                                           "scoring + snapshot build latency");
+
+  ledger_ = std::make_shared<LoadLedger>(mapping_->network().size());
+  // Version 1 is published synchronously: serving can start immediately.
+  (void)rebuild_now(/*force=*/true);
+}
+
+MapMaker::~MapMaker() { stop(); }
+
+util::SimTime MapMaker::build_time() const noexcept {
+  if (clock_ != nullptr) return clock_->now();
+  return util::SimTime{static_cast<std::int64_t>(elapsed_us(started_at_) / 1'000'000U)};
+}
+
+std::shared_ptr<const MapSnapshot> MapMaker::rebuild_now(bool force) {
+  const std::scoped_lock lock{rebuild_mutex_};
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
+  std::shared_ptr<const MapSnapshot> built =
+      MapSnapshot::build(*mapping_, ledger_, next_version, build_time());
+  rebuild_latency_->record(elapsed_us(t0));
+  rebuilds_->add();
+  last_build_ = build_time();
+  if (monitor_ != nullptr) transitions_seen_ = monitor_->transitions();
+
+  std::shared_ptr<const MapSnapshot> live = current_.load(std::memory_order_acquire);
+  if (!force && !config_.publish_unchanged && live != nullptr &&
+      live->serving_equal(*built)) {
+    publishes_skipped_->add();
+    return live;
+  }
+
+  version_.store(next_version, std::memory_order_relaxed);
+  current_.store(built, std::memory_order_release);
+  publishes_->add();
+  map_version_->set(static_cast<std::int64_t>(next_version));
+  published_wall_us_.store(static_cast<std::int64_t>(elapsed_us(started_at_)),
+                           std::memory_order_relaxed);
+  map_age_s_->set(0);
+  return built;
+}
+
+bool MapMaker::tick() {
+  refresh_gauges();
+  const bool transitioned =
+      monitor_ != nullptr && monitor_->transitions() != transitions_seen_;
+  const bool due =
+      clock_ != nullptr && clock_->now() - last_build_ >= config_.rescore_interval_s;
+  if (!transitioned && !due) return false;
+  // Liveness transitions must reach the serving path: force the publish.
+  (void)rebuild_now(/*force=*/transitioned);
+  return true;
+}
+
+void MapMaker::install_fast_path() {
+  mapping_->set_fast_path(
+      [this](topo::LdnsId ldns, std::optional<topo::BlockId> block, std::string_view domain,
+             double load_units) {
+        return current_.load(std::memory_order_acquire)
+            ->map(ldns, block, domain, load_units);
+      });
+}
+
+void MapMaker::start(std::chrono::milliseconds interval) {
+  if (thread_.joinable()) return;
+  {
+    const std::scoped_lock lock{wake_mutex_};
+    stop_requested_ = false;
+    rebuild_requested_ = false;
+  }
+  thread_ = std::thread{[this, interval] { run_loop(interval); }};
+}
+
+void MapMaker::run_loop(std::chrono::milliseconds interval) {
+  std::unique_lock lock{wake_mutex_};
+  while (!stop_requested_) {
+    wake_.wait_for(lock, interval,
+                   [this] { return stop_requested_ || rebuild_requested_; });
+    if (stop_requested_) break;
+    const bool on_demand = rebuild_requested_;
+    rebuild_requested_ = false;
+    lock.unlock();
+    (void)rebuild_now(/*force=*/on_demand);
+    refresh_gauges();
+    lock.lock();
+  }
+}
+
+void MapMaker::stop() {
+  {
+    const std::scoped_lock lock{wake_mutex_};
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MapMaker::request_rebuild() {
+  {
+    const std::scoped_lock lock{wake_mutex_};
+    rebuild_requested_ = true;
+  }
+  wake_.notify_all();
+}
+
+void MapMaker::refresh_gauges() noexcept {
+  const std::int64_t age_us = static_cast<std::int64_t>(elapsed_us(started_at_)) -
+                              published_wall_us_.load(std::memory_order_relaxed);
+  map_age_s_->set(age_us / 1'000'000);
+}
+
+}  // namespace eum::control

@@ -1,0 +1,160 @@
+// The map maker: the control plane of the mapping system (paper §2.2).
+//
+// "The map maker" in the paper continuously recomputes the topology
+// scores and load-balancing decisions from fresh liveness and measurement
+// data and distributes the resulting map to the name servers. This class
+// is that loop: it rebuilds scoring + global-LB state into an immutable
+// MapSnapshot and publishes it through an RCU-style
+// `std::atomic<std::shared_ptr<const MapSnapshot>>`. Serving threads load
+// the pointer once per query (acquire) and answer entirely from that
+// generation; retired snapshots die when their last in-flight reader
+// drops the reference — no locks, no torn maps, no quiescent-state
+// bookkeeping.
+//
+// Two drive modes share the same rebuild path:
+//   - tick(): synchronous and SimClock-driven, for simulations and tests
+//     (rebuild when the rescore interval elapses or the watched
+//     LivenessMonitor reports transitions — the on-demand trigger).
+//   - start(interval): a background thread republishing on a wall-clock
+//     cadence, for the real UDP serving stack; request_rebuild() wakes it
+//     early (the "push a new map now" path after an incident).
+//
+// Rebuilds read the mutable CdnNetwork (liveness flags): run liveness
+// ticks and rebuilds from one thread, or synchronize them externally.
+// The serving path never touches the network — only published snapshots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "cdn/liveness.h"
+#include "cdn/mapping.h"
+#include "control/map_snapshot.h"
+#include "obs/metrics.h"
+#include "util/sim_clock.h"
+
+namespace eum::control {
+
+struct MapMakerConfig {
+  /// Periodic rebuild cadence for the SimClock-driven tick() mode.
+  std::int64_t rescore_interval_s = 30;
+  /// Publish rebuilds whose serving state is unchanged (version still
+  /// advances). Off by default: unchanged maps are counted as skipped
+  /// publishes instead. Churn/soak tests turn this on to exercise the
+  /// republish path at full rate.
+  bool publish_unchanged = false;
+  /// Registry for the eum_control_* metrics (borrowed; must outlive the
+  /// map maker). nullptr gives the maker a private registry.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+class MapMaker {
+ public:
+  /// `mapping` is borrowed and must outlive the map maker; `clock` (also
+  /// borrowed, may be nullptr) timestamps snapshots and paces tick().
+  /// Builds and publishes version 1 synchronously, so current() is never
+  /// null.
+  explicit MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock = nullptr,
+                    MapMakerConfig config = {});
+  ~MapMaker();
+
+  MapMaker(const MapMaker&) = delete;
+  MapMaker& operator=(const MapMaker&) = delete;
+
+  /// The current map. Lock-free acquire load; the returned snapshot is
+  /// immutable and stays valid for as long as the reference is held,
+  /// however many republishes happen meanwhile.
+  [[nodiscard]] std::shared_ptr<const MapSnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// The shared per-cluster load ledger (survives republishes).
+  [[nodiscard]] LoadLedger& loads() noexcept { return *ledger_; }
+
+  /// Route the mapping system's map()/DNS handlers through the published
+  /// snapshot: installs a fast path that resolves every decision against
+  /// current(). After this, the mapping handlers are safe to call from
+  /// many serving threads with no external lock.
+  void install_fast_path();
+
+  /// Watch a liveness monitor (borrowed): tick() treats new transitions
+  /// as an on-demand rebuild trigger, publishing even when the periodic
+  /// interval has not elapsed.
+  void watch(cdn::LivenessMonitor* monitor) noexcept { monitor_ = monitor; }
+
+  /// Synchronous rebuild. With `force` (or config.publish_unchanged) the
+  /// result is always published; otherwise a serving-identical rebuild is
+  /// skipped. Returns the now-current snapshot either way.
+  std::shared_ptr<const MapSnapshot> rebuild_now(bool force = false);
+
+  /// SimClock-driven drive: rebuild when the rescore interval elapsed or
+  /// the watched monitor transitioned since the last build. Returns true
+  /// if a rebuild ran.
+  bool tick();
+
+  /// Start the background republish thread (idempotent).
+  void start(std::chrono::milliseconds interval);
+
+  /// Stop and join the background thread; idempotent (also run by the
+  /// destructor).
+  void stop();
+
+  /// Wake the background thread for an immediate forced rebuild.
+  void request_rebuild();
+
+  /// Update the map-age gauge from the wall clock (called on publish;
+  /// exposition paths call it so dumped gauges are fresh).
+  void refresh_gauges() noexcept;
+
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return *registry_; }
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_->value(); }
+  [[nodiscard]] std::uint64_t publishes() const noexcept { return publishes_->value(); }
+  [[nodiscard]] std::uint64_t skipped_publishes() const noexcept {
+    return publishes_skipped_->value();
+  }
+
+ private:
+  [[nodiscard]] util::SimTime build_time() const noexcept;
+  void run_loop(std::chrono::milliseconds interval);
+
+  cdn::MappingSystem* mapping_;
+  const util::SimClock* clock_;
+  MapMakerConfig config_;
+  cdn::LivenessMonitor* monitor_ = nullptr;
+  std::shared_ptr<LoadLedger> ledger_;
+
+  std::atomic<std::shared_ptr<const MapSnapshot>> current_;
+  std::atomic<std::uint64_t> version_{0};
+
+  std::mutex rebuild_mutex_;  ///< serializes rebuild_now callers
+  util::SimTime last_build_{};
+  std::uint64_t transitions_seen_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+  std::atomic<std::int64_t> published_wall_us_{0};  ///< since started_at_
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool rebuild_requested_ = false;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  obs::Gauge* map_version_;
+  obs::Gauge* map_age_s_;
+  obs::Counter* rebuilds_;
+  obs::Counter* publishes_;
+  obs::Counter* publishes_skipped_;
+  obs::LatencyHistogram* rebuild_latency_;
+};
+
+}  // namespace eum::control

@@ -1,0 +1,162 @@
+#include "control/map_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace eum::control {
+
+LoadLedger::LoadLedger(std::size_t clusters)
+    : size_(clusters), loads_(std::make_unique<std::atomic<double>[]>(clusters)) {
+  for (std::size_t i = 0; i < size_; ++i) loads_[i].store(0.0, std::memory_order_relaxed);
+}
+
+double LoadLedger::add(std::size_t cluster, double units) noexcept {
+  return loads_[cluster].fetch_add(units, std::memory_order_relaxed) + units;
+}
+
+void LoadLedger::reset() noexcept {
+  for (std::size_t i = 0; i < size_; ++i) loads_[i].store(0.0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const MapSnapshot> MapSnapshot::build(const cdn::MappingSystem& mapping,
+                                                      std::shared_ptr<LoadLedger> loads,
+                                                      std::uint64_t version,
+                                                      util::SimTime built_at) {
+  const cdn::CdnNetwork& network = mapping.network();
+  if (loads == nullptr || loads->size() != network.size()) {
+    throw std::invalid_argument{"MapSnapshot: ledger must cover every cluster"};
+  }
+
+  auto snapshot = std::shared_ptr<MapSnapshot>{new MapSnapshot};
+  snapshot->version_ = version;
+  snapshot->built_at_ = built_at;
+  snapshot->config_ = mapping.config();
+  snapshot->world_ = &mapping.world();
+  snapshot->mesh_ = &mapping.mesh();
+  snapshot->loads_ = std::move(loads);
+
+  // Fresh scoring over the network's current liveness — the map maker's
+  // recompute step — then a frozen per-cluster serving view.
+  snapshot->scoring_ =
+      cdn::Scoring::build(mapping.world(), network, mapping.mesh(),
+                          mapping.config().scoring_top_k, mapping.config().traffic_class);
+  snapshot->clusters_.resize(network.size());
+  for (const cdn::Deployment& deployment : network.deployments()) {
+    Cluster& cluster = snapshot->clusters_[deployment.id];
+    cluster.capacity = deployment.capacity;
+    if (!deployment.alive) continue;
+    cluster.servers.reserve(deployment.servers.size());
+    for (const cdn::Server& server : deployment.servers) {
+      if (server.alive) cluster.servers.emplace_back(server.address);
+    }
+  }
+  return snapshot;
+}
+
+bool MapSnapshot::usable(std::size_t cluster, double load_units) const noexcept {
+  if (clusters_[cluster].servers.empty()) return false;
+  if (!config_.global_lb.load_aware) return true;
+  return loads_->load(cluster) + load_units <=
+         clusters_[cluster].capacity * config_.global_lb.overload_factor;
+}
+
+std::optional<cdn::MapResult> MapSnapshot::pick(std::span<const cdn::Candidate> candidates,
+                                                topo::PingTargetId fallback_target,
+                                                std::string_view domain,
+                                                double load_units) const {
+  std::optional<cdn::DeploymentId> chosen;
+  for (const cdn::Candidate& candidate : candidates) {
+    if (!std::isfinite(candidate.score_ms)) break;
+    if (usable(candidate.deployment, load_units)) {
+      chosen = candidate.deployment;
+      break;
+    }
+  }
+  if (!chosen) {
+    // Every precomputed candidate is dead or full: full mesh-column scan,
+    // same as the live GlobalLoadBalancer's rare-path fallback.
+    float best_score = std::numeric_limits<float>::infinity();
+    for (std::size_t d = 0; d < clusters_.size(); ++d) {
+      const float score = mesh_->rtt_ms(d, fallback_target);
+      if (score < best_score && usable(d, load_units)) {
+        chosen = static_cast<cdn::DeploymentId>(d);
+        best_score = score;
+      }
+    }
+  }
+  if (!chosen) return std::nullopt;
+
+  // The usable()/add() pair is not one atomic step: concurrent serving
+  // threads may overshoot a cluster's capacity by a few in-flight
+  // queries. The map maker's next rebuild sees the ledger and rebalances
+  // — the paper's control loop, not per-query strictness.
+  loads_->add(*chosen, load_units);
+
+  const Cluster& cluster = clusters_[*chosen];
+  cdn::MapResult result;
+  result.deployment = *chosen;
+  result.expected_rtt_ms = mesh_->rtt_ms(*chosen, fallback_target);
+
+  // Rendezvous hashing over the frozen alive-server list, with the same
+  // weight formula as the live LocalLoadBalancer so a domain keeps its
+  // "home" servers whichever path answered (cache affinity).
+  struct Ranked {
+    std::uint64_t weight;
+    std::size_t index;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(cluster.servers.size());
+  const std::uint64_t domain_hash = util::fnv1a64(domain);
+  for (std::size_t i = 0; i < cluster.servers.size(); ++i) {
+    ranked.push_back(Ranked{
+        util::hash_combine(domain_hash,
+                           static_cast<std::uint64_t>(cluster.servers[i].v4().value())),
+        i});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.weight > b.weight; });
+  const std::size_t want = std::min(config_.servers_per_answer, ranked.size());
+  result.servers.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    result.servers.push_back(cluster.servers[ranked[i].index]);
+  }
+  if (result.servers.empty()) return std::nullopt;
+  return result;
+}
+
+std::optional<cdn::MapResult> MapSnapshot::map_target(topo::PingTargetId target,
+                                                      std::string_view domain,
+                                                      double load_units) const {
+  return pick(scoring_.target_candidates(target), target, domain, load_units);
+}
+
+std::optional<cdn::MapResult> MapSnapshot::map_cluster(topo::LdnsId ldns,
+                                                       std::string_view domain,
+                                                       double load_units) const {
+  return pick(scoring_.cluster_candidates(ldns), scoring_.ldns_target(ldns), domain,
+              load_units);
+}
+
+std::optional<cdn::MapResult> MapSnapshot::map(topo::LdnsId ldns,
+                                               std::optional<topo::BlockId> client_block,
+                                               std::string_view domain,
+                                               double load_units) const {
+  switch (config_.policy) {
+    case cdn::MappingPolicy::end_user:
+      if (client_block) {
+        return map_target(world_->blocks.at(*client_block).ping_target, domain, load_units);
+      }
+      break;  // no ECS: degrade to NS
+    case cdn::MappingPolicy::client_aware_ns:
+      return map_cluster(ldns, domain, load_units);
+    case cdn::MappingPolicy::ns_based:
+      break;
+  }
+  return map_target(world_->ldnses.at(ldns).ping_target, domain, load_units);
+}
+
+}  // namespace eum::control

@@ -1,0 +1,131 @@
+// Immutable, versioned map state published by the map maker (paper §2.2).
+//
+// The paper's map maker periodically recomputes cluster scores and
+// load-balancing decisions and pushes the result to the name servers.
+// A MapSnapshot is one such push: a frozen copy of everything a serving
+// thread needs to answer a mapping query — the scoring tables, the
+// per-cluster alive-server lists and capacities as of build time, and the
+// mapping policy/config. Snapshots are published through an RCU-style
+// `std::atomic<std::shared_ptr<const MapSnapshot>>` (see MapMaker), so
+// every query resolves against exactly one consistent map version while
+// the next one is being built, with no locks on the serving path.
+//
+// The only mutable state a snapshot touches is the LoadLedger: a shared
+// array of per-cluster atomic load accumulators that survives republishes
+// (the paper's load state is continuous even as scores change).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "cdn/mapping.h"
+#include "cdn/ping_mesh.h"
+#include "cdn/scoring.h"
+#include "topo/world.h"
+#include "util/sim_clock.h"
+
+namespace eum::control {
+
+/// Per-cluster load accounting shared by every snapshot generation.
+/// Charging is a wait-free atomic add, so concurrent serving threads and
+/// the map maker's usability checks never need a lock.
+class LoadLedger {
+ public:
+  explicit LoadLedger(std::size_t clusters);
+
+  /// Charge `units` to a cluster; returns the load after the charge.
+  double add(std::size_t cluster, double units) noexcept;
+
+  [[nodiscard]] double load(std::size_t cluster) const noexcept {
+    return loads_[cluster].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<std::atomic<double>[]> loads_;
+};
+
+class MapSnapshot {
+ public:
+  /// One cluster's serving view as of build time. A dead cluster (or one
+  /// with no live servers) has an empty server list and is skipped.
+  struct Cluster {
+    double capacity = 0.0;
+    std::vector<net::IpAddr> servers;  ///< alive servers, frozen at build
+
+    friend bool operator==(const Cluster&, const Cluster&) = default;
+  };
+
+  /// Freeze the mapping system's current scoring + liveness state. The
+  /// snapshot borrows the system's world and ping mesh (both immutable
+  /// after construction) and must not outlive it; `loads` is shared
+  /// across generations. Reads the mutable CdnNetwork — callers must not
+  /// mutate liveness concurrently with a build (see MapMaker).
+  static std::shared_ptr<const MapSnapshot> build(const cdn::MappingSystem& mapping,
+                                                  std::shared_ptr<LoadLedger> loads,
+                                                  std::uint64_t version,
+                                                  util::SimTime built_at);
+
+  // --- serving (lock-free, safe from any thread) -----------------------
+
+  /// Policy-dispatching entry, mirroring cdn::MappingSystem::map but
+  /// resolved entirely against this snapshot's frozen state.
+  [[nodiscard]] std::optional<cdn::MapResult> map(topo::LdnsId ldns,
+                                                  std::optional<topo::BlockId> client_block,
+                                                  std::string_view domain,
+                                                  double load_units = 0.0) const;
+
+  /// Map a ping-target unit (the EU / NS mapping unit).
+  [[nodiscard]] std::optional<cdn::MapResult> map_target(topo::PingTargetId target,
+                                                         std::string_view domain,
+                                                         double load_units = 0.0) const;
+
+  /// Map an LDNS's client cluster (the CANS unit, §6).
+  [[nodiscard]] std::optional<cdn::MapResult> map_cluster(topo::LdnsId ldns,
+                                                          std::string_view domain,
+                                                          double load_units = 0.0) const;
+
+  // --- identity --------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] util::SimTime built_at() const noexcept { return built_at_; }
+  [[nodiscard]] const cdn::MappingConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const cdn::Scoring& scoring() const noexcept { return scoring_; }
+  [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept { return clusters_; }
+  [[nodiscard]] const LoadLedger& loads() const noexcept { return *loads_; }
+
+  /// Would this snapshot serve identically to `other`? True when the
+  /// scoring tables and frozen cluster views match — the map maker skips
+  /// publishing such rebuilds (version and build time are ignored).
+  [[nodiscard]] bool serving_equal(const MapSnapshot& other) const {
+    return scoring_ == other.scoring_ && clusters_ == other.clusters_;
+  }
+
+ private:
+  MapSnapshot() = default;
+
+  [[nodiscard]] bool usable(std::size_t cluster, double load_units) const noexcept;
+  [[nodiscard]] std::optional<cdn::MapResult> pick(std::span<const cdn::Candidate> candidates,
+                                                   topo::PingTargetId fallback_target,
+                                                   std::string_view domain,
+                                                   double load_units) const;
+
+  std::uint64_t version_ = 0;
+  util::SimTime built_at_{};
+  cdn::MappingConfig config_;
+  cdn::Scoring scoring_;
+  const topo::World* world_ = nullptr;
+  const cdn::PingMesh* mesh_ = nullptr;
+  std::vector<Cluster> clusters_;
+  std::shared_ptr<LoadLedger> loads_;
+};
+
+}  // namespace eum::control

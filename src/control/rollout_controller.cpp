@@ -1,0 +1,58 @@
+#include "control/rollout_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace eum::control {
+
+RolloutController::RolloutController(RolloutRampConfig config) : config_(config) {
+  if (util::day_index(config_.ramp_start) > util::day_index(config_.ramp_end)) {
+    throw std::invalid_argument{"RolloutController: ramp_start after ramp_end"};
+  }
+  if (config_.cohorts == 0) {
+    throw std::invalid_argument{"RolloutController: need at least one cohort"};
+  }
+}
+
+std::uint32_t RolloutController::cohort(topo::LdnsId ldns) const noexcept {
+  return static_cast<std::uint32_t>(
+      util::hash_combine(config_.seed, static_cast<std::uint64_t>(ldns)) % config_.cohorts);
+}
+
+double RolloutController::fraction_on(const util::Date& date) const {
+  const int day = util::day_index(date);
+  const int ramp_lo = util::day_index(config_.ramp_start);
+  const int ramp_hi = util::day_index(config_.ramp_end);
+  if (day < ramp_lo) return 0.0;
+  if (day >= ramp_hi) return 1.0;
+  return static_cast<double>(day - ramp_lo) / static_cast<double>(ramp_hi - ramp_lo);
+}
+
+void RolloutController::set_fraction(double fraction) noexcept {
+  fraction_.store(std::clamp(fraction, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+std::uint32_t RolloutController::enabled_cohorts() const noexcept {
+  return static_cast<std::uint32_t>(fraction() * static_cast<double>(config_.cohorts));
+}
+
+void RolloutController::whitelist(topo::LdnsId ldns) {
+  const auto at = std::lower_bound(whitelist_.begin(), whitelist_.end(), ldns);
+  if (at == whitelist_.end() || *at != ldns) whitelist_.insert(at, ldns);
+}
+
+bool RolloutController::end_user_enabled(topo::LdnsId ldns) const noexcept {
+  if (std::binary_search(whitelist_.begin(), whitelist_.end(), ldns)) return true;
+  // cohort k flips when the ramp crosses (k+1)/cohorts — cohort 0 first,
+  // the last cohort exactly at fraction 1.0.
+  return static_cast<double>(cohort(ldns)) <
+         fraction_.load(std::memory_order_relaxed) * static_cast<double>(config_.cohorts);
+}
+
+cdn::EndUserGateFn RolloutController::gate() const {
+  return [this](topo::LdnsId ldns) { return end_user_enabled(ldns); };
+}
+
+}  // namespace eum::control

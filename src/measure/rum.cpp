@@ -77,9 +77,15 @@ std::optional<RumSample> RumSimulator::session(topo::BlockId block_id, topo::Ldn
 }
 
 std::optional<RumSample> RumSimulator::sample_qualified(bool end_user, util::Rng& rng) {
+  const auto pair = sample_qualified_pair(rng);
+  if (!pair) return std::nullopt;
+  return session(pair->first, pair->second, end_user, rng);
+}
+
+std::optional<std::pair<topo::BlockId, topo::LdnsId>> RumSimulator::sample_qualified_pair(
+    util::Rng& rng) const {
   if (qualified_.empty()) return std::nullopt;
-  const auto [block, ldns] = qualified_[qualified_picker_.pick(rng)];
-  return session(block, ldns, end_user, rng);
+  return qualified_[qualified_picker_.pick(rng)];
 }
 
 }  // namespace eum::measure

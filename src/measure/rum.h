@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cdn/mapping.h"
@@ -70,6 +71,13 @@ class RumSimulator {
   /// One session from the qualified population (public-resolver users),
   /// picked by demand weight.
   [[nodiscard]] std::optional<RumSample> sample_qualified(bool end_user, util::Rng& rng);
+
+  /// Pick one qualified (block, LDNS) pair by demand weight without
+  /// running the session — the roll-out drives the end-user decision per
+  /// resolver (control::RolloutController), so the pair must be known
+  /// before the mapping policy is chosen.
+  [[nodiscard]] std::optional<std::pair<topo::BlockId, topo::LdnsId>> sample_qualified_pair(
+      util::Rng& rng) const;
 
   /// The qualified (block, LDNS) pairs.
   [[nodiscard]] const std::vector<std::pair<topo::BlockId, topo::LdnsId>>& qualified_pairs()

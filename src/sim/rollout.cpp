@@ -5,24 +5,23 @@
 namespace eum::sim {
 
 RolloutSimulator::RolloutSimulator(const topo::World* world, measure::RumSimulator* rum,
-                                   RolloutConfig config)
-    : world_(world), rum_(rum), config_(config) {
+                                   RolloutConfig config,
+                                   control::RolloutController* controller)
+    : world_(world), rum_(rum), config_(config), controller_(controller) {
   if (world_ == nullptr || rum_ == nullptr) {
     throw std::invalid_argument{"RolloutSimulator: world and rum are required"};
   }
-  if (util::day_index(config_.start) > util::day_index(config_.end) ||
-      util::day_index(config_.ramp_start) > util::day_index(config_.ramp_end)) {
+  if (util::day_index(config_.start) > util::day_index(config_.end)) {
     throw std::invalid_argument{"RolloutSimulator: inconsistent dates"};
   }
-}
-
-double RolloutSimulator::rollout_fraction(const util::Date& date) const {
-  const int day = util::day_index(date);
-  const int ramp_lo = util::day_index(config_.ramp_start);
-  const int ramp_hi = util::day_index(config_.ramp_end);
-  if (day < ramp_lo) return 0.0;
-  if (day >= ramp_hi) return 1.0;
-  return static_cast<double>(day - ramp_lo) / static_cast<double>(ramp_hi - ramp_lo);
+  if (controller_ == nullptr) {
+    control::RolloutRampConfig ramp;
+    ramp.ramp_start = config_.ramp_start;
+    ramp.ramp_end = config_.ramp_end;
+    ramp.seed = config_.seed;
+    owned_controller_ = std::make_unique<control::RolloutController>(ramp);
+    controller_ = owned_controller_.get();
+  }
 }
 
 RolloutResult RolloutSimulator::run() {
@@ -37,13 +36,17 @@ RolloutResult RolloutSimulator::run() {
 
   for (int day = first; day <= last; ++day) {
     const util::Date date = util::date_from_day_index(day);
-    const double fraction = rollout_fraction(date);
+    // Advance the staged roll-out to this day: cohorts of resolvers flip
+    // as the ramp fraction crosses their threshold (paper §4, Fig 13).
+    controller_->set_date(date);
 
     DailyMetrics high{date, 0, 0, 0, 0, 0};
     DailyMetrics low{date, 0, 0, 0, 0, 0};
     for (std::size_t s = 0; s < config_.sessions_per_day; ++s) {
-      const bool end_user = rng.chance(fraction);
-      const auto sample = rum_->sample_qualified(end_user, rng);
+      const auto pair = rum_->sample_qualified_pair(rng);
+      if (!pair) break;  // no qualified population in this world
+      const bool end_user = controller_->end_user_enabled(pair->second);
+      const auto sample = rum_->session(pair->first, pair->second, end_user, rng);
       if (!sample) continue;
       DailyMetrics& group = result.high_expectation[sample->country] ? high : low;
       ++group.sessions;

@@ -3,15 +3,19 @@
 // Akamai enabled end-user mapping for clients of public resolvers between
 // March 28 and April 15, 2014, and measured clients before, during and
 // after. This simulator replays that timeline over a synthetic world: each
-// simulated day draws qualified RUM sessions (public-resolver users); a
-// session is routed with end-user mapping with probability equal to the
-// day's roll-out fraction, and with NS-based mapping otherwise. Daily
-// means feed Figures 13/15/17/19; the pooled before/after samples feed
-// the CDF Figures 14/16/18/20.
+// simulated day draws qualified RUM sessions (public-resolver users), and
+// a session is routed with end-user mapping iff its resolver's roll-out
+// cohort has flipped by that date — the same control::RolloutController
+// that gates the live DNS path, so the offline timeline and the serving
+// stack share one ramp implementation. Daily means feed Figures
+// 13/15/17/19; the pooled before/after samples feed the CDF Figures
+// 14/16/18/20.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "control/rollout_controller.h"
 #include "measure/analysis.h"
 #include "measure/rum.h"
 #include "stats/sample.h"
@@ -56,12 +60,20 @@ struct RolloutResult {
 
 class RolloutSimulator {
  public:
-  /// `rum` and its underlying world/mapping are borrowed.
-  RolloutSimulator(const topo::World* world, measure::RumSimulator* rum, RolloutConfig config);
+  /// `rum` and its underlying world/mapping are borrowed, as is
+  /// `controller` when given; with nullptr the simulator owns a
+  /// controller built from the config's ramp dates.
+  RolloutSimulator(const topo::World* world, measure::RumSimulator* rum, RolloutConfig config,
+                   control::RolloutController* controller = nullptr);
 
   /// Fraction of qualified queries answered with end-user mapping on a day
-  /// (0 before the ramp, 1 after, linear in between).
-  [[nodiscard]] double rollout_fraction(const util::Date& date) const;
+  /// (0 before the ramp, 1 after, linear in between). Delegates to the
+  /// roll-out controller's ramp.
+  [[nodiscard]] double rollout_fraction(const util::Date& date) const {
+    return controller_->fraction_on(date);
+  }
+
+  [[nodiscard]] control::RolloutController& controller() noexcept { return *controller_; }
 
   [[nodiscard]] RolloutResult run();
 
@@ -69,6 +81,8 @@ class RolloutSimulator {
   const topo::World* world_;
   measure::RumSimulator* rum_;
   RolloutConfig config_;
+  std::unique_ptr<control::RolloutController> owned_controller_;
+  control::RolloutController* controller_;
 };
 
 }  // namespace eum::sim
