@@ -11,8 +11,18 @@
 //
 // Usage: ecs_dns_server [port] [workers] [--metrics]
 //                       [--rescore-interval=MS] [--rollout=SECONDS]
+//                       [--fault-drop=P] [--fault-servfail=P]
+//                       [--fault-delay-ms=MS]
 //   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
 //   through that many SO_REUSEPORT sockets, one thread each.)
+//
+// The --fault-* flags wrap the demo recursive resolver's upstream in a
+// FaultInjector: P is a probability in [0,1] of dropping (or answering
+// SERVFAIL to) each upstream query, and --fault-delay-ms holds every
+// response for that long. The resolver rides through the faults with
+// its retry/backoff budget (watch eum_resolver_retries_total and
+// eum_fault_injected_total climb in the --metrics dumps) — the same
+// machinery the fault_sweep bench gates on.
 //
 // The serving path runs through the control plane: a control::MapMaker
 // publishes immutable map snapshots and every query is answered from the
@@ -56,6 +66,7 @@
 #include "cdn/mapping.h"
 #include "control/map_maker.h"
 #include "control/rollout_controller.h"
+#include "dnsserver/fault.h"
 #include "dnsserver/transport.h"
 #include "dnsserver/udp.h"
 #include "obs/metrics.h"
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   long rescore_interval_ms = 0;  // 0 = no background republishing
   long rollout_ramp_s = -1;      // < 0 = roll-out complete (EU for everyone)
+  dnsserver::FaultSpec faults;   // all-zero default: clean upstream
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -100,6 +112,12 @@ int main(int argc, char** argv) {
       rescore_interval_ms = std::atol(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--rollout=", 10) == 0) {
       rollout_ramp_s = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--fault-drop=", 13) == 0) {
+      faults.drop = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--fault-servfail=", 17) == 0) {
+      faults.servfail = std::atof(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--fault-delay-ms=", 17) == 0) {
+      faults.delay = std::chrono::milliseconds{std::atol(argv[i] + 17)};
     } else {
       positional.push_back(argv[i]);
     }
@@ -230,10 +248,17 @@ int main(int argc, char** argv) {
     util::SimClock clock;
     dnsserver::AuthorityDirectory directory;
     directory.add_authority(dns::DnsName::from_text("g.cdn.example"), &engine);
+    // --fault-* wraps the upstream path: the resolver's retry budget (and
+    // serve-stale window) must carry the demo through the injected loss.
+    dnsserver::FaultInjectorConfig fault_config;
+    fault_config.faults = faults;
+    fault_config.registry = &registry;
+    dnsserver::FaultInjector injector{&directory, fault_config};
     dnsserver::ResolverConfig resolver_config;
     resolver_config.ecs_enabled = true;
     resolver_config.registry = &registry;
-    dnsserver::RecursiveResolver resolver{resolver_config, &clock, &directory,
+    resolver_config.serve_stale_window = 300;
+    dnsserver::RecursiveResolver resolver{resolver_config, &clock, &injector,
                                           world.ldnses.front().address};
     resolver.set_query_log(&query_log);
     const auto qname = dns::DnsName::from_text("www.g.cdn.example");
@@ -252,6 +277,19 @@ int main(int argc, char** argv) {
     std::printf("resolver demo    -> %llu client queries, %llu scoped-cache hits\n",
                 static_cast<unsigned long long>(resolver.stats().client_queries),
                 static_cast<unsigned long long>(hits));
+    if (faults.active()) {
+      const dnsserver::ResolverStats rs = resolver.stats();
+      const dnsserver::FaultStats fs = injector.stats();
+      std::printf(
+          "fault injection  -> %llu dropped, %llu servfails, %llu delayed; resolver "
+          "retried %llu, served stale %llu, failed %llu\n",
+          static_cast<unsigned long long>(fs.drops),
+          static_cast<unsigned long long>(fs.servfails),
+          static_cast<unsigned long long>(fs.delays),
+          static_cast<unsigned long long>(rs.retries),
+          static_cast<unsigned long long>(rs.stale_served),
+          static_cast<unsigned long long>(rs.upstream_failures));
+    }
   }
 
   if (metrics) {

@@ -21,9 +21,13 @@ ScopedEcsCache::ScopedEcsCache(ScopedCacheConfig config)
       shard_count_(round_up_pow2(config.shards)),
       shard_mask_(shard_count_ - 1),
       per_shard_capacity_(std::max<std::size_t>(1, config.max_entries / shard_count_)),
+      stale_window_(config.stale_window),
       shards_(std::make_unique<Shard[]>(shard_count_)) {
   if (config.max_entries == 0) {
     throw std::invalid_argument{"ScopedEcsCache: max_entries must be positive"};
+  }
+  if (stale_window_ < 0) {
+    throw std::invalid_argument{"ScopedEcsCache: stale_window must be non-negative"};
   }
   for (std::size_t i = 0; i < shard_count_; ++i) {
     const obs::Labels labels{{"shard", std::to_string(i)}};
@@ -74,19 +78,25 @@ std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
   // Reap expired entries under this key in passing, then pick the
   // longest matching scope among the survivors. A global entry (no
   // scope) matches every client with specificity -1, so any scoped
-  // match beats it.
+  // match beats it. With a stale window, expired entries are kept for
+  // lookup_stale() until `expires + stale_window` but never returned
+  // from a regular lookup.
   auto& slots = it->second;
   NodeList::iterator best = shard.lru.end();
   int best_depth = -2;
   for (std::size_t i = 0; i < slots.size();) {
     const NodeList::iterator node = slots[i];
-    if (node->entry.expires <= now) {
+    if (node->entry.expires + stale_window_ <= now) {
       shard.metrics.expirations->add();
       shard.lru.erase(node);
       slots[i] = slots.back();
       slots.pop_back();
       --shard.entries;
       shard.metrics.entries_gauge->add(-1);
+      continue;
+    }
+    if (node->entry.expires <= now) {
+      ++i;  // stale: retained for lookup_stale(), invisible here
       continue;
     }
     const auto& scope = node->entry.scope;
@@ -108,6 +118,33 @@ std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup(const Key& key,
     shard.metrics.scope_depth_total->add(static_cast<std::uint64_t>(best_depth));
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, best);  // promote
+  return best->entry;
+}
+
+std::optional<ScopedEcsCache::Entry> ScopedEcsCache::lookup_stale(const Key& key,
+                                                                  const net::IpAddr& client,
+                                                                  util::SimTime now) {
+  if (stale_window_ == 0) return std::nullopt;
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock{shard.mutex};
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  // Longest matching scope among everything still inside the stale
+  // window. A fresh entry stored by a racing thread between the caller's
+  // failed lookup and now is equally acceptable — take it.
+  NodeList::iterator best = shard.lru.end();
+  int best_depth = -2;
+  for (const NodeList::iterator node : it->second) {
+    if (node->entry.expires + stale_window_ <= now) continue;  // next lookup reaps it
+    const auto& scope = node->entry.scope;
+    const int depth = scope ? scope->length() : -1;
+    if ((!scope || scope->contains(client)) && depth > best_depth) {
+      best = node;
+      best_depth = depth;
+    }
+  }
+  if (best == shard.lru.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, best);  // promote: still useful
   return best->entry;
 }
 

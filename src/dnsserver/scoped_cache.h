@@ -42,6 +42,11 @@ struct ScopedCacheConfig {
   /// cache line and a hot shard stays attributable; the ScopedCacheStats
   /// view sums them.
   obs::MetricsRegistry* registry = nullptr;
+  /// RFC 8767 serve-stale retention window, seconds. Expired entries are
+  /// kept (invisible to lookup(), reachable via lookup_stale()) until
+  /// `expires + stale_window`, after which they are reaped as before.
+  /// 0 disables retention: expired entries are reaped on sight.
+  std::int64_t stale_window = 0;
 };
 
 /// Monotonic counters, aggregated over all shards — a thin snapshot view
@@ -84,11 +89,20 @@ class ScopedEcsCache {
   explicit ScopedEcsCache(ScopedCacheConfig config);
 
   /// Longest-scope-match lookup for `client` at time `now`. Expired
-  /// entries under the key are reaped in passing; a hit is promoted to
-  /// the front of its shard's LRU. Returns a copy so the entry stays
-  /// valid regardless of concurrent eviction.
+  /// entries under the key are reaped in passing (entries still inside
+  /// the stale window are retained but never returned here); a hit is
+  /// promoted to the front of its shard's LRU. Returns a copy so the
+  /// entry stays valid regardless of concurrent eviction.
   [[nodiscard]] std::optional<Entry> lookup(const Key& key, const net::IpAddr& client,
                                             util::SimTime now);
+
+  /// RFC 8767 last-resort lookup: the longest-scope match for `client`
+  /// among entries still inside the stale window — expired or not — so a
+  /// resolver whose every upstream attempt failed can degrade gracefully
+  /// instead of answering SERVFAIL. Returns nullopt when the window is 0
+  /// or nothing under the key covers the client.
+  [[nodiscard]] std::optional<Entry> lookup_stale(const Key& key, const net::IpAddr& client,
+                                                  util::SimTime now);
 
   /// Insert `entry`; an existing entry with the identical scope is
   /// replaced in place. When the shard is at capacity the least recently
@@ -161,6 +175,7 @@ class ScopedEcsCache {
   std::size_t shard_count_;
   std::size_t shard_mask_;
   std::size_t per_shard_capacity_;
+  std::int64_t stale_window_;
   std::unique_ptr<Shard[]> shards_;
 };
 

@@ -33,17 +33,31 @@ UdpEndpoint from_sockaddr(const sockaddr_in& sa) {
   throw std::system_error{errno, std::generic_category(), what};
 }
 
-/// Wait for readability/writability; false on timeout.
-bool wait_fd(int fd, short events, std::chrono::milliseconds timeout) {
+/// Wait for readability/writability until `deadline`; false on timeout.
+/// Deadline-based so a poll() interrupted by a signal (EINTR) resumes
+/// with the time remaining — a signal storm cannot extend the wait. The
+/// fd is always polled at least once (non-blocking when the deadline has
+/// already passed), so already-pending events are still delivered.
+bool wait_fd(int fd, short events, std::chrono::steady_clock::time_point deadline) {
   pollfd pfd{fd, events, 0};
   while (true) {
-    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait_ms = static_cast<int>(std::max<std::int64_t>(remaining.count(), 0));
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        continue;
+      }
       throw_errno("poll");
     }
     return ready > 0;
   }
+}
+
+bool wait_fd(int fd, short events, std::chrono::milliseconds timeout) {
+  return wait_fd(fd, events, std::chrono::steady_clock::now() + timeout);
 }
 
 }  // namespace
@@ -173,13 +187,10 @@ void TcpDnsStream::send(const dns::Message& message) {
 }
 
 bool TcpDnsStream::read_exact(std::uint8_t* out, std::size_t n,
-                              std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+                              std::chrono::steady_clock::time_point deadline) {
   std::size_t got = 0;
   while (got < n) {
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (remaining.count() <= 0 || !wait_fd(fd_, POLLIN, remaining)) return false;
+    if (!wait_fd(fd_, POLLIN, deadline)) return false;
     const ssize_t r = ::recv(fd_, out + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -192,11 +203,15 @@ bool TcpDnsStream::read_exact(std::uint8_t* out, std::size_t n,
 }
 
 std::optional<dns::Message> TcpDnsStream::receive(std::chrono::milliseconds timeout) {
+  // ONE deadline covers the length prefix AND the body: a peer that
+  // dribbles out the prefix near the timeout no longer earns a second
+  // full budget for the body.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::uint8_t prefix[2];
-  if (!read_exact(prefix, 2, timeout)) return std::nullopt;
+  if (!read_exact(prefix, 2, deadline)) return std::nullopt;
   const std::size_t length = (static_cast<std::size_t>(prefix[0]) << 8) | prefix[1];
   std::vector<std::uint8_t> wire(length);
-  if (length > 0 && !read_exact(wire.data(), length, timeout)) return std::nullopt;
+  if (length > 0 && !read_exact(wire.data(), length, deadline)) return std::nullopt;
   return dns::Message::decode(wire);
 }
 

@@ -64,9 +64,11 @@ class TcpDnsStream {
   [[nodiscard]] UdpEndpoint peer_endpoint() const;
 
  private:
-  /// Read exactly n bytes; false on EOF/timeout.
+  /// Read exactly n bytes before `deadline`; false on EOF/timeout. The
+  /// caller computes one deadline per message so prefix and body share
+  /// a single budget.
   [[nodiscard]] bool read_exact(std::uint8_t* out, std::size_t n,
-                                std::chrono::milliseconds timeout);
+                                std::chrono::steady_clock::time_point deadline);
 
   int fd_ = -1;
 };

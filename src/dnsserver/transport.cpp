@@ -65,11 +65,25 @@ StubClient::StubClient(RecursiveResolver* ldns, net::IpAddr client_addr)
   if (ldns_ == nullptr) throw std::invalid_argument{"StubClient: null resolver"};
 }
 
+bool StubClient::matches(const Message& query, const Message& response) noexcept {
+  return response.header.is_response && response.header.id == query.header.id &&
+         response.questions == query.questions;
+}
+
 Message StubClient::query(const DnsName& name, dns::RecordType type) {
+  // next_id_ wraps through 0 on its own: ID 0 is as legal as any other.
   const Message request = Message::make_query(next_id_++, name, type);
   const Message parsed = Message::decode(request.encode());
   const Message response = ldns_->resolve(parsed, client_addr_);
-  return Message::decode(response.encode());
+  Message decoded = Message::decode(response.encode());
+  if (!matches(request, decoded)) {
+    // Wrong ID or question echo: a crossed wire or spoofed answer.
+    // Trusting it would poison the caller; fail the lookup instead.
+    Message failure = Message::make_response(request);
+    failure.header.rcode = dns::Rcode::serv_fail;
+    return failure;
+  }
+  return decoded;
 }
 
 std::vector<net::IpAddr> StubClient::lookup(const DnsName& name, dns::RecordType type) {

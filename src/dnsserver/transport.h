@@ -68,9 +68,21 @@ class StubClient {
   [[nodiscard]] std::vector<net::IpAddr> lookup(const dns::DnsName& name,
                                                 dns::RecordType type = dns::RecordType::A);
 
-  /// Full-message variant for callers that need TTLs/rcode.
+  /// Full-message variant for callers that need TTLs/rcode. The response
+  /// is validated against the query (ID echo + question echo, the
+  /// classic anti-spoofing check); a mismatch is surfaced as SERVFAIL
+  /// rather than trusted.
   [[nodiscard]] dns::Message query(const dns::DnsName& name,
                                    dns::RecordType type = dns::RecordType::A);
+
+  /// Whether `response` is an acceptable answer to `query`: QR set, the
+  /// 16-bit ID echoed, and the question section echoed verbatim.
+  [[nodiscard]] static bool matches(const dns::Message& query,
+                                    const dns::Message& response) noexcept;
+
+  /// Pin the next query ID (testing aid: ID 0 is legal and the uint16
+  /// counter wraps through it, so wrap behaviour must stay symmetric).
+  void set_next_id(std::uint16_t id) noexcept { next_id_ = id; }
 
   [[nodiscard]] const net::IpAddr& address() const noexcept { return client_addr_; }
 

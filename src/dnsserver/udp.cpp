@@ -94,11 +94,26 @@ void UdpSocket::send_to(std::span<const std::uint8_t> data, const UdpEndpoint& p
 
 std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::milliseconds timeout,
                                                             UdpEndpoint& peer) {
+  // The wait is deadline-based: a poll() interrupted by a signal (EINTR)
+  // resumes with the time REMAINING, not the caller's full timeout, so a
+  // signal storm cannot extend the wait unboundedly. A negative timeout
+  // still means "wait forever".
+  const bool infinite = timeout.count() < 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   pollfd pfd{fd_, POLLIN, 0};
   while (true) {
-    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    int wait_ms = -1;
+    if (!infinite) {
+      const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(remaining.count(), 0));
+    }
+    const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (!infinite && std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        continue;
+      }
       throw_errno("poll");
     }
     if (ready == 0) return std::nullopt;
@@ -107,8 +122,11 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::millise
   std::vector<std::uint8_t> buffer(kMaxDatagram);
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
-  const ssize_t received = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
-                                      reinterpret_cast<sockaddr*>(&sa), &len);
+  ssize_t received;
+  do {
+    received = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                          reinterpret_cast<sockaddr*>(&sa), &len);
+  } while (received < 0 && errno == EINTR);
   if (received < 0) throw_errno("recvfrom");
   buffer.resize(static_cast<std::size_t>(received));
   peer = from_sockaddr(sa);
@@ -300,6 +318,36 @@ std::optional<dns::Message> UdpDnsClient::query(const dns::Message& query_msg,
       // Ignore malformed datagrams and keep waiting until the deadline.
     }
   }
+}
+
+UdpUpstream::UdpUpstream(UdpEndpoint server, std::chrono::milliseconds timeout)
+    : server_(server), timeout_(timeout) {
+  if (timeout_.count() <= 0) {
+    throw std::invalid_argument{"UdpUpstream: timeout must be positive"};
+  }
+}
+
+std::optional<dns::Message> UdpUpstream::try_forward(const dns::Message& query,
+                                                     const net::IpAddr& source) {
+  (void)source;  // the kernel stamps the real source address
+  UdpDnsClient client;
+  return client.query(query, server_, timeout_);
+}
+
+Upstream::ForwardToResult UdpUpstream::try_forward_to(const net::IpAddr& server,
+                                                      const dns::Message& query,
+                                                      const net::IpAddr& source) {
+  if (!server.is_v4() || server.v4().value() != server_.address.value()) {
+    return ForwardToResult{std::nullopt, false};
+  }
+  return ForwardToResult{try_forward(query, source), true};
+}
+
+dns::Message UdpUpstream::forward(const dns::Message& query, const net::IpAddr& source) {
+  if (auto response = try_forward(query, source)) return std::move(*response);
+  dns::Message failure = dns::Message::make_response(query);
+  failure.header.rcode = dns::Rcode::serv_fail;
+  return failure;
 }
 
 }  // namespace eum::dnsserver

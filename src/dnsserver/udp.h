@@ -21,6 +21,7 @@
 
 #include "dns/message.h"
 #include "dnsserver/authoritative.h"
+#include "dnsserver/resolver.h"
 #include "obs/metrics.h"
 #include "stats/table.h"
 
@@ -171,6 +172,34 @@ class UdpDnsClient {
 
  private:
   UdpSocket socket_;
+};
+
+/// Resolver upstream speaking real UDP to one authoritative endpoint, so
+/// the retry/backoff machinery (and the FaultInjector wrapped around it)
+/// exercises the genuine socket path. Each call opens its own ephemeral
+/// client socket: concurrent resolver threads never share transport
+/// state, and a late response to a lost attempt dies with its socket.
+class UdpUpstream : public Upstream {
+ public:
+  explicit UdpUpstream(UdpEndpoint server,
+                       std::chrono::milliseconds timeout = std::chrono::milliseconds{250});
+
+  /// Infallible adapter: a timeout surfaces as SERVFAIL.
+  [[nodiscard]] dns::Message forward(const dns::Message& query,
+                                     const net::IpAddr& source) override;
+  /// nullopt = no (matching) response before the timeout.
+  [[nodiscard]] std::optional<dns::Message> try_forward(const dns::Message& query,
+                                                        const net::IpAddr& source) override;
+  /// Only the configured endpoint's address is addressable.
+  [[nodiscard]] ForwardToResult try_forward_to(const net::IpAddr& server,
+                                               const dns::Message& query,
+                                               const net::IpAddr& source) override;
+
+  [[nodiscard]] const UdpEndpoint& server() const noexcept { return server_; }
+
+ private:
+  UdpEndpoint server_;
+  std::chrono::milliseconds timeout_;
 };
 
 }  // namespace eum::dnsserver

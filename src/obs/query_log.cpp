@@ -44,6 +44,7 @@ const char* to_string(AnswerSource source) noexcept {
     case AnswerSource::cache_hit: return "cache_hit";
     case AnswerSource::cache_hit_scoped: return "cache_hit_scoped";
     case AnswerSource::upstream: return "upstream";
+    case AnswerSource::stale: return "stale";
   }
   return "unknown";
 }

@@ -36,6 +36,7 @@ enum class AnswerSource : std::uint8_t {
   cache_hit,         ///< resolver: served by a global (scope-/0) entry
   cache_hit_scoped,  ///< resolver: served by a scoped (RFC 7871) entry
   upstream,          ///< resolver: forwarded to an authority
+  stale,             ///< resolver: RFC 8767 stale answer, upstream failed
 };
 
 [[nodiscard]] const char* to_string(AnswerSource source) noexcept;

@@ -92,6 +92,58 @@ TEST(Mutation, TruncationsOfMutatedMessages) {
   }
 }
 
+// Hand-built ECS option-data corpus pinning the RFC 7871 §6 validity
+// checks: a SCOPE PREFIX-LENGTH beyond the family's address width is a
+// malformed option and must be rejected, never stored. (A resolver that
+// accepted scope 33 for IPv4 would build an impossible cache block.)
+TEST(EcsCorpus, ScopeBeyondFamilyWidthRejected) {
+  // family=1 (IPv4), source=24, scope=33, 3 address octets.
+  const std::uint8_t v4_scope_33[] = {0x00, 0x01, 24, 33, 203, 0, 113};
+  ByteReader reader{std::span(v4_scope_33, sizeof v4_scope_33)};
+  EXPECT_THROW((void)ClientSubnetOption::decode_data(reader, sizeof v4_scope_33), WireError);
+
+  // family=2 (IPv6), source=56, scope=200, 7 address octets.
+  const std::uint8_t v6_scope_200[] = {0x00, 0x02, 56, 200, 0x20, 0x01, 0x0d,
+                                       0xb8, 0x00, 0x00, 0x00};
+  ByteReader v6_reader{std::span(v6_scope_200, sizeof v6_scope_200)};
+  EXPECT_THROW((void)ClientSubnetOption::decode_data(v6_reader, sizeof v6_scope_200),
+               WireError);
+}
+
+TEST(EcsCorpus, ScopeAtFamilyWidthAccepted) {
+  // Boundary: scope == 32 for IPv4 is the maximum legal value.
+  const std::uint8_t v4_scope_32[] = {0x00, 0x01, 32, 32, 203, 0, 113, 7};
+  ByteReader reader{std::span(v4_scope_32, sizeof v4_scope_32)};
+  const ClientSubnetOption option =
+      ClientSubnetOption::decode_data(reader, sizeof v4_scope_32);
+  EXPECT_EQ(option.scope_prefix_len(), 32);
+  EXPECT_EQ(option.source_prefix_len(), 32);
+}
+
+TEST(EcsCorpus, ScopeBeyondWidthInsideFullMessageRejected) {
+  // The same malformed option embedded in an otherwise valid response:
+  // Message::decode must throw, not deliver a message carrying an
+  // impossible scope.
+  const auto ecs = ClientSubnetOption::for_query(*net::IpAddr::parse("203.0.113.7"), 24);
+  Message response = Message::make_response(
+      Message::make_query(5, DnsName::from_text("www.a-shop.example"), RecordType::A, ecs));
+  response.edns->set_client_subnet(ecs.with_scope(24));
+  auto wire = response.encode();
+  // Find the ECS option payload (code 8) and overwrite its scope octet.
+  bool patched = false;
+  for (std::size_t i = 0; i + 7 < wire.size(); ++i) {
+    if (wire[i] == 0x00 && wire[i + 1] == 0x08 &&       // OPTION-CODE 8
+        wire[i + 4] == 0x00 && wire[i + 5] == 0x01 &&   // FAMILY 1 (IPv4)
+        wire[i + 6] == 24) {                            // SOURCE PREFIX-LENGTH
+      wire[i + 7] = 33;                                 // SCOPE PREFIX-LENGTH
+      patched = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(patched);
+  EXPECT_THROW((void)Message::decode(wire), WireError);
+}
+
 TEST(Mutation, CompressionPointerStorm) {
   // A message body that is nothing but pointers must terminate quickly.
   std::vector<std::uint8_t> wire(12 + 200, 0);

@@ -1,7 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dnsserver/fault.h"
 #include "dnsserver/resolver.h"
 #include "dnsserver/transport.h"
+#include "obs/query_log.h"
 
 namespace eum::dnsserver {
 namespace {
@@ -407,6 +415,370 @@ TEST(ResolverCname, ChasesAcrossAuthorities) {
       Message::make_query(2, DnsName::from_text("www.shop.example"), RecordType::A),
       *net::IpAddr::parse("1.2.3.4"));
   EXPECT_EQ(resolver.stats().upstream_queries, 2U);
+}
+
+/// EcsFixture's authority behind a FaultInjector, for the retry/backoff
+/// and serve-stale paths. Backoffs are shrunk so failure tests stay fast.
+class FaultyResolverFixture : public ::testing::Test {
+ protected:
+  FaultyResolverFixture() {
+    server_.add_dynamic_domain(
+        DnsName::from_text("g.cdn.example"),
+        [this](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+          DynamicAnswer answer;
+          answer.ttl = ttl_;
+          answer.addresses = {v4("203.0.0.1")};
+          return answer;
+        });
+    directory_.add_authority(DnsName::from_text("g.cdn.example"), &server_);
+    injector_ = std::make_unique<FaultInjector>(&directory_);
+  }
+
+  RecursiveResolver make_resolver(ResolverConfig config = {}) {
+    config.retry.backoff_initial = std::chrono::microseconds{50};
+    config.retry.backoff_max = std::chrono::microseconds{500};
+    return RecursiveResolver{config, &clock_, injector_.get(), v4("202.0.0.1")};
+  }
+
+  void set_drop(double probability) {
+    FaultSpec spec;
+    spec.drop = probability;
+    injector_->set_faults(spec);
+  }
+
+  static Message client_query(std::uint16_t id, const std::string& name = "www.g.cdn.example") {
+    return Message::make_query(id, DnsName::from_text(name.c_str()), RecordType::A);
+  }
+
+  util::SimClock clock_;
+  AuthoritativeServer server_;
+  AuthorityDirectory directory_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::uint32_t ttl_ = 30;
+};
+
+TEST_F(FaultyResolverFixture, RetryRecoversFromDrops) {
+  // 50% loss with a generous attempt budget: 0.5^16 per-query residual,
+  // and both fault and jitter streams are seeded, so this is stable.
+  ResolverConfig config;
+  config.retry.attempts = 16;
+  RecursiveResolver resolver = make_resolver(config);
+  set_drop(0.5);
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    const Message response = resolver.resolve(
+        client_query(i, "h" + std::to_string(i) + ".g.cdn.example"), v4("1.2.3.4"));
+    EXPECT_EQ(response.header.rcode, Rcode::no_error) << "query " << i;
+  }
+  const ResolverStats stats = resolver.stats();
+  EXPECT_GT(stats.retries, 0U);
+  EXPECT_GT(stats.upstream_failures, 0U);
+  EXPECT_EQ(stats.upstream_failures, injector_->stats().drops);
+  // Retries are attempts beyond the first, so the totals must reconcile.
+  EXPECT_EQ(stats.upstream_queries, 50U + stats.retries);
+}
+
+TEST_F(FaultyResolverFixture, RetryExhaustionYieldsUncachedServfail) {
+  ResolverConfig config;
+  config.retry.attempts = 3;
+  RecursiveResolver resolver = make_resolver(config);
+  set_drop(1.0);
+  const Message failed = resolver.resolve(client_query(1), v4("1.2.3.4"));
+  EXPECT_EQ(failed.header.rcode, Rcode::serv_fail);
+  EXPECT_EQ(resolver.stats().upstream_failures, 3U);
+  EXPECT_EQ(resolver.cache_size(), 0U);  // SERVFAIL is never cached
+
+  // The authority recovers: the next query must go upstream and succeed,
+  // not be served a cached failure.
+  set_drop(0.0);
+  const Message recovered = resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(recovered.header.rcode, Rcode::no_error);
+  ASSERT_EQ(recovered.answers.size(), 1U);
+}
+
+TEST_F(FaultyResolverFixture, ServfailResponsesAreRetried) {
+  // An overloaded authority SERVFAILing half the time must not surface
+  // to the client while the attempt budget lasts.
+  ResolverConfig config;
+  config.retry.attempts = 16;
+  RecursiveResolver resolver = make_resolver(config);
+  FaultSpec spec;
+  spec.servfail = 0.5;
+  injector_->set_faults(spec);
+  for (std::uint16_t i = 0; i < 30; ++i) {
+    const Message response = resolver.resolve(
+        client_query(i, "s" + std::to_string(i) + ".g.cdn.example"), v4("1.2.3.4"));
+    EXPECT_EQ(response.header.rcode, Rcode::no_error) << "query " << i;
+  }
+  EXPECT_GT(resolver.stats().retries, 0U);
+  EXPECT_EQ(resolver.stats().upstream_failures, injector_->stats().servfails);
+}
+
+TEST_F(FaultyResolverFixture, ServeStaleBridgesUpstreamOutage) {
+  ResolverConfig config;
+  config.serve_stale_window = 3600;
+  RecursiveResolver resolver = make_resolver(config);
+  obs::QueryLog log;
+  resolver.set_query_log(&log);
+
+  const Message fresh = resolver.resolve(client_query(1), v4("1.2.3.4"));
+  ASSERT_EQ(fresh.answers.size(), 1U);
+  clock_.advance(ttl_ + 5);  // past expiry, inside the stale window
+  set_drop(1.0);             // total outage
+
+  const Message stale = resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(stale.header.rcode, Rcode::no_error);
+  ASSERT_EQ(stale.answers.size(), 1U);
+  EXPECT_EQ(stale.answer_addresses(), fresh.answer_addresses());
+  // RFC 8767 §4: stale answers carry a short TTL so clients re-ask soon.
+  EXPECT_LE(stale.answers[0].ttl, config.stale_answer_ttl);
+  EXPECT_EQ(resolver.stats().stale_served, 1U);
+  EXPECT_GT(resolver.stats().upstream_failures, 0U);
+
+  // The query log attributes exactly one answer to the stale path.
+  const auto records = log.drain();
+  ASSERT_EQ(records.size(), 2U);
+  const auto stale_count =
+      std::count_if(records.begin(), records.end(),
+                    [](const auto& r) { return r.source == obs::AnswerSource::stale; });
+  EXPECT_EQ(stale_count, 1);
+  EXPECT_EQ(std::string{obs::to_string(obs::AnswerSource::stale)}, "stale");
+}
+
+TEST_F(FaultyResolverFixture, ServeStaleWindowBoundsStaleness) {
+  ResolverConfig config;
+  config.serve_stale_window = 100;
+  RecursiveResolver resolver = make_resolver(config);
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  clock_.advance(ttl_ + 101);  // beyond expiry + window
+  set_drop(1.0);
+  const Message response = resolver.resolve(client_query(2), v4("1.2.3.4"));
+  EXPECT_EQ(response.header.rcode, Rcode::serv_fail);
+  EXPECT_EQ(resolver.stats().stale_served, 0U);
+}
+
+TEST_F(FaultyResolverFixture, ServeStaleDisabledByDefault) {
+  RecursiveResolver resolver = make_resolver();
+  (void)resolver.resolve(client_query(1), v4("1.2.3.4"));
+  clock_.advance(ttl_ + 1);
+  set_drop(1.0);
+  EXPECT_EQ(resolver.resolve(client_query(2), v4("1.2.3.4")).header.rcode, Rcode::serv_fail);
+  EXPECT_EQ(resolver.stats().stale_served, 0U);
+}
+
+TEST_F(FaultyResolverFixture, ResolverSharedAcrossThreadsUnderFaults) {
+  // TSan-checked: one resolver + one fault injector shared by 8 workers
+  // with drops and duplicate deliveries. Counters must reconcile exactly
+  // and every query must still resolve within the attempt budget.
+  ResolverConfig config;
+  config.retry.attempts = 16;
+  config.ecs_enabled = true;
+  RecursiveResolver resolver = make_resolver(config);
+  FaultSpec spec;
+  spec.drop = 0.3;
+  spec.duplicate = 0.2;
+  injector_->set_faults(spec);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // Unique qname per (thread, i): every query is a cache miss, so
+        // the upstream, retry, and cache-insert paths all run hot.
+        const std::string name =
+            "t" + std::to_string(t) + "q" + std::to_string(i) + ".g.cdn.example";
+        const net::IpAddr client{net::IpV4Addr{0x0A000000U + (static_cast<std::uint32_t>(t) << 16) +
+                                               (static_cast<std::uint32_t>(i) << 8) + 1}};
+        const Message response = resolver.resolve(
+            client_query(static_cast<std::uint16_t>(t * kQueriesPerThread + i), name), client);
+        if (response.header.rcode != Rcode::no_error) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ResolverStats stats = resolver.stats();
+  EXPECT_EQ(stats.client_queries, static_cast<std::uint64_t>(kThreads * kQueriesPerThread));
+  EXPECT_EQ(stats.upstream_queries, static_cast<std::uint64_t>(kThreads * kQueriesPerThread) +
+                                        stats.retries);
+  EXPECT_EQ(stats.upstream_failures, injector_->stats().drops);
+  // Every non-dropped attempt (plus each duplicate copy) reached the
+  // authority exactly once.
+  EXPECT_EQ(injector_->stats().forwards, directory_.forwarded());
+  EXPECT_EQ(resolver.cache_size(), static_cast<std::size_t>(kThreads * kQueriesPerThread));
+}
+
+/// Two-server delegation behind a FaultInjector, for the SRTT-ordered
+/// nameserver selection. The top level refers to ns1/ns2; each low-level
+/// engine answers with its own address so the test can see who served.
+class ResolverSrttFixture : public ::testing::Test {
+ protected:
+  ResolverSrttFixture() {
+    top_.add_dynamic_domain(
+        DnsName::from_text("b.cdn.example"),
+        [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+          DynamicAnswer answer;
+          answer.referral = {
+              DynamicReferral{DnsName::from_text("ns1.b.cdn.example"), v4("198.51.100.1")},
+              DynamicReferral{DnsName::from_text("ns2.b.cdn.example"), v4("198.51.100.2")},
+          };
+          return answer;
+        });
+    const auto serve_from = [](const char* address) {
+      return [address](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.addresses = {v4(address)};
+        return answer;
+      };
+    };
+    low1_.add_dynamic_domain(DnsName::from_text("b.cdn.example"), serve_from("203.0.0.1"));
+    low2_.add_dynamic_domain(DnsName::from_text("b.cdn.example"), serve_from("203.0.0.2"));
+    directory_.add_authority(DnsName::from_text("b.cdn.example"), &top_);
+    directory_.add_server(v4("198.51.100.1"), &low1_);
+    directory_.add_server(v4("198.51.100.2"), &low2_);
+    injector_ = std::make_unique<FaultInjector>(&directory_);
+  }
+
+  RecursiveResolver make_resolver() {
+    ResolverConfig config;
+    config.retry.backoff_initial = std::chrono::microseconds{50};
+    config.retry.backoff_max = std::chrono::microseconds{500};
+    return RecursiveResolver{config, &clock_, injector_.get(), v4("202.0.0.1")};
+  }
+
+  net::IpAddr resolve_one(RecursiveResolver& resolver, std::uint16_t id) {
+    const Message response = resolver.resolve(
+        Message::make_query(id, DnsName::from_text("e" + std::to_string(id) + ".b.cdn.example"),
+                            RecordType::A),
+        v4("1.2.3.4"));
+    EXPECT_EQ(response.header.rcode, Rcode::no_error);
+    const auto addresses = response.answer_addresses();
+    return addresses.empty() ? net::IpAddr{net::IpV4Addr{0}} : addresses[0];
+  }
+
+  util::SimClock clock_;
+  AuthoritativeServer top_;
+  AuthoritativeServer low1_;
+  AuthoritativeServer low2_;
+  AuthorityDirectory directory_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(ResolverSrttFixture, PrefersFasterNameserverAfterExploring) {
+  // ns1 is slow (injected 20ms), ns2 fast. The first two resolutions
+  // explore both (an untried server keeps SRTT 0 and sorts first); from
+  // the third on, SRTT ordering must pin the fast server.
+  FaultSpec slow;
+  slow.delay = std::chrono::milliseconds{20};
+  injector_->set_faults_for(v4("198.51.100.1"), slow);
+  RecursiveResolver resolver = make_resolver();
+
+  (void)resolve_one(resolver, 1);  // explores ns1 (slow)
+  (void)resolve_one(resolver, 2);  // explores ns2 (fast)
+  const double srtt_slow = resolver.srtt_us(v4("198.51.100.1"));
+  const double srtt_fast = resolver.srtt_us(v4("198.51.100.2"));
+  EXPECT_GT(srtt_slow, 0.0);
+  EXPECT_GT(srtt_fast, 0.0);
+  EXPECT_GT(srtt_slow, srtt_fast);
+  EXPECT_GE(srtt_slow, 20000.0);  // at least the injected delay
+
+  for (std::uint16_t id = 3; id < 8; ++id) {
+    EXPECT_EQ(resolve_one(resolver, id), v4("203.0.0.2")) << "query " << id;
+  }
+  // The SRTT gauges are exported per server and survive reset_stats().
+  resolver.reset_stats();
+  EXPECT_GT(resolver.srtt_us(v4("198.51.100.1")), 0.0);
+}
+
+TEST_F(ResolverSrttFixture, DeadNameserverFailsOverToSibling) {
+  FaultSpec dead;
+  dead.drop = 1.0;
+  injector_->set_faults_for(v4("198.51.100.1"), dead);
+  RecursiveResolver resolver = make_resolver();
+
+  // ns1 eats the first attempt; the resolver must fail over to ns2
+  // within the same resolution rather than SERVFAILing the client.
+  EXPECT_EQ(resolve_one(resolver, 1), v4("203.0.0.2"));
+  EXPECT_GT(resolver.stats().retries, 0U);
+  EXPECT_GT(resolver.stats().upstream_failures, 0U);
+
+  // The failure penalty parks ns1's SRTT above ns2's, so later
+  // resolutions go straight to the live sibling.
+  EXPECT_GT(resolver.srtt_us(v4("198.51.100.1")), resolver.srtt_us(v4("198.51.100.2")));
+  (void)resolve_one(resolver, 2);
+  const auto drops_before = injector_->stats().drops;
+  (void)resolve_one(resolver, 3);
+  EXPECT_EQ(injector_->stats().drops, drops_before);  // ns1 no longer tried
+}
+
+TEST_F(ResolverSrttFixture, UnaddressableGlueKeepsReferral) {
+  // A transport that cannot route to any delegated server must keep the
+  // referral (legacy forward_to semantics: NOERROR, no answers) rather
+  // than burn the retry budget and SERVFAIL the client.
+  AuthorityDirectory no_routes;
+  no_routes.add_authority(DnsName::from_text("b.cdn.example"), &top_);
+  ResolverConfig config;
+  RecursiveResolver resolver{config, &clock_, &no_routes, v4("202.0.0.1")};
+  const Message response = resolver.resolve(
+      Message::make_query(1, DnsName::from_text("e1.b.cdn.example"), RecordType::A),
+      v4("1.2.3.4"));
+  EXPECT_EQ(response.header.rcode, Rcode::no_error);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_EQ(resolver.stats().upstream_failures, 0U);  // nothing was retried
+  EXPECT_EQ(resolver.stats().retries, 0U);
+}
+
+TEST(StubClientValidation, RejectsMismatchedResponses) {
+  const Message query = Message::make_query(42, DnsName::from_text("www.g.cdn.example"),
+                                            RecordType::A);
+  Message good = Message::make_response(query);
+  EXPECT_TRUE(StubClient::matches(query, good));
+
+  Message wrong_id = good;
+  wrong_id.header.id = 43;  // spoofed or crossed wire
+  EXPECT_FALSE(StubClient::matches(query, wrong_id));
+
+  Message not_a_response = good;
+  not_a_response.header.is_response = false;
+  EXPECT_FALSE(StubClient::matches(query, not_a_response));
+
+  Message wrong_question = good;
+  wrong_question.questions[0].name = DnsName::from_text("evil.example");
+  EXPECT_FALSE(StubClient::matches(query, wrong_question));
+
+  Message no_question = good;
+  no_question.questions.clear();
+  EXPECT_FALSE(StubClient::matches(query, no_question));
+}
+
+TEST(StubClientValidation, QueryIdWrapsThroughZero) {
+  // The uint16 ID counter wraps 0xFFFF -> 0; ID 0 is legal and the
+  // response validation must accept it like any other.
+  util::SimClock clock;
+  AuthoritativeServer server;
+  server.add_dynamic_domain(DnsName::from_text("g.cdn.example"),
+                            [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+                              DynamicAnswer answer;
+                              answer.addresses = {v4("203.0.0.1")};
+                              return answer;
+                            });
+  AuthorityDirectory directory;
+  directory.add_authority(DnsName::from_text("g.cdn.example"), &server);
+  RecursiveResolver resolver{ResolverConfig{}, &clock, &directory, v4("202.0.0.1")};
+  StubClient stub{&resolver, v4("1.2.3.4")};
+  stub.set_next_id(0xFFFF);
+
+  const Message last = stub.query(DnsName::from_text("a.g.cdn.example"));
+  EXPECT_EQ(last.header.id, 0xFFFF);
+  EXPECT_EQ(last.header.rcode, Rcode::no_error);
+  const Message wrapped = stub.query(DnsName::from_text("b.g.cdn.example"));
+  EXPECT_EQ(wrapped.header.id, 0);  // wrapped, still validated and served
+  EXPECT_EQ(wrapped.header.rcode, Rcode::no_error);
+  EXPECT_FALSE(wrapped.answer_addresses().empty());
 }
 
 }  // namespace

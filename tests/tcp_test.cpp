@@ -1,7 +1,11 @@
 // DNS-over-TCP and the UDP->TCP truncation fallback, over real sockets.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "dnsserver/tcp.h"
@@ -134,6 +138,43 @@ TEST(TcpStream, ConnectFailsToClosedPort) {
 TEST(TcpListener, AcceptTimesOutCleanly) {
   TcpListener listener{UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
   EXPECT_EQ(listener.accept_fd(50ms), -1);
+}
+
+TEST(TcpStream, ReceiveDeadlineCoversPrefixAndBody) {
+  // Regression: receive() gave the two-octet length prefix and the body
+  // a full timeout EACH, so a peer that dribbled the prefix out late
+  // earned a second whole budget for a body it never sends — 2x the
+  // promised wait. One deadline must cover the entire message.
+  TcpListener listener{UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  std::atomic<bool> client_done{false};
+  std::thread server{[&] {
+    const int fd = listener.accept_fd(2000ms);
+    ASSERT_GE(fd, 0);
+    // Send only the prefix (claiming a 64-byte body) late in the
+    // client's budget; the body never follows.
+    std::this_thread::sleep_for(150ms);
+    const std::uint8_t prefix[2] = {0x00, 0x40};
+    (void)::send(fd, prefix, sizeof prefix, MSG_NOSIGNAL);
+    // Hold the connection open until the client has timed out, so EOF
+    // cannot end the wait early.
+    while (!client_done.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(10ms);
+    }
+    ::close(fd);
+  }};
+
+  TcpDnsStream stream = TcpDnsStream::connect(listener.local_endpoint(), 2000ms);
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = stream.receive(300ms);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  client_done = true;
+  server.join();
+
+  EXPECT_FALSE(response.has_value());
+  EXPECT_GE(elapsed, 290ms);
+  // Pre-fix this was ~450ms (150ms prefix wait + a fresh 300ms body
+  // budget); post-fix the wait ends at the single 300ms deadline.
+  EXPECT_LT(elapsed, 420ms);
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 // localhost, queried by the UDP client with and without ECS.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -356,6 +360,40 @@ TEST(UdpSocket, MoveTransfersOwnership) {
   const std::uint16_t port = a.local_endpoint().port;
   UdpSocket b{std::move(a)};
   EXPECT_EQ(b.local_endpoint().port, port);
+}
+
+TEST(UdpSocket, SignalStormCannotExtendReceiveTimeout) {
+  // Regression: receive() restarted its poll() with the FULL timeout on
+  // every EINTR, so a signal arriving more often than the timeout kept
+  // the wait alive forever. The wait must be deadline-based: signals may
+  // interrupt it, but the overall budget is spent exactly once.
+  struct sigaction action{};
+  action.sa_handler = [](int) {};  // no SA_RESTART: poll() returns EINTR
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  UdpSocket socket{UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  const pthread_t receiver = ::pthread_self();
+  std::atomic<bool> done{false};
+  std::thread pinger{[&] {
+    // Signal every ~5ms, far more often than the 200ms timeout.
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)::pthread_kill(receiver, SIGUSR1);
+      std::this_thread::sleep_for(5ms);
+    }
+  }};
+
+  UdpEndpoint peer{};
+  const auto start = std::chrono::steady_clock::now();
+  const auto datagram = socket.receive(200ms, peer);  // nothing ever sends
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  done = true;
+  pinger.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  EXPECT_FALSE(datagram.has_value());
+  EXPECT_GE(elapsed, 190ms);  // the budget was honoured...
+  EXPECT_LT(elapsed, 2000ms);  // ...and not restarted per signal
 }
 
 }  // namespace
