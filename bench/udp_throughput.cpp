@@ -93,7 +93,7 @@ RunResult run_config(std::size_t workers) {
 
   RunResult result;
   result.workers = workers;
-  result.answered = answered.load();
+  result.answered = answered.load(std::memory_order_relaxed);
   result.seconds = std::chrono::duration<double>(elapsed).count();
   result.stats = server.stats();
   // Each run has its own engine, hence its own registry: the serve
@@ -163,8 +163,8 @@ ChurnPhase churn_phase(dnsserver::UdpAuthorityServer& server, const topo::World&
   for (std::thread& thread : clients) thread.join();
 
   ChurnPhase phase;
-  phase.answered = answered.load();
-  phase.timeouts = timeouts.load();
+  phase.answered = answered.load(std::memory_order_relaxed);
+  phase.timeouts = timeouts.load(std::memory_order_relaxed);
   phase.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   phase.latency = server.registry().histogram("eum_udp_serve_latency_us").snapshot();

@@ -1,0 +1,53 @@
+// Harness: EDNS0 Client Subnet option-data decoding (RFC 7871 §6).
+//
+// The input is treated as raw ECS option-data (the payload after
+// OPTION-CODE/OPTION-LENGTH). Properties:
+//   1. decode_data either returns an option or throws WireError.
+//   2. Accepted options satisfy the RFC validity conditions the scoped
+//      cache depends on: prefix lengths within the family width, address
+//      octets exactly ceil(source/8), and zero padding bits — a violation
+//      here would let an impossible cache block into ScopedEcsCache.
+//   3. encode_data ∘ decode_data is the identity on accepted options.
+#include "dns/edns.h"
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using eum::dns::ByteReader;
+  using eum::dns::ByteWriter;
+  using eum::dns::ClientSubnetOption;
+  using eum::dns::WireError;
+
+  if (size > 0xFFFF) return 0;  // OPTION-LENGTH is 16-bit
+
+  ByteReader reader{{data, size}};
+  ClientSubnetOption option;
+  try {
+    option = ClientSubnetOption::decode_data(reader, static_cast<std::uint16_t>(size));
+  } catch (const WireError&) {
+    return 0;
+  }
+  // (2) RFC 7871 validity invariants.
+  const int width = option.family() == eum::net::Family::v4 ? 32 : 128;
+  FUZZ_CHECK(option.source_prefix_len() >= 0 && option.source_prefix_len() <= width);
+  FUZZ_CHECK(option.scope_prefix_len() >= 0 && option.scope_prefix_len() <= width);
+  FUZZ_CHECK(reader.exhausted());  // decode consumed exactly `size` octets
+
+  // The carried address must already be truncated to the source prefix:
+  // the source block's canonicalized address equals the wire address.
+  FUZZ_CHECK(option.source_block().address() == option.address());
+
+  // (3) byte-exact re-encode round trip.
+  ByteWriter writer;
+  option.encode_data(writer);
+  FUZZ_CHECK(writer.size() == size);
+  ByteReader round{writer.buffer()};
+  ClientSubnetOption redecoded;
+  try {
+    redecoded = ClientSubnetOption::decode_data(
+        round, static_cast<std::uint16_t>(writer.size()));
+  } catch (const WireError&) {
+    FUZZ_CHECK(!"re-decode of a just-encoded ECS option threw WireError");
+  }
+  FUZZ_CHECK(redecoded == option);
+  return 0;
+}

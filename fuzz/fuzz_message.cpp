@@ -1,0 +1,47 @@
+// Harness: Message::decode over arbitrary wire bytes.
+//
+// Properties enforced beyond "no crash / no sanitizer report":
+//   1. decode either returns a Message or throws WireError — nothing else.
+//   2. Anything that decoded must re-encode without throwing.
+//   3. Canonical-form fixed point: encode(decode(encode(m))) ==
+//      encode(m). The first encode canonicalizes (compression layout,
+//      lowercase labels); a second decode/encode round trip must then be
+//      byte-identical, or the codec pair is lossy somewhere.
+#include <vector>
+
+#include "dns/message.h"
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using eum::dns::Message;
+  using eum::dns::WireError;
+
+  Message decoded;
+  try {
+    decoded = Message::decode({data, size});
+  } catch (const WireError&) {
+    return 0;  // rejected cleanly
+  }
+
+  // (2) a successfully decoded message must be encodable.
+  const std::vector<std::uint8_t> canonical = decoded.encode();
+
+  // (3) and its canonical form must be a fixed point of decode∘encode.
+  Message reparsed;
+  try {
+    reparsed = Message::decode(canonical);
+  } catch (const WireError&) {
+    FUZZ_CHECK(!"re-decode of a just-encoded message threw WireError");
+  }
+  const std::vector<std::uint8_t> canonical2 = reparsed.encode();
+  FUZZ_CHECK(canonical == canonical2);
+
+  // Spot-check section bookkeeping survived the trip.
+  FUZZ_CHECK(reparsed.questions.size() == decoded.questions.size());
+  FUZZ_CHECK(reparsed.answers.size() == decoded.answers.size());
+  FUZZ_CHECK(reparsed.authorities.size() == decoded.authorities.size());
+  FUZZ_CHECK(reparsed.additionals.size() == decoded.additionals.size());
+  FUZZ_CHECK(reparsed.edns.has_value() == decoded.edns.has_value());
+  FUZZ_CHECK(reparsed.header == decoded.header);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Harness: PrefixTrie insert/erase/lookup against a brute-force oracle.
+//
+// The input is an op stream: each op inserts, erases, or queries a
+// prefix built from the next few bytes. A std::map shadow model answers
+// the same queries by linear scan; any divergence (exact(), size(),
+// longest-prefix match, or the visit() enumeration) is a bug. The trie
+// backs the geo database and per-mapping-unit state, so a wrong
+// longest_match silently misroutes clients rather than crashing —
+// exactly the failure class only an oracle can catch.
+#include <map>
+#include <optional>
+
+#include "fuzz/harness.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+
+namespace {
+
+using eum::net::Family;
+using eum::net::IpAddr;
+using eum::net::IpPrefix;
+using eum::net::IpV4Addr;
+using eum::net::IpV6Addr;
+
+IpAddr read_addr(eum::fuzz::InputCursor& in, bool v6) {
+  if (!v6) return IpV4Addr{in.u32()};
+  IpV6Addr::Bytes bytes{};
+  (void)in.bytes(bytes.data(), bytes.size());
+  return IpV6Addr{bytes};
+}
+
+IpPrefix read_prefix(eum::fuzz::InputCursor& in) {
+  const bool v6 = (in.u8() & 1) != 0;
+  const int length = static_cast<int>(in.u8() % (v6 ? 129 : 33));
+  return IpPrefix{read_addr(in, v6), length};
+}
+
+/// Brute-force longest-prefix match over the shadow map.
+const std::pair<const IpPrefix, std::uint8_t>* oracle_longest(
+    const std::map<IpPrefix, std::uint8_t>& shadow, const IpAddr& addr) {
+  const std::pair<const IpPrefix, std::uint8_t>* best = nullptr;
+  for (const auto& entry : shadow) {
+    if (entry.first.family() != addr.family()) continue;
+    if (!entry.first.contains(addr)) continue;
+    if (best == nullptr || entry.first.length() > best->first.length()) best = &entry;
+  }
+  return best;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  eum::fuzz::InputCursor in{data, size};
+  eum::net::PrefixTrie<std::uint8_t> trie;
+  std::map<IpPrefix, std::uint8_t> shadow;
+
+  while (!in.done()) {
+    const std::uint8_t op = in.u8();
+    switch (op % 4) {
+      case 0: {  // insert/overwrite
+        const IpPrefix prefix = read_prefix(in);
+        const std::uint8_t value = in.u8();
+        const bool fresh = trie.insert(prefix, value);
+        FUZZ_CHECK(fresh == !shadow.contains(prefix));
+        shadow[prefix] = value;
+        break;
+      }
+      case 1: {  // erase
+        const IpPrefix prefix = read_prefix(in);
+        const bool removed = trie.erase(prefix);
+        FUZZ_CHECK(removed == (shadow.erase(prefix) > 0));
+        break;
+      }
+      case 2: {  // exact
+        const IpPrefix prefix = read_prefix(in);
+        const std::uint8_t* value = trie.exact(prefix);
+        const auto it = shadow.find(prefix);
+        FUZZ_CHECK((value != nullptr) == (it != shadow.end()));
+        if (value != nullptr) FUZZ_CHECK(*value == it->second);
+        break;
+      }
+      case 3: {  // longest-prefix match, value and entry forms
+        const bool v6 = (in.u8() & 1) != 0;
+        const IpAddr addr = read_addr(in, v6);
+        const std::uint8_t* value = trie.longest_match(addr);
+        const auto* expected = oracle_longest(shadow, addr);
+        FUZZ_CHECK((value != nullptr) == (expected != nullptr));
+        if (value != nullptr) FUZZ_CHECK(*value == expected->second);
+        const auto entry = trie.longest_match_entry(addr);
+        FUZZ_CHECK(entry.has_value() == (expected != nullptr));
+        if (entry) {
+          FUZZ_CHECK(entry->first == expected->first);
+          FUZZ_CHECK(entry->second == expected->second);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Global invariants after the op stream.
+  FUZZ_CHECK(trie.size() == shadow.size());
+  FUZZ_CHECK(trie.empty() == shadow.empty());
+  std::size_t visited = 0;
+  trie.visit([&](const IpPrefix& prefix, const std::uint8_t& value) {
+    const auto it = shadow.find(prefix);
+    FUZZ_CHECK(it != shadow.end());
+    FUZZ_CHECK(it->second == value);
+    ++visited;
+  });
+  FUZZ_CHECK(visited == shadow.size());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Harness: master-file (zone file) parsing.
+//
+// The input is treated as zone-file text. Properties:
+//   1. parse_zone_file either returns a Zone or throws ZoneFileError —
+//      any other exception type escaping is a bug (the operator-facing
+//      loader reports ZoneFileError line numbers; an unexpected
+//      std::invalid_argument would crash the loader instead).
+//   2. Every record in a parsed zone is servable: it encodes into wire
+//      format without throwing. (This caught the 255-octet TXT defect:
+//      parse accepted strings that the serve path could not encode.)
+//   3. Every record's owner is inside the zone origin, and lookups of
+//      parsed owner names never throw.
+#include <string_view>
+
+#include "dns/message.h"
+#include "dnsserver/zone_file.h"
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using eum::dns::WireError;
+  using eum::dnsserver::Zone;
+  using eum::dnsserver::ZoneFileError;
+
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+  const auto fallback = eum::dns::DnsName::from_text("fuzz.example");
+
+  std::optional<Zone> zone;
+  try {
+    zone = eum::dnsserver::parse_zone_file(text, fallback);
+  } catch (const ZoneFileError&) {
+    return 0;  // rejected cleanly with a line number
+  }
+  // (1) is enforced by *not* catching anything else: an escape aborts.
+
+  zone->visit_records([&](const eum::dns::ResourceRecord& record) {
+    // (3) owner containment.
+    FUZZ_CHECK(zone->contains(record.name));
+    // (2) every parsed record must survive wire encoding.
+    eum::dns::Message answer;
+    answer.answers.push_back(record);
+    try {
+      (void)answer.encode();
+    } catch (const WireError&) {
+      FUZZ_CHECK(!"parsed zone record failed to encode for serving");
+    }
+    // (3) lookups of parsed names must not throw.
+    (void)zone->lookup(record.name, record.type);
+  });
+  return 0;
+}

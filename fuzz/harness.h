@@ -1,0 +1,74 @@
+// Common scaffolding for the coverage-guided wire-format harnesses.
+//
+// Every harness is a single translation unit exporting the libFuzzer
+// entry point LLVMFuzzerTestOneInput. The same .cpp links two ways:
+//   - with -fsanitize=fuzzer (Clang, -DEUM_FUZZING=ON): a real
+//     coverage-guided fuzzer binary;
+//   - with replay_main.cpp (any compiler, always built): a plain driver
+//     that replays corpus files through the harness, so the checked-in
+//     regression corpus runs under tier-1 ctest everywhere, plus a
+//     seeded random-mutation mode for fuzzing without libFuzzer.
+//
+// Harness contract: the function under test may reject input by throwing
+// its documented error type (WireError / ZoneFileError); any other
+// escape, signal, sanitizer report, or FUZZ_CHECK failure is a bug.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace eum::fuzz {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FUZZ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+/// Property assertion: active in every build mode (a harness that only
+/// checks under NDEBUG-off would silently stop testing in RelWithDebInfo).
+#define FUZZ_CHECK(expr) \
+  do {                   \
+    if (!(expr)) ::eum::fuzz::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Cursor over the raw fuzz input for harnesses that consume structured
+/// fields (op codes, lengths, addresses). Reads return 0 once exhausted,
+/// so every byte string is a valid program for the harness.
+class InputCursor {
+ public:
+  InputCursor(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ >= size_; }
+
+  [[nodiscard]] std::uint8_t u8() noexcept { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+
+  /// Up to `want` raw bytes (fewer at end of input); advances the cursor.
+  [[nodiscard]] std::size_t bytes(std::uint8_t* out, std::size_t want) noexcept {
+    std::size_t got = 0;
+    while (got < want && pos_ < size_) out[got++] = data_[pos_++];
+    return got;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eum::fuzz

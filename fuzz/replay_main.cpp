@@ -1,0 +1,220 @@
+// Plain (non-libFuzzer) driver for the fuzz harnesses.
+//
+// Links against one harness TU and runs it over concrete inputs, so the
+// checked-in seed + regression corpora replay under tier-1 ctest with
+// any compiler — corpus pins are not allowed to depend on clang being
+// installed. Also provides a seeded random-mutation mode for local
+// fuzzing on toolchains without libFuzzer; campaigns are reproducible
+// from (seed, iteration count) alone.
+//
+// Usage:
+//   replay_<harness> FILE_OR_DIR...                 # replay corpus inputs
+//   replay_<harness> --mutate N --seed S [--max-len L] FILE_OR_DIR...
+//       # N random mutants of the given seed inputs, xoshiro-seeded by S
+//
+// Exit: 0 if every input ran clean; the harness aborts the process on a
+// property violation (after printing the offending input as hex).
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "util/rng.h"
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+// The input being executed, for post-mortem dumps from the terminate
+// handler when a harness lets an unexpected exception escape.
+const Input* g_current_input = nullptr;
+std::string g_current_label;
+
+void dump_current_input() {
+  if (g_current_input == nullptr) return;
+  std::cerr << "\nwhile running input '" << g_current_label << "' ("
+            << g_current_input->size() << " bytes):\n";
+  char hex[4];
+  for (std::size_t i = 0; i < g_current_input->size(); ++i) {
+    std::snprintf(hex, sizeof hex, "%02x ", (*g_current_input)[i]);
+    std::cerr << hex;
+    if (i % 16 == 15) std::cerr << "\n";
+  }
+  std::cerr << "\n(save these bytes under fuzz/regressions/<harness>/ to pin)\n";
+}
+
+[[noreturn]] void terminate_with_dump() {
+  if (const std::exception_ptr current = std::current_exception()) {
+    try {
+      std::rethrow_exception(current);
+    } catch (const std::exception& error) {
+      std::cerr << "unexpected exception escaped the harness: " << error.what() << "\n";
+    } catch (...) {
+      std::cerr << "unexpected non-std exception escaped the harness\n";
+    }
+  }
+  dump_current_input();
+  std::abort();
+}
+
+void run_one(const Input& input, const std::string& label) {
+  g_current_input = &input;
+  g_current_label = label;
+  (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current_input = nullptr;
+}
+
+std::vector<std::filesystem::path> collect_inputs(const std::vector<std::string>& args) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& arg : args) {
+    const std::filesystem::path path{arg};
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(path)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "replay: no such input: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::cerr << "replay: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  return Input{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// One random mutation step: flip, overwrite, insert, delete, truncate,
+/// duplicate a span, or splice in a chunk of another seed.
+void mutate(Input& input, const std::vector<Input>& seeds, eum::util::Rng& rng,
+            std::size_t max_len) {
+  const auto pick_pos = [&](std::size_t size) {
+    return size == 0 ? 0 : static_cast<std::size_t>(rng.below(size));
+  };
+  switch (rng.below(7)) {
+    case 0:  // bit flip
+      if (!input.empty()) input[pick_pos(input.size())] ^= static_cast<std::uint8_t>(1U << rng.below(8));
+      break;
+    case 1:  // byte overwrite
+      if (!input.empty()) input[pick_pos(input.size())] = static_cast<std::uint8_t>(rng());
+      break;
+    case 2: {  // insert 1-8 random bytes
+      const std::size_t count = 1 + rng.below(8);
+      if (input.size() + count > max_len) break;
+      Input chunk(count);
+      for (auto& byte : chunk) byte = static_cast<std::uint8_t>(rng());
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(pick_pos(input.size() + 1)),
+                   chunk.begin(), chunk.end());
+      break;
+    }
+    case 3: {  // delete a short span
+      if (input.empty()) break;
+      const std::size_t start = pick_pos(input.size());
+      const std::size_t count = std::min<std::size_t>(1 + rng.below(8), input.size() - start);
+      input.erase(input.begin() + static_cast<std::ptrdiff_t>(start),
+                  input.begin() + static_cast<std::ptrdiff_t>(start + count));
+      break;
+    }
+    case 4:  // truncate
+      if (!input.empty()) input.resize(pick_pos(input.size()));
+      break;
+    case 5: {  // duplicate a span (grows repetition, good for count fields)
+      if (input.empty()) break;
+      const std::size_t start = pick_pos(input.size());
+      const std::size_t count = std::min<std::size_t>(1 + rng.below(16), input.size() - start);
+      if (input.size() + count > max_len) break;
+      Input span(input.begin() + static_cast<std::ptrdiff_t>(start),
+                 input.begin() + static_cast<std::ptrdiff_t>(start + count));
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(pick_pos(input.size() + 1)),
+                   span.begin(), span.end());
+      break;
+    }
+    case 6: {  // splice a chunk from another seed
+      const Input& other = seeds[static_cast<std::size_t>(rng.below(seeds.size()))];
+      if (other.empty() || input.size() >= max_len) break;
+      const std::size_t start = pick_pos(other.size());
+      const std::size_t count =
+          std::min({static_cast<std::size_t>(1 + rng.below(32)), other.size() - start,
+                    max_len - input.size()});
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(pick_pos(input.size() + 1)),
+                   other.begin() + static_cast<std::ptrdiff_t>(start),
+                   other.begin() + static_cast<std::ptrdiff_t>(start + count));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set_terminate(terminate_with_dump);
+
+  std::uint64_t mutate_iters = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "replay: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutate") {
+      mutate_iters = std::stoull(next_value());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next_value());
+    } else if (arg == "--max-len") {
+      max_len = std::stoul(next_value());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: replay [--mutate N --seed S [--max-len L]] FILE_OR_DIR...\n";
+    return 2;
+  }
+
+  const auto files = collect_inputs(paths);
+  if (files.empty()) {
+    std::cerr << "replay: no input files found\n";
+    return 2;
+  }
+
+  std::vector<Input> seeds;
+  seeds.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    seeds.push_back(read_file(files[i]));
+    run_one(seeds.back(), files[i].string());
+  }
+  std::cout << "replay: " << files.size() << " corpus input(s) clean\n";
+
+  if (mutate_iters > 0) {
+    eum::util::Rng rng{seed};
+    for (std::uint64_t iter = 0; iter < mutate_iters; ++iter) {
+      Input input = seeds[static_cast<std::size_t>(rng.below(seeds.size()))];
+      const std::uint64_t steps = 1 + rng.below(8);
+      for (std::uint64_t s = 0; s < steps; ++s) mutate(input, seeds, rng, max_len);
+      run_one(input, "mutant seed=" + std::to_string(seed) + " iter=" + std::to_string(iter));
+    }
+    std::cout << "replay: " << mutate_iters << " mutant(s) clean (seed " << seed << ")\n";
+  }
+  return 0;
+}

@@ -15,12 +15,22 @@ cmake -S . -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   >/dev/null
-cmake --build "$BUILD" --target eum_tests fault_sweep -j "$(nproc)"
+cmake --build "$BUILD" --target eum_tests fault_sweep \
+  replay_message replay_name replay_ecs replay_zone_file replay_prefix_trie \
+  -j "$(nproc)"
 
 ASAN_OPTIONS="abort_on_error=1 detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   "$BUILD/tests/eum_tests" \
-  --gtest_filter='Fault*.*:Resolver*.*:StubClient*.*:ScopedCache.*:UdpSocket.*:UdpFixture.*:TcpFixture.*:TcpStream.*:TcpListener.*:Mutation.*:EcsCorpus.*:ScopesAndSeeds/*:Seeds/*'
+  --gtest_filter='Fault*.*:Resolver*.*:StubClient*.*:ScopedCache.*:UdpSocket.*:UdpFixture.*:TcpFixture.*:TcpStream.*:TcpListener.*:Mutation.*:EcsCorpus.*:FuzzRegression.*:ScopesAndSeeds/*:Seeds/*'
+
+echo "asan_check: replaying fuzz corpora + 2000 mutants/harness under ASan+UBSan"
+for harness in message name ecs zone_file prefix_trie; do
+  ASAN_OPTIONS="abort_on_error=1 detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    "$BUILD/fuzz/replay_$harness" --mutate 2000 --seed 1 \
+    "fuzz/corpus/$harness" "fuzz/regressions/$harness" >/dev/null
+done
 
 echo "asan_check: running the fault-sweep bench under ASan+UBSan"
 ASAN_OPTIONS="abort_on_error=1 detect_leaks=1" \

@@ -1,6 +1,14 @@
 #!/usr/bin/env sh
-# One-command verification: the tier-1 gate (configure + build + ctest)
-# followed by the ThreadSanitizer gate for the concurrent DNS paths.
+# One-command verification, in gate order:
+#   1. invariant lint   — scripts/lint_invariants.py (mechanical repo rules)
+#   2. tier-1           — configure + build + ctest (includes the fuzz
+#                         corpus replays and the linter self-test)
+#   3. clang-tidy       — incremental, files changed vs origin/main
+#                         (skips with a notice when clang-tidy is absent)
+#   4. TSan             — concurrent DNS serve paths under ThreadSanitizer
+#
+# Each gate prints a named PASS/FAIL summary line; the first failure
+# stops the run with that gate's status.
 #
 # Usage: scripts/check.sh [build-dir]   (default build; TSan uses
 #                                        build-tsan via tsan_check.sh)
@@ -9,19 +17,28 @@ BUILD="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "check: tier-1 build + ctest ($BUILD)"
-cmake -B "$BUILD" -S .
-cmake --build "$BUILD" -j "$(nproc)"
-(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
-
-echo "check: TSan gate"
-# `set -e` does not apply to every shell's handling of a failing command
-# whose status is later inspected; propagate the TSan stage explicitly so
-# a race can never slip through to "check: OK".
-scripts/tsan_check.sh || {
-  status=$?
-  echo "check: TSan gate FAILED (status $status)" >&2
-  exit "$status"
+run_gate() {
+  gate="$1"
+  shift
+  echo "check: [$gate] running"
+  if "$@"; then
+    echo "check: [$gate] PASS"
+  else
+    status=$?
+    echo "check: [$gate] FAIL (status $status)" >&2
+    exit "$status"
+  fi
 }
+
+tier1() {
+  cmake -B "$BUILD" -S . &&
+    cmake --build "$BUILD" -j "$(nproc)" &&
+    (cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_gate "invariant-lint" python3 scripts/lint_invariants.py
+run_gate "tier-1" tier1
+run_gate "clang-tidy" scripts/tidy_check.sh --changed
+run_gate "tsan" scripts/tsan_check.sh
 
 echo "check: OK"

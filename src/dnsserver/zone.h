@@ -61,6 +61,16 @@ class Zone {
 
   [[nodiscard]] std::size_t record_count() const noexcept;
 
+  /// Visit every record in the zone (SOA included) in owner-name order.
+  template <typename Fn>
+  void visit_records(Fn&& fn) const {
+    for (const auto& [name, sets] : nodes_) {
+      for (const auto& [type, records] : sets) {
+        for (const dns::ResourceRecord& record : records) fn(record);
+      }
+    }
+  }
+
  private:
   using RecordSets = std::map<dns::RecordType, std::vector<dns::ResourceRecord>>;
 

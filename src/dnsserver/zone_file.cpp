@@ -159,7 +159,15 @@ Zone parse_zone_file(std::string_view text, const DnsName& fallback_origin) {
         for (std::size_t t = cursor; t < tokens.size(); ++t) {
           // Strip the quoted-string marker if present.
           const std::string& token = tokens[t];
-          txt.strings.push_back(token.starts_with('"') ? token.substr(1) : token);
+          std::string value = token.starts_with('"') ? token.substr(1) : token;
+          // RFC 1035 §3.3.14: each character-string is at most 255 octets.
+          // Reject here — a longer string would parse fine but throw
+          // WireError when the serve path encodes the answer (found by
+          // fuzz_zone_file; pinned in tests/dns_fuzz_test.cpp).
+          if (value.size() > 255) {
+            throw ZoneFileError{line_no, "TXT character-string longer than 255 octets"};
+          }
+          txt.strings.push_back(std::move(value));
         }
         zone->add(dns::ResourceRecord{owner, dns::RecordType::TXT, dns::RecordClass::IN, ttl,
                                       std::move(txt)});

@@ -1,7 +1,9 @@
 #include "topo/world_io.h"
 
+#include <cstdio>
 #include <fstream>
-#include <iostream>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "util/strings.h"

@@ -263,7 +263,7 @@ TEST(MapMaker, LivenessTransitionForcesAPublish) {
   std::atomic<bool> cluster0_healthy{true};
   cdn::LivenessMonitor monitor{
       &fx.network, &clock,
-      [&](cdn::DeploymentId id, std::size_t) { return id != 0 || cluster0_healthy.load(); }};
+      [&](cdn::DeploymentId id, std::size_t) { return id != 0 || cluster0_healthy.load(std::memory_order_acquire); }};
 
   MapMakerConfig config;
   config.rescore_interval_s = 1'000'000;  // periodic rebuilds out of the picture
@@ -273,7 +273,7 @@ TEST(MapMaker, LivenessTransitionForcesAPublish) {
 
   // Fail cluster 0's servers until the monitor applies the transitions,
   // then the next tick must republish immediately (on-demand trigger).
-  cluster0_healthy = false;
+  cluster0_healthy.store(false, std::memory_order_release);
   for (int i = 0; i < 8 && monitor.transitions() == 0; ++i) {
     clock.advance(2);
     monitor.tick();
@@ -387,7 +387,7 @@ TEST(ControlConcurrency, NoTornReadsAcrossRepublishes) {
   stop = true;
   republisher.join();
   server.stop();
-  EXPECT_EQ(answered.load(), static_cast<std::uint64_t>(kClients) * kQueriesPerClient);
+  EXPECT_EQ(answered.load(std::memory_order_relaxed), static_cast<std::uint64_t>(kClients) * kQueriesPerClient);
   EXPECT_GT(maker.version(), 1U);  // the republisher really ran
 }
 

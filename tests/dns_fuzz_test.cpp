@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dns/message.h"
+#include "dnsserver/zone_file.h"
 #include "util/rng.h"
 
 namespace eum::dns {
@@ -141,6 +142,76 @@ TEST(EcsCorpus, ScopeBeyondWidthInsideFullMessageRejected) {
     }
   }
   ASSERT_TRUE(patched);
+  EXPECT_THROW((void)Message::decode(wire), WireError);
+}
+
+// Named pins for inputs the fuzz harnesses (fuzz/) surfaced or guard
+// against. Each mirrors a file under fuzz/regressions/<harness>/ so the
+// defect stays fixed even in builds that skip the replay drivers.
+TEST(FuzzRegression, ZoneTxtStringOver255OctetsRejectedAtParse) {
+  // Found by fuzz_zone_file: a TXT character-string longer than 255
+  // octets used to parse fine and only blow up with WireError when the
+  // serve path encoded the answer. The parser must reject it up front
+  // (fuzz/regressions/zone_file/txt_over_255.zone).
+  const std::string zone_text =
+      "$ORIGIN cdn.example.\n"
+      "@ SOA ns1 hostmaster 1 1 1 1 30\n"
+      "big TXT " + std::string(300, 'x') + "\n";
+  EXPECT_THROW((void)dnsserver::parse_zone_file(zone_text), dnsserver::ZoneFileError);
+
+  // Boundary: exactly 255 octets is legal and must survive a full
+  // parse -> encode round trip.
+  const std::string boundary_text =
+      "$ORIGIN cdn.example.\n"
+      "@ SOA ns1 hostmaster 1 1 1 1 30\n"
+      "big TXT " + std::string(255, 'x') + "\n";
+  const dnsserver::Zone zone = dnsserver::parse_zone_file(boundary_text);
+  Message response = Message::make_response(
+      Message::make_query(9, DnsName::from_text("big.cdn.example"), RecordType::TXT));
+  zone.visit_records([&](const ResourceRecord& record) {
+    if (record.type == RecordType::TXT) response.answers.push_back(record);
+  });
+  ASSERT_EQ(response.answers.size(), 1U);
+  EXPECT_NO_THROW((void)response.encode());
+}
+
+TEST(FuzzRegression, NameForwardCompressionPointerRejected) {
+  // fuzz/regressions/name/forward_pointer.bin: a compression pointer
+  // that does not point strictly backwards must be rejected, or two
+  // cooperating pointers loop forever.
+  const std::uint8_t wire[] = {0xC0, 0x02, 0x00, 0x00};
+  ByteReader reader{std::span(wire, sizeof wire)};
+  EXPECT_THROW((void)DnsName::decode(reader), WireError);
+}
+
+TEST(FuzzRegression, NameReservedLabelTypeRejected) {
+  // fuzz/regressions/name/reserved_label_type.bin: label types 0x80 and
+  // 0x40 are reserved (RFC 1035 §4.1.4) — not silently length octets.
+  const std::uint8_t wire[] = {0x80, 0x00};
+  ByteReader reader{std::span(wire, sizeof wire)};
+  EXPECT_THROW((void)DnsName::decode(reader), WireError);
+}
+
+TEST(FuzzRegression, EcsNonZeroPaddingBitsRejected) {
+  // fuzz/regressions/ecs/v4_nonzero_padding.bin: source /21 with a set
+  // bit past the prefix (RFC 7871 §6 MUST be 0). Accepting it would let
+  // two encodings of the same block coexist as distinct cache keys.
+  const std::uint8_t data[] = {0x00, 0x01, 21, 0, 10, 1, 0x07};
+  ByteReader reader{std::span(data, sizeof data)};
+  EXPECT_THROW((void)ClientSubnetOption::decode_data(reader, sizeof data), WireError);
+}
+
+TEST(FuzzRegression, OptRecordWithNonRootOwnerRejected) {
+  // fuzz/regressions/message/opt_nonroot_owner.bin: an OPT pseudo-RR
+  // must be owned by the root name (RFC 6891 §6.1.2).
+  const std::uint8_t wire[] = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      0x01, 'a',  0x00,              // owner "a", not root
+      0x00, 0x29,                    // TYPE OPT
+      0x04, 0xD0,                    // CLASS = UDP size 1232
+      0x00, 0x00, 0x00, 0x00,        // extended RCODE/flags
+      0x00, 0x00,                    // RDLENGTH 0
+  };
   EXPECT_THROW((void)Message::decode(wire), WireError);
 }
 

@@ -98,9 +98,9 @@ INSTANTIATE_TEST_SUITE_P(
     ScopesAndSeeds, EcsCacheInvariant,
     ::testing::Values(Params{24, 1}, Params{24, 2}, Params{20, 3}, Params{20, 4},
                       Params{16, 5}, Params{28, 6}, Params{8, 7}),
-    [](const ::testing::TestParamInfo<Params>& info) {
-      return "scope" + std::to_string(info.param.scope) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      return "scope" + std::to_string(param_info.param.scope) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 TEST(EcsCacheInvariant, ForwardedEcsAnswersMatchTheForwardedBlockNotTheConnection) {

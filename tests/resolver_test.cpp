@@ -594,13 +594,13 @@ TEST_F(FaultyResolverFixture, ResolverSharedAcrossThreadsUnderFaults) {
                                                (static_cast<std::uint32_t>(i) << 8) + 1}};
         const Message response = resolver.resolve(
             client_query(static_cast<std::uint16_t>(t * kQueriesPerThread + i), name), client);
-        if (response.header.rcode != Rcode::no_error) failures.fetch_add(1);
+        if (response.header.rcode != Rcode::no_error) failures.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& worker : workers) worker.join();
 
-  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(failures.load(std::memory_order_relaxed), 0);
   const ResolverStats stats = resolver.stats();
   EXPECT_EQ(stats.client_queries, static_cast<std::uint64_t>(kThreads * kQueriesPerThread));
   EXPECT_EQ(stats.upstream_queries, static_cast<std::uint64_t>(kThreads * kQueriesPerThread) +

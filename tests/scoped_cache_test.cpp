@@ -193,7 +193,7 @@ TEST(ScopedCache, ConcurrentStoreAndLookupStaysConsistent) {
     });
   }
   for (std::thread& thread : threads) thread.join();
-  EXPECT_EQ(bad.load(), 0U);
+  EXPECT_EQ(bad.load(std::memory_order_relaxed), 0U);
   // Conservation: every inserted entry is still cached, was evicted, or
   // expired (replacements refresh in place and count separately).
   const ScopedCacheStats stats = cache.stats();

@@ -241,8 +241,8 @@ TEST(UdpConcurrency, FourWorkersServeParallelClientsWithoutLoss) {
   for (std::thread& thread : clients) thread.join();
   server.stop();
 
-  EXPECT_EQ(mismatched.load(), 0);
-  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+  EXPECT_EQ(mismatched.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(answered.load(std::memory_order_relaxed), kClients * kQueriesPerClient);
   EXPECT_EQ(engine.stats().queries, static_cast<std::uint64_t>(kClients * kQueriesPerClient));
   const UdpServerStats stats = server.stats();
   EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kClients * kQueriesPerClient));
@@ -297,7 +297,7 @@ TEST(UdpConcurrency, QueryLogStaysValidNdjsonUnderFourWorkerLoad) {
   for (std::thread& thread : clients) thread.join();
   server.stop();
 
-  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+  EXPECT_EQ(answered.load(std::memory_order_relaxed), kClients * kQueriesPerClient);
   const std::vector<obs::QueryLogRecord> drained = query_log.drain();
   ASSERT_EQ(drained.size(), static_cast<std::size_t>(kClients * kQueriesPerClient));
   EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end(),
