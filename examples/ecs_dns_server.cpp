@@ -9,12 +9,14 @@
 // `whoami.g.cdn.example` reporting what it saw — the same trick as
 // Akamai's whoami.akamai.net (paper §3.1).
 //
-// Usage: ecs_dns_server [port] [workers] [--metrics]
+// Usage: ecs_dns_server [port] [workers] [--metrics] [--cache=N]
 //                       [--rescore-interval=MS] [--rollout=SECONDS]
 //                       [--fault-drop=P] [--fault-servfail=P]
 //                       [--fault-delay-ms=MS]
 //   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
-//   through that many SO_REUSEPORT sockets, one thread each.)
+//   through that many SO_REUSEPORT sockets, one thread each. --cache=N
+//   sizes the per-worker wire answer cache, default 4096 entries; 0
+//   disables it so every query runs the full mapping path.)
 //
 // The --fault-* flags wrap the demo recursive resolver's upstream in a
 // FaultInjector: P is a probability in [0,1] of dropping (or answering
@@ -101,6 +103,7 @@ void dump_observability(const obs::MetricsRegistry& registry, obs::QueryLog& que
 
 int main(int argc, char** argv) {
   bool metrics = false;
+  long cache_entries = 4096;     // per-worker wire answer cache; 0 = off
   long rescore_interval_ms = 0;  // 0 = no background republishing
   long rollout_ramp_s = -1;      // < 0 = roll-out complete (EU for everyone)
   dnsserver::FaultSpec faults;   // all-zero default: clean upstream
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache_entries = std::max(0L, std::atol(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rescore-interval=", 19) == 0) {
       rescore_interval_ms = std::atol(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--rollout=", 10) == 0) {
@@ -188,13 +193,21 @@ int main(int argc, char** argv) {
     return dnsserver::Zone{dns::DnsName::from_text("whoami.example"), soa};
   }());
 
+  // The wire answer cache keys on (qname, qtype, ECS scope prefix, map
+  // version); the MapMaker's version cell invalidates every entry the
+  // instant a new snapshot publishes, so dig never sees a stale map.
+  dnsserver::UdpServerConfig server_config{workers, std::chrono::milliseconds{50},
+                                           &registry};
+  server_config.answer_cache_entries = static_cast<std::size_t>(cache_entries);
+  server_config.map_version = &maker.version_cell();
   dnsserver::UdpAuthorityServer server{
-      &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port},
-      dnsserver::UdpServerConfig{workers, std::chrono::milliseconds{50}, &registry}};
+      &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port}, server_config};
   const auto endpoint = server.endpoint();
   std::signal(SIGUSR1, on_sigusr1);
-  std::printf("ecs_dns_server listening on 127.0.0.1:%u (%zu worker%s)\n", endpoint.port,
-              server.worker_count(), server.worker_count() == 1 ? "" : "s");
+  std::printf("ecs_dns_server listening on 127.0.0.1:%u (%zu worker%s, %ld-entry wire "
+              "cache per worker)\n",
+              endpoint.port, server.worker_count(),
+              server.worker_count() == 1 ? "" : "s", cache_entries);
   std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
               endpoint.port);
   server.start();
@@ -331,10 +344,13 @@ int main(int argc, char** argv) {
   maker.stop();
   server.stop();
 
-  std::printf("server exiting; %llu queries handled (map version %llu)\n\n%s\n",
+  const dnsserver::UdpServerStats final_stats = server.stats();
+  std::printf("server exiting; %llu queries handled (map version %llu, answer-cache "
+              "hit ratio %.3f)\n\n%s\n",
               static_cast<unsigned long long>(engine.stats().queries),
               static_cast<unsigned long long>(maker.version()),
-              dnsserver::udp_server_stats_table(server.stats()).render().c_str());
+              final_stats.cache_hit_ratio(),
+              dnsserver::udp_server_stats_table(final_stats).render().c_str());
   if (metrics) {
     maker.refresh_gauges();
     dump_observability(registry, query_log);

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # One-command verification, in gate order:
 #   1. invariant lint   — scripts/lint_invariants.py (mechanical repo rules)
-#   2. tier-1           — configure + build + ctest (includes the fuzz
+#   2. bench artifact   — scripts/check_bench_artifact.py (the committed
+#                         BENCH_udp_throughput.json parses and reports an
+#                         answer-cache hit ratio)
+#   3. tier-1           — configure + build + ctest (includes the fuzz
 #                         corpus replays and the linter self-test)
-#   3. clang-tidy       — incremental, files changed vs origin/main
+#   4. clang-tidy       — incremental, files changed vs origin/main
 #                         (skips with a notice when clang-tidy is absent)
-#   4. TSan             — concurrent DNS serve paths under ThreadSanitizer
+#   5. TSan             — concurrent DNS serve paths under ThreadSanitizer
 #
 # Each gate prints a named PASS/FAIL summary line; the first failure
 # stops the run with that gate's status.
@@ -37,6 +40,7 @@ tier1() {
 }
 
 run_gate "invariant-lint" python3 scripts/lint_invariants.py
+run_gate "bench-artifact" python3 scripts/check_bench_artifact.py
 run_gate "tier-1" tier1
 run_gate "clang-tidy" scripts/tidy_check.sh --changed
 run_gate "tsan" scripts/tsan_check.sh

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Sanity-check the committed BENCH_udp_throughput.json artifact.
+
+The bench binary regenerates this file on every run; CI (scripts/check.sh)
+gates on the committed copy staying well-formed so a hand edit, a merge
+scar, or a bench writer bug cannot silently ship a broken perf record.
+
+Checks
+------
+- the file parses as JSON;
+- "configs" is a non-empty list and every entry carries workers/qps;
+- "answer_cache" exists with a numeric "hit_ratio" in [0, 1], a "runs"
+  list covering both cache-off and cache-on rows, and positive
+  best_cache_on_qps / best_cache_off_qps / speedup_vs_seed numbers;
+- "churn" reports both phases.
+
+Usage: check_bench_artifact.py [path]   (default BENCH_udp_throughput.json
+                                         next to the repo root)
+Exit codes: 0 OK, 1 malformed artifact, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+PROBLEMS: list[str] = []
+
+
+def problem(message: str) -> None:
+    PROBLEMS.append(message)
+
+
+def require_number(obj: dict, key: str, where: str, lo: float | None = None,
+                   hi: float | None = None) -> None:
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        problem(f"{where}.{key} is not a number (got {value!r})")
+        return
+    if lo is not None and value < lo:
+        problem(f"{where}.{key} = {value} below {lo}")
+    if hi is not None and value > hi:
+        problem(f"{where}.{key} = {value} above {hi}")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else root / "BENCH_udp_throughput.json"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"check_bench_artifact: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"check_bench_artifact: {path.name} is not valid JSON: {error}",
+              file=sys.stderr)
+        return 1
+
+    configs = doc.get("configs")
+    if not isinstance(configs, list) or not configs:
+        problem("configs is missing or empty")
+    else:
+        for i, config in enumerate(configs):
+            if not isinstance(config, dict):
+                problem(f"configs[{i}] is not an object")
+                continue
+            require_number(config, "workers", f"configs[{i}]", lo=1)
+            require_number(config, "qps", f"configs[{i}]", lo=0)
+
+    cache = doc.get("answer_cache")
+    if not isinstance(cache, dict):
+        problem("answer_cache section is missing")
+    else:
+        require_number(cache, "hit_ratio", "answer_cache", lo=0.0, hi=1.0)
+        require_number(cache, "best_cache_on_qps", "answer_cache", lo=1)
+        require_number(cache, "best_cache_off_qps", "answer_cache", lo=1)
+        require_number(cache, "speedup_vs_seed", "answer_cache", lo=0)
+        runs = cache.get("runs")
+        if not isinstance(runs, list) or not runs:
+            problem("answer_cache.runs is missing or empty")
+        else:
+            states = {run.get("cache") for run in runs if isinstance(run, dict)}
+            if states != {True, False}:
+                problem(f"answer_cache.runs must cover cache on AND off (got {states})")
+            for i, run in enumerate(runs):
+                if not isinstance(run, dict):
+                    problem(f"answer_cache.runs[{i}] is not an object")
+                    continue
+                require_number(run, "qps", f"answer_cache.runs[{i}]", lo=0)
+                require_number(run, "hit_ratio", f"answer_cache.runs[{i}]", lo=0.0,
+                               hi=1.0)
+
+    churn = doc.get("churn")
+    if not isinstance(churn, dict):
+        problem("churn section is missing")
+    else:
+        for phase in ("steady", "under_churn"):
+            if not isinstance(churn.get(phase), dict):
+                problem(f"churn.{phase} phase is missing")
+
+    if PROBLEMS:
+        for entry in PROBLEMS:
+            print(f"check_bench_artifact: {path.name}: {entry}")
+        print(f"check_bench_artifact: {len(PROBLEMS)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench_artifact: {path.name} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,8 @@ SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 # Files that must stay lock-free end to end (serve-path-lock rule).
 SERVE_PATH_FILES = {
     "src/dnsserver/udp.cpp",
+    "src/dnsserver/answer_cache.h",
+    "src/dnsserver/answer_cache.cpp",
     "src/control/map_snapshot.cpp",
     "src/cdn/mapping.cpp",
 }

@@ -208,6 +208,18 @@ def main() -> int:
         expect_rule="serve-path-lock",
     )
     case(
+        "condition_variable in the answer cache fires",
+        "src/dnsserver/answer_cache.cpp",
+        "#include <condition_variable>\nstd::condition_variable cv;\n",
+        expect_rule="serve-path-lock",
+    )
+    case(
+        "shared_lock in the answer cache header fires",
+        "src/dnsserver/answer_cache.h",
+        "void f(std::shared_mutex& m) { std::shared_lock<std::shared_mutex> g{m}; }\n",
+        expect_rule="serve-path-lock",
+    )
+    case(
         "mutex in a non-designated file is allowed",
         "src/dnsserver/resolver.cpp",
         "#include <mutex>\nstd::mutex m;\n",

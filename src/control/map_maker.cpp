@@ -70,8 +70,13 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_now(bool force) {
     return live;
   }
 
-  version_.store(next_version, std::memory_order_relaxed);
+  // Publish order matters for version-keyed consumers (the UDP wire
+  // answer cache): the snapshot must be visible BEFORE the version, so a
+  // reader that observes version V via version_cell() is guaranteed
+  // current() already serves generation >= V. Store both with release;
+  // the reader's acquire on the version cell closes the pairing.
   current_.store(built, std::memory_order_release);
+  version_.store(next_version, std::memory_order_release);
   publishes_->add();
   map_version_->set(static_cast<std::int64_t>(next_version));
   published_wall_us_.store(static_cast<std::int64_t>(elapsed_us(started_at_)),

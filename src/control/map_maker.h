@@ -77,6 +77,17 @@ class MapMaker {
     return version_.load(std::memory_order_relaxed);
   }
 
+  /// The version cell itself, for serve-path consumers that key caches
+  /// on the published map generation (UdpServerConfig::map_version).
+  /// Invalidation contract: rebuild_now() stores the snapshot pointer
+  /// before the version (both release), so an acquire load that returns
+  /// V guarantees current() already serves generation >= V — an answer
+  /// computed after that load can never be cached under a version newer
+  /// than the map that produced it.
+  [[nodiscard]] const std::atomic<std::uint64_t>& version_cell() const noexcept {
+    return version_;
+  }
+
   /// The shared per-cluster load ledger (survives republishes).
   [[nodiscard]] LoadLedger& loads() noexcept { return *ledger_; }
 

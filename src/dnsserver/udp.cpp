@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -17,6 +18,15 @@ namespace eum::dnsserver {
 namespace {
 
 constexpr std::size_t kMaxDatagram = 65535;
+
+// SIGPIPE protection: a send on a shutdown/disconnected socket must
+// surface as an errno the serve path can count, never a process-killing
+// signal.
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
 
 sockaddr_in to_sockaddr(const UdpEndpoint& endpoint) {
   sockaddr_in sa{};
@@ -84,7 +94,7 @@ UdpEndpoint UdpSocket::local_endpoint() const {
 
 void UdpSocket::send_to(std::span<const std::uint8_t> data, const UdpEndpoint& peer) {
   const sockaddr_in sa = to_sockaddr(peer);
-  const ssize_t sent = ::sendto(fd_, data.data(), data.size(), 0,
+  const ssize_t sent = ::sendto(fd_, data.data(), data.size(), kSendFlags,
                                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
   if (sent < 0) throw_errno("sendto");
   if (static_cast<std::size_t>(sent) != data.size()) {
@@ -92,8 +102,7 @@ void UdpSocket::send_to(std::span<const std::uint8_t> data, const UdpEndpoint& p
   }
 }
 
-std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::milliseconds timeout,
-                                                            UdpEndpoint& peer) {
+bool UdpSocket::wait_readable(std::chrono::milliseconds timeout) {
   // The wait is deadline-based: a poll() interrupted by a signal (EINTR)
   // resumes with the time REMAINING, not the caller's full timeout, so a
   // signal storm cannot extend the wait unboundedly. A negative timeout
@@ -111,14 +120,18 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::millise
     const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
       if (errno == EINTR) {
-        if (!infinite && std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        if (!infinite && std::chrono::steady_clock::now() >= deadline) return false;
         continue;
       }
       throw_errno("poll");
     }
-    if (ready == 0) return std::nullopt;
-    break;
+    return ready != 0;
   }
+}
+
+std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::milliseconds timeout,
+                                                            UdpEndpoint& peer) {
+  if (!wait_readable(timeout)) return std::nullopt;
   std::vector<std::uint8_t> buffer(kMaxDatagram);
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
@@ -133,11 +146,160 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive(std::chrono::millise
   return buffer;
 }
 
+UdpBatch::UdpBatch(std::size_t capacity)
+    : capacity_(std::clamp<std::size_t>(capacity, 1, kMaxCapacity)),
+      rx_storage_(std::make_unique<std::uint8_t[]>(capacity_ * kRxBufferSize)),
+      rx_size_(capacity_, 0),
+      rx_trunc_(capacity_, 0),
+      rx_peer_(capacity_),
+      tx_(capacity_),
+      tx_peer_(capacity_) {
+  for (std::vector<std::uint8_t>& buffer : tx_) buffer.reserve(512);
+}
+
+std::vector<std::uint8_t>& UdpBatch::stage(const UdpEndpoint& to) {
+  if (staged_ == capacity_) throw std::out_of_range{"UdpBatch::stage: batch full"};
+  tx_peer_[staged_] = to;
+  std::vector<std::uint8_t>& buffer = tx_[staged_++];
+  buffer.clear();  // keeps capacity: no allocation once warmed up
+  return buffer;
+}
+
+std::size_t UdpSocket::receive_batch(UdpBatch& batch, std::chrono::milliseconds timeout) {
+  batch.received_ = 0;
+  batch.staged_ = 0;
+  if (!wait_readable(timeout)) return 0;
+  const std::size_t want = batch.capacity_;
+#if defined(__linux__)
+  if (!mmsg_unavailable_) {
+    mmsghdr headers[UdpBatch::kMaxCapacity];
+    iovec iovecs[UdpBatch::kMaxCapacity];
+    sockaddr_in addrs[UdpBatch::kMaxCapacity];
+    std::memset(headers, 0, sizeof(mmsghdr) * want);
+    for (std::size_t i = 0; i < want; ++i) {
+      iovecs[i] = {batch.rx_storage_.get() + i * UdpBatch::kRxBufferSize,
+                   UdpBatch::kRxBufferSize};
+      headers[i].msg_hdr.msg_name = &addrs[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+    }
+    int got;
+    do {
+      got = ::recvmmsg(fd_, headers, static_cast<unsigned>(want), MSG_DONTWAIT, nullptr);
+    } while (got < 0 && errno == EINTR);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      if (errno != ENOSYS) throw_errno("recvmmsg");
+      mmsg_unavailable_ = true;  // fall through to the single-shot drain
+    } else {
+      for (int i = 0; i < got; ++i) {
+        batch.rx_size_[static_cast<std::size_t>(i)] = headers[i].msg_len;
+        batch.rx_trunc_[static_cast<std::size_t>(i)] =
+            (headers[i].msg_hdr.msg_flags & MSG_TRUNC) != 0 ? 1 : 0;
+        batch.rx_peer_[static_cast<std::size_t>(i)] = from_sockaddr(addrs[i]);
+      }
+      batch.received_ = static_cast<std::size_t>(got);
+      return batch.received_;
+    }
+  }
+#endif
+  // Portable drain: non-blocking recvfrom until the queue is empty or the
+  // batch is full. Without MSG_TRUNC metadata a buffer-filling datagram
+  // is conservatively flagged truncated.
+  std::size_t count = 0;
+  while (count < want) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    ssize_t received;
+    do {
+      received = ::recvfrom(fd_, batch.rx_storage_.get() + count * UdpBatch::kRxBufferSize,
+                            UdpBatch::kRxBufferSize, MSG_DONTWAIT,
+                            reinterpret_cast<sockaddr*>(&sa), &len);
+    } while (received < 0 && errno == EINTR);
+    if (received < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (count > 0) break;  // deliver what we have; next round rethrows
+      throw_errno("recvfrom");
+    }
+    batch.rx_size_[count] = static_cast<std::uint32_t>(received);
+    batch.rx_trunc_[count] =
+        static_cast<std::size_t>(received) >= UdpBatch::kRxBufferSize ? 1 : 0;
+    batch.rx_peer_[count] = from_sockaddr(sa);
+    ++count;
+  }
+  batch.received_ = count;
+  return count;
+}
+
+UdpSocket::SendBatchResult UdpSocket::send_batch(UdpBatch& batch) noexcept {
+  SendBatchResult result;
+  std::size_t next = 0;
+  // Per-datagram sendto fallback, also used to retry the datagram that
+  // stalled a partial sendmmsg so its errno is observable.
+  const auto send_one = [&](std::size_t i) {
+    const sockaddr_in sa = to_sockaddr(batch.tx_peer_[i]);
+    ssize_t sent;
+    do {
+      sent = ::sendto(fd_, batch.tx_[i].data(), batch.tx_[i].size(), kSendFlags,
+                      reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    } while (sent < 0 && errno == EINTR);
+    if (sent < 0 || static_cast<std::size_t>(sent) != batch.tx_[i].size()) {
+      ++result.errors;
+      result.last_errno = sent < 0 ? errno : EMSGSIZE;
+    } else {
+      ++result.sent;
+    }
+  };
+#if defined(__linux__)
+  if (!mmsg_unavailable_) {
+    mmsghdr headers[UdpBatch::kMaxCapacity];
+    iovec iovecs[UdpBatch::kMaxCapacity];
+    sockaddr_in addrs[UdpBatch::kMaxCapacity];
+    std::memset(headers, 0, sizeof(mmsghdr) * batch.staged_);
+    for (std::size_t i = 0; i < batch.staged_; ++i) {
+      addrs[i] = to_sockaddr(batch.tx_peer_[i]);
+      iovecs[i] = {batch.tx_[i].data(), batch.tx_[i].size()};
+      headers[i].msg_hdr.msg_name = &addrs[i];
+      headers[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+    }
+    while (next < batch.staged_ && !mmsg_unavailable_) {
+      const int sent = ::sendmmsg(fd_, headers + next,
+                                  static_cast<unsigned>(batch.staged_ - next), kSendFlags);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == ENOSYS) {
+          mmsg_unavailable_ = true;
+          break;  // remaining datagrams take the sendto loop below
+        }
+        // The head datagram was refused; count it and move past it.
+        ++result.errors;
+        result.last_errno = errno;
+        ++next;
+        continue;
+      }
+      result.sent += static_cast<std::size_t>(sent);
+      next += static_cast<std::size_t>(sent);
+      if (next < batch.staged_) send_one(next++);  // probe the blocker's errno
+    }
+  }
+#endif
+  for (; next < batch.staged_; ++next) send_one(next);
+  batch.staged_ = 0;
+  return result;
+}
+
 stats::Table udp_server_stats_table(const UdpServerStats& stats) {
   stats::Table table{"counter", "value"};
   table.add_row("queries", stats.queries);
   table.add_row("truncated", stats.truncated);
   table.add_row("wire_errors", stats.wire_errors);
+  table.add_row("send_errors", stats.send_errors);
+  table.add_row("cache_hits", stats.cache_hits);
+  table.add_row("cache_misses", stats.cache_misses);
+  table.add_row("worker_exceptions", stats.worker_exceptions);
   for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
     const std::string prefix = "worker_" + std::to_string(w) + "_";
     table.add_row(prefix + "queries", stats.per_worker[w]);
@@ -156,6 +318,14 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
     : engine_(engine), config_(config), registry_(config.registry) {
   if (engine_ == nullptr) throw std::invalid_argument{"UdpAuthorityServer: null engine"};
   if (config_.workers == 0) throw std::invalid_argument{"UdpAuthorityServer: need >= 1 worker"};
+  if (config_.poll_interval.count() <= 0) {
+    // A non-positive interval means "poll forever": workers would never
+    // re-check the stop flag and stop() would hang on join.
+    throw std::invalid_argument{
+        "UdpAuthorityServer: poll_interval must be positive (infinite poll makes "
+        "stop() hang)"};
+  }
+  config_.batch = std::clamp<std::size_t>(config_.batch, 1, UdpBatch::kMaxCapacity);
   if (registry_ == nullptr) registry_ = &engine_->registry();
   // Bind the first socket (resolving an ephemeral port), then the rest of
   // the SO_REUSEPORT group onto the resolved endpoint. SO_REUSEPORT must
@@ -167,6 +337,8 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
     sockets_.emplace_back(resolved, true);
   }
   worker_metrics_.reserve(config_.workers);
+  batches_.reserve(config_.workers);
+  if (config_.answer_cache_entries > 0) caches_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     const obs::Labels labels{{"worker", std::to_string(w)}};
     WorkerMetrics metrics;
@@ -176,10 +348,26 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
         &registry_->counter("eum_udp_truncated_total", "TC=1 responses sent", labels);
     metrics.wire_errors =
         &registry_->counter("eum_udp_wire_errors_total", "unparseable datagrams", labels);
+    metrics.send_errors = &registry_->counter("eum_udp_send_errors_total",
+                                              "datagram send failures", labels);
+    metrics.cache_hits = &registry_->counter("eum_udp_cache_hits_total",
+                                             "wire answer-cache hits", labels);
+    metrics.cache_misses = &registry_->counter(
+        "eum_udp_cache_misses_total", "cacheable queries served by the slow path", labels);
+    metrics.worker_exceptions = &registry_->counter(
+        "eum_udp_worker_exceptions_total", "exceptions absorbed by the worker barrier",
+        labels);
     worker_metrics_.push_back(metrics);
+    batches_.emplace_back(config_.batch);
+    if (config_.answer_cache_entries > 0) {
+      caches_.emplace_back(AnswerCache::Config{config_.answer_cache_entries,
+                                               config_.answer_cache_max_wire});
+    }
   }
   serve_latency_ = &registry_->histogram(
-      "eum_udp_serve_latency_us", "datagram received to response sent, microseconds");
+      "eum_udp_serve_latency_us", "batch received to responses sent, microseconds");
+  rx_batch_size_ = &registry_->histogram("eum_udp_rx_batch_size",
+                                         "datagrams drained per socket wakeup");
 }
 
 UdpAuthorityServer::~UdpAuthorityServer() { stop(); }
@@ -190,8 +378,16 @@ void UdpAuthorityServer::start() {
   threads_.reserve(sockets_.size());
   for (std::size_t w = 0; w < sockets_.size(); ++w) {
     threads_.emplace_back([this, w] {
+      // Exception barrier: a transient serve failure must not reach
+      // std::terminate. Anything thrown is counted; the short sleep
+      // keeps a persistently-failing socket from hot-spinning the core.
       while (!stopping_.load(std::memory_order_relaxed)) {
-        serve_on(sockets_[w], w, config_.poll_interval);
+        try {
+          serve_on(sockets_[w], w, config_.poll_interval);
+        } catch (...) {
+          worker_metrics_[w].worker_exceptions->add();
+          std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        }
       }
     });
   }
@@ -211,27 +407,83 @@ bool UdpAuthorityServer::serve_once(std::chrono::milliseconds timeout) {
 
 bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
                                   std::chrono::milliseconds timeout) {
-  UdpEndpoint peer;
-  const auto datagram = socket.receive(timeout, peer);
-  if (!datagram) return false;
-  // Serve latency covers decode + handle + encode + send — what a client
-  // would see past the kernel's receive queue.
+  UdpBatch& batch = batches_[worker];
+  const std::size_t got = socket.receive_batch(batch, timeout);
+  if (got == 0) return false;
+  // Serve latency covers decode + handle + encode + send for the whole
+  // drained batch — what a client at the batch tail would see past the
+  // kernel's receive queue.
   const auto received_at = std::chrono::steady_clock::now();
   WorkerMetrics& metrics = worker_metrics_[worker];
+  rx_batch_size_->record(got);
+  // One version read per batch: every answer in the batch is served (and
+  // cached) under the same map generation. The acquire pairs with the
+  // MapMaker's release publish, which stores the snapshot BEFORE the
+  // version — so version V here implies the fast path serves >= V.
+  const std::uint64_t version =
+      config_.map_version != nullptr
+          ? config_.map_version->load(std::memory_order_acquire)
+          : 0;
+  AnswerCache* cache = caches_.empty() ? nullptr : &caches_[worker];
+  for (std::size_t i = 0; i < got; ++i) {
+    try {
+      serve_datagram(batch, i, worker, version, cache);
+    } catch (...) {
+      // One poisoned datagram must not take down its batch-mates.
+      metrics.worker_exceptions->add();
+    }
+  }
+  const UdpSocket::SendBatchResult sent = socket.send_batch(batch);
+  if (sent.errors != 0) metrics.send_errors->add(sent.errors);
+  serve_latency_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            received_at)
+          .count()));
+  return true;
+}
+
+void UdpAuthorityServer::serve_datagram(UdpBatch& batch, std::size_t index,
+                                        std::size_t worker, std::uint64_t version,
+                                        AnswerCache* cache) {
+  const std::span<const std::uint8_t> datagram = batch.datagram(index);
+  const UdpEndpoint peer = batch.peer(index);
+  WorkerMetrics& metrics = worker_metrics_[worker];
+  if (batch.rx_truncated(index)) {
+    // The query overflowed the arena slot; anything we parsed would be a
+    // fragment, so drop it as unparseable.
+    metrics.wire_errors->add();
+    return;
+  }
+  std::optional<QueryProbe> probe;
+  if (cache != nullptr) {
+    probe = QueryProbe::parse(datagram);
+    if (probe) {
+      if (const AnswerCache::Entry* hit = cache->find(*probe, version)) {
+        cache->render(*hit, *probe, batch.stage(peer));
+        metrics.queries->add();
+        metrics.cache_hits->add();
+        return;
+      }
+      metrics.cache_misses->add();
+    }
+  }
   dns::Message response;
   try {
-    const dns::Message query = dns::Message::decode(*datagram);
+    const dns::Message query = dns::Message::decode(datagram);
     response = engine_->handle(query, net::IpAddr{peer.address});
     metrics.queries->add();
     // RFC 1035 / RFC 6891 size discipline: a response larger than the
     // requester's advertised UDP payload (512 octets without EDNS) is
     // truncated — DNS sections dropped and TC set so the client retries
-    // over a bigger channel. The OPT pseudo-record (Message::edns) is
-    // NOT a droppable section: RFC 6891 §7 / RFC 7871 §7.2.2 require the
-    // TC=1 response to keep it so the client still learns our payload
-    // limit and the answer's ECS scope.
+    // over a bigger channel. RFC 6891 §6.2.3: advertised sizes below 512
+    // are treated as exactly 512, so a client advertising 0 or 100
+    // octets cannot force nonsensical truncation. The OPT pseudo-record
+    // (Message::edns) is NOT a droppable section: RFC 6891 §7 / RFC 7871
+    // §7.2.2 require the TC=1 response to keep it so the client still
+    // learns our payload limit and the answer's ECS scope.
     std::vector<std::uint8_t> wire = response.encode();
-    const std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
+    const std::size_t limit = effective_udp_payload_limit(
+        query.edns.has_value(), query.edns ? query.edns->udp_payload_size : 0);
     if (wire.size() > limit) {
       response.answers.clear();
       response.authorities.clear();
@@ -240,27 +492,18 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
       metrics.truncated->add();
       wire = response.encode();
     }
-    socket.send_to(wire, peer);
-    serve_latency_->record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
-                                                              received_at)
-            .count()));
-    return true;
+    if (cache != nullptr && probe) cache->store(*probe, version, wire);
+    batch.stage(peer) = std::move(wire);
+    return;
   } catch (const dns::WireError&) {
     // Unparseable datagram: best-effort FORMERR if we can extract an id.
     metrics.wire_errors->add();
-    if (datagram->size() < 2) return true;  // too short even for an id; drop
-    response.header.id =
-        static_cast<std::uint16_t>(((*datagram)[0] << 8) | (*datagram)[1]);
+    if (datagram.size() < 2) return;  // too short even for an id; drop
+    response.header.id = static_cast<std::uint16_t>((datagram[0] << 8) | datagram[1]);
     response.header.is_response = true;
     response.header.rcode = dns::Rcode::form_err;
   }
-  socket.send_to(response.encode(), peer);
-  serve_latency_->record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
-                                                            received_at)
-          .count()));
-  return true;
+  batch.stage(peer) = response.encode();
 }
 
 void UdpAuthorityServer::serve_until(const std::atomic<bool>& stop) {
@@ -275,13 +518,23 @@ UdpServerStats UdpAuthorityServer::stats() const {
   snapshot.per_worker.resize(worker_metrics_.size());
   snapshot.per_worker_truncated.resize(worker_metrics_.size());
   snapshot.per_worker_wire_errors.resize(worker_metrics_.size());
+  snapshot.per_worker_send_errors.resize(worker_metrics_.size());
+  snapshot.per_worker_cache_hits.resize(worker_metrics_.size());
+  snapshot.per_worker_cache_misses.resize(worker_metrics_.size());
   for (std::size_t w = 0; w < worker_metrics_.size(); ++w) {
     snapshot.per_worker[w] = worker_metrics_[w].queries->value();
     snapshot.per_worker_truncated[w] = worker_metrics_[w].truncated->value();
     snapshot.per_worker_wire_errors[w] = worker_metrics_[w].wire_errors->value();
+    snapshot.per_worker_send_errors[w] = worker_metrics_[w].send_errors->value();
+    snapshot.per_worker_cache_hits[w] = worker_metrics_[w].cache_hits->value();
+    snapshot.per_worker_cache_misses[w] = worker_metrics_[w].cache_misses->value();
     snapshot.queries += snapshot.per_worker[w];
     snapshot.truncated += snapshot.per_worker_truncated[w];
     snapshot.wire_errors += snapshot.per_worker_wire_errors[w];
+    snapshot.send_errors += snapshot.per_worker_send_errors[w];
+    snapshot.cache_hits += snapshot.per_worker_cache_hits[w];
+    snapshot.cache_misses += snapshot.per_worker_cache_misses[w];
+    snapshot.worker_exceptions += worker_metrics_[w].worker_exceptions->value();
   }
   return snapshot;
 }
@@ -291,8 +544,13 @@ void UdpAuthorityServer::reset_stats() {
     metrics.queries->reset();
     metrics.truncated->reset();
     metrics.wire_errors->reset();
+    metrics.send_errors->reset();
+    metrics.cache_hits->reset();
+    metrics.cache_misses->reset();
+    metrics.worker_exceptions->reset();
   }
   serve_latency_->reset();
+  rx_batch_size_->reset();
 }
 
 UdpDnsClient::UdpDnsClient() : socket_(UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}) {}

@@ -9,6 +9,16 @@
 // authorities need to absorb the ~8x query-rate increase finer ECS
 // granularity causes (§5.3, Fig. 23). IPv4 localhost-oriented; RAII
 // socket ownership throughout.
+//
+// The serve path is batched, modeled on Traffic Server's UnixUDPNet
+// polling loop: one poll wakeup drains up to a whole UdpBatch with a
+// single recvmmsg, responses are staged into preallocated per-worker
+// arenas, and one sendmmsg flushes them — so syscall count and per-query
+// allocation are amortized to ~zero. Where the mmsg syscalls are
+// unavailable the same batch API degrades to recvfrom/sendto loops.
+// An optional per-worker wire-level answer cache (answer_cache.h) lets
+// repeat queries bypass the engine entirely, invalidated by map-snapshot
+// version.
 #pragma once
 
 #include <atomic>
@@ -16,10 +26,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "dns/message.h"
+#include "dnsserver/answer_cache.h"
 #include "dnsserver/authoritative.h"
 #include "dnsserver/resolver.h"
 #include "obs/metrics.h"
@@ -33,6 +45,56 @@ struct UdpEndpoint {
   std::uint16_t port = 0;
 
   friend bool operator==(const UdpEndpoint&, const UdpEndpoint&) noexcept = default;
+};
+
+/// Preallocated datagram arena for batched receive/send. One instance
+/// per worker (or per client loop): all receive buffers are carved from
+/// one contiguous allocation made at construction, and staged-response
+/// vectors are reused across batches, so the steady-state serve path
+/// performs zero allocation. Not thread-safe — single owner by design.
+class UdpBatch {
+ public:
+  /// Hard upper bound on datagrams per syscall (mmsghdr arrays live on
+  /// the stack in UdpSocket).
+  static constexpr std::size_t kMaxCapacity = 64;
+  /// Receive buffer per slot. 4096 covers every EDNS query we advertise
+  /// for; larger datagrams are flagged truncated and dropped.
+  static constexpr std::size_t kRxBufferSize = 4096;
+
+  /// `capacity` is clamped to [1, kMaxCapacity].
+  explicit UdpBatch(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Received datagrams, filled by UdpSocket::receive_batch.
+  [[nodiscard]] std::size_t received() const noexcept { return received_; }
+  [[nodiscard]] std::span<const std::uint8_t> datagram(std::size_t i) const noexcept {
+    return {rx_storage_.get() + i * kRxBufferSize, rx_size_[i]};
+  }
+  [[nodiscard]] const UdpEndpoint& peer(std::size_t i) const noexcept { return rx_peer_[i]; }
+  /// True when the datagram exceeded kRxBufferSize and was cut short.
+  [[nodiscard]] bool rx_truncated(std::size_t i) const noexcept { return rx_trunc_[i] != 0; }
+
+  // Responses staged for UdpSocket::send_batch. stage() returns a
+  // cleared, capacity-retaining buffer to encode into; staging more than
+  // `capacity()` datagrams throws std::out_of_range.
+  std::vector<std::uint8_t>& stage(const UdpEndpoint& to);
+  [[nodiscard]] std::size_t staged() const noexcept { return staged_; }
+  void clear_staged() noexcept { staged_ = 0; }
+
+ private:
+  friend class UdpSocket;
+
+  std::size_t capacity_;
+  std::unique_ptr<std::uint8_t[]> rx_storage_;  ///< capacity_ * kRxBufferSize
+  std::vector<std::uint32_t> rx_size_;
+  std::vector<std::uint8_t> rx_trunc_;
+  std::vector<UdpEndpoint> rx_peer_;
+  std::size_t received_ = 0;
+
+  std::vector<std::vector<std::uint8_t>> tx_;
+  std::vector<UdpEndpoint> tx_peer_;
+  std::size_t staged_ = 0;
 };
 
 /// RAII wrapper over a bound UDP socket.
@@ -61,8 +123,32 @@ class UdpSocket {
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive(
       std::chrono::milliseconds timeout, UdpEndpoint& peer);
 
+  /// Wait up to `timeout` for readability, then drain up to
+  /// `batch.capacity()` datagrams in one recvmmsg (single recvfrom loop
+  /// where unavailable). Returns the number received; 0 on timeout.
+  /// Previously received/staged contents of `batch` are discarded.
+  std::size_t receive_batch(UdpBatch& batch, std::chrono::milliseconds timeout);
+
+  struct SendBatchResult {
+    std::size_t sent = 0;    ///< datagrams handed to the kernel
+    std::size_t errors = 0;  ///< datagrams refused (ENOBUFS, EPERM, ...)
+    int last_errno = 0;
+  };
+
+  /// Flush every staged response in one sendmmsg (sendto loop where
+  /// unavailable). Never throws: per-datagram send failures — the
+  /// ENOBUFS/EPERM/ECONNREFUSED family — are counted, the rest of the
+  /// batch still goes out, and the staged set is cleared either way.
+  SendBatchResult send_batch(UdpBatch& batch) noexcept;
+
+  [[nodiscard]] int native_handle() const noexcept { return fd_; }
+
  private:
+  /// Deadline-based readability wait (EINTR-safe); true when readable.
+  [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout);
+
   int fd_ = -1;
+  bool mmsg_unavailable_ = false;  ///< runtime ENOSYS fallback latch
 };
 
 struct UdpServerConfig {
@@ -70,11 +156,29 @@ struct UdpServerConfig {
   /// socket on the shared endpoint.
   std::size_t workers = 1;
   /// Poll granularity of the worker loops (stop-flag latency bound).
+  /// Must be positive: a non-positive interval would park workers in
+  /// poll() forever and stop() could never join them — the constructor
+  /// rejects it.
   std::chrono::milliseconds poll_interval{50};
   /// Registry for eum_udp_* metrics (borrowed; must outlive the server).
   /// nullptr shares the engine's registry, so one snapshot covers the
   /// whole serving stack.
   obs::MetricsRegistry* registry = nullptr;
+  /// Datagrams drained/flushed per syscall round, clamped to
+  /// [1, UdpBatch::kMaxCapacity]. 1 degenerates to the single-shot path.
+  std::size_t batch = 32;
+  /// Slots in the per-worker wire answer cache; 0 (default) disables it.
+  /// With the cache on, repeat queries are answered from memoized wire
+  /// bytes and never reach the engine (its counters and query log see
+  /// only misses), so enabling it is an explicit opt-in.
+  std::size_t answer_cache_entries = 0;
+  /// Responses larger than this are not cached.
+  std::size_t answer_cache_max_wire = 4096;
+  /// Map-snapshot version cell the cache keys on (borrowed, may be
+  /// null): point it at MapMaker::version_cell() and every snapshot
+  /// publish invalidates all cached answers. Null pins version 0 —
+  /// fine for static zones, wrong for live-republished mappings.
+  const std::atomic<std::uint64_t>* map_version = nullptr;
 };
 
 /// Counter snapshot for the UDP front end — a thin view over the
@@ -85,9 +189,22 @@ struct UdpServerStats {
   std::uint64_t queries = 0;            ///< datagrams answered
   std::uint64_t truncated = 0;          ///< TC=1 responses sent
   std::uint64_t wire_errors = 0;        ///< unparseable datagrams
+  std::uint64_t send_errors = 0;        ///< datagrams the kernel refused to send
+  std::uint64_t cache_hits = 0;         ///< answers served from the wire cache
+  std::uint64_t cache_misses = 0;       ///< cacheable queries that took the slow path
+  std::uint64_t worker_exceptions = 0;  ///< exceptions the worker barrier absorbed
   std::vector<std::uint64_t> per_worker;             ///< queries per worker
   std::vector<std::uint64_t> per_worker_truncated;   ///< TC=1 per worker
   std::vector<std::uint64_t> per_worker_wire_errors; ///< wire errors per worker
+  std::vector<std::uint64_t> per_worker_send_errors; ///< send errors per worker
+  std::vector<std::uint64_t> per_worker_cache_hits;  ///< cache hits per worker
+  std::vector<std::uint64_t> per_worker_cache_misses;///< cache misses per worker
+
+  /// Hits over probed lookups (hits + misses); 0 when the cache is off.
+  [[nodiscard]] double cache_hit_ratio() const noexcept {
+    const std::uint64_t probed = cache_hits + cache_misses;
+    return probed == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(probed);
+  }
 };
 
 /// Render UDP server counters as a two-column table for benches/examples.
@@ -111,15 +228,19 @@ class UdpAuthorityServer {
   [[nodiscard]] std::size_t worker_count() const noexcept { return sockets_.size(); }
 
   /// Spawn the worker threads; idempotent. Each worker serves its own
-  /// socket until stop().
+  /// socket until stop(). Workers run behind an exception barrier: a
+  /// transient serve failure (a throwing decode path, a socket error) is
+  /// counted in eum_udp_worker_exceptions_total and the worker keeps
+  /// serving — it never escapes to std::terminate.
   void start();
 
   /// Stop and join the worker threads; idempotent (also run by the
   /// destructor).
   void stop();
 
-  /// Handle at most one request on worker 0's socket; returns true if
-  /// one was served. Do not mix with start() — workers own the sockets.
+  /// Handle at most one batch of requests on worker 0's socket; returns
+  /// true if anything was served. Do not mix with start() — workers own
+  /// the sockets.
   bool serve_once(std::chrono::milliseconds timeout);
 
   /// Serve single-threaded until `stop` becomes true (checked between
@@ -144,10 +265,20 @@ class UdpAuthorityServer {
     obs::Counter* queries = nullptr;
     obs::Counter* truncated = nullptr;
     obs::Counter* wire_errors = nullptr;
+    obs::Counter* send_errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* worker_exceptions = nullptr;
   };
 
-  /// One receive/handle/send round on `socket`, crediting `worker`.
+  /// One receive-batch/handle/send-batch round on `socket`, crediting
+  /// `worker`. Returns true when any datagram was drained.
   bool serve_on(UdpSocket& socket, std::size_t worker, std::chrono::milliseconds timeout);
+
+  /// Decode/answer one received datagram of `batch` and stage its
+  /// response. `version` is the map generation this batch serves under.
+  void serve_datagram(UdpBatch& batch, std::size_t index, std::size_t worker,
+                      std::uint64_t version, AnswerCache* cache);
 
   AuthoritativeServer* engine_;
   UdpServerConfig config_;
@@ -156,7 +287,10 @@ class UdpAuthorityServer {
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   std::vector<WorkerMetrics> worker_metrics_;
-  obs::LatencyHistogram* serve_latency_;  ///< datagram received -> response sent
+  std::vector<UdpBatch> batches_;       ///< one preallocated arena per worker
+  std::vector<AnswerCache> caches_;     ///< empty when the cache is disabled
+  obs::LatencyHistogram* serve_latency_;  ///< batch received -> responses sent
+  obs::LatencyHistogram* rx_batch_size_;  ///< datagrams drained per wakeup
 };
 
 /// One-shot DNS-over-UDP client.

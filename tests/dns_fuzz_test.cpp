@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dns/message.h"
+#include "dnsserver/answer_cache.h"
 #include "dnsserver/zone_file.h"
 #include "util/rng.h"
 
@@ -213,6 +214,34 @@ TEST(FuzzRegression, OptRecordWithNonRootOwnerRejected) {
       0x00, 0x00,                    // RDLENGTH 0
   };
   EXPECT_THROW((void)Message::decode(wire), WireError);
+}
+
+TEST(FuzzRegression, OptTinyAdvertisedPayloadDecodesAndClampsTo512) {
+  // fuzz/regressions/message/opt_tiny_payload.bin: a query whose OPT
+  // advertises a 100-octet UDP payload. RFC 6891 §6.2.3: values below
+  // 512 must be treated as exactly 512 — the serve path used to
+  // truncate against the raw 100 and emit TC=1 responses no client
+  // could ever shrink below.
+  const std::uint8_t wire[] = {
+      0x00, 0x42, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      0x03, 'w',  'w',  'w',  0x01, 'g',  0x03, 'c',  'd',  'n',
+      0x07, 'e',  'x',  'a',  'm',  'p',  'l',  'e',  0x00,
+      0x00, 0x01, 0x00, 0x01,        // QTYPE A, QCLASS IN
+      0x00,                          // OPT owner: root
+      0x00, 0x29,                    // TYPE OPT
+      0x00, 0x64,                    // CLASS = advertised payload 100
+      0x00, 0x00, 0x00, 0x00,        // extended RCODE/flags
+      0x00, 0x00,                    // RDLENGTH 0
+  };
+  const Message query = Message::decode(wire);
+  ASSERT_TRUE(query.edns.has_value());
+  EXPECT_EQ(query.edns->udp_payload_size, 100);  // decoder reports what was said
+  // ...and both fast and slow serve paths clamp what was said up to 512.
+  EXPECT_EQ(dnsserver::effective_udp_payload_limit(true, 100), 512U);
+  const auto probe = dnsserver::QueryProbe::parse(wire);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->udp_payload, 100);
+  EXPECT_EQ(probe->payload_limit(), 512U);
 }
 
 TEST(Mutation, CompressionPointerStorm) {

@@ -189,6 +189,40 @@ TEST(UdpTruncation, Tc1ResponseKeepsEdnsOptAndEcsScope) {
   EXPECT_NE(rendered.find("worker_0_truncated"), std::string::npos);
 }
 
+TEST(UdpTruncation, TinyAdvertisedPayloadClampedTo512) {
+  // RFC 6891 §6.2.3: advertised payload sizes below 512 are treated as
+  // exactly 512. The server used to truncate against the raw value, so
+  // a client advertising 100 octets got TC=1 for any answer over 100
+  // bytes — even ones that fit comfortably in the 512 every conforming
+  // requestor must accept.
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      DnsName::from_text("g.cdn.example"),
+      [](const DynamicQuery&) -> std::optional<DynamicAnswer> {
+        DynamicAnswer answer;
+        answer.ttl = 20;
+        for (std::uint32_t i = 0; i < 10; ++i) {  // ~200-octet response: >100, <512
+          answer.addresses.push_back(net::IpAddr{net::IpV4Addr{0xCB000000U + i}});
+        }
+        return answer;
+      });
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+  server.start();
+
+  UdpDnsClient client;
+  Message query =
+      Message::make_query(6, DnsName::from_text("www.g.cdn.example"), RecordType::A);
+  query.edns = dns::EdnsRecord{};
+  query.edns->udp_payload_size = 100;
+  const auto response = client.query(query, server.endpoint(), 2000ms);
+  server.stop();
+
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->header.truncated);
+  EXPECT_EQ(response->answers.size(), 10U);
+  EXPECT_EQ(server.stats().truncated, 0U);
+}
+
 TEST(UdpConcurrency, FourWorkersServeParallelClientsWithoutLoss) {
   // The multithreaded front end: 4 SO_REUSEPORT workers, 8 client
   // threads firing interleaved queries. Every query must come back with
