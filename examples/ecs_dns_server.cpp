@@ -12,11 +12,27 @@
 // Usage: ecs_dns_server [port] [workers] [--metrics] [--cache=N]
 //                       [--rescore-interval=MS] [--rollout=SECONDS]
 //                       [--fault-drop=P] [--fault-servfail=P]
-//                       [--fault-delay-ms=MS]
+//                       [--fault-delay-ms=MS] [--admin-port=N]
+//                       [--trace-sample=N]
 //   (port 0 = ephemeral; the bound port is printed. workers > 1 serves
 //   through that many SO_REUSEPORT sockets, one thread each. --cache=N
 //   sizes the per-worker wire answer cache, default 4096 entries; 0
 //   disables it so every query runs the full mapping path.)
+//
+// --admin-port=N opens the operator introspection channel on
+// 127.0.0.1:N (0 = ephemeral; the bound port is printed). It speaks a
+// line protocol — try `printf 'help\n' | nc 127.0.0.1 <port>` — with
+// `stats`, `metrics`, `traces [n]`, `cache.stats`, `snapshot.info`,
+// `health`, and `explain <client-ip> [qname] [resolver-ip]`, which
+// replays the live mapping decision (policy, roll-out cohort verdict,
+// ECS scope, candidate cluster scores, chosen servers) against the
+// currently published map snapshot.
+//
+// --trace-sample=N records every Nth query's trace spans into the
+// flight recorder (default 64; 1 = every query; negative disables
+// tracing). Anomalous queries — slow, SERVFAIL, stale-served, worker
+// exception, send error — are always retained regardless of sampling;
+// drain them with the admin channel's `traces` command as NDJSON.
 //
 // The --fault-* flags wrap the demo recursive resolver's upstream in a
 // FaultInjector: P is a probability in [0,1] of dropping (or answering
@@ -66,13 +82,17 @@
 #include <vector>
 
 #include "cdn/mapping.h"
+#include "control/explain.h"
 #include "control/map_maker.h"
 #include "control/rollout_controller.h"
 #include "dnsserver/fault.h"
 #include "dnsserver/transport.h"
 #include "dnsserver/udp.h"
+#include "obs/admin.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/trace.h"
 #include "stats/table.h"
 #include "topo/world_gen.h"
 #include "util/sim_clock.h"
@@ -106,11 +126,17 @@ int main(int argc, char** argv) {
   long cache_entries = 4096;     // per-worker wire answer cache; 0 = off
   long rescore_interval_ms = 0;  // 0 = no background republishing
   long rollout_ramp_s = -1;      // < 0 = roll-out complete (EU for everyone)
+  long admin_port = -1;          // < 0 = admin channel off; 0 = ephemeral
+  long trace_sample = 64;        // trace 1 in N queries; < 0 = tracing off
   dnsserver::FaultSpec faults;   // all-zero default: clean upstream
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atol(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = std::atol(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
       cache_entries = std::max(0L, std::atol(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rescore-interval=", 19) == 0) {
@@ -193,6 +219,18 @@ int main(int argc, char** argv) {
     return dnsserver::Zone{dns::DnsName::from_text("whoami.example"), soa};
   }());
 
+  // Build provenance in the shared registry (and in `snapshot.info`),
+  // labeled with the runtime shape so a metrics dump is self-describing.
+  obs::register_build_info(registry, {{"workers", std::to_string(workers)},
+                                      {"cache_entries", std::to_string(cache_entries)}});
+
+  // Per-query flight recorder: 1-in-N sampling plus unconditional
+  // retention of anomalous queries. Drained via the admin channel.
+  obs::FlightRecorderConfig recorder_config;
+  recorder_config.capacity = 2048;
+  recorder_config.sample_every = static_cast<std::uint32_t>(std::max(0L, trace_sample));
+  obs::FlightRecorder recorder{recorder_config};
+
   // The wire answer cache keys on (qname, qtype, ECS scope prefix, map
   // version); the MapMaker's version cell invalidates every entry the
   // instant a new snapshot publishes, so dig never sees a stale map.
@@ -200,6 +238,7 @@ int main(int argc, char** argv) {
                                            &registry};
   server_config.answer_cache_entries = static_cast<std::size_t>(cache_entries);
   server_config.map_version = &maker.version_cell();
+  if (trace_sample >= 0) server_config.recorder = &recorder;
   dnsserver::UdpAuthorityServer server{
       &engine, dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, port}, server_config};
   const auto endpoint = server.endpoint();
@@ -210,6 +249,50 @@ int main(int argc, char** argv) {
               server.worker_count() == 1 ? "" : "s", cache_entries);
   std::printf("try: dig @127.0.0.1 -p %u www.g.cdn.example A +subnet=1.0.3.0/24\n\n",
               endpoint.port);
+  // Operator introspection channel (localhost TCP line protocol).
+  control::DecisionExplainer explainer{&world, &mapping, &maker,
+                                       rollout_ramp_s >= 0 ? &rollout : nullptr};
+  explainer.set_fallback_ldns(fallback_ldns.id);
+  obs::AdminServerConfig admin_config;
+  admin_config.port = static_cast<std::uint16_t>(std::max(0L, admin_port));
+  admin_config.registry = &registry;
+  admin_config.recorder = &recorder;
+  obs::AdminServer admin{admin_config};
+  admin.register_command("cache.stats", "UDP front-end counters incl. wire answer cache",
+                         [&server](const std::vector<std::string>&) {
+                           return dnsserver::udp_server_stats_table(server.stats()).render();
+                         });
+  admin.register_command("snapshot.info",
+                         "published map identity, rebuild reasons, build provenance",
+                         [&maker](const std::vector<std::string>&) {
+                           return control::snapshot_info(maker);
+                         });
+  admin.register_command(
+      "health", "one-line liveness summary",
+      [&server, &maker](const std::vector<std::string>&) {
+        const dnsserver::UdpServerStats stats = server.stats();
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "ok queries=%llu send_errors=%llu worker_exceptions=%llu "
+                      "map_version=%llu",
+                      static_cast<unsigned long long>(stats.queries),
+                      static_cast<unsigned long long>(stats.send_errors),
+                      static_cast<unsigned long long>(stats.worker_exceptions),
+                      static_cast<unsigned long long>(maker.version()));
+        return std::string{line};
+      });
+  admin.register_command("explain",
+                         "explain <client-ip> [qname] [resolver-ip]: replay the mapping "
+                         "decision against the current snapshot",
+                         [&explainer](const std::vector<std::string>& args) {
+                           return explainer.command(args);
+                         });
+  if (admin_port >= 0) {
+    admin.start();
+    std::printf("admin channel on 127.0.0.1:%u (try: printf 'help\\n' | nc 127.0.0.1 %u)\n",
+                admin.port(), admin.port());
+  }
+
   server.start();
   if (rescore_interval_ms > 0) {
     maker.start(std::chrono::milliseconds{rescore_interval_ms});
@@ -341,6 +424,7 @@ int main(int argc, char** argv) {
       dump_observability(registry, query_log);
     }
   }
+  admin.stop();
   maker.stop();
   server.stop();
 

@@ -12,6 +12,10 @@ Checks
 - "answer_cache" exists with a numeric "hit_ratio" in [0, 1], a "runs"
   list covering both cache-off and cache-on rows, and positive
   best_cache_on_qps / best_cache_off_qps / speedup_vs_seed numbers;
+- "tracing" reports the flight-recorder overhead arm: sampling actually
+  on (sample_every >= 2), both p99s positive, at least one trace record
+  committed, and p99_ratio (traced / untraced) at most 1.05 — the
+  "tracing at 1-in-64 costs <= 5% p99" budget is a hard gate;
 - "churn" reports both phases.
 
 Usage: check_bench_artifact.py [path]   (default BENCH_udp_throughput.json
@@ -92,6 +96,18 @@ def main() -> int:
                 require_number(run, "qps", f"answer_cache.runs[{i}]", lo=0)
                 require_number(run, "hit_ratio", f"answer_cache.runs[{i}]", lo=0.0,
                                hi=1.0)
+
+    tracing = doc.get("tracing")
+    if not isinstance(tracing, dict):
+        problem("tracing section is missing")
+    else:
+        require_number(tracing, "sample_every", "tracing", lo=2)
+        require_number(tracing, "untraced_p99_us", "tracing", lo=0.001)
+        require_number(tracing, "traced_p99_us", "tracing", lo=0.001)
+        require_number(tracing, "committed", "tracing", lo=1)
+        # The PR's overhead budget: sampled tracing may cost at most 5%
+        # of fast-path p99. A ratio of 0 means the bench never measured.
+        require_number(tracing, "p99_ratio", "tracing", lo=0.001, hi=1.05)
 
     churn = doc.get("churn")
     if not isinstance(churn, dict):

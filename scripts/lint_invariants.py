@@ -64,6 +64,8 @@ SERVE_PATH_FILES = {
     "src/dnsserver/answer_cache.cpp",
     "src/control/map_snapshot.cpp",
     "src/cdn/mapping.cpp",
+    "src/obs/trace.h",
+    "src/obs/trace.cpp",
 }
 
 # Directories exempt from the wall-clock rule (the clock/rng abstractions

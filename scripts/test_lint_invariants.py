@@ -220,8 +220,26 @@ def main() -> int:
         expect_rule="serve-path-lock",
     )
     case(
+        "mutex in the flight recorder fires",
+        "src/obs/trace.cpp",
+        "#include <mutex>\nstd::mutex m;\n",
+        expect_rule="serve-path-lock",
+    )
+    case(
+        ".lock() in the trace header fires",
+        "src/obs/trace.h",
+        "void f(SomeLock& l) { l.lock(); }\n",
+        expect_rule="serve-path-lock",
+    )
+    case(
         "mutex in a non-designated file is allowed",
         "src/dnsserver/resolver.cpp",
+        "#include <mutex>\nstd::mutex m;\n",
+        expect_rule=None,
+    )
+    case(
+        "mutex in the admin channel (off the serve path) is allowed",
+        "src/obs/admin.cpp",
         "#include <mutex>\nstd::mutex m;\n",
         expect_rule=None,
     )

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+#include "util/strings.h"
+
 namespace eum::cdn {
 
 namespace {
@@ -111,6 +114,20 @@ dnsserver::DynamicAnswerFn MappingSystem::dns_handler() {
     }
 
     const auto result = map(ldns->id, block, query.qname.to_string());
+    // Flight-recorder span (thread-local tracer; null on untraced
+    // transports): the decision's policy inputs and outcome. This is the
+    // slow path — the wire answer cache absorbed repeats — so the detail
+    // string's allocation is acceptable here.
+    if (obs::QueryTracer* tracer = obs::current_tracer()) {
+      if (obs::TraceSpan* span = tracer->span(obs::TraceStage::map_decision)) {
+        span->code = block ? 1 : 0;
+        span->value = result ? static_cast<std::int64_t>(result->deployment) : -1;
+        span->set_detail(util::format(
+            "ldns=%u ecs=/%d rtt=%.1f", static_cast<unsigned>(ldns->id),
+            block ? config_.ecs_scope_len : 0,
+            result ? static_cast<double>(result->expected_rtt_ms) : -1.0));
+      }
+    }
     if (!result) return std::nullopt;
 
     dnsserver::DynamicAnswer answer;

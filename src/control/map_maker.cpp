@@ -14,6 +14,17 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+const char* to_string(RebuildReason reason) noexcept {
+  switch (reason) {
+    case RebuildReason::initial: return "initial";
+    case RebuildReason::periodic: return "periodic";
+    case RebuildReason::liveness: return "liveness";
+    case RebuildReason::requested: return "requested";
+    case RebuildReason::manual: return "manual";
+  }
+  return "unknown";
+}
+
 MapMaker::MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock,
                    MapMakerConfig config)
     : mapping_(mapping),
@@ -34,6 +45,12 @@ MapMaker::MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock,
   map_age_s_ = &registry_->gauge("eum_control_map_age_seconds",
                                  "wall-clock seconds since the current map was published");
   rebuilds_ = &registry_->counter("eum_control_rebuilds_total", "map rebuilds attempted");
+  for (std::size_t i = 0; i < kRebuildReasons; ++i) {
+    rebuilds_by_reason_[i] =
+        &registry_->counter("eum_control_rebuilds_by_reason_total",
+                            "map rebuilds attempted, by trigger",
+                            {{"reason", to_string(static_cast<RebuildReason>(i))}});
+  }
   publishes_ = &registry_->counter("eum_control_publishes_total", "map snapshots published");
   publishes_skipped_ = &registry_->counter("eum_control_publishes_skipped_total",
                                            "rebuilds skipped as serving-identical");
@@ -42,7 +59,7 @@ MapMaker::MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock,
 
   ledger_ = std::make_shared<LoadLedger>(mapping_->network().size());
   // Version 1 is published synchronously: serving can start immediately.
-  (void)rebuild_now(/*force=*/true);
+  (void)rebuild_with_reason(/*force=*/true, RebuildReason::initial);
 }
 
 MapMaker::~MapMaker() { stop(); }
@@ -53,6 +70,11 @@ util::SimTime MapMaker::build_time() const noexcept {
 }
 
 std::shared_ptr<const MapSnapshot> MapMaker::rebuild_now(bool force) {
+  return rebuild_with_reason(force, RebuildReason::manual);
+}
+
+std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
+                                                                 RebuildReason reason) {
   const std::scoped_lock lock{rebuild_mutex_};
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
@@ -60,6 +82,7 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_now(bool force) {
       MapSnapshot::build(*mapping_, ledger_, next_version, build_time());
   rebuild_latency_->record(elapsed_us(t0));
   rebuilds_->add();
+  rebuilds_by_reason_[static_cast<std::size_t>(reason)]->add();
   last_build_ = build_time();
   if (monitor_ != nullptr) transitions_seen_ = monitor_->transitions();
 
@@ -93,7 +116,8 @@ bool MapMaker::tick() {
       clock_ != nullptr && clock_->now() - last_build_ >= config_.rescore_interval_s;
   if (!transitioned && !due) return false;
   // Liveness transitions must reach the serving path: force the publish.
-  (void)rebuild_now(/*force=*/transitioned);
+  (void)rebuild_with_reason(/*force=*/transitioned,
+                            transitioned ? RebuildReason::liveness : RebuildReason::periodic);
   return true;
 }
 
@@ -125,7 +149,8 @@ void MapMaker::run_loop(std::chrono::milliseconds interval) {
     const bool on_demand = rebuild_requested_;
     rebuild_requested_ = false;
     lock.unlock();
-    (void)rebuild_now(/*force=*/on_demand);
+    (void)rebuild_with_reason(/*force=*/on_demand, on_demand ? RebuildReason::requested
+                                                             : RebuildReason::periodic);
     refresh_gauges();
     lock.lock();
   }

@@ -53,6 +53,19 @@ struct MapMakerConfig {
   obs::MetricsRegistry* registry = nullptr;
 };
 
+/// Why a rebuild ran — kept per-reason so operators can tell a control
+/// loop that is rebuilding on schedule from one thrashing on liveness
+/// flaps (surfaced by the admin channel's `snapshot.info`).
+enum class RebuildReason : std::uint8_t {
+  initial,    ///< the synchronous version-1 build in the constructor
+  periodic,   ///< tick() interval elapsed / background cadence fired
+  liveness,   ///< a watched LivenessMonitor transition forced a publish
+  requested,  ///< request_rebuild() woke the background thread
+  manual,     ///< a direct rebuild_now() call
+};
+
+[[nodiscard]] const char* to_string(RebuildReason reason) noexcept;
+
 class MapMaker {
  public:
   /// `mapping` is borrowed and must outlive the map maker; `clock` (also
@@ -102,9 +115,10 @@ class MapMaker {
   /// interval has not elapsed.
   void watch(cdn::LivenessMonitor* monitor) noexcept { monitor_ = monitor; }
 
-  /// Synchronous rebuild. With `force` (or config.publish_unchanged) the
-  /// result is always published; otherwise a serving-identical rebuild is
-  /// skipped. Returns the now-current snapshot either way.
+  /// Synchronous rebuild (reason: manual). With `force` (or
+  /// config.publish_unchanged) the result is always published; otherwise a
+  /// serving-identical rebuild is skipped. Returns the now-current
+  /// snapshot either way.
   std::shared_ptr<const MapSnapshot> rebuild_now(bool force = false);
 
   /// SimClock-driven drive: rebuild when the rescore interval elapsed or
@@ -132,9 +146,15 @@ class MapMaker {
   [[nodiscard]] std::uint64_t skipped_publishes() const noexcept {
     return publishes_skipped_->value();
   }
+  [[nodiscard]] std::uint64_t rebuilds_for(RebuildReason reason) const noexcept {
+    return rebuilds_by_reason_[static_cast<std::size_t>(reason)]->value();
+  }
 
  private:
+  static constexpr std::size_t kRebuildReasons = 5;
+
   [[nodiscard]] util::SimTime build_time() const noexcept;
+  std::shared_ptr<const MapSnapshot> rebuild_with_reason(bool force, RebuildReason reason);
   void run_loop(std::chrono::milliseconds interval);
 
   cdn::MappingSystem* mapping_;
@@ -163,6 +183,7 @@ class MapMaker {
   obs::Gauge* map_version_;
   obs::Gauge* map_age_s_;
   obs::Counter* rebuilds_;
+  obs::Counter* rebuilds_by_reason_[kRebuildReasons];
   obs::Counter* publishes_;
   obs::Counter* publishes_skipped_;
   obs::LatencyHistogram* rebuild_latency_;

@@ -141,6 +141,75 @@ std::optional<cdn::MapResult> MapSnapshot::map_cluster(topo::LdnsId ldns,
               load_units);
 }
 
+MapSnapshot::MapExplanation MapSnapshot::explain(topo::LdnsId ldns,
+                                                 std::optional<topo::BlockId> client_block,
+                                                 std::string_view domain) const {
+  MapExplanation out;
+  out.version = version_;
+  out.policy = config_.policy;
+
+  // Mirror map()'s policy dispatch to find the mapping unit and the
+  // precomputed candidate list pick() would walk.
+  std::span<const cdn::Candidate> candidates;
+  switch (config_.policy) {
+    case cdn::MappingPolicy::end_user:
+      if (client_block) {
+        out.used_client_block = true;
+        out.unit = world_->blocks.at(*client_block).ping_target;
+        candidates = scoring_.target_candidates(out.unit);
+        break;
+      }
+      [[fallthrough]];  // no ECS: degrade to NS, same as map()
+    case cdn::MappingPolicy::ns_based:
+      out.unit = world_->ldnses.at(ldns).ping_target;
+      candidates = scoring_.target_candidates(out.unit);
+      break;
+    case cdn::MappingPolicy::client_aware_ns:
+      out.unit = scoring_.ldns_target(ldns);
+      candidates = scoring_.cluster_candidates(ldns);
+      break;
+  }
+
+  auto view_of = [this](cdn::DeploymentId d, float score) {
+    ExplainCandidate view;
+    view.deployment = d;
+    view.score_ms = score;
+    view.alive = !clusters_[d].servers.empty();
+    view.usable = usable(d, 0.0);
+    view.load = loads_->load(d);
+    view.capacity = clusters_[d].capacity;
+    return view;
+  };
+  for (const cdn::Candidate& candidate : candidates) {
+    if (!std::isfinite(candidate.score_ms)) break;  // pick() stops here too
+    out.candidates.push_back(view_of(candidate.deployment, candidate.score_ms));
+  }
+
+  // The authoritative answer: the identical call dns_handler makes
+  // (load_units defaults to 0.0 there), so nothing can drift.
+  out.result = map(ldns, client_block, domain, 0.0);
+  if (out.result) {
+    bool found = false;
+    for (ExplainCandidate& view : out.candidates) {
+      if (view.deployment == out.result->deployment) {
+        view.chosen = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Chosen by the full mesh-column fallback scan, not the
+      // precomputed list — surface it with its actual score.
+      out.fallback_scan = true;
+      ExplainCandidate view =
+          view_of(out.result->deployment, mesh_->rtt_ms(out.result->deployment, out.unit));
+      view.chosen = true;
+      out.candidates.push_back(view);
+    }
+  }
+  return out;
+}
+
 std::optional<cdn::MapResult> MapSnapshot::map(topo::LdnsId ldns,
                                                std::optional<topo::BlockId> client_block,
                                                std::string_view domain,

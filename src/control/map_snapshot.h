@@ -64,6 +64,30 @@ class MapSnapshot {
     friend bool operator==(const Cluster&, const Cluster&) = default;
   };
 
+  /// One candidate cluster's view in an explain() report, in the order
+  /// pick() would have considered it.
+  struct ExplainCandidate {
+    cdn::DeploymentId deployment = 0;
+    float score_ms = 0.0F;   ///< mesh RTT to the mapping unit
+    bool alive = false;      ///< had live servers at snapshot build
+    bool usable = false;     ///< usable() at zero marginal load
+    double load = 0.0;       ///< ledger load at explain time
+    double capacity = 0.0;
+    bool chosen = false;     ///< this cluster is the one map() returned
+  };
+
+  /// The full decision trail for one (ldns, block, domain) query against
+  /// this snapshot — what the admin channel's `explain` prints.
+  struct MapExplanation {
+    std::uint64_t version = 0;
+    cdn::MappingPolicy policy = cdn::MappingPolicy::ns_based;
+    bool used_client_block = false;  ///< EU path actually took the block unit
+    topo::PingTargetId unit = 0;     ///< ping target the decision scored against
+    bool fallback_scan = false;      ///< chosen came from the full mesh scan
+    std::vector<ExplainCandidate> candidates;
+    std::optional<cdn::MapResult> result;  ///< exactly what map() returns
+  };
+
   /// Freeze the mapping system's current scoring + liveness state. The
   /// snapshot borrows the system's world and ping mesh (both immutable
   /// after construction) and must not outlive it; `loads` is shared
@@ -92,6 +116,16 @@ class MapSnapshot {
   [[nodiscard]] std::optional<cdn::MapResult> map_cluster(topo::LdnsId ldns,
                                                           std::string_view domain,
                                                           double load_units = 0.0) const;
+
+  /// Replay the decision map() would make for this query and report every
+  /// candidate considered. The result field IS map()'s answer at zero
+  /// marginal load — the same call the serve path's dns_handler makes —
+  /// so an explain is guaranteed consistent with what was served at this
+  /// snapshot version. Read-only apart from the (zero-unit, no-op) ledger
+  /// charge inside pick().
+  [[nodiscard]] MapExplanation explain(topo::LdnsId ldns,
+                                       std::optional<topo::BlockId> client_block,
+                                       std::string_view domain) const;
 
   // --- identity --------------------------------------------------------
 

@@ -14,6 +14,7 @@
 // the roll-out while UDP workers consult the gate lock-free.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -64,6 +65,13 @@ class RolloutController {
   /// (the pre-roll-out test population). Setup-time only: not safe to
   /// call while serving threads consult the gate.
   void whitelist(topo::LdnsId ldns);
+
+  /// Is this resolver in the pre-ramp whitelist? Introspection for the
+  /// admin channel's `explain` (read-only; same setup-time caveat as
+  /// whitelist() does not apply to reads after setup).
+  [[nodiscard]] bool is_whitelisted(topo::LdnsId ldns) const noexcept {
+    return std::binary_search(whitelist_.begin(), whitelist_.end(), ldns);
+  }
 
   /// The per-query decision: should this resolver's clients get end-user
   /// mapping right now? Lock-free; safe from any thread.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace eum::dnsserver {
 
 using dns::DnsName;
@@ -100,6 +102,18 @@ Message AuthoritativeServer::handle(const Message& query, const net::IpAddr& sou
       timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   obs::AnswerSource answer_source = obs::AnswerSource::static_answer;
   Message response = handle_inner(query, source, server_address, answer_source);
+  // Flight-recorder span via the thread-local tracer (installed by the
+  // UDP worker; null on untraced transports). A SERVFAIL — whatever layer
+  // produced it — marks the trace anomalous so it is always retained.
+  if (obs::QueryTracer* tracer = obs::current_tracer()) {
+    if (obs::TraceSpan* span = tracer->span(obs::TraceStage::handle)) {
+      span->code = static_cast<std::int32_t>(response.header.rcode);
+      span->set_detail(obs::to_string(answer_source));
+    }
+    if (response.header.rcode == Rcode::serv_fail) {
+      tracer->note_anomaly(obs::TraceAnomaly::kServfail);
+    }
+  }
   if (timing) {
     const auto latency_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -

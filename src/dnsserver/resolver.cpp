@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace eum::dnsserver {
 
 namespace {
@@ -208,7 +210,14 @@ std::optional<Message> RecursiveResolver::forward_with_retries(Message& query,
     upstream_queries_->add();
     if (on_upstream_query) on_upstream_query(name);
     std::optional<Message> response = upstream_->try_forward(query, own_address_);
-    if (response && response_usable(query, *response)) return response;
+    const bool usable = response && response_usable(query, *response);
+    if (obs::QueryTracer* tracer = obs::current_tracer()) {
+      if (obs::TraceSpan* span = tracer->span(obs::TraceStage::resolver_attempt)) {
+        span->code = attempt;
+        span->set_detail(usable ? "upstream ok" : "upstream fail");
+      }
+    }
+    if (usable) return response;
     upstream_failures_->add();
   }
   return std::nullopt;
@@ -251,6 +260,13 @@ std::optional<Message> RecursiveResolver::forward_to_with_retries(
             .count());
     const bool usable = result.response && response_usable(query, *result.response);
     record_srtt(server, sample_us, usable);
+    if (obs::QueryTracer* tracer = obs::current_tracer()) {
+      if (obs::TraceSpan* span = tracer->span(obs::TraceStage::resolver_attempt)) {
+        span->code = sent - 1;
+        span->value = static_cast<std::int64_t>(sample_us);
+        span->set_detail(server.to_string() + (usable ? " ok" : " fail"));
+      }
+    }
     if (usable) return std::move(result.response);
     upstream_failures_->add();
     last_server = server;
@@ -316,6 +332,11 @@ Message RecursiveResolver::query_upstream(const DnsName& name, RecordType type,
                                            clock_->now())) {
         stale_served_->add();
         served_stale = true;
+        // A stale answer saved the query but is operationally notable:
+        // retain its trace unconditionally.
+        if (obs::QueryTracer* tracer = obs::current_tracer()) {
+          tracer->note_anomaly(obs::TraceAnomaly::kStale);
+        }
         Message answer;
         answer.header.rcode = stale->rcode;
         answer.answers = std::move(stale->answers);

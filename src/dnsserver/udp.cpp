@@ -1,5 +1,7 @@
 #include "dnsserver/udp.h"
 
+#include "obs/query_log.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -363,6 +365,10 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
       caches_.emplace_back(AnswerCache::Config{config_.answer_cache_entries,
                                                config_.answer_cache_max_wire});
     }
+    if (config_.recorder != nullptr) {
+      tracers_.push_back(std::make_unique<obs::QueryTracer>(config_.recorder,
+                                                            static_cast<std::uint32_t>(w)));
+    }
   }
   serve_latency_ = &registry_->histogram(
       "eum_udp_serve_latency_us", "batch received to responses sent, microseconds");
@@ -425,16 +431,49 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
           ? config_.map_version->load(std::memory_order_acquire)
           : 0;
   AnswerCache* cache = caches_.empty() ? nullptr : &caches_[worker];
+  obs::QueryTracer* tracer = tracers_.empty() ? nullptr : tracers_[worker].get();
+  // Deep layers (engine, mapping, resolver) find the tracer through the
+  // thread-local slot — no signature changes below this point. Installed
+  // once per batch: the worker reuses one tracer for every datagram.
+  obs::TracerScope trace_scope{tracer};
   for (std::size_t i = 0; i < got; ++i) {
+    if (tracer != nullptr) {
+      tracer->begin(received_at);  // one clock read for the whole batch
+      tracer->set_client_v4(batch.peer(i).address.value());
+    }
     try {
-      serve_datagram(batch, i, worker, version, cache);
+      serve_datagram(batch, i, worker, version, cache, tracer);
     } catch (...) {
       // One poisoned datagram must not take down its batch-mates.
       metrics.worker_exceptions->add();
+      if (tracer != nullptr) tracer->note_anomaly(obs::TraceAnomaly::kException);
+    }
+    // finish() is what guarantees anomaly retention: it runs whether the
+    // datagram served cleanly, threw, or was dropped as unparseable.
+    if (tracer != nullptr) tracer->finish();
+  }
+  // One shared-counter flush per drained batch, not per datagram: the
+  // tracer coalesced the whole batch's latency observations locally.
+  if (tracer != nullptr) tracer->flush_observations();
+  const UdpSocket::SendBatchResult sent = socket.send_batch(batch);
+  if (sent.errors != 0) {
+    metrics.send_errors->add(sent.errors);
+    if (config_.recorder != nullptr) {
+      // Send errors surface only after the per-datagram traces closed, so
+      // retention is via a synthesized record: one per flush, carrying
+      // the errno and the refused-datagram count.
+      obs::TraceRecord record;
+      record.ts_us = obs::QueryLog::now_us();
+      record.worker = static_cast<std::uint32_t>(worker);
+      record.anomalies = obs::TraceAnomaly::kSendError;
+      record.span_count = 1;
+      record.spans[0].stage = obs::TraceStage::tx;
+      record.spans[0].code = sent.last_errno;
+      record.spans[0].value = static_cast<std::int64_t>(sent.errors);
+      record.spans[0].set_detail("send_batch refused datagrams");
+      config_.recorder->commit(record);
     }
   }
-  const UdpSocket::SendBatchResult sent = socket.send_batch(batch);
-  if (sent.errors != 0) metrics.send_errors->add(sent.errors);
   serve_latency_->record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
                                                             received_at)
@@ -444,10 +483,13 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
 
 void UdpAuthorityServer::serve_datagram(UdpBatch& batch, std::size_t index,
                                         std::size_t worker, std::uint64_t version,
-                                        AnswerCache* cache) {
+                                        AnswerCache* cache, obs::QueryTracer* tracer) {
   const std::span<const std::uint8_t> datagram = batch.datagram(index);
   const UdpEndpoint peer = batch.peer(index);
   WorkerMetrics& metrics = worker_metrics_[worker];
+  if (obs::TraceSpan* rx = tracer != nullptr ? tracer->span(obs::TraceStage::rx) : nullptr) {
+    rx->value = static_cast<std::int64_t>(datagram.size());
+  }
   if (batch.rx_truncated(index)) {
     // The query overflowed the arena slot; anything we parsed would be a
     // fragment, so drop it as unparseable.
@@ -458,18 +500,43 @@ void UdpAuthorityServer::serve_datagram(UdpBatch& batch, std::size_t index,
   if (cache != nullptr) {
     probe = QueryProbe::parse(datagram);
     if (probe) {
+      if (tracer != nullptr) tracer->set_qname_wire(probe->qname);
       if (const AnswerCache::Entry* hit = cache->find(*probe, version)) {
-        cache->render(*hit, *probe, batch.stage(peer));
+        std::vector<std::uint8_t>& wire = batch.stage(peer);
+        cache->render(*hit, *probe, wire);
         metrics.queries->add();
         metrics.cache_hits->add();
+        if (tracer != nullptr) {
+          if (obs::TraceSpan* span = tracer->span(obs::TraceStage::cache_probe)) {
+            span->code = 1;
+            span->value = static_cast<std::int64_t>(version);
+            span->set_detail("hit");
+          }
+          if (obs::TraceSpan* span = tracer->span(obs::TraceStage::tx)) {
+            span->value = static_cast<std::int64_t>(wire.size());
+          }
+        }
         return;
       }
       metrics.cache_misses->add();
+      if (obs::TraceSpan* span =
+              tracer != nullptr ? tracer->span(obs::TraceStage::cache_probe) : nullptr) {
+        span->code = 0;
+        span->value = static_cast<std::int64_t>(version);
+        span->set_detail("miss");
+      }
+    } else if (obs::TraceSpan* span =
+                   tracer != nullptr ? tracer->span(obs::TraceStage::cache_probe) : nullptr) {
+      span->code = -1;
+      span->set_detail("unprobeable");
     }
   }
   dns::Message response;
   try {
     const dns::Message query = dns::Message::decode(datagram);
+    if (tracer != nullptr && !probe && !query.questions.empty()) {
+      tracer->set_qname_text(query.questions.front().name.to_string());
+    }
     response = engine_->handle(query, net::IpAddr{peer.address});
     metrics.queries->add();
     // RFC 1035 / RFC 6891 size discipline: a response larger than the
@@ -493,6 +560,10 @@ void UdpAuthorityServer::serve_datagram(UdpBatch& batch, std::size_t index,
       wire = response.encode();
     }
     if (cache != nullptr && probe) cache->store(*probe, version, wire);
+    if (obs::TraceSpan* span =
+            tracer != nullptr ? tracer->span(obs::TraceStage::tx) : nullptr) {
+      span->value = static_cast<std::int64_t>(wire.size());
+    }
     batch.stage(peer) = std::move(wire);
     return;
   } catch (const dns::WireError&) {
@@ -503,7 +574,13 @@ void UdpAuthorityServer::serve_datagram(UdpBatch& batch, std::size_t index,
     response.header.is_response = true;
     response.header.rcode = dns::Rcode::form_err;
   }
-  batch.stage(peer) = response.encode();
+  std::vector<std::uint8_t>& wire = batch.stage(peer);
+  wire = response.encode();
+  if (obs::TraceSpan* span = tracer != nullptr ? tracer->span(obs::TraceStage::tx) : nullptr) {
+    span->code = static_cast<std::int32_t>(response.header.rcode);
+    span->value = static_cast<std::int64_t>(wire.size());
+    span->set_detail("formerr");
+  }
 }
 
 void UdpAuthorityServer::serve_until(const std::atomic<bool>& stop) {

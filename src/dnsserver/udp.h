@@ -35,6 +35,7 @@
 #include "dnsserver/authoritative.h"
 #include "dnsserver/resolver.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/table.h"
 
 namespace eum::dnsserver {
@@ -179,6 +180,11 @@ struct UdpServerConfig {
   /// publish invalidates all cached answers. Null pins version 0 —
   /// fine for static zones, wrong for live-republished mappings.
   const std::atomic<std::uint64_t>* map_version = nullptr;
+  /// Flight recorder for per-query trace spans (borrowed, may be null =
+  /// tracing off). Each worker gets its own QueryTracer scratch; a
+  /// datagram's trace is committed when sampled or anomalous. See
+  /// obs/trace.h for the cost discipline.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Counter snapshot for the UDP front end — a thin view over the
@@ -277,8 +283,11 @@ class UdpAuthorityServer {
 
   /// Decode/answer one received datagram of `batch` and stage its
   /// response. `version` is the map generation this batch serves under.
+  /// `tracer` (may be null) records the datagram's trace spans and is
+  /// installed as the thread's current tracer for the duration, so the
+  /// engine/mapping/resolver layers can add their own spans.
   void serve_datagram(UdpBatch& batch, std::size_t index, std::size_t worker,
-                      std::uint64_t version, AnswerCache* cache);
+                      std::uint64_t version, AnswerCache* cache, obs::QueryTracer* tracer);
 
   AuthoritativeServer* engine_;
   UdpServerConfig config_;
@@ -289,6 +298,9 @@ class UdpAuthorityServer {
   std::vector<WorkerMetrics> worker_metrics_;
   std::vector<UdpBatch> batches_;       ///< one preallocated arena per worker
   std::vector<AnswerCache> caches_;     ///< empty when the cache is disabled
+  /// One trace scratch per worker (empty when no recorder was injected).
+  /// unique_ptr keeps the scratch address stable against vector moves.
+  std::vector<std::unique_ptr<obs::QueryTracer>> tracers_;
   obs::LatencyHistogram* serve_latency_;  ///< batch received -> responses sent
   obs::LatencyHistogram* rx_batch_size_;  ///< datagrams drained per wakeup
 };

@@ -1,0 +1,208 @@
+#include "obs/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace eum::obs {
+namespace {
+
+constexpr std::string_view kTerminator = "END\n";
+
+std::vector<std::string> split_args(std::string_view line) {
+  std::vector<std::string> args;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) args.emplace_back(line.substr(start, i - start));
+  }
+  return args;
+}
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerConfig config) : config_(config) { register_builtins(); }
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::register_command(std::string name, std::string help_text, Handler handler) {
+  commands_[std::move(name)] = Command{std::move(help_text), std::move(handler)};
+}
+
+void AdminServer::register_builtins() {
+  register_command("help", "list available commands", [this](const std::vector<std::string>&) {
+    std::string out;
+    for (const auto& [name, command] : commands_) {
+      out += name;
+      if (!command.help.empty()) {
+        out += "  - ";
+        out += command.help;
+      }
+      out += '\n';
+    }
+    return out;
+  });
+  register_command("stats", "human-readable metrics table",
+                   [this](const std::vector<std::string>&) -> std::string {
+                     if (config_.registry == nullptr) return "no metrics registry attached\n";
+                     return config_.registry->table().render();
+                   });
+  register_command("metrics", "Prometheus exposition of all metrics",
+                   [this](const std::vector<std::string>&) -> std::string {
+                     if (config_.registry == nullptr) return "no metrics registry attached\n";
+                     return config_.registry->prometheus();
+                   });
+  register_command(
+      "traces", "traces [n]: drain up to n flight-recorder records as NDJSON (default all)",
+      [this](const std::vector<std::string>& args) -> std::string {
+        if (config_.recorder == nullptr) return "no flight recorder attached\n";
+        std::size_t max = SIZE_MAX;
+        if (args.size() > 1) {
+          char* end = nullptr;
+          const unsigned long long parsed = std::strtoull(args[1].c_str(), &end, 10);
+          if (end == args[1].c_str() || *end != '\0') {
+            throw std::runtime_error("traces: count must be a non-negative integer");
+          }
+          max = static_cast<std::size_t>(parsed);
+        }
+        std::string out;
+        for (const TraceRecord& record : config_.recorder->drain(max)) {
+          out += FlightRecorder::to_ndjson(record);
+          out += '\n';
+        }
+        out += util::format(
+            "# recorder committed=%llu anomalies_retained=%llu overwritten=%llu "
+            "observed=%llu slow_threshold_us=%lu sample_every=%lu\n",
+            static_cast<unsigned long long>(config_.recorder->committed()),
+            static_cast<unsigned long long>(config_.recorder->anomalies_retained()),
+            static_cast<unsigned long long>(config_.recorder->overwritten()),
+            static_cast<unsigned long long>(config_.recorder->observed()),
+            static_cast<unsigned long>(config_.recorder->slow_threshold_us()),
+            static_cast<unsigned long>(config_.recorder->config().sample_every));
+        return out;
+      });
+}
+
+std::string AdminServer::dispatch(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.remove_suffix(1);
+  const std::vector<std::string> args = split_args(line);
+  if (args.empty()) return {};
+  const auto it = commands_.find(args[0]);
+  if (it == commands_.end()) {
+    return util::format("ERROR: unknown command '%s' (try 'help')\n", args[0].c_str());
+  }
+  try {
+    std::string out = it->second.handler(args);
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    return out;
+  } catch (const std::exception& error) {
+    return util::format("ERROR: %s\n", error.what());
+  }
+}
+
+void AdminServer::start() {
+  if (thread_.joinable()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("admin: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only, by design
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close_fd(listen_fd_);
+    throw std::runtime_error(
+        util::format("admin: bind(127.0.0.1:%u) failed: %s",
+                     static_cast<unsigned>(config_.port), std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 4) != 0) {
+    const int err = errno;
+    close_fd(listen_fd_);
+    throw std::runtime_error(util::format("admin: listen() failed: %s", std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void AdminServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+  bound_port_ = 0;
+}
+
+void AdminServer::serve_loop() {
+  const int timeout_ms = static_cast<int>(config_.poll_interval.count());
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    serve_connection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void AdminServer::serve_connection(int client_fd) {
+  const int timeout_ms = static_cast<int>(config_.poll_interval.count());
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Serve any complete lines already buffered.
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      std::string_view trimmed = line;
+      while (!trimmed.empty() && trimmed.back() == '\r') trimmed.remove_suffix(1);
+      if (trimmed == "quit" || trimmed == "exit") return;
+      std::string response = dispatch(trimmed);
+      response += kTerminator;
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n = ::send(client_fd, response.data() + sent, response.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) return;
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    pollfd pfd{client_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) return;
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // peer closed (or error)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > 1U << 20) return;  // refuse unbounded buffering
+  }
+}
+
+}  // namespace eum::obs

@@ -1,0 +1,40 @@
+#include "obs/build_info.h"
+
+#include "util/strings.h"
+
+#ifndef EUM_GIT_DESCRIBE
+#define EUM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EUM_COMPILER
+#define EUM_COMPILER "unknown"
+#endif
+#ifndef EUM_BUILD_TYPE
+#define EUM_BUILD_TYPE "unknown"
+#endif
+
+namespace eum::obs {
+
+BuildInfo build_info() noexcept {
+  return BuildInfo{EUM_GIT_DESCRIBE, EUM_COMPILER, EUM_BUILD_TYPE};
+}
+
+std::string build_info_string() {
+  const BuildInfo info = build_info();
+  return util::format("git=%s compiler=%s build=%s", info.git_describe, info.compiler,
+                      info.build_type);
+}
+
+Gauge& register_build_info(MetricsRegistry& registry, Labels extra) {
+  const BuildInfo info = build_info();
+  Labels labels{{"git", info.git_describe},
+                {"compiler", info.compiler},
+                {"build_type", info.build_type}};
+  for (auto& label : extra) labels.push_back(std::move(label));
+  Gauge& gauge = registry.gauge("eum_build_info",
+                                "build provenance; value is always 1, facts in labels",
+                                std::move(labels));
+  gauge.set(1);
+  return gauge;
+}
+
+}  // namespace eum::obs

@@ -1,0 +1,31 @@
+// Build provenance for self-describing dumps (satellite of the flight
+// recorder PR): which exact build produced a metrics snapshot or a trace
+// dump. Values are baked in at configure time by src/obs/CMakeLists.txt
+// (git describe, compiler id+version, build type) with "unknown"
+// fallbacks so builds outside git still link.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace eum::obs {
+
+struct BuildInfo {
+  const char* git_describe;  ///< `git describe --always --dirty` at configure
+  const char* compiler;      ///< "GNU 13.2.0", "Clang 17.0.6", ...
+  const char* build_type;    ///< CMAKE_BUILD_TYPE
+};
+
+[[nodiscard]] BuildInfo build_info() noexcept;
+
+/// "git=<d> compiler=<c> build=<t>" — for snapshot.info and logs.
+[[nodiscard]] std::string build_info_string();
+
+/// Register the conventional `eum_build_info` gauge (value always 1, the
+/// build facts ride in labels — the Prometheus "info metric" idiom).
+/// `extra` labels let the binary attach its runtime shape (batch size,
+/// cache slots, worker count). Idempotent per (registry, labels).
+Gauge& register_build_info(MetricsRegistry& registry, Labels extra = {});
+
+}  // namespace eum::obs

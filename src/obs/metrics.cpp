@@ -19,6 +19,30 @@ bool valid_metric_name(std::string_view name) {
   return std::all_of(name.begin() + 1, name.end(), [&](char c) { return word(c, false); });
 }
 
+/// Prometheus text-exposition escaping: `\` -> `\\` and line feed ->
+/// `\n` everywhere the spec escapes (HELP text and label values); label
+/// values are double-quoted and additionally escape `"` -> `\"`. The
+/// HELP line is unquoted, so quotes there stay raw per the spec.
+std::string prometheus_escape(std::string_view text, bool label_value) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"':
+        if (label_value) {
+          out += "\\\"";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// `{key="value",...}` with the Prometheus escapes, or "" for no labels.
 std::string render_labels(const Labels& labels) {
   if (labels.empty()) return {};
@@ -27,14 +51,7 @@ std::string render_labels(const Labels& labels) {
     if (i != 0) out += ',';
     out += labels[i].first;
     out += "=\"";
-    for (const char c : labels[i].second) {
-      if (c == '\\' || c == '"') out += '\\';
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out += c;
-    }
+    out += prometheus_escape(labels[i].second, /*label_value=*/true);
     out += '"';
   }
   out += '}';
@@ -238,7 +255,12 @@ std::string render_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   const auto header = [&out](const std::string& name, const std::string& help,
                              const char* type) {
-    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    // HELP text carries operator prose: escape it per the exposition
+    // format spec (backslash and line feed) so a multi-line or
+    // backslashed help string cannot corrupt the line protocol.
+    if (!help.empty()) {
+      out += "# HELP " + name + " " + prometheus_escape(help, /*label_value=*/false) + "\n";
+    }
     out += "# TYPE " + name + " " + type + "\n";
   };
 

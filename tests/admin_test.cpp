@@ -1,0 +1,237 @@
+// Operator introspection channel: command dispatch (socketless) and the
+// localhost TCP line protocol end to end.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ndjson_check.h"
+#include "obs/admin.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace eum::obs {
+namespace {
+
+// ---------- dispatch() (no sockets involved) ----------
+
+TEST(AdminServerTest, UnknownCommandIsAnErrorLine) {
+  AdminServer admin{AdminServerConfig{}};
+  const std::string response = admin.dispatch("no_such_command");
+  EXPECT_EQ(response.rfind("ERROR:", 0), 0U) << response;
+  EXPECT_NE(response.find("no_such_command"), std::string::npos);
+  EXPECT_EQ(admin.dispatch(""), "");       // blank lines are ignored
+  EXPECT_EQ(admin.dispatch("   \r"), "");  // so is whitespace + CR
+}
+
+TEST(AdminServerTest, HelpListsRegisteredCommands) {
+  AdminServer admin{AdminServerConfig{}};
+  admin.register_command("health", "one-line liveness summary",
+                         [](const std::vector<std::string>&) { return "ok"; });
+  const std::string help = admin.dispatch("help");
+  EXPECT_NE(help.find("help"), std::string::npos);
+  EXPECT_NE(help.find("stats"), std::string::npos);
+  EXPECT_NE(help.find("metrics"), std::string::npos);
+  EXPECT_NE(help.find("traces"), std::string::npos);
+  EXPECT_NE(help.find("health"), std::string::npos);
+  EXPECT_NE(help.find("one-line liveness summary"), std::string::npos);
+}
+
+TEST(AdminServerTest, StatsAndMetricsRenderTheRegistry) {
+  MetricsRegistry registry;
+  registry.counter("eum_admin_test_total", "test counter").add(7);
+  AdminServerConfig config;
+  config.registry = &registry;
+  AdminServer admin{config};
+  EXPECT_NE(admin.dispatch("stats").find("eum_admin_test_total"), std::string::npos);
+  const std::string metrics = admin.dispatch("metrics");
+  EXPECT_NE(metrics.find("# TYPE eum_admin_test_total counter"), std::string::npos);
+  EXPECT_NE(metrics.find("eum_admin_test_total 7"), std::string::npos);
+
+  // Without a registry both degrade gracefully instead of crashing.
+  AdminServer bare{AdminServerConfig{}};
+  EXPECT_NE(bare.dispatch("stats").find("no metrics registry"), std::string::npos);
+  EXPECT_NE(bare.dispatch("metrics").find("no metrics registry"), std::string::npos);
+}
+
+TEST(AdminServerTest, TracesDrainsRecorderAsNdjson) {
+  FlightRecorderConfig trace_config;
+  trace_config.sample_every = 1;
+  trace_config.fixed_slow_threshold_us = 0xFFFFFFFEU;
+  FlightRecorder recorder{trace_config};
+  QueryTracer tracer{&recorder, 0};
+  for (int i = 0; i < 3; ++i) {
+    tracer.begin();
+    tracer.set_qname_text("q" + std::to_string(i) + ".example");
+    tracer.finish();
+  }
+
+  AdminServerConfig config;
+  config.recorder = &recorder;
+  AdminServer admin{config};
+  const std::string response = admin.dispatch("traces");
+  int records = 0;
+  bool saw_summary = false;
+  std::size_t start = 0;
+  while (start < response.size()) {
+    std::size_t end = response.find('\n', start);
+    if (end == std::string::npos) end = response.size();
+    const std::string line = response.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      saw_summary = true;
+      EXPECT_NE(line.find("committed=3"), std::string::npos) << line;
+      EXPECT_NE(line.find("anomalies_retained=0"), std::string::npos) << line;
+      continue;
+    }
+    ++records;
+    EXPECT_TRUE(test::parse_ndjson_line(line).has_value()) << line;
+  }
+  EXPECT_EQ(records, 3);
+  EXPECT_TRUE(saw_summary);
+  // The drain consumed the ring; a bounded drain of fresh records works.
+  tracer.begin();
+  tracer.finish();
+  EXPECT_NE(admin.dispatch("traces 1").find("\"seq\""), std::string::npos);
+  // Bad count -> ERROR, not a crash or a silent default.
+  EXPECT_EQ(admin.dispatch("traces bogus").rfind("ERROR:", 0), 0U);
+  AdminServer bare{AdminServerConfig{}};
+  EXPECT_NE(bare.dispatch("traces").find("no flight recorder"), std::string::npos);
+}
+
+TEST(AdminServerTest, ThrowingHandlerBecomesErrorLine) {
+  AdminServer admin{AdminServerConfig{}};
+  admin.register_command("fail", "always throws", [](const std::vector<std::string>&) -> std::string {
+    throw std::runtime_error{"expected failure"};
+  });
+  admin.register_command("args", "echoes arg count",
+                         [](const std::vector<std::string>& args) {
+                           return std::to_string(args.size());
+                         });
+  EXPECT_EQ(admin.dispatch("fail"), "ERROR: expected failure\n");
+  // Arguments are split on blanks; the command name is args[0].
+  EXPECT_EQ(admin.dispatch("args one  two\tthree\r\n"), "4\n");
+}
+
+TEST(AdminServerTest, BuildInfoGaugeCarriesProvenanceLabels) {
+  MetricsRegistry registry;
+  Gauge& gauge = register_build_info(registry, {{"workers", "4"}});
+  EXPECT_EQ(gauge.value(), 1);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# TYPE eum_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("git="), std::string::npos);
+  EXPECT_NE(text.find("compiler="), std::string::npos);
+  EXPECT_NE(text.find("build_type="), std::string::npos);
+  EXPECT_NE(text.find("workers=\"4\""), std::string::npos);
+  // The human-readable form feeds snapshot.info.
+  const std::string info = build_info_string();
+  EXPECT_NE(info.find("git="), std::string::npos);
+  EXPECT_NE(info.find("compiler="), std::string::npos);
+}
+
+// ---------- TCP line protocol ----------
+
+/// Minimal blocking client for the admin line protocol.
+class AdminClient {
+ public:
+  explicit AdminClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~AdminClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  void send_line(const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  /// Read until the END terminator; returns the body without it.
+  [[nodiscard]] std::string read_response() {
+    std::string buffer;
+    char chunk[1024];
+    while (buffer.find("END\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t end = buffer.find("END\n");
+    return end == std::string::npos ? buffer : buffer.substr(0, end);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(AdminServerTest, TcpRoundTripServesCommandsUntilQuit) {
+  MetricsRegistry registry;
+  registry.counter("eum_tcp_test_total", "round-trip counter").add(11);
+  AdminServerConfig config;
+  config.port = 0;  // ephemeral
+  config.registry = &registry;
+  config.poll_interval = std::chrono::milliseconds{10};
+  AdminServer admin{config};
+  admin.register_command("health", "liveness",
+                         [](const std::vector<std::string>&) { return "serving"; });
+  admin.start();
+  ASSERT_NE(admin.port(), 0);
+
+  AdminClient client{admin.port()};
+  ASSERT_TRUE(client.connected());
+  client.send_line("health");
+  EXPECT_EQ(client.read_response(), "serving\n");
+  // Several commands over ONE connection (the session is line-oriented).
+  client.send_line("stats");
+  EXPECT_NE(client.read_response().find("eum_tcp_test_total"), std::string::npos);
+  client.send_line("nope");
+  EXPECT_EQ(client.read_response().rfind("ERROR:", 0), 0U);
+  client.send_line("quit");
+
+  // After quit the server accepts the NEXT connection.
+  AdminClient second{admin.port()};
+  ASSERT_TRUE(second.connected());
+  second.send_line("health");
+  EXPECT_EQ(second.read_response(), "serving\n");
+  admin.stop();
+  EXPECT_EQ(admin.port(), 0);
+}
+
+TEST(AdminServerTest, StopWithoutStartIsSafeAndStartIsIdempotent) {
+  AdminServer admin{AdminServerConfig{}};
+  admin.stop();  // never started: no-op
+  AdminServerConfig config;
+  config.poll_interval = std::chrono::milliseconds{10};
+  AdminServer live{config};
+  live.start();
+  const std::uint16_t port = live.port();
+  EXPECT_NE(port, 0);
+  live.start();  // no-op
+  EXPECT_EQ(live.port(), port);
+  live.stop();
+  live.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace eum::obs

@@ -272,6 +272,37 @@ TEST(MetricsRegistry, PrometheusExposition) {
   EXPECT_NE(text.find("eum_lat_us_sum 10"), std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusEscapesLabelValuesAndHelp) {
+  // Prometheus exposition format: label values escape backslash, double
+  // quote and newline; HELP text escapes backslash and newline (it is
+  // never quoted, so quotes pass through). The renderer used to emit
+  // HELP raw, so a newline in help text forged extra exposition lines.
+  MetricsRegistry registry;
+  registry
+      .counter("eum_escape_total", "help with \\ backslash\nand a second line",
+               {{"path", "C:\\dir\"q\"\nend"}})
+      .add(1);
+  const std::string text = registry.prometheus();
+  // Label value: C:\dir"q"<LF>end -> C:\\dir\"q\"\nend (all escaped).
+  EXPECT_NE(text.find("path=\"C:\\\\dir\\\"q\\\"\\nend\""), std::string::npos) << text;
+  // HELP: backslash doubled, newline escaped, on ONE line.
+  EXPECT_NE(text.find(
+                "# HELP eum_escape_total help with \\\\ backslash\\nand a second line\n"),
+            std::string::npos)
+      << text;
+  // No raw newline leaked mid-line: every line starts with '#', a metric
+  // name, or is empty — the forged-line attack surface.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line{text.data() + start, end - start};
+    start = end + 1;
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.rfind("eum_", 0) == 0) << line;
+  }
+}
+
 TEST(MetricsRegistry, PrometheusCumulativeBucketsMonotone) {
   MetricsRegistry registry;
   LatencyHistogram& histogram = registry.histogram("eum_lat_us");

@@ -1,0 +1,434 @@
+// Query flight recorder: the Vyukov trace rings, the per-worker
+// QueryTracer scratch, the anomaly-retention guarantee, and the NDJSON
+// exposition. TraceConcurrency and TraceRetention run under TSan via
+// scripts/tsan_check.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dnsserver/udp.h"
+#include "ndjson_check.h"
+#include "obs/trace.h"
+
+namespace eum::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Recorder whose slow threshold is pinned high: latency can never make
+/// a test query anomalous by accident.
+FlightRecorderConfig quiet_config() {
+  FlightRecorderConfig config;
+  config.sample_every = 1;
+  config.fixed_slow_threshold_us = 0xFFFFFFFEU;
+  return config;
+}
+
+TraceRecord make_record(std::uint32_t anomalies = 0, std::uint8_t sampled = 1) {
+  TraceRecord record;
+  record.ts_us = 1722945600000000;
+  record.worker = 3;
+  record.latency_us = 42;
+  record.anomalies = anomalies;
+  record.sampled = sampled;
+  record.client_v4 = (192U << 24) | (0U << 16) | (2U << 8) | 53U;
+  const char qname[] = "www.g.cdn.example";
+  std::copy(qname, qname + sizeof(qname), record.qname);
+  record.span_count = 2;
+  record.spans[0].stage = TraceStage::rx;
+  record.spans[0].value = 64;
+  record.spans[1].stage = TraceStage::tx;
+  record.spans[1].value = 128;
+  record.spans[1].set_detail("staged");
+  return record;
+}
+
+// ---------- FlightRecorder: sampling, routing, drain, overwrite ----------
+
+TEST(FlightRecorderTest, SamplerKeepsEveryNth) {
+  FlightRecorderConfig config;
+  config.sample_every = 4;
+  FlightRecorder recorder{config};
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += recorder.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+
+  FlightRecorder every{quiet_config()};  // sample_every = 1
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(every.sample());
+}
+
+TEST(FlightRecorderTest, ThresholdStartsUnreachableAndFixedPinsIt) {
+  FlightRecorder rolling{FlightRecorderConfig{}};
+  // No baseline yet: nothing is "slow".
+  EXPECT_EQ(rolling.slow_threshold_us(), 0xFFFFFFFFU);
+
+  FlightRecorderConfig pinned;
+  pinned.fixed_slow_threshold_us = 500;
+  FlightRecorder fixed{pinned};
+  EXPECT_EQ(fixed.slow_threshold_us(), 500U);
+  // The rolling estimate must not overwrite an operator-pinned value.
+  for (int i = 0; i < 5000; ++i) fixed.observe_latency(10);
+  EXPECT_EQ(fixed.slow_threshold_us(), 500U);
+  EXPECT_EQ(fixed.observed(), 5000U);
+}
+
+TEST(FlightRecorderTest, RollingThresholdTracksObservedLatency) {
+  FlightRecorderConfig config;
+  config.min_slow_us = 1;
+  config.slow_factor = 4.0;
+  FlightRecorder recorder{config};
+  // 100us-ish traffic; after the 1024-observation cadence the threshold
+  // must come down from "unreachable" to a few bucket widths above p99.
+  for (int i = 0; i < 2048; ++i) recorder.observe_latency(100);
+  EXPECT_LT(recorder.slow_threshold_us(), 0xFFFFFFFFU);
+  EXPECT_GE(recorder.slow_threshold_us(), 100U);
+  EXPECT_LE(recorder.slow_threshold_us(), 4096U);  // 4x the 128..256 bucket's upper bound
+}
+
+TEST(FlightRecorderTest, CommitRoutesAnomaliesToTheirOwnRing) {
+  FlightRecorder recorder{quiet_config()};
+  recorder.commit(make_record());
+  recorder.commit(make_record(TraceAnomaly::kServfail));
+  EXPECT_EQ(recorder.committed(), 2U);
+  EXPECT_EQ(recorder.anomalies_retained(), 1U);
+
+  const std::vector<TraceRecord> drained = recorder.drain();
+  ASSERT_EQ(drained.size(), 2U);
+  // Drain is ordered by the global commit sequence the recorder stamped.
+  EXPECT_LT(drained[0].seq, drained[1].seq);
+  EXPECT_EQ(drained[0].anomalies, 0U);
+  EXPECT_EQ(drained[1].anomalies, TraceAnomaly::kServfail);
+  EXPECT_TRUE(recorder.drain().empty());
+}
+
+TEST(FlightRecorderTest, HealthyFloodCannotEvictAnomalies) {
+  FlightRecorderConfig config = quiet_config();
+  config.capacity = 8;
+  FlightRecorder recorder{config};
+  // One anomaly, then far more healthy sampled traffic than the ring
+  // holds: the sampled ring overwrites its own oldest, the anomaly ring
+  // is untouched.
+  recorder.commit(make_record(TraceAnomaly::kException));
+  for (int i = 0; i < 100; ++i) recorder.commit(make_record());
+  EXPECT_EQ(recorder.overwritten(), 100U - 8U);
+
+  const std::vector<TraceRecord> drained = recorder.drain();
+  const auto anomalous =
+      std::count_if(drained.begin(), drained.end(),
+                    [](const TraceRecord& r) { return r.anomalies != 0; });
+  EXPECT_EQ(anomalous, 1);
+  EXPECT_EQ(drained.size(), 8U + 1U);  // full sampled ring + the retained anomaly
+}
+
+TEST(FlightRecorderTest, DrainHonoursMax) {
+  FlightRecorder recorder{quiet_config()};
+  for (int i = 0; i < 10; ++i) recorder.commit(make_record());
+  EXPECT_EQ(recorder.drain(3).size(), 3U);
+  EXPECT_EQ(recorder.drain().size(), 7U);
+}
+
+TEST(FlightRecorderTest, AnomalyNamesRenderAsPipeList) {
+  EXPECT_EQ(anomaly_names(0), "");
+  EXPECT_EQ(anomaly_names(TraceAnomaly::kSlow), "slow");
+  EXPECT_EQ(anomaly_names(TraceAnomaly::kSlow | TraceAnomaly::kServfail), "slow|servfail");
+  EXPECT_EQ(anomaly_names(TraceAnomaly::kStale | TraceAnomaly::kException |
+                          TraceAnomaly::kSendError),
+            "stale|exception|send_error");
+}
+
+// ---------- NDJSON exposition ----------
+
+TEST(FlightRecorderTest, NdjsonIsFlatAndComplete) {
+  const std::string line = FlightRecorder::to_ndjson(make_record(TraceAnomaly::kSlow));
+  const auto fields = test::parse_ndjson_line(line);
+  ASSERT_TRUE(fields.has_value()) << line;
+  EXPECT_EQ(fields->at("ts_us"), "1722945600000000");
+  EXPECT_EQ(fields->at("worker"), "3");
+  EXPECT_EQ(fields->at("client"), "192.0.2.53");
+  EXPECT_EQ(fields->at("qname"), "www.g.cdn.example");
+  EXPECT_EQ(fields->at("latency_us"), "42");
+  EXPECT_EQ(fields->at("sampled"), "1");
+  EXPECT_EQ(fields->at("anomalies"), "slow");
+  // Spans fold into ONE string field so the schema stays flat.
+  EXPECT_NE(fields->at("spans").find("rx[code=0 value=64]"), std::string::npos);
+  EXPECT_NE(fields->at("spans").find("tx[code=0 value=128 staged]"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, NdjsonEscapesHostileDetailText) {
+  TraceRecord record = make_record();
+  record.span_count = 1;
+  record.spans[0].set_detail("quote\" back\\slash");
+  const char qname[] = "we\"ird\\name.example";
+  std::copy(qname, qname + sizeof(qname), record.qname);
+  const std::string line = FlightRecorder::to_ndjson(record);
+  const auto fields = test::parse_ndjson_line(line);
+  ASSERT_TRUE(fields.has_value()) << line;
+  EXPECT_EQ(fields->at("qname"), "we\"ird\\name.example");
+  EXPECT_NE(fields->at("spans").find("quote\" back\\slash"), std::string::npos);
+}
+
+// ---------- QueryTracer ----------
+
+TEST(QueryTracerTest, UnsampledHealthyQueryCommitsNothing) {
+  FlightRecorderConfig config = quiet_config();
+  config.sample_every = 1U << 30;  // only the very first query samples
+  FlightRecorder recorder{config};
+  QueryTracer tracer{&recorder, 0};
+  tracer.begin();  // sampler pick #1: sampled
+  tracer.finish();
+  tracer.begin();  // unsampled, healthy
+  (void)tracer.span(TraceStage::rx);
+  tracer.finish();
+  EXPECT_EQ(recorder.committed(), 1U);
+  const std::vector<TraceRecord> drained = recorder.drain();
+  ASSERT_EQ(drained.size(), 1U);
+  EXPECT_EQ(drained[0].sampled, 1U);
+}
+
+TEST(QueryTracerTest, AnomalyCommitsEvenWhenUnsampled) {
+  FlightRecorderConfig config = quiet_config();
+  config.sample_every = 1U << 30;
+  FlightRecorder recorder{config};
+  QueryTracer tracer{&recorder, 7};
+  tracer.begin();
+  tracer.finish();  // burn the sampled first pick
+  tracer.begin();
+  tracer.set_client_v4(0x7F000001U);
+  if (TraceSpan* span = tracer.span(TraceStage::handle)) span->code = 2;
+  tracer.note_anomaly(TraceAnomaly::kServfail);
+  tracer.finish();
+  EXPECT_EQ(recorder.anomalies_retained(), 1U);
+  const std::vector<TraceRecord> drained = recorder.drain();
+  ASSERT_EQ(drained.size(), 2U);
+  const TraceRecord& anomaly = drained.back();
+  EXPECT_EQ(anomaly.sampled, 0U);
+  EXPECT_EQ(anomaly.anomalies, TraceAnomaly::kServfail);
+  EXPECT_EQ(anomaly.worker, 7U);
+  EXPECT_GT(anomaly.ts_us, 0);  // wall clock stamped at commit
+  ASSERT_EQ(anomaly.span_count, 1U);
+  EXPECT_EQ(anomaly.spans[0].stage, TraceStage::handle);
+  EXPECT_EQ(anomaly.spans[0].code, 2);
+}
+
+TEST(QueryTracerTest, SlowThresholdMarksSlowQueries) {
+  FlightRecorderConfig config;
+  config.sample_every = 1U << 30;
+  config.fixed_slow_threshold_us = 1000;
+  FlightRecorder recorder{config};
+  QueryTracer tracer{&recorder, 0};
+  tracer.begin();
+  tracer.finish();  // first (sampled) pick, fast
+  tracer.begin();
+  std::this_thread::sleep_for(5ms);  // well past the 1ms pinned threshold
+  tracer.finish();
+  const std::vector<TraceRecord> drained = recorder.drain();
+  ASSERT_EQ(drained.size(), 2U);
+  EXPECT_EQ(drained[1].anomalies, TraceAnomaly::kSlow);
+  EXPECT_GE(drained[1].latency_us, 1000U);
+  // The fast and slow queries fell into different buckets, so the slow
+  // finish flushed the fast run; the slow observation itself is still
+  // coalesced in the tracer until the worker's batch-end flush.
+  EXPECT_EQ(recorder.observed(), 1U);
+  tracer.flush_observations();
+  EXPECT_EQ(recorder.observed(), 2U);  // every finish feeds the estimate
+}
+
+TEST(QueryTracerTest, FinishIsIdempotent) {
+  FlightRecorder recorder{quiet_config()};
+  QueryTracer tracer{&recorder, 0};
+  tracer.begin();
+  tracer.finish();
+  tracer.finish();  // the worker loop's unconditional finish after a throw
+  EXPECT_EQ(recorder.committed(), 1U);
+  tracer.flush_observations();
+  EXPECT_EQ(recorder.observed(), 1U);  // the double finish observed once
+}
+
+TEST(QueryTracerTest, SpanArrayIsBoundedAndInactiveTracerRefuses) {
+  FlightRecorder recorder{quiet_config()};
+  QueryTracer tracer{&recorder, 0};
+  EXPECT_EQ(tracer.span(TraceStage::rx), nullptr);  // before begin()
+  tracer.begin();
+  for (std::size_t i = 0; i < TraceRecord::kMaxSpans; ++i) {
+    EXPECT_NE(tracer.span(TraceStage::rx), nullptr) << i;
+  }
+  EXPECT_EQ(tracer.span(TraceStage::rx), nullptr);  // full
+  tracer.finish();
+  EXPECT_EQ(tracer.span(TraceStage::rx), nullptr);  // after finish()
+}
+
+TEST(QueryTracerTest, WireQnameDecodesLabelsWithoutAllocation) {
+  FlightRecorder recorder{quiet_config()};
+  QueryTracer tracer{&recorder, 0};
+  tracer.begin();
+  const std::uint8_t labels[] = {3, 'w', 'w', 'w', 1, 'g', 7, 'e',
+                                 'x', 'a', 'm', 'p', 'l', 'e', 0};
+  tracer.set_qname_wire(labels);
+  tracer.finish();
+  const std::vector<TraceRecord> drained = recorder.drain();
+  ASSERT_EQ(drained.size(), 1U);
+  EXPECT_STREQ(drained[0].qname, "www.g.example.");
+}
+
+TEST(QueryTracerTest, TracerScopeInstallsAndRestores) {
+  FlightRecorder recorder{quiet_config()};
+  QueryTracer outer{&recorder, 0};
+  QueryTracer inner{&recorder, 1};
+  EXPECT_EQ(current_tracer(), nullptr);
+  {
+    TracerScope outer_scope{&outer};
+    EXPECT_EQ(current_tracer(), &outer);
+    {
+      TracerScope inner_scope{&inner};
+      EXPECT_EQ(current_tracer(), &inner);
+    }
+    EXPECT_EQ(current_tracer(), &outer);
+  }
+  EXPECT_EQ(current_tracer(), nullptr);
+}
+
+// ---------- Concurrency (TSan-gated) ----------
+
+TEST(TraceConcurrency, WorkersCommitWhileDraining) {
+  // N producer threads, each with its own QueryTracer (the production
+  // ownership model), share one recorder while the main thread drains
+  // concurrently — the admin channel's `traces` against live workers.
+  FlightRecorderConfig config;
+  config.capacity = 1 << 12;
+  config.sample_every = 1;
+  config.fixed_slow_threshold_us = 0xFFFFFFFEU;
+  FlightRecorder recorder{config};
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&recorder, &go, t] {
+      QueryTracer tracer{&recorder, static_cast<std::uint32_t>(t)};
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.begin();
+        tracer.set_client_v4(0x0A000000U + static_cast<std::uint32_t>(i));
+        if (TraceSpan* span = tracer.span(TraceStage::rx)) span->value = i;
+        if (i % 16 == 0) tracer.note_anomaly(TraceAnomaly::kServfail);
+        tracer.finish();
+      }
+    });
+  }
+
+  std::vector<TraceRecord> drained;
+  go.store(true, std::memory_order_release);
+  while (recorder.committed() < static_cast<std::uint64_t>(kThreads) * kPerThread) {
+    for (const TraceRecord& record : recorder.drain(64)) drained.push_back(record);
+    std::this_thread::yield();
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const TraceRecord& record : recorder.drain()) drained.push_back(record);
+
+  EXPECT_EQ(recorder.committed(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.anomalies_retained(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread / 16));
+  // Overwrites are possible mid-race; everything NOT overwritten drained
+  // exactly once, with distinct sequence numbers and valid NDJSON.
+  EXPECT_EQ(drained.size() + recorder.overwritten(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(drained.size());
+  for (const TraceRecord& record : drained) seqs.push_back(record.seq);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end());
+  for (std::size_t i = 0; i < drained.size(); i += 97) {
+    EXPECT_TRUE(test::parse_ndjson_line(FlightRecorder::to_ndjson(drained[i])).has_value());
+  }
+}
+
+// ---------- End-to-end retention over real UDP (TSan-gated) ----------
+
+TEST(TraceRetention, EveryInjectedAnomalyIsRetained) {
+  // The acceptance gate: sampling set so low that healthy traffic is
+  // (almost) never traced, yet 100% of the injected anomalies — worker
+  // exceptions and slow queries — must come out of the recorder.
+  using namespace dnsserver;
+  constexpr int kBoom = 12;
+  constexpr int kSlow = 12;
+  constexpr int kHealthy = 30;
+
+  AuthoritativeServer engine;
+  engine.add_dynamic_domain(
+      dns::DnsName::from_text("g.cdn.example"),
+      [](const DynamicQuery& query) -> std::optional<DynamicAnswer> {
+        const std::string qname = query.qname.to_string();
+        if (qname.rfind("boom", 0) == 0) throw std::runtime_error{"injected fault"};
+        // Far above the pinned threshold, with margin for sanitizer
+        // builds where even a healthy query costs a few milliseconds.
+        if (qname.rfind("slow", 0) == 0) std::this_thread::sleep_for(60ms);
+        DynamicAnswer answer;
+        answer.ttl = 20;
+        answer.addresses = {net::IpAddr{net::IpV4Addr{203, 0, 113, 1}}};
+        return answer;
+      });
+
+  FlightRecorderConfig trace_config;
+  trace_config.sample_every = 1U << 30;  // sampling alone keeps ~nothing
+  trace_config.fixed_slow_threshold_us = 25000;
+  FlightRecorder recorder{trace_config};
+
+  UdpServerConfig config;
+  config.workers = 2;
+  config.recorder = &recorder;
+  UdpAuthorityServer server{&engine, UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}, config};
+  server.start();
+
+  UdpDnsClient client;
+  std::uint16_t id = 0;
+  const auto ask = [&](const std::string& qname, std::chrono::milliseconds timeout) {
+    return client.query(
+        dns::Message::make_query(++id, dns::DnsName::from_text(qname), dns::RecordType::A),
+        server.endpoint(), timeout);
+  };
+  for (int i = 0; i < kHealthy; ++i) {
+    EXPECT_TRUE(ask("h" + std::to_string(i) + ".g.cdn.example", 2000ms).has_value());
+  }
+  for (int i = 0; i < kSlow; ++i) {
+    EXPECT_TRUE(ask("slow" + std::to_string(i) + ".g.cdn.example", 2000ms).has_value());
+  }
+  for (int i = 0; i < kBoom; ++i) {
+    // The worker barrier eats the throw; no response comes back.
+    EXPECT_FALSE(ask("boom" + std::to_string(i) + ".g.cdn.example", 50ms).has_value());
+  }
+  server.stop();
+
+  const std::vector<TraceRecord> drained = recorder.drain();
+  int exceptions = 0;
+  int slow = 0;
+  int sampled_healthy = 0;
+  for (const TraceRecord& record : drained) {
+    if ((record.anomalies & TraceAnomaly::kException) != 0) ++exceptions;
+    if ((record.anomalies & TraceAnomaly::kSlow) != 0 &&
+        std::string_view{record.qname}.rfind("slow", 0) == 0) {
+      ++slow;
+    }
+    if (record.anomalies == 0) ++sampled_healthy;
+    EXPECT_TRUE(test::parse_ndjson_line(FlightRecorder::to_ndjson(record)).has_value());
+  }
+  // 100% retention of both anomaly families...
+  EXPECT_EQ(exceptions, kBoom);
+  EXPECT_EQ(slow, kSlow);
+  EXPECT_EQ(recorder.anomalies_retained(), static_cast<std::uint64_t>(exceptions + slow));
+  // ...while healthy traffic was sampled down to (at most) the first pick
+  // of the shared sampler.
+  EXPECT_LE(sampled_healthy, 1);
+  EXPECT_EQ(recorder.observed(),
+            static_cast<std::uint64_t>(kBoom + kSlow + kHealthy));
+}
+
+}  // namespace
+}  // namespace eum::obs
