@@ -18,6 +18,7 @@
 #include "sim/rollout.h"
 #include "stats/table.h"
 #include "topo/world_gen.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace eum::bench {
@@ -49,6 +50,28 @@ inline const topo::LatencyModel& default_latency() {
                                         default_world_config().seed};
   return model;
 }
+
+/// Seeded per-client block sampler for bench client loops: Zipf(s)
+/// popularity over a world's client blocks, so the query mix is
+/// hot-block-skewed like real traffic instead of a uniform stride.
+/// Client `index` forks its own util::Rng stream off the shared seed —
+/// threads never share state, and every run replays exactly. Benches
+/// draw from this instead of ad-hoc `(c * prime + i) % n` arithmetic.
+class BlockSampler {
+ public:
+  BlockSampler(const topo::World& world, std::uint64_t seed, std::uint64_t index,
+               double zipf_s = 1.0)
+      : rng_(util::Rng{seed}.fork(index)),
+        zipf_(world.blocks.size(), zipf_s),
+        world_(&world) {}
+
+  const topo::ClientBlock& next() { return world_->blocks[zipf_.sample(rng_) - 1]; }
+
+ private:
+  util::Rng rng_;
+  util::ZipfSampler zipf_;
+  const topo::World* world_;
+};
 
 /// Print the standard bench banner.
 inline void banner(const char* figure, const char* paper_summary) {

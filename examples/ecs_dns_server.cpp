@@ -271,12 +271,13 @@ int main(int argc, char** argv) {
       "health", "one-line liveness summary",
       [&server, &maker](const std::vector<std::string>&) {
         const dnsserver::UdpServerStats stats = server.stats();
-        char line[160];
+        char line[192];
         std::snprintf(line, sizeof line,
-                      "ok queries=%llu send_errors=%llu worker_exceptions=%llu "
-                      "map_version=%llu",
+                      "ok queries=%llu send_errors=%llu kernel_drops=%llu "
+                      "worker_exceptions=%llu map_version=%llu",
                       static_cast<unsigned long long>(stats.queries),
                       static_cast<unsigned long long>(stats.send_errors),
+                      static_cast<unsigned long long>(stats.kernel_drops),
                       static_cast<unsigned long long>(stats.worker_exceptions),
                       static_cast<unsigned long long>(maker.version()));
         return std::string{line};

@@ -2,8 +2,9 @@
 # One-command verification, in gate order:
 #   1. invariant lint   — scripts/lint_invariants.py (mechanical repo rules)
 #   2. bench artifact   — scripts/check_bench_artifact.py (the committed
-#                         BENCH_udp_throughput.json parses and reports an
-#                         answer-cache hit ratio)
+#                         BENCH_udp_throughput.json and BENCH_loadgen.json
+#                         satisfy their schemas: closed-loop labeling,
+#                         open-loop curve shape + SLO gate)
 #   3. tier-1           — configure + build + ctest (includes the fuzz
 #                         corpus replays and the linter self-test)
 #   4. clang-tidy       — incremental, files changed vs origin/main

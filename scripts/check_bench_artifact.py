@@ -1,25 +1,41 @@
 #!/usr/bin/env python3
-"""Sanity-check the committed BENCH_udp_throughput.json artifact.
+"""Sanity-check the committed BENCH_*.json perf artifacts.
 
-The bench binary regenerates this file on every run; CI (scripts/check.sh)
-gates on the committed copy staying well-formed so a hand edit, a merge
-scar, or a bench writer bug cannot silently ship a broken perf record.
+The bench binaries regenerate these files on every run; CI
+(scripts/check.sh and the lint job) gates on the committed copies
+staying well-formed so a hand edit, a merge scar, or a bench writer bug
+cannot silently ship a broken perf record. Each artifact self-identifies
+via its top-level "bench" field and is checked against the matching
+schema below.
 
-Checks
-------
-- the file parses as JSON;
-- "configs" is a non-empty list and every entry carries workers/qps;
+udp_throughput (closed-loop, BENCH_udp_throughput.json)
+-------------------------------------------------------
+- "closed_loop" is true — the artifact must label its rates as
+  wait-for-the-answer measurements (subject to coordinated omission);
+- "configs" is a non-empty list and every entry carries
+  workers/attempted/answered/achieved_qps with answered <= attempted;
 - "answer_cache" exists with a numeric "hit_ratio" in [0, 1], a "runs"
   list covering both cache-off and cache-on rows, and positive
   best_cache_on_qps / best_cache_off_qps / speedup_vs_seed numbers;
 - "tracing" reports the flight-recorder overhead arm: sampling actually
   on (sample_every >= 2), both p99s positive, at least one trace record
-  committed, and p99_ratio (traced / untraced) at most 1.05 — the
-  "tracing at 1-in-64 costs <= 5% p99" budget is a hard gate;
+  committed, and p99_ratio (traced / untraced) at most 1.05;
 - "churn" reports both phases.
 
-Usage: check_bench_artifact.py [path]   (default BENCH_udp_throughput.json
-                                         next to the repo root)
+loadgen (open-loop, BENCH_loadgen.json)
+---------------------------------------
+- "open_loop" is true and "slo_p999_us" is positive;
+- "curve" has >= 5 points with strictly increasing offered_qps, each
+  carrying achieved_qps, sent/received/dropped counts, a drop_rate in
+  [0, 1], and ordered percentiles p50 <= p99 <= p999;
+- "max_qps_under_slo" >= 1 — the serving stack must hold the SLO at at
+  least one measured point (the PR's latency-under-load gate);
+- "kernel_drops" is present (SO_RXQ_OVFL receive-queue overflow total);
+- "open_vs_closed" reports the coordinated-omission comparison arm:
+  matched_qps and both p999s positive, delta and ratio present.
+
+Usage: check_bench_artifact.py [path...]
+       (no args: both committed artifacts next to the repo root)
 Exit codes: 0 OK, 1 malformed artifact, 2 usage/IO error.
 """
 
@@ -37,31 +53,21 @@ def problem(message: str) -> None:
 
 
 def require_number(obj: dict, key: str, where: str, lo: float | None = None,
-                   hi: float | None = None) -> None:
+                   hi: float | None = None) -> float | None:
     value = obj.get(key)
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         problem(f"{where}.{key} is not a number (got {value!r})")
-        return
+        return None
     if lo is not None and value < lo:
         problem(f"{where}.{key} = {value} below {lo}")
     if hi is not None and value > hi:
         problem(f"{where}.{key} = {value} above {hi}")
+    return float(value)
 
 
-def main() -> int:
-    root = Path(__file__).resolve().parent.parent
-    path = Path(sys.argv[1]) if len(sys.argv) > 1 else root / "BENCH_udp_throughput.json"
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as error:
-        print(f"check_bench_artifact: cannot read {path}: {error}", file=sys.stderr)
-        return 2
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as error:
-        print(f"check_bench_artifact: {path.name} is not valid JSON: {error}",
-              file=sys.stderr)
-        return 1
+def check_udp_throughput(doc: dict) -> None:
+    if doc.get("closed_loop") is not True:
+        problem("closed_loop must be true (this bench's clients wait for answers)")
 
     configs = doc.get("configs")
     if not isinstance(configs, list) or not configs:
@@ -72,7 +78,11 @@ def main() -> int:
                 problem(f"configs[{i}] is not an object")
                 continue
             require_number(config, "workers", f"configs[{i}]", lo=1)
-            require_number(config, "qps", f"configs[{i}]", lo=0)
+            attempted = require_number(config, "attempted", f"configs[{i}]", lo=1)
+            answered = require_number(config, "answered", f"configs[{i}]", lo=0)
+            require_number(config, "achieved_qps", f"configs[{i}]", lo=0)
+            if attempted is not None and answered is not None and answered > attempted:
+                problem(f"configs[{i}]: answered {answered} exceeds attempted {attempted}")
 
     cache = doc.get("answer_cache")
     if not isinstance(cache, dict):
@@ -105,8 +115,9 @@ def main() -> int:
         require_number(tracing, "untraced_p99_us", "tracing", lo=0.001)
         require_number(tracing, "traced_p99_us", "tracing", lo=0.001)
         require_number(tracing, "committed", "tracing", lo=1)
-        # The PR's overhead budget: sampled tracing may cost at most 5%
-        # of fast-path p99. A ratio of 0 means the bench never measured.
+        # The tracing PR's overhead budget: sampled tracing may cost at
+        # most 5% of fast-path p99. A ratio of 0 means the bench never
+        # measured.
         require_number(tracing, "p99_ratio", "tracing", lo=0.001, hi=1.05)
 
     churn = doc.get("churn")
@@ -117,13 +128,107 @@ def main() -> int:
             if not isinstance(churn.get(phase), dict):
                 problem(f"churn.{phase} phase is missing")
 
+
+def check_loadgen(doc: dict) -> None:
+    if doc.get("open_loop") is not True:
+        problem("open_loop must be true (latency is charged from scheduled send time)")
+    require_number(doc, "slo_p999_us", "$", lo=1)
+
+    curve = doc.get("curve")
+    if not isinstance(curve, list) or len(curve) < 5:
+        got = len(curve) if isinstance(curve, list) else curve
+        problem(f"curve must be a list of >= 5 offered-QPS points (got {got!r})")
+        curve = []
+    previous_offered = 0.0
+    for i, point in enumerate(curve):
+        where = f"curve[{i}]"
+        if not isinstance(point, dict):
+            problem(f"{where} is not an object")
+            continue
+        offered = require_number(point, "offered_qps", where, lo=1)
+        require_number(point, "achieved_qps", where, lo=0)
+        require_number(point, "sent", where, lo=1)
+        require_number(point, "received", where, lo=0)
+        require_number(point, "dropped", where, lo=0)
+        require_number(point, "drop_rate", where, lo=0.0, hi=1.0)
+        p50 = require_number(point, "p50_us", where, lo=0)
+        p99 = require_number(point, "p99_us", where, lo=0)
+        p999 = require_number(point, "p999_us", where, lo=0)
+        if None not in (p50, p99, p999) and not p50 <= p99 <= p999:
+            problem(f"{where}: percentiles out of order (p50 {p50}, p99 {p99}, "
+                    f"p999 {p999})")
+        if not isinstance(point.get("meets_slo"), bool):
+            problem(f"{where}.meets_slo is not a bool")
+        if offered is not None:
+            if offered <= previous_offered:
+                problem(f"{where}.offered_qps {offered} does not increase over "
+                        f"{previous_offered} — the sweep must be strictly increasing")
+            previous_offered = offered
+
+    # The latency-under-load gate: some measured point held the SLO.
+    require_number(doc, "max_qps_under_slo", "$", lo=1)
+    require_number(doc, "kernel_drops", "$", lo=0)
+
+    arm = doc.get("open_vs_closed")
+    if not isinstance(arm, dict):
+        problem("open_vs_closed comparison arm is missing")
+    else:
+        require_number(arm, "matched_qps", "open_vs_closed", lo=1)
+        require_number(arm, "closed_loop_p999_us", "open_vs_closed", lo=0.001)
+        require_number(arm, "open_loop_p999_us", "open_vs_closed", lo=0.001)
+        require_number(arm, "p999_delta_us", "open_vs_closed")
+        require_number(arm, "p999_ratio", "open_vs_closed", lo=0.001)
+
+
+CHECKERS = {
+    "udp_throughput": check_udp_throughput,
+    "loadgen": check_loadgen,
+}
+
+
+def check_file(path: Path) -> int:
+    """Returns 0 OK, 1 malformed, 2 IO error; appends to PROBLEMS."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"check_bench_artifact: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"check_bench_artifact: {path.name} is not valid JSON: {error}",
+              file=sys.stderr)
+        return 1
+
+    bench = doc.get("bench")
+    checker = CHECKERS.get(bench)
+    if checker is None:
+        problem(f"unknown bench kind {bench!r} (expected one of "
+                f"{sorted(CHECKERS)})")
+    else:
+        checker(doc)
+
     if PROBLEMS:
         for entry in PROBLEMS:
             print(f"check_bench_artifact: {path.name}: {entry}")
-        print(f"check_bench_artifact: {len(PROBLEMS)} problem(s)", file=sys.stderr)
+        print(f"check_bench_artifact: {path.name}: {len(PROBLEMS)} problem(s)",
+              file=sys.stderr)
+        PROBLEMS.clear()
         return 1
     print(f"check_bench_artifact: {path.name} OK")
     return 0
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    if len(sys.argv) > 1:
+        paths = [Path(arg) for arg in sys.argv[1:]]
+    else:
+        paths = [root / "BENCH_udp_throughput.json", root / "BENCH_loadgen.json"]
+    status = 0
+    for path in paths:
+        status = max(status, check_file(path))
+    return status
 
 
 if __name__ == "__main__":

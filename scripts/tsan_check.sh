@@ -17,7 +17,7 @@ cmake --build "$BUILD" --target eum_tests udp_throughput -j "$(nproc)"
 # abort_on_error makes any reported race a non-zero exit.
 TSAN_OPTIONS="abort_on_error=1 halt_on_error=1" \
   "$BUILD/tests/eum_tests" \
-  --gtest_filter='ScopedCache.*:UdpConcurrency.*:UdpBatch.*:UdpSendError.*:UdpServerLifecycle.*:UdpAnswerCache.*:AnswerCacheFixture.*:SnapshotRepublishRace.*:UdpTruncation.*:UdpFixture.*:Resolver*.*:Fault*.*:StubClient*.*:EcsCacheInvariant.*:ScopesAndSeeds/*:Metrics*.*:QueryLog*.*:ResetContract.*:RolloutController.*:MapSnapshot.*:MapMaker.*:ControlConcurrency.*:FlightRecorder*.*:QueryTracer*.*:Trace*.*:AdminServer*.*'
+  --gtest_filter='ScopedCache.*:UdpConcurrency.*:UdpBatch.*:UdpSendError.*:UdpServerLifecycle.*:UdpAnswerCache.*:AnswerCacheFixture.*:SnapshotRepublishRace.*:UdpTruncation.*:UdpFixture.*:Resolver*.*:Fault*.*:StubClient*.*:EcsCacheInvariant.*:ScopesAndSeeds/*:Metrics*.*:QueryLog*.*:ResetContract.*:RolloutController.*:MapSnapshot.*:MapMaker.*:ControlConcurrency.*:FlightRecorder*.*:QueryTracer*.*:Trace*.*:AdminServer*.*:UdpSocket.*:OpenLoopSchedule.*:TrafficModel.*:LdnsPopulation.*:StallFixture.*:RunOpenLoop.*:PoissonArrivals.*'
 
 echo "tsan_check: building+running the UDP throughput bench under TSan"
 # The bench exits 1 when its >=2x speedup gate fails — meaningless under

@@ -75,14 +75,30 @@ UdpSocket::~UdpSocket() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {
+  mmsg_unavailable_ = other.mmsg_unavailable_;
+  rxq_drops_.store(other.rxq_drops_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    mmsg_unavailable_ = other.mmsg_unavailable_;
+    rxq_drops_.store(other.rxq_drops_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
   }
   return *this;
+}
+
+bool UdpSocket::enable_rx_drop_counter() noexcept {
+#if defined(__linux__) && defined(SO_RXQ_OVFL)
+  const int one = 1;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof one) == 0;
+#else
+  return false;
+#endif
 }
 
 UdpEndpoint UdpSocket::local_endpoint() const {
@@ -177,6 +193,13 @@ std::size_t UdpSocket::receive_batch(UdpBatch& batch, std::chrono::milliseconds 
     mmsghdr headers[UdpBatch::kMaxCapacity];
     iovec iovecs[UdpBatch::kMaxCapacity];
     sockaddr_in addrs[UdpBatch::kMaxCapacity];
+    // Per-slot ancillary space for the SO_RXQ_OVFL drop counter; union
+    // with a cmsghdr for alignment.
+    union CtrlSlot {
+      cmsghdr align;
+      char buf[CMSG_SPACE(sizeof(std::uint32_t))];
+    };
+    CtrlSlot controls[UdpBatch::kMaxCapacity];
     std::memset(headers, 0, sizeof(mmsghdr) * want);
     for (std::size_t i = 0; i < want; ++i) {
       iovecs[i] = {batch.rx_storage_.get() + i * UdpBatch::kRxBufferSize,
@@ -185,6 +208,8 @@ std::size_t UdpSocket::receive_batch(UdpBatch& batch, std::chrono::milliseconds 
       headers[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
       headers[i].msg_hdr.msg_iov = &iovecs[i];
       headers[i].msg_hdr.msg_iovlen = 1;
+      headers[i].msg_hdr.msg_control = controls[i].buf;
+      headers[i].msg_hdr.msg_controllen = sizeof controls[i].buf;
     }
     int got;
     do {
@@ -195,12 +220,26 @@ std::size_t UdpSocket::receive_batch(UdpBatch& batch, std::chrono::milliseconds 
       if (errno != ENOSYS) throw_errno("recvmmsg");
       mmsg_unavailable_ = true;  // fall through to the single-shot drain
     } else {
+      bool saw_drops = false;
+      std::uint32_t drops = 0;
       for (int i = 0; i < got; ++i) {
         batch.rx_size_[static_cast<std::size_t>(i)] = headers[i].msg_len;
         batch.rx_trunc_[static_cast<std::size_t>(i)] =
             (headers[i].msg_hdr.msg_flags & MSG_TRUNC) != 0 ? 1 : 0;
         batch.rx_peer_[static_cast<std::size_t>(i)] = from_sockaddr(addrs[i]);
+#if defined(SO_RXQ_OVFL)
+        for (cmsghdr* cm = CMSG_FIRSTHDR(&headers[i].msg_hdr); cm != nullptr;
+             cm = CMSG_NXTHDR(&headers[i].msg_hdr, cm)) {
+          if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SO_RXQ_OVFL) {
+            // Cumulative per-socket counter; the last datagram carries
+            // the most recent value.
+            std::memcpy(&drops, CMSG_DATA(cm), sizeof drops);
+            saw_drops = true;
+          }
+        }
+#endif
       }
+      if (saw_drops) rxq_drops_.store(drops, std::memory_order_relaxed);
       batch.received_ = static_cast<std::size_t>(got);
       return batch.received_;
     }
@@ -299,6 +338,7 @@ stats::Table udp_server_stats_table(const UdpServerStats& stats) {
   table.add_row("truncated", stats.truncated);
   table.add_row("wire_errors", stats.wire_errors);
   table.add_row("send_errors", stats.send_errors);
+  table.add_row("kernel_drops", stats.kernel_drops);
   table.add_row("cache_hits", stats.cache_hits);
   table.add_row("cache_misses", stats.cache_misses);
   table.add_row("worker_exceptions", stats.worker_exceptions);
@@ -338,6 +378,9 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
   for (std::size_t w = 1; w < config_.workers; ++w) {
     sockets_.emplace_back(resolved, true);
   }
+  // Best effort: where SO_RXQ_OVFL is unsupported the counter stays 0.
+  for (UdpSocket& socket : sockets_) (void)socket.enable_rx_drop_counter();
+  kernel_drops_seen_.assign(config_.workers, 0);
   worker_metrics_.reserve(config_.workers);
   batches_.reserve(config_.workers);
   if (config_.answer_cache_entries > 0) caches_.reserve(config_.workers);
@@ -352,6 +395,9 @@ UdpAuthorityServer::UdpAuthorityServer(AuthoritativeServer* engine, const UdpEnd
         &registry_->counter("eum_udp_wire_errors_total", "unparseable datagrams", labels);
     metrics.send_errors = &registry_->counter("eum_udp_send_errors_total",
                                               "datagram send failures", labels);
+    metrics.kernel_drops = &registry_->counter(
+        "eum_udp_kernel_drops_total",
+        "datagrams dropped by the kernel receive queue (SO_RXQ_OVFL)", labels);
     metrics.cache_hits = &registry_->counter("eum_udp_cache_hits_total",
                                              "wire answer-cache hits", labels);
     metrics.cache_misses = &registry_->counter(
@@ -422,6 +468,13 @@ bool UdpAuthorityServer::serve_on(UdpSocket& socket, std::size_t worker,
   const auto received_at = std::chrono::steady_clock::now();
   WorkerMetrics& metrics = worker_metrics_[worker];
   rx_batch_size_->record(got);
+  // Export the kernel's cumulative drop counter as a delta; only the
+  // owning worker thread touches its seen-slot.
+  const std::uint64_t kernel_total = socket.kernel_drops();
+  if (kernel_total > kernel_drops_seen_[worker]) {
+    metrics.kernel_drops->add(kernel_total - kernel_drops_seen_[worker]);
+    kernel_drops_seen_[worker] = kernel_total;
+  }
   // One version read per batch: every answer in the batch is served (and
   // cached) under the same map generation. The acquire pairs with the
   // MapMaker's release publish, which stores the snapshot BEFORE the
@@ -596,6 +649,7 @@ UdpServerStats UdpAuthorityServer::stats() const {
   snapshot.per_worker_truncated.resize(worker_metrics_.size());
   snapshot.per_worker_wire_errors.resize(worker_metrics_.size());
   snapshot.per_worker_send_errors.resize(worker_metrics_.size());
+  snapshot.per_worker_kernel_drops.resize(worker_metrics_.size());
   snapshot.per_worker_cache_hits.resize(worker_metrics_.size());
   snapshot.per_worker_cache_misses.resize(worker_metrics_.size());
   for (std::size_t w = 0; w < worker_metrics_.size(); ++w) {
@@ -603,12 +657,14 @@ UdpServerStats UdpAuthorityServer::stats() const {
     snapshot.per_worker_truncated[w] = worker_metrics_[w].truncated->value();
     snapshot.per_worker_wire_errors[w] = worker_metrics_[w].wire_errors->value();
     snapshot.per_worker_send_errors[w] = worker_metrics_[w].send_errors->value();
+    snapshot.per_worker_kernel_drops[w] = worker_metrics_[w].kernel_drops->value();
     snapshot.per_worker_cache_hits[w] = worker_metrics_[w].cache_hits->value();
     snapshot.per_worker_cache_misses[w] = worker_metrics_[w].cache_misses->value();
     snapshot.queries += snapshot.per_worker[w];
     snapshot.truncated += snapshot.per_worker_truncated[w];
     snapshot.wire_errors += snapshot.per_worker_wire_errors[w];
     snapshot.send_errors += snapshot.per_worker_send_errors[w];
+    snapshot.kernel_drops += snapshot.per_worker_kernel_drops[w];
     snapshot.cache_hits += snapshot.per_worker_cache_hits[w];
     snapshot.cache_misses += snapshot.per_worker_cache_misses[w];
     snapshot.worker_exceptions += worker_metrics_[w].worker_exceptions->value();
@@ -622,6 +678,7 @@ void UdpAuthorityServer::reset_stats() {
     metrics.truncated->reset();
     metrics.wire_errors->reset();
     metrics.send_errors->reset();
+    metrics.kernel_drops->reset();
     metrics.cache_hits->reset();
     metrics.cache_misses->reset();
     metrics.worker_exceptions->reset();

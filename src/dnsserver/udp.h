@@ -142,6 +142,21 @@ class UdpSocket {
   /// batch still goes out, and the staged set is cleared either way.
   SendBatchResult send_batch(UdpBatch& batch) noexcept;
 
+  /// Ask the kernel to attach its receive-queue overflow counter to
+  /// incoming datagrams (Linux SO_RXQ_OVFL). Returns false where the
+  /// option is unsupported; kernel_drops() then stays 0. Overload
+  /// analysis needs this to tell kernel drops (queue overflow before the
+  /// server ever saw the query) apart from server-side latency.
+  bool enable_rx_drop_counter() noexcept;
+
+  /// Cumulative datagrams the kernel dropped on this socket's receive
+  /// queue, as of the most recently received batch. Only advances on the
+  /// recvmmsg path (the drop count rides in per-datagram cmsg metadata,
+  /// which the portable recvfrom fallback does not request).
+  [[nodiscard]] std::uint64_t kernel_drops() const noexcept {
+    return rxq_drops_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] int native_handle() const noexcept { return fd_; }
 
  private:
@@ -150,6 +165,9 @@ class UdpSocket {
 
   int fd_ = -1;
   bool mmsg_unavailable_ = false;  ///< runtime ENOSYS fallback latch
+  /// Latest SO_RXQ_OVFL cumulative value seen in receive cmsg metadata.
+  /// Atomic because stats snapshots read it from other threads.
+  std::atomic<std::uint64_t> rxq_drops_{0};
 };
 
 struct UdpServerConfig {
@@ -196,6 +214,7 @@ struct UdpServerStats {
   std::uint64_t truncated = 0;          ///< TC=1 responses sent
   std::uint64_t wire_errors = 0;        ///< unparseable datagrams
   std::uint64_t send_errors = 0;        ///< datagrams the kernel refused to send
+  std::uint64_t kernel_drops = 0;       ///< receive-queue overflow drops (SO_RXQ_OVFL)
   std::uint64_t cache_hits = 0;         ///< answers served from the wire cache
   std::uint64_t cache_misses = 0;       ///< cacheable queries that took the slow path
   std::uint64_t worker_exceptions = 0;  ///< exceptions the worker barrier absorbed
@@ -203,6 +222,7 @@ struct UdpServerStats {
   std::vector<std::uint64_t> per_worker_truncated;   ///< TC=1 per worker
   std::vector<std::uint64_t> per_worker_wire_errors; ///< wire errors per worker
   std::vector<std::uint64_t> per_worker_send_errors; ///< send errors per worker
+  std::vector<std::uint64_t> per_worker_kernel_drops;///< kernel drops per worker
   std::vector<std::uint64_t> per_worker_cache_hits;  ///< cache hits per worker
   std::vector<std::uint64_t> per_worker_cache_misses;///< cache misses per worker
 
@@ -272,6 +292,7 @@ class UdpAuthorityServer {
     obs::Counter* truncated = nullptr;
     obs::Counter* wire_errors = nullptr;
     obs::Counter* send_errors = nullptr;
+    obs::Counter* kernel_drops = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;
     obs::Counter* worker_exceptions = nullptr;
@@ -296,6 +317,9 @@ class UdpAuthorityServer {
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   std::vector<WorkerMetrics> worker_metrics_;
+  /// Last SO_RXQ_OVFL cumulative value already exported per worker; only
+  /// the owning worker thread touches its slot (delta -> counter).
+  std::vector<std::uint64_t> kernel_drops_seen_;
   std::vector<UdpBatch> batches_;       ///< one preallocated arena per worker
   std::vector<AnswerCache> caches_;     ///< empty when the cache is disabled
   /// One trace scratch per worker (empty when no recorder was injected).

@@ -1,0 +1,294 @@
+#include "load/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace eum::load {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// DNS message ids are 16 bits, so a flow can have at most 65536 queries
+/// outstanding distinguishably; the pending table has one slot per id.
+constexpr std::size_t kIdSpace = 65536;
+
+// Slot lifecycle: kEmpty -> kArmed (sender, release) -> kDone (receiver,
+// acq_rel CAS). Re-arming a still-kArmed slot means the id wrapped while
+// its previous query was unanswered; the sender charges that query as
+// dropped and takes the slot over.
+constexpr std::uint32_t kEmpty = 0;
+constexpr std::uint32_t kArmed = 1;
+constexpr std::uint32_t kDone = 2;
+
+struct PendingSlot {
+  std::atomic<std::uint64_t> sched_ns{0};
+  std::atomic<std::uint32_t> state{kEmpty};
+};
+
+struct Flow {
+  explicit Flow(const dnsserver::UdpEndpoint& bind)
+      : socket(bind), pending(std::make_unique<PendingSlot[]>(kIdSpace)) {}
+
+  dnsserver::UdpSocket socket;
+  std::unique_ptr<PendingSlot[]> pending;
+  // Sender-side tallies (written by the sender thread only, read after join).
+  std::uint64_t sent = 0;
+  std::uint64_t send_errors = 0;
+  std::uint64_t overwrites = 0;  ///< id wrapped onto an unanswered query
+  // Receiver-side tallies (written by the receiver thread only).
+  std::uint64_t received = 0;
+  std::uint64_t late = 0;
+  std::uint64_t last_recv_ns = 0;
+};
+
+[[nodiscard]] std::uint64_t since_ns(Clock::time_point start) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+}
+
+/// Sleep coarsely, then spin the final stretch: sleep_until overshoots
+/// by the kernel timer slack (~50us), which at high offered rates would
+/// turn every gap into lag. Past-due targets return immediately.
+void wait_until_offset(Clock::time_point start, std::uint64_t offset_ns) {
+  constexpr std::uint64_t kSpinWindowNs = 60'000;
+  const auto target = start + std::chrono::nanoseconds{offset_ns};
+  const auto coarse = target - std::chrono::nanoseconds{kSpinWindowNs};
+  if (Clock::now() < coarse) std::this_thread::sleep_until(coarse);
+  while (Clock::now() < target) {
+    // spin — bounded by kSpinWindowNs
+  }
+}
+
+}  // namespace
+
+LoadReport run_open_loop(const TrafficModel& model, const std::vector<QuerySpec>& specs,
+                         const OpenLoopSchedule& schedule, const DriverConfig& config) {
+  if (specs.size() != schedule.size()) {
+    throw std::invalid_argument{"run_open_loop: specs and schedule sizes differ"};
+  }
+  const std::size_t n = specs.size();
+  const std::size_t flow_count = std::clamp<std::size_t>(config.flows, 1, 64);
+  const auto timeout_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config.timeout).count());
+
+  // Pre-encode every query once (id patched per send), so the send loop
+  // does no DNS encoding work that could distort the schedule.
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(n);
+  for (const auto& spec : specs) wires.push_back(model.encode(spec, 0));
+
+  std::vector<std::unique_ptr<Flow>> flows;
+  flows.reserve(flow_count);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    flows.push_back(std::make_unique<Flow>(dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}));
+  }
+
+  obs::LatencyHistogram latency{8};
+  obs::LatencyHistogram send_lag{8};
+
+  // Receivers run until the drain deadline, which the main thread sets
+  // once the senders are done (UINT64_MAX = not yet known).
+  std::atomic<std::uint64_t> drain_deadline_ns{~std::uint64_t{0}};
+  // Responses matched so far across all flows; lets the drain finish as
+  // soon as nothing is outstanding instead of sitting out the timeout.
+  std::atomic<std::uint64_t> matched{0};
+
+  // Small start lead so the first scheduled sends are not already late.
+  const auto start = Clock::now() + std::chrono::milliseconds{5};
+
+  std::vector<std::thread> receivers;
+  receivers.reserve(flow_count);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    receivers.emplace_back([&, f] {
+      Flow& flow = *flows[f];
+      dnsserver::UdpBatch batch{32};
+      for (;;) {
+        const std::size_t got = flow.socket.receive_batch(batch, std::chrono::milliseconds{10});
+        for (std::size_t i = 0; i < got; ++i) {
+          const auto datagram = batch.datagram(i);
+          if (datagram.size() < 2) continue;
+          const std::uint16_t id =
+              static_cast<std::uint16_t>((datagram[0] << 8) | datagram[1]);
+          PendingSlot& slot = flow.pending[id];
+          std::uint32_t expected = kArmed;
+          if (!slot.state.compare_exchange_strong(expected, kDone, std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+            continue;  // duplicate, stray, or already-expired claim
+          }
+          const std::uint64_t sched = slot.sched_ns.load(std::memory_order_relaxed);
+          const std::uint64_t now = since_ns(start);
+          flow.received += 1;
+          matched.fetch_add(1, std::memory_order_relaxed);
+          flow.last_recv_ns = std::max(flow.last_recv_ns, now);
+          if (now > sched + timeout_ns) flow.late += 1;
+          // The open-loop charge: from the *scheduled* send instant.
+          latency.record((now - sched) / 1000);
+        }
+        if (since_ns(start) >= drain_deadline_ns.load(std::memory_order_acquire)) break;
+      }
+    });
+  }
+
+  std::vector<std::thread> senders;
+  senders.reserve(flow_count);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    senders.emplace_back([&, f] {
+      Flow& flow = *flows[f];
+      std::uint32_t seq = 0;
+      for (std::size_t i = f; i < n; i += flow_count) {
+        const std::uint64_t sched = schedule.offset_ns(i);
+        wait_until_offset(start, sched);
+        const auto id = static_cast<std::uint16_t>(seq & 0xffff);
+        seq += 1;
+        PendingSlot& slot = flow.pending[id];
+        if (slot.state.load(std::memory_order_acquire) == kArmed) {
+          flow.overwrites += 1;  // previous occupant of this id: never answered
+        }
+        slot.sched_ns.store(sched, std::memory_order_relaxed);
+        slot.state.store(kArmed, std::memory_order_release);
+        auto& wire = wires[i];
+        wire[0] = static_cast<std::uint8_t>(id >> 8);
+        wire[1] = static_cast<std::uint8_t>(id & 0xff);
+        try {
+          flow.socket.send_to(wire, config.server);
+          flow.sent += 1;
+        } catch (const std::exception&) {
+          flow.send_errors += 1;  // slot stays kArmed -> swept as dropped
+        }
+        const std::uint64_t now = since_ns(start);
+        if (now > sched) send_lag.record((now - sched) / 1000);
+      }
+    });
+  }
+
+  for (auto& t : senders) t.join();
+  std::uint64_t answerable = 0;
+  for (const auto& flow_ptr : flows) answerable += flow_ptr->sent;
+  const auto drain_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config.drain_slack).count());
+  const std::uint64_t hard_deadline = since_ns(start) + timeout_ns + drain_ns;
+  // Wait out the last deadline — but cut the drain short the moment
+  // every sent query has been matched (minus id-reuse casualties, which
+  // can never be matched; treat them as already settled).
+  std::uint64_t settled = 0;
+  for (const auto& flow_ptr : flows) settled += flow_ptr->overwrites;
+  while (since_ns(start) < hard_deadline &&
+         matched.load(std::memory_order_relaxed) + settled < answerable) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  drain_deadline_ns.store(since_ns(start), std::memory_order_release);
+  for (auto& t : receivers) t.join();
+
+  LoadReport report;
+  report.offered = n;
+  report.offered_qps = schedule.offered_qps();
+  std::uint64_t last_recv_ns = 0;
+  for (auto& flow_ptr : flows) {
+    Flow& flow = *flow_ptr;
+    report.sent += flow.sent;
+    report.send_errors += flow.send_errors;
+    report.received += flow.received;
+    report.late += flow.late;
+    report.dropped += flow.overwrites;
+    last_recv_ns = std::max(last_recv_ns, flow.last_recv_ns);
+    // End-of-run sweep: anything still armed was never answered.
+    for (std::size_t id = 0; id < kIdSpace; ++id) {
+      if (flow.pending[id].state.load(std::memory_order_acquire) == kArmed) {
+        report.dropped += 1;
+      }
+    }
+  }
+  report.seconds = static_cast<double>(std::max(schedule.span_ns(), last_recv_ns)) / 1e9;
+  report.latency_us = latency.snapshot();
+  report.send_lag_us = send_lag.snapshot();
+  return report;
+}
+
+ClosedLoopReport run_closed_loop(const TrafficModel& model,
+                                 const std::vector<QuerySpec>& specs,
+                                 const DriverConfig& config) {
+  const std::size_t n = specs.size();
+  const std::size_t flow_count = std::clamp<std::size_t>(config.flows, 1, 64);
+
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(n);
+  for (const auto& spec : specs) wires.push_back(model.encode(spec, 0));
+
+  obs::LatencyHistogram latency{8};
+  struct Tally {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t timeouts = 0;
+  };
+  std::vector<Tally> tallies(flow_count);
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(flow_count);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    workers.emplace_back([&, f] {
+      dnsserver::UdpSocket socket{dnsserver::UdpEndpoint{net::IpV4Addr{127, 0, 0, 1}, 0}};
+      Tally& tally = tallies[f];
+      std::uint32_t seq = 0;
+      for (std::size_t i = f; i < n; i += flow_count) {
+        const auto id = static_cast<std::uint16_t>(seq & 0xffff);
+        seq += 1;
+        auto& wire = wires[i];
+        wire[0] = static_cast<std::uint8_t>(id >> 8);
+        wire[1] = static_cast<std::uint8_t>(id & 0xff);
+        const auto sent_at = Clock::now();
+        try {
+          socket.send_to(wire, config.server);
+        } catch (const std::exception&) {
+          tally.timeouts += 1;
+          continue;
+        }
+        tally.sent += 1;
+        const auto deadline = sent_at + config.timeout;
+        bool answered = false;
+        while (!answered) {
+          const auto now = Clock::now();
+          if (now >= deadline) break;
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+          dnsserver::UdpEndpoint peer;
+          const auto response =
+              socket.receive(std::max(remaining, std::chrono::milliseconds{1}), peer);
+          if (!response) break;
+          if (response->size() < 2) continue;
+          const std::uint16_t rid =
+              static_cast<std::uint16_t>(((*response)[0] << 8) | (*response)[1]);
+          if (rid != id) continue;  // stale response to an earlier timeout
+          answered = true;
+          // The naive charge: from the *actual* send instant, and
+          // timeouts leave no sample at all — coordinated omission.
+          latency.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - sent_at)
+                  .count()));
+        }
+        if (answered) {
+          tally.received += 1;
+        } else {
+          tally.timeouts += 1;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  ClosedLoopReport report;
+  for (const auto& tally : tallies) {
+    report.sent += tally.sent;
+    report.received += tally.received;
+    report.timeouts += tally.timeouts;
+  }
+  report.seconds = static_cast<double>(since_ns(start)) / 1e9;
+  report.latency_us = latency.snapshot();
+  return report;
+}
+
+}  // namespace eum::load

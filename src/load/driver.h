@@ -1,0 +1,94 @@
+// Open-loop and closed-loop UDP load drivers.
+//
+// `run_open_loop` realizes an `OpenLoopSchedule` against a live UDP
+// authority: decoupled sender/receiver thread pairs ("flows"), a
+// lock-free id -> deadline pending table, and latency charged from each
+// query's *scheduled* send time — so when the server stalls, the
+// queries that should have been sent (and their queueing delay) are
+// measured rather than silently omitted. `run_closed_loop` is the
+// deliberately naive one-in-flight-per-flow measurement our historical
+// benches used; running both at a matched rate quantifies the
+// coordinated-omission error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "dnsserver/udp.h"
+#include "load/schedule.h"
+#include "load/traffic.h"
+#include "obs/metrics.h"
+
+namespace eum::load {
+
+struct DriverConfig {
+  dnsserver::UdpEndpoint server;
+  /// Sender/receiver thread pairs; queries are dealt round-robin across
+  /// flows, each with its own socket and 65536-slot id table.
+  std::size_t flows = 2;
+  /// A query unanswered this long past its scheduled send is charged as
+  /// a timeout/drop.
+  std::chrono::milliseconds timeout{1000};
+  /// Extra receive-drain slack after the last deadline.
+  std::chrono::milliseconds drain_slack{50};
+};
+
+/// Outcome of one open-loop run.
+struct LoadReport {
+  std::uint64_t offered = 0;   ///< queries the schedule called for
+  std::uint64_t sent = 0;      ///< datagrams actually handed to the kernel
+  std::uint64_t received = 0;  ///< responses matched to a pending query
+  std::uint64_t late = 0;      ///< responses that arrived past their deadline
+  std::uint64_t dropped = 0;   ///< queries never answered (incl. send failures)
+  std::uint64_t send_errors = 0;  ///< sendto refusals (counted into dropped)
+  double offered_qps = 0.0;
+  double seconds = 0.0;  ///< scheduled span or last response, whichever is later
+
+  /// Latency charged from the *scheduled* send instant (microseconds).
+  /// Late responses are still recorded — that is the whole point.
+  obs::HistogramSnapshot latency_us;
+  /// Actual-send minus scheduled-send (microseconds): sender lag. Large
+  /// values mean the generator itself could not hold the offered rate.
+  obs::HistogramSnapshot send_lag_us;
+
+  [[nodiscard]] double achieved_qps() const noexcept {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(received) / seconds;
+  }
+  [[nodiscard]] double drop_rate() const noexcept {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(dropped) / static_cast<double>(offered);
+  }
+};
+
+/// Drive `specs[i]` at `schedule.offset_ns(i)` against `config.server`.
+/// Requires specs.size() == schedule.size(); throws std::invalid_argument
+/// otherwise. Blocks until every query is answered or past deadline.
+[[nodiscard]] LoadReport run_open_loop(const TrafficModel& model,
+                                       const std::vector<QuerySpec>& specs,
+                                       const OpenLoopSchedule& schedule,
+                                       const DriverConfig& config);
+
+/// Outcome of one closed-loop (one-in-flight-per-flow) run.
+struct ClosedLoopReport {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t timeouts = 0;
+  double seconds = 0.0;
+  /// Naive latency charged from the *actual* send instant — the
+  /// coordinated-omission-blind measurement.
+  obs::HistogramSnapshot latency_us;
+
+  [[nodiscard]] double achieved_qps() const noexcept {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(received) / seconds;
+  }
+};
+
+/// Send each query as soon as the previous one on the same flow is
+/// answered (or times out): the classic closed-loop client. Exists as
+/// the comparison arm for the coordinated-omission delta.
+[[nodiscard]] ClosedLoopReport run_closed_loop(const TrafficModel& model,
+                                               const std::vector<QuerySpec>& specs,
+                                               const DriverConfig& config);
+
+}  // namespace eum::load

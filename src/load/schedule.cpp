@@ -1,0 +1,34 @@
+#include "load/schedule.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace eum::load {
+
+OpenLoopSchedule OpenLoopSchedule::make(Arrivals arrivals, double offered_qps,
+                                        std::size_t count, std::uint64_t seed) {
+  if (!(offered_qps > 0.0) || !std::isfinite(offered_qps)) {
+    throw std::invalid_argument{"OpenLoopSchedule: offered_qps must be positive and finite"};
+  }
+  OpenLoopSchedule schedule;
+  schedule.offered_qps_ = offered_qps;
+  schedule.arrivals_ = arrivals;
+  schedule.offsets_ns_.reserve(count);
+  if (arrivals == Arrivals::poisson) {
+    util::PoissonArrivals process{offered_qps, seed};
+    for (std::size_t i = 0; i < count; ++i) {
+      schedule.offsets_ns_.push_back(process.next_ns());
+    }
+  } else {
+    const double gap_ns = 1e9 / offered_qps;
+    for (std::size_t i = 0; i < count; ++i) {
+      schedule.offsets_ns_.push_back(
+          static_cast<std::uint64_t>(gap_ns * static_cast<double>(i + 1)));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace eum::load

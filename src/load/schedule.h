@@ -1,0 +1,49 @@
+// Open-loop arrival schedules.
+//
+// An open-loop load generator decides *when* to send before it sees any
+// response: query i has a fixed scheduled send offset, and its latency
+// is charged from that scheduled instant. If the server stalls, queued
+// queries accumulate scheduled-time debt that shows up in the tail —
+// the coordinated-omission error a closed-loop client silently hides.
+// `OpenLoopSchedule` precomputes the whole offset sequence (Poisson or
+// uniformly paced) from a seed, so a run is exactly replayable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eum::load {
+
+enum class Arrivals : std::uint8_t {
+  poisson,  ///< exponential inter-arrival gaps with mean 1/qps
+  paced,    ///< uniform gaps of exactly 1/qps
+};
+
+class OpenLoopSchedule {
+ public:
+  /// Precompute `count` monotone send offsets (nanoseconds from run
+  /// start) at the given offered rate. The seed only matters for
+  /// `Arrivals::poisson`. Throws std::invalid_argument on qps <= 0.
+  [[nodiscard]] static OpenLoopSchedule make(Arrivals arrivals, double offered_qps,
+                                             std::size_t count, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return offsets_ns_.size(); }
+  [[nodiscard]] std::uint64_t offset_ns(std::size_t i) const { return offsets_ns_.at(i); }
+  [[nodiscard]] std::span<const std::uint64_t> offsets_ns() const noexcept {
+    return offsets_ns_;
+  }
+  [[nodiscard]] double offered_qps() const noexcept { return offered_qps_; }
+  [[nodiscard]] Arrivals arrivals() const noexcept { return arrivals_; }
+  /// Scheduled span of the run: the last offset (0 when empty).
+  [[nodiscard]] std::uint64_t span_ns() const noexcept {
+    return offsets_ns_.empty() ? 0 : offsets_ns_.back();
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_ns_;
+  double offered_qps_ = 0.0;
+  Arrivals arrivals_ = Arrivals::poisson;
+};
+
+}  // namespace eum::load

@@ -1,0 +1,162 @@
+#include "load/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "dns/types.h"
+
+namespace eum::load {
+
+namespace {
+
+/// Wider-than-block ECS announcements shave 4 bits off the block length
+/// (a /24 becomes a /20), floored so the announcement stays meaningful.
+[[nodiscard]] int wide_source_len(int block_len) noexcept {
+  return std::max(8, block_len - 4);
+}
+
+}  // namespace
+
+LdnsPopulation LdnsPopulation::from_world(const topo::World& world,
+                                          const TrafficConfig& config) {
+  if (world.blocks.empty() || world.ldnses.empty()) {
+    throw std::invalid_argument{"LdnsPopulation: world has no blocks or no LDNSes"};
+  }
+  // Aggregate query volume per LDNS across the client->LDNS association:
+  // a block contributes demand x use-fraction to each resolver it uses.
+  std::unordered_map<topo::LdnsId, std::size_t> index;
+  std::vector<LdnsSource> sources;
+  for (const auto& block : world.blocks) {
+    for (const auto& use : block.ldns_uses) {
+      auto [it, inserted] = index.try_emplace(use.ldns, sources.size());
+      if (inserted) {
+        const auto& ldns = world.ldnses.at(use.ldns);
+        LdnsSource source;
+        source.address = ldns.address;
+        source.weight = 0.0;
+        source.supports_ecs = ldns.supports_ecs;
+        sources.push_back(std::move(source));
+      }
+      LdnsSource& source = sources[it->second];
+      const double volume = block.demand * use.fraction;
+      source.weight += volume;
+      source.blocks.push_back(block.prefix);
+      source.block_weights.push_back(volume);
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const LdnsSource& a, const LdnsSource& b) { return a.weight > b.weight; });
+  if (config.max_ldnses > 0 && sources.size() > config.max_ldnses) {
+    sources.resize(config.max_ldnses);
+  }
+  LdnsPopulation population;
+  population.sources_ = std::move(sources);
+  return population;
+}
+
+LdnsPopulation LdnsPopulation::synthetic(std::size_t ldns_count,
+                                         std::size_t blocks_per_ldns,
+                                         const TrafficConfig& config) {
+  if (ldns_count == 0 || blocks_per_ldns == 0) {
+    throw std::invalid_argument{"LdnsPopulation: synthetic population must be non-empty"};
+  }
+  LdnsPopulation population;
+  population.sources_.reserve(ldns_count);
+  for (std::size_t i = 0; i < ldns_count; ++i) {
+    LdnsSource source;
+    // Resolvers live in 10.64.0.0/16-ish space; client /24s in 11.0.0.0/8.
+    source.address = net::IpV4Addr{static_cast<std::uint32_t>(0x0a400000U + i)};
+    source.weight = 1.0 / std::pow(static_cast<double>(i + 1), config.ldns_zipf_s);
+    source.supports_ecs = true;
+    for (std::size_t j = 0; j < blocks_per_ldns; ++j) {
+      const auto base =
+          static_cast<std::uint32_t>(0x0b000000U + ((i * blocks_per_ldns + j) << 8));
+      source.blocks.emplace_back(net::IpAddr{net::IpV4Addr{base}}, 24);
+      source.block_weights.push_back(1.0 / static_cast<double>(j + 1));
+    }
+    population.sources_.push_back(std::move(source));
+  }
+  return population;
+}
+
+TrafficModel::TrafficModel(LdnsPopulation population, TrafficConfig config)
+    : population_(std::move(population)),
+      config_(std::move(config)),
+      qname_zipf_(config_.qnames == 0 ? 1 : config_.qnames, config_.qname_zipf_s) {
+  if (population_.size() == 0) {
+    throw std::invalid_argument{"TrafficModel: empty LDNS population"};
+  }
+  if (config_.qnames == 0) {
+    throw std::invalid_argument{"TrafficModel: need at least one qname"};
+  }
+  std::vector<double> weights;
+  weights.reserve(population_.size());
+  block_pickers_.reserve(population_.size());
+  for (const auto& source : population_.sources()) {
+    weights.push_back(source.weight);
+    block_pickers_.emplace_back(source.block_weights);
+  }
+  ldns_picker_ = util::WeightedPicker{weights};
+  qnames_.reserve(config_.qnames);
+  for (std::size_t rank = 1; rank <= config_.qnames; ++rank) {
+    std::string text = "q";
+    text += std::to_string(rank);
+    text += '.';
+    text += config_.zone;
+    qnames_.push_back(dns::DnsName::from_text(text));
+  }
+}
+
+QuerySpec TrafficModel::draw(util::Rng& rng) const {
+  QuerySpec spec;
+  spec.ldns = static_cast<std::uint32_t>(ldns_picker_.pick(rng));
+  spec.qname_rank = static_cast<std::uint32_t>(qname_zipf_.sample(rng));
+  spec.edns = rng.chance(config_.edns_fraction);
+  const LdnsSource& source = population_.sources()[spec.ldns];
+  if (spec.edns && source.supports_ecs && !source.blocks.empty() &&
+      rng.chance(config_.ecs_fraction)) {
+    const auto& picker = block_pickers_[spec.ldns];
+    const net::IpPrefix& block =
+        source.blocks[picker.empty() ? 0 : picker.pick(rng)];
+    int source_len = block.length();
+    net::IpAddr addr = block.address();
+    if (block.family() == net::Family::v4) {
+      if (rng.chance(config_.ecs_host_fraction)) {
+        // Announce a full host address inside the block.
+        const auto span = std::uint64_t{1} << (32 - block.length());
+        addr = net::IpV4Addr{static_cast<std::uint32_t>(block.address().v4().value() +
+                                                        rng.below(span))};
+        source_len = 32;
+      } else if (rng.chance(config_.ecs_wide_fraction)) {
+        source_len = wide_source_len(block.length());
+      }
+    }
+    spec.ecs = dns::ClientSubnetOption::for_query(addr, source_len);
+  }
+  return spec;
+}
+
+std::vector<QuerySpec> TrafficModel::generate(std::size_t n) const {
+  util::Rng rng{config_.seed};
+  std::vector<QuerySpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) specs.push_back(draw(rng));
+  return specs;
+}
+
+dns::Message TrafficModel::to_message(const QuerySpec& spec, std::uint16_t id) const {
+  dns::Message msg =
+      dns::Message::make_query(id, qname(spec.qname_rank), dns::RecordType::A, spec.ecs);
+  if (spec.edns && !msg.edns) msg.edns = dns::EdnsRecord{};
+  return msg;
+}
+
+std::vector<std::uint8_t> TrafficModel::encode(const QuerySpec& spec,
+                                               std::uint16_t id) const {
+  return to_message(spec, id).encode();
+}
+
+}  // namespace eum::load

@@ -1,0 +1,127 @@
+// Deterministic DNS traffic model for load generation.
+//
+// The paper's authorities see queries from a *population*: 584K LDNSes
+// with wildly skewed query shares (§3.1), each announcing its own
+// clients' prefixes via ECS, over a Zipf-ish hostname popularity law
+// (§5.3). The public-resolver measurement studies in PAPERS.md
+// (Al-Dalky & Rabinovich; public-resolvers-meet-CDNs) show the same
+// shape: a handful of resolver sites carry most volume and the ECS
+// prefix mix is diverse, not uniform. A `TrafficModel` compiles that
+// shape — a heavy-tailed `LdnsPopulation` (drawn from a `topo::World`
+// or synthesized), Zipf qname popularity, per-LDNS ECS prefix/scope
+// diversity, and a configurable EDNS/no-EDNS mix — into a reproducible
+// query stream: the same seed yields the same sequence of qnames, ECS
+// options, and source resolvers, so load-generation runs are exactly
+// replayable and regressions bisectable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/ip.h"
+#include "net/prefix.h"
+#include "topo/world.h"
+#include "util/rng.h"
+
+namespace eum::load {
+
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  /// Zone the generated qnames live under (q1.<zone> is the hottest).
+  std::string zone = "g.cdn.example";
+  /// Distinct qnames; popularity is Zipf(qname_zipf_s) over ranks.
+  std::size_t qnames = 64;
+  double qname_zipf_s = 1.0;
+  /// Synthetic-population LDNS share law (rank r gets 1/r^s volume).
+  double ldns_zipf_s = 1.1;
+  /// Population cap when drawing from a World (top resolvers by demand).
+  std::size_t max_ldnses = 4096;
+  /// Fraction of queries carrying an EDNS OPT record at all.
+  double edns_fraction = 0.9;
+  /// Of EDNS queries from an ECS-capable resolver, the fraction that
+  /// announce a client subnet.
+  double ecs_fraction = 0.8;
+  /// ECS source-length diversity: most announcements use the block's own
+  /// prefix length (/24 for v4); these two knobs divert a share to a
+  /// full host address and to a wider-than-block prefix respectively.
+  double ecs_host_fraction = 0.10;
+  double ecs_wide_fraction = 0.10;
+};
+
+/// One simulated recursive resolver and the client blocks behind it.
+struct LdnsSource {
+  net::IpAddr address;
+  double weight = 1.0;  ///< share of total query volume
+  bool supports_ecs = true;
+  std::vector<net::IpPrefix> blocks;  ///< client prefixes it resolves for
+  std::vector<double> block_weights;  ///< demand weight per block
+};
+
+/// The resolver population a TrafficModel draws sources from.
+class LdnsPopulation {
+ public:
+  /// Build from a generated World: one source per LDNS (top
+  /// `config.max_ldnses` by aggregated client demand), each carrying the
+  /// client blocks that use it, weighted by demand x use fraction.
+  [[nodiscard]] static LdnsPopulation from_world(const topo::World& world,
+                                                 const TrafficConfig& config);
+
+  /// Synthetic population for tests and world-free benches: `ldns_count`
+  /// sources with Zipf(config.ldns_zipf_s) volume shares, each fronting
+  /// `blocks_per_ldns` distinct /24s.
+  [[nodiscard]] static LdnsPopulation synthetic(std::size_t ldns_count,
+                                                std::size_t blocks_per_ldns,
+                                                const TrafficConfig& config);
+
+  [[nodiscard]] const std::vector<LdnsSource>& sources() const noexcept { return sources_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sources_.size(); }
+
+ private:
+  std::vector<LdnsSource> sources_;
+};
+
+/// One generated query, in drawn (pre-wire) form.
+struct QuerySpec {
+  std::uint32_t ldns = 0;        ///< index into the population
+  std::uint32_t qname_rank = 1;  ///< 1 = hottest
+  bool edns = false;
+  std::optional<dns::ClientSubnetOption> ecs;
+};
+
+/// Seeded query-stream generator over a population.
+class TrafficModel {
+ public:
+  TrafficModel(LdnsPopulation population, TrafficConfig config);
+
+  /// Draw one query using the caller's generator state.
+  [[nodiscard]] QuerySpec draw(util::Rng& rng) const;
+
+  /// Draw `n` queries from a fresh generator seeded with config.seed —
+  /// the reproducible stream the load driver consumes.
+  [[nodiscard]] std::vector<QuerySpec> generate(std::size_t n) const;
+
+  /// Render a spec as a DNS query message / wire bytes with the given id.
+  [[nodiscard]] dns::Message to_message(const QuerySpec& spec, std::uint16_t id) const;
+  [[nodiscard]] std::vector<std::uint8_t> encode(const QuerySpec& spec,
+                                                 std::uint16_t id) const;
+
+  [[nodiscard]] const LdnsPopulation& population() const noexcept { return population_; }
+  [[nodiscard]] const TrafficConfig& config() const noexcept { return config_; }
+  /// The qname for a popularity rank in [1, config.qnames].
+  [[nodiscard]] const dns::DnsName& qname(std::uint32_t rank) const {
+    return qnames_.at(rank - 1);
+  }
+
+ private:
+  LdnsPopulation population_;
+  TrafficConfig config_;
+  util::WeightedPicker ldns_picker_;
+  std::vector<util::WeightedPicker> block_pickers_;  ///< one per source
+  util::ZipfSampler qname_zipf_;
+  std::vector<dns::DnsName> qnames_;  ///< rank-1 first
+};
+
+}  // namespace eum::load

@@ -36,4 +36,11 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) {
 
 std::size_t ZipfSampler::sample(Rng& rng) const noexcept { return picker_.pick(rng) + 1; }
 
+PoissonArrivals::PoissonArrivals(double rate_per_sec, std::uint64_t seed) : rng_(seed) {
+  if (!(rate_per_sec > 0.0) || !std::isfinite(rate_per_sec)) {
+    throw std::invalid_argument{"PoissonArrivals: rate must be positive and finite"};
+  }
+  mean_gap_ns_ = 1e9 / rate_per_sec;
+}
+
 }  // namespace eum::util

@@ -171,4 +171,31 @@ class ZipfSampler {
   WeightedPicker picker_;
 };
 
+/// Seeded Poisson arrival process at a fixed rate: successive next_ns()
+/// calls return the cumulative arrival times (nanoseconds from 0) of a
+/// memoryless event stream, i.e. i.i.d. exponential inter-arrival gaps
+/// with mean 1/rate. This is the arrival model open-loop load
+/// generation is built on (an open-loop client sends at the *scheduled*
+/// instant regardless of outstanding responses, so queueing delay is
+/// measured instead of silently omitted). Deterministic in the seed —
+/// the same seed replays the identical schedule.
+class PoissonArrivals {
+ public:
+  /// `rate_per_sec` must be positive and finite.
+  PoissonArrivals(double rate_per_sec, std::uint64_t seed);
+
+  /// Cumulative arrival time of the next event, in nanoseconds.
+  [[nodiscard]] std::uint64_t next_ns() noexcept {
+    elapsed_ns_ += rng_.exponential(mean_gap_ns_);
+    return static_cast<std::uint64_t>(elapsed_ns_);
+  }
+
+  [[nodiscard]] double rate_per_sec() const noexcept { return 1e9 / mean_gap_ns_; }
+
+ private:
+  Rng rng_;
+  double mean_gap_ns_;
+  double elapsed_ns_ = 0.0;  ///< double keeps sub-ns remainders exact enough
+};
+
 }  // namespace eum::util

@@ -164,6 +164,65 @@ TEST(ZipfSampler, RankOneMostFrequent) {
 
 TEST(ZipfSampler, RejectsZeroItems) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
 
+// ---------- PoissonArrivals ----------
+
+TEST(PoissonArrivals, MeanGapMatchesRate) {
+  PoissonArrivals arrivals{10000.0, 21};  // mean gap 100us
+  constexpr int kDraws = 20000;
+  std::uint64_t last = 0;
+  for (int i = 0; i < kDraws; ++i) last = arrivals.next_ns();
+  const double mean_gap_ns = static_cast<double>(last) / kDraws;
+  EXPECT_NEAR(mean_gap_ns, 100'000.0, 5'000.0);
+}
+
+TEST(PoissonArrivals, GapsAreExponential) {
+  // A Poisson process has i.i.d. exponential gaps, whose coefficient of
+  // variation (stddev/mean) is exactly 1 — a paced schedule would give 0.
+  PoissonArrivals arrivals{5000.0, 22};
+  std::vector<double> gaps;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t t = arrivals.next_ns();
+    gaps.push_back(static_cast<double>(t - prev));
+    prev = t;
+  }
+  double mean = 0.0;
+  for (const double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (const double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(PoissonArrivals, MonotoneNonDecreasing) {
+  PoissonArrivals arrivals{1e6, 23};
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t t = arrivals.next_ns();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonArrivals, DeterministicInSeed) {
+  PoissonArrivals a{2000.0, 99};
+  PoissonArrivals b{2000.0, 99};
+  PoissonArrivals c{2000.0, 100};
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t ta = a.next_ns();
+    EXPECT_EQ(ta, b.next_ns());
+    if (ta != c.next_ns()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(PoissonArrivals, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonArrivals(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(PoissonArrivals(-5.0, 1), std::invalid_argument);
+}
+
 // ---------- SimClock / dates ----------
 
 TEST(SimClock, DayIndexEpoch) {
