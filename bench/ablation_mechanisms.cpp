@@ -24,7 +24,7 @@ int main() {
   // Qualified population: public-resolver clients (where mechanisms differ).
   std::vector<std::pair<topo::BlockId, topo::LdnsId>> pairs;
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       if (world.ldnses[use.ldns].type == topo::LdnsType::public_site) {
         pairs.emplace_back(block.id, use.ldns);
       }

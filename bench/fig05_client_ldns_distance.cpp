@@ -18,7 +18,7 @@ int main() {
   // same demand weighting).
   const auto& world = bench::default_world();
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       const double miles =
           geo::great_circle_miles(block.location, world.ldnses[use.ldns].location);
       histogram.add(miles, block.demand * use.fraction);

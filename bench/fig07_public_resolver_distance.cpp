@@ -14,7 +14,7 @@ int main() {
   const auto& world = bench::default_world();
   stats::LogHistogram histogram{10.0, 10000.0, 24};
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       const auto& ldns = world.ldnses[use.ldns];
       if (ldns.type != topo::LdnsType::public_site) continue;
       histogram.add(geo::great_circle_miles(block.location, ldns.location),

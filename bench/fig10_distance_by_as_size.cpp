@@ -16,7 +16,7 @@ int main() {
   // Per-AS distance samples, demand-weighted.
   std::vector<stats::WeightedSample> per_as(world.ases.size());
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       per_as[block.as_index].add(
           geo::great_circle_miles(block.location, world.ldnses[use.ldns].location),
           block.demand * use.fraction);

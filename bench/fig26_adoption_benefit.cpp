@@ -39,7 +39,7 @@ int main() {
   util::Rng rng{99};
   double nonpublic_demand = 0.0;
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       const auto& ldns = world.ldnses[use.ldns];
       if (ldns.type == topo::LdnsType::public_site) continue;  // already rolled out
       const double demand = block.demand * use.fraction;

@@ -55,7 +55,7 @@ int main() {
   const topo::ClientBlock* client_block = nullptr;
   const topo::Ldns* public_ldns = nullptr;
   for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       const topo::Ldns& ldns = world.ldnses[use.ldns];
       if (ldns.type == topo::LdnsType::public_site &&
           geo::great_circle_miles(block.location, ldns.location) > 2000.0) {

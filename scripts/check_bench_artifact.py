@@ -34,8 +34,19 @@ loadgen (open-loop, BENCH_loadgen.json)
 - "open_vs_closed" reports the coordinated-omission comparison arm:
   matched_qps and both p999s positive, delta and ratio present.
 
+mapmaker (rebuild scale, BENCH_mapmaker.json)
+---------------------------------------------
+- "arms" is a non-empty list; every arm carries blocks/targets/units/
+  full_rebuild_ms/incremental_rebuild_ms/units_rescored_on_flap/
+  publish_rate_hz/rss_mb as numbers;
+- every arm's "differential_equal" is true — the incremental path must
+  serve bit-identically to a from-scratch full rebuild;
+- at >= 1,000,000 blocks the incremental (single-cluster flap) rebuild
+  must be strictly faster than the full rebuild — the whole point of
+  the mapping-unit delta path.
+
 Usage: check_bench_artifact.py [path...]
-       (no args: both committed artifacts next to the repo root)
+       (no args: all committed artifacts next to the repo root)
 Exit codes: 0 OK, 1 malformed artifact, 2 usage/IO error.
 """
 
@@ -180,9 +191,40 @@ def check_loadgen(doc: dict) -> None:
         require_number(arm, "p999_ratio", "open_vs_closed", lo=0.001)
 
 
+def check_mapmaker(doc: dict) -> None:
+    arms = doc.get("arms")
+    if not isinstance(arms, list) or not arms:
+        problem("arms is missing or empty")
+        return
+    for i, arm in enumerate(arms):
+        where = f"arms[{i}]"
+        if not isinstance(arm, dict):
+            problem(f"{where} is not an object")
+            continue
+        blocks = require_number(arm, "blocks", where, lo=1)
+        require_number(arm, "targets", where, lo=1)
+        units = require_number(arm, "units", where, lo=1)
+        full_ms = require_number(arm, "full_rebuild_ms", where, lo=0.001)
+        incr_ms = require_number(arm, "incremental_rebuild_ms", where, lo=0.001)
+        rescored = require_number(arm, "units_rescored_on_flap", where, lo=0)
+        require_number(arm, "publish_rate_hz", where, lo=0.001)
+        require_number(arm, "rss_mb", where, lo=0.001)
+        if arm.get("differential_equal") is not True:
+            problem(f"{where}: differential_equal must be true — the incremental "
+                    f"path may never drift from a full rebuild")
+        if units is not None and rescored is not None and rescored > units:
+            problem(f"{where}: units_rescored_on_flap {rescored} exceeds units {units}")
+        if (None not in (blocks, full_ms, incr_ms) and blocks >= 1_000_000
+                and incr_ms >= full_ms):
+            problem(f"{where}: at {blocks:.0f} blocks the incremental rebuild "
+                    f"({incr_ms} ms) must be strictly faster than the full rebuild "
+                    f"({full_ms} ms)")
+
+
 CHECKERS = {
     "udp_throughput": check_udp_throughput,
     "loadgen": check_loadgen,
+    "mapmaker": check_mapmaker,
 }
 
 
@@ -224,7 +266,8 @@ def main() -> int:
     if len(sys.argv) > 1:
         paths = [Path(arg) for arg in sys.argv[1:]]
     else:
-        paths = [root / "BENCH_udp_throughput.json", root / "BENCH_loadgen.json"]
+        paths = [root / "BENCH_udp_throughput.json", root / "BENCH_loadgen.json",
+                 root / "BENCH_mapmaker.json"]
     status = 0
     for path in paths:
         status = max(status, check_file(path))

@@ -28,7 +28,7 @@ MappingSystem::MappingSystem(const topo::World* world, CdnNetwork* network,
       config_(config),
       mesh_(PingMesh::measure(*world_, *network_, *latency_)),
       scoring_(Scoring::build(*world_, *network_, mesh_, config.scoring_top_k,
-                              config.traffic_class)),
+                              config.traffic_class, config.precompute_cluster_scores)),
       local_lb_(config.servers_per_answer) {
   global_lb_ = std::make_unique<GlobalLoadBalancer>(network_, &scoring_, &mesh_,
                                                     config_.global_lb);
@@ -36,7 +36,7 @@ MappingSystem::MappingSystem(const topo::World* world, CdnNetwork* network,
 
 void MappingSystem::rescore() {
   scoring_ = Scoring::build(*world_, *network_, mesh_, config_.scoring_top_k,
-                            config_.traffic_class);
+                            config_.traffic_class, config_.precompute_cluster_scores);
   global_lb_ =
       std::make_unique<GlobalLoadBalancer>(network_, &scoring_, &mesh_, config_.global_lb);
 }

@@ -47,6 +47,12 @@ struct MappingConfig {
   std::size_t scoring_top_k = 8;
   /// Scoring function for this mapping system's traffic (§2.2).
   TrafficClass traffic_class = TrafficClass::web;
+  /// Precompute per-LDNS cluster candidate lists (CANS, §6). The
+  /// aggregation is O(deployments x block-LDNS associations) — the
+  /// dominant startup cost at millions of blocks — so paper-scale runs
+  /// that never use client_aware_ns mapping disable it; cluster lookups
+  /// then fall back to the LDNS's own ping-target list.
+  bool precompute_cluster_scores = true;
   /// Also offer the chosen servers' IPv6 aliases, so AAAA questions are
   /// answerable (the ECS wire format is family-agnostic either way).
   bool serve_ipv6 = true;

@@ -10,12 +10,17 @@ namespace eum::cdn {
 
 namespace {
 
-/// Keep the best `k` candidates from a full score column.
+/// Keep the best `k` candidates from a full score column. Ties break by
+/// deployment id so the result is a pure function of the scores — the
+/// control plane's incremental rebuilds rely on full and delta scoring
+/// passes producing bit-identical candidate tables.
 void select_top_k(std::vector<Candidate>& scratch, std::size_t k, Candidate* out) {
   const std::size_t keep = std::min(k, scratch.size());
   std::partial_sort(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(keep),
-                    scratch.end(),
-                    [](const Candidate& a, const Candidate& b) { return a.score_ms < b.score_ms; });
+                    scratch.end(), [](const Candidate& a, const Candidate& b) {
+                      if (a.score_ms != b.score_ms) return a.score_ms < b.score_ms;
+                      return a.deployment < b.deployment;
+                    });
   for (std::size_t i = 0; i < k; ++i) {
     out[i] = i < keep ? scratch[i] : Candidate{0, std::numeric_limits<float>::infinity()};
   }
@@ -37,7 +42,7 @@ float path_score(TrafficClass klass, float rtt_ms, float loss_rate) noexcept {
 }
 
 Scoring Scoring::build(const topo::World& world, const CdnNetwork& network, const PingMesh& mesh,
-                       std::size_t top_k, TrafficClass klass) {
+                       std::size_t top_k, TrafficClass klass, bool cluster_scores) {
   if (top_k == 0) throw std::invalid_argument{"Scoring::build: top_k must be positive"};
   if (mesh.deployment_count() != network.size() ||
       mesh.target_count() != world.ping_targets.size()) {
@@ -63,19 +68,25 @@ Scoring Scoring::build(const topo::World& world, const CdnNetwork& network, cons
 
   // Per LDNS cluster: traffic-weighted member targets.
   // Member weights: demand x use-fraction of each block, grouped by the
-  // block's ping target.
+  // block's ping target. Skipped (cluster_scores=false) for non-CANS
+  // deployments at paper scale — the aggregation walks every association
+  // entry per deployment, the dominant cost at millions of blocks;
+  // cluster_candidates then falls back to per-target lists.
   const std::size_t n_ldns = world.ldnses.size();
-  std::vector<std::unordered_map<topo::PingTargetId, double>> members(n_ldns);
-  for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
-      members[use.ldns][block.ping_target] += block.demand * use.fraction;
-    }
-  }
-  scoring.by_cluster_.resize(n_ldns * top_k);
   scoring.cluster_has_data_.resize(n_ldns, false);
   scoring.ldns_target_.resize(n_ldns, 0);
   for (std::size_t l = 0; l < n_ldns; ++l) {
     scoring.ldns_target_[l] = world.ldnses[l].ping_target;
+  }
+  if (!cluster_scores) return scoring;
+  std::vector<std::unordered_map<topo::PingTargetId, double>> members(n_ldns);
+  for (const topo::ClientBlock& block : world.blocks) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
+      members[use.ldns][block.ping_target] += block.demand * use.fraction;
+    }
+  }
+  scoring.by_cluster_.resize(n_ldns * top_k);
+  for (std::size_t l = 0; l < n_ldns; ++l) {
     if (members[l].empty()) continue;
     scoring.cluster_has_data_[l] = true;
     double wsum = 0.0;

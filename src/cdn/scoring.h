@@ -40,9 +40,14 @@ struct Candidate {
 class Scoring {
  public:
   /// Build candidate lists. `top_k` deployments are retained per unit,
-  /// ranked by the traffic class's scoring function.
+  /// ranked by the traffic class's scoring function. `cluster_scores`
+  /// controls the per-LDNS CANS aggregation — the one pass that walks
+  /// every block-LDNS association per deployment. Paper-scale worlds that
+  /// only need per-target lists (EU/NS mapping) turn it off;
+  /// cluster_candidates then falls back to the LDNS's own target list.
   static Scoring build(const topo::World& world, const CdnNetwork& network, const PingMesh& mesh,
-                       std::size_t top_k = 8, TrafficClass klass = TrafficClass::web);
+                       std::size_t top_k = 8, TrafficClass klass = TrafficClass::web,
+                       bool cluster_scores = true);
 
   /// Candidates for a ping target, best first (EU and NS mapping units).
   [[nodiscard]] std::span<const Candidate> target_candidates(topo::PingTargetId target) const;

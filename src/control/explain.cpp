@@ -137,6 +137,8 @@ std::string DecisionExplainer::render(const Explanation& explanation) {
                         static_cast<unsigned long>(map.unit),
                         map.used_client_block ? "client" : "resolver-derived");
   }
+  out += util::format("mapping_unit %lu members=%zu\n",
+                      static_cast<unsigned long>(map.mapping_unit), map.unit_size);
   out += util::format("candidates (%zu%s):\n", map.candidates.size(),
                       map.fallback_scan ? ", chosen via full mesh fallback scan" : "");
   for (const MapSnapshot::ExplainCandidate& candidate : map.candidates) {

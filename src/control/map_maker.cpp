@@ -54,10 +54,22 @@ MapMaker::MapMaker(cdn::MappingSystem* mapping, const util::SimClock* clock,
   publishes_ = &registry_->counter("eum_control_publishes_total", "map snapshots published");
   publishes_skipped_ = &registry_->counter("eum_control_publishes_skipped_total",
                                            "rebuilds skipped as serving-identical");
+  delta_rebuilds_ = &registry_->counter("eum_control_delta_rebuilds_total",
+                                        "rebuilds that took the incremental path");
+  units_rescored_ = &registry_->counter("eum_control_units_rescored_total",
+                                        "mapping units re-scored across all rebuilds");
+  mapping_units_ = &registry_->gauge("eum_control_mapping_units",
+                                     "mapping units in the scoring partition");
   rebuild_latency_ = &registry_->histogram("eum_control_rebuild_latency_us",
                                            "scoring + snapshot build latency");
 
   ledger_ = std::make_shared<LoadLedger>(mapping_->network().size());
+  units_ = MappingUnits::build(mapping_->mesh(),
+                               MappingUnitsConfig{config_.unit_epsilon_ms});
+  mapping_units_->set(static_cast<std::int64_t>(units_->unit_count()));
+  pool_ = std::make_unique<util::ShardPool>(config_.scoring_shards == 0
+                                                ? util::ShardPool::hardware_workers()
+                                                : config_.scoring_shards - 1);
   // Version 1 is published synchronously: serving can start immediately.
   (void)rebuild_with_reason(/*force=*/true, RebuildReason::initial);
 }
@@ -76,15 +88,29 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_now(bool force) {
 std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
                                                                  RebuildReason reason) {
   const std::scoped_lock lock{rebuild_mutex_};
+  // Sample the transition counter BEFORE the build reads liveness: a
+  // transition that lands while scoring runs is not in this snapshot, so
+  // recording the post-build counter would silently drop it — the next
+  // tick must still see it as new.
+  const std::uint64_t pre_transitions = monitor_ != nullptr ? monitor_->transitions() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
+  MapSnapshot::BuildInputs inputs;
+  inputs.units = units_;
+  inputs.pool = pool_.get();
+  if (config_.incremental) inputs.previous = current_.load(std::memory_order_acquire);
   std::shared_ptr<const MapSnapshot> built =
-      MapSnapshot::build(*mapping_, ledger_, next_version, build_time());
+      MapSnapshot::build(*mapping_, ledger_, next_version, build_time(), inputs);
   rebuild_latency_->record(elapsed_us(t0));
+  if (config_.after_build_hook) config_.after_build_hook();
   rebuilds_->add();
   rebuilds_by_reason_[static_cast<std::size_t>(reason)]->add();
+  if (built->delta()) delta_rebuilds_->add();
+  units_rescored_->add(built->units_rescored());
   last_build_ = build_time();
-  if (monitor_ != nullptr) transitions_seen_ = monitor_->transitions();
+  if (monitor_ != nullptr) {
+    transitions_seen_.store(pre_transitions, std::memory_order_relaxed);
+  }
 
   std::shared_ptr<const MapSnapshot> live = current_.load(std::memory_order_acquire);
   if (!force && !config_.publish_unchanged && live != nullptr &&
@@ -111,7 +137,8 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
 bool MapMaker::tick() {
   refresh_gauges();
   const bool transitioned =
-      monitor_ != nullptr && monitor_->transitions() != transitions_seen_;
+      monitor_ != nullptr &&
+      monitor_->transitions() != transitions_seen_.load(std::memory_order_relaxed);
   const bool due =
       clock_ != nullptr && clock_->now() - last_build_ >= config_.rescore_interval_s;
   if (!transitioned && !due) return false;
@@ -141,17 +168,42 @@ void MapMaker::start(std::chrono::milliseconds interval) {
 }
 
 void MapMaker::run_loop(std::chrono::milliseconds interval) {
+  // With a watched monitor the thread wakes on a short poll slice, drives
+  // the monitor's probes itself (single-writer discipline: only this
+  // thread mutates the network's liveness flags while serving runs), and
+  // force-publishes on any transition — the paper's "liveness changes
+  // reach the name servers in seconds" requirement. Without a monitor
+  // each wake is a periodic republish, as before.
+  const std::chrono::milliseconds slice =
+      monitor_ != nullptr
+          ? std::min(interval, std::max(std::chrono::milliseconds{1}, config_.liveness_poll))
+          : interval;
+  auto last_periodic = std::chrono::steady_clock::now();
   std::unique_lock lock{wake_mutex_};
   while (!stop_requested_) {
-    wake_.wait_for(lock, interval,
+    wake_.wait_for(lock, slice,
                    [this] { return stop_requested_ || rebuild_requested_; });
     if (stop_requested_) break;
     const bool on_demand = rebuild_requested_;
     rebuild_requested_ = false;
     lock.unlock();
-    (void)rebuild_with_reason(/*force=*/on_demand, on_demand ? RebuildReason::requested
-                                                             : RebuildReason::periodic);
-    refresh_gauges();
+    bool transitioned = false;
+    if (monitor_ != nullptr) {
+      (void)monitor_->tick();
+      transitioned =
+          monitor_->transitions() != transitions_seen_.load(std::memory_order_relaxed);
+    }
+    const bool periodic_due = std::chrono::steady_clock::now() - last_periodic >= interval;
+    if (transitioned || on_demand || periodic_due) {
+      // Liveness transitions and explicit requests must publish even when
+      // serving-identical; reason priority mirrors the urgency.
+      const RebuildReason reason = transitioned ? RebuildReason::liveness
+                                   : on_demand  ? RebuildReason::requested
+                                                : RebuildReason::periodic;
+      (void)rebuild_with_reason(/*force=*/transitioned || on_demand, reason);
+      refresh_gauges();
+      last_periodic = std::chrono::steady_clock::now();
+    }
     lock.lock();
   }
 }

@@ -28,6 +28,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -35,7 +36,9 @@
 #include "cdn/liveness.h"
 #include "cdn/mapping.h"
 #include "control/map_snapshot.h"
+#include "control/mapping_units.h"
 #include "obs/metrics.h"
+#include "util/shard_pool.h"
 #include "util/sim_clock.h"
 
 namespace eum::control {
@@ -51,6 +54,25 @@ struct MapMakerConfig {
   /// Registry for the eum_control_* metrics (borrowed; must outlive the
   /// map maker). nullptr gives the maker a private registry.
   obs::MetricsRegistry* registry = nullptr;
+  /// Total scoring concurrency per rebuild (workers + the rebuild thread
+  /// itself). 0 sizes to the hardware; 1 scores serially.
+  std::size_t scoring_shards = 0;
+  /// Delta rebuilds: re-score only the mapping units the liveness
+  /// transitions since the previous snapshot can affect. Exact by the
+  /// shared (score, id) ordering — the differential test pins delta
+  /// output == full-rebuild output.
+  bool incremental = true;
+  /// Latency-vector quantization for the unit partition (see
+  /// MappingUnitsConfig::epsilon_ms; 0 = exact grouping).
+  float unit_epsilon_ms = 0.0F;
+  /// How often the background thread polls the watched LivenessMonitor
+  /// between periodic rebuilds. Bounds re-map latency after a transition;
+  /// clamped to the republish interval.
+  std::chrono::milliseconds liveness_poll{5};
+  /// Test seam: runs on the rebuild thread after the snapshot is built
+  /// but before it is published — the window where a liveness transition
+  /// is too late for the built map and must survive into the next tick.
+  std::function<void()> after_build_hook;
 };
 
 /// Why a rebuild ran — kept per-reason so operators can tell a control
@@ -110,9 +132,12 @@ class MapMaker {
   /// many serving threads with no external lock.
   void install_fast_path();
 
-  /// Watch a liveness monitor (borrowed): tick() treats new transitions
+  /// Watch a liveness monitor (borrowed). tick() treats new transitions
   /// as an on-demand rebuild trigger, publishing even when the periodic
-  /// interval has not elapsed.
+  /// interval has not elapsed; the background thread (start()) drives the
+  /// monitor's probes itself and force-publishes on every transition, in
+  /// liveness_poll-bounded time. Install before start() — the monitor is
+  /// probed from the rebuild thread.
   void watch(cdn::LivenessMonitor* monitor) noexcept { monitor_ = monitor; }
 
   /// Synchronous rebuild (reason: manual). With `force` (or
@@ -149,6 +174,8 @@ class MapMaker {
   [[nodiscard]] std::uint64_t rebuilds_for(RebuildReason reason) const noexcept {
     return rebuilds_by_reason_[static_cast<std::size_t>(reason)]->value();
   }
+  /// The unit partition every snapshot of this maker scores against.
+  [[nodiscard]] const MappingUnits& units() const noexcept { return *units_; }
 
  private:
   static constexpr std::size_t kRebuildReasons = 5;
@@ -162,13 +189,20 @@ class MapMaker {
   MapMakerConfig config_;
   cdn::LivenessMonitor* monitor_ = nullptr;
   std::shared_ptr<LoadLedger> ledger_;
+  std::shared_ptr<const MappingUnits> units_;
+  std::unique_ptr<util::ShardPool> pool_;
 
   std::atomic<std::shared_ptr<const MapSnapshot>> current_;
   std::atomic<std::uint64_t> version_{0};
 
   std::mutex rebuild_mutex_;  ///< serializes rebuild_now callers
   util::SimTime last_build_{};
-  std::uint64_t transitions_seen_ = 0;
+  /// Monitor transition count already reflected in the published map.
+  /// Sampled BEFORE a build reads liveness, stored after it publishes —
+  /// a transition landing mid-build stays unseen and triggers the next
+  /// wake. Atomic: the background thread stores it while tick() callers
+  /// (other threads in tests) read it.
+  std::atomic<std::uint64_t> transitions_seen_{0};
   std::chrono::steady_clock::time_point started_at_;
   std::atomic<std::int64_t> published_wall_us_{0};  ///< since started_at_
 
@@ -186,6 +220,9 @@ class MapMaker {
   obs::Counter* rebuilds_by_reason_[kRebuildReasons];
   obs::Counter* publishes_;
   obs::Counter* publishes_skipped_;
+  obs::Counter* delta_rebuilds_;
+  obs::Counter* units_rescored_;
+  obs::Gauge* mapping_units_;
   obs::LatencyHistogram* rebuild_latency_;
 };
 

@@ -9,6 +9,26 @@
 
 namespace eum::control {
 
+namespace {
+
+/// Keep the best `k` live candidates from a scratch column. Identical
+/// ordering contract to cdn::Scoring's select_top_k — (score, id) is a
+/// total order, so full and delta scoring passes are bit-identical and a
+/// fresh all-alive unit list equals the live per-target list.
+void select_top_k(std::vector<cdn::Candidate>& scratch, std::size_t k, cdn::Candidate* out) {
+  const std::size_t keep = std::min(k, scratch.size());
+  std::partial_sort(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scratch.end(), [](const cdn::Candidate& a, const cdn::Candidate& b) {
+                      if (a.score_ms != b.score_ms) return a.score_ms < b.score_ms;
+                      return a.deployment < b.deployment;
+                    });
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = i < keep ? scratch[i] : cdn::Candidate{0, std::numeric_limits<float>::infinity()};
+  }
+}
+
+}  // namespace
+
 LoadLedger::LoadLedger(std::size_t clusters)
     : size_(clusters), loads_(std::make_unique<std::atomic<double>[]>(clusters)) {
   for (std::size_t i = 0; i < size_; ++i) loads_[i].store(0.0, std::memory_order_relaxed);
@@ -26,9 +46,25 @@ std::shared_ptr<const MapSnapshot> MapSnapshot::build(const cdn::MappingSystem& 
                                                       std::shared_ptr<LoadLedger> loads,
                                                       std::uint64_t version,
                                                       util::SimTime built_at) {
+  BuildInputs inputs;
+  inputs.units = MappingUnits::build(mapping.mesh(), MappingUnitsConfig{});
+  return build(mapping, std::move(loads), version, built_at, inputs);
+}
+
+std::shared_ptr<const MapSnapshot> MapSnapshot::build(const cdn::MappingSystem& mapping,
+                                                      std::shared_ptr<LoadLedger> loads,
+                                                      std::uint64_t version,
+                                                      util::SimTime built_at,
+                                                      const BuildInputs& inputs) {
   const cdn::CdnNetwork& network = mapping.network();
   if (loads == nullptr || loads->size() != network.size()) {
     throw std::invalid_argument{"MapSnapshot: ledger must cover every cluster"};
+  }
+  if (inputs.units == nullptr) {
+    throw std::invalid_argument{"MapSnapshot: mapping units are required"};
+  }
+  if (inputs.units->target_count() != mapping.mesh().target_count()) {
+    throw std::invalid_argument{"MapSnapshot: unit partition does not match the mesh"};
   }
 
   auto snapshot = std::shared_ptr<MapSnapshot>{new MapSnapshot};
@@ -38,12 +74,10 @@ std::shared_ptr<const MapSnapshot> MapSnapshot::build(const cdn::MappingSystem& 
   snapshot->world_ = &mapping.world();
   snapshot->mesh_ = &mapping.mesh();
   snapshot->loads_ = std::move(loads);
+  snapshot->units_ = inputs.units;
+  snapshot->top_k_ = snapshot->config_.scoring_top_k;
 
-  // Fresh scoring over the network's current liveness — the map maker's
-  // recompute step — then a frozen per-cluster serving view.
-  snapshot->scoring_ =
-      cdn::Scoring::build(mapping.world(), network, mapping.mesh(),
-                          mapping.config().scoring_top_k, mapping.config().traffic_class);
+  // Frozen per-cluster serving view of the network's current liveness.
   snapshot->clusters_.resize(network.size());
   for (const cdn::Deployment& deployment : network.deployments()) {
     Cluster& cluster = snapshot->clusters_[deployment.id];
@@ -54,7 +88,142 @@ std::shared_ptr<const MapSnapshot> MapSnapshot::build(const cdn::MappingSystem& 
       if (server.alive) cluster.servers.emplace_back(server.address);
     }
   }
+
+  const MapSnapshot* prev = inputs.previous.get();
+  const bool same_world =
+      prev != nullptr && prev->world_ == snapshot->world_ && prev->mesh_ == snapshot->mesh_;
+
+  // CANS cluster table + per-LDNS fallback targets: scores never depend
+  // on liveness (usability is applied at pick()), so the table is built
+  // once and shared by every later generation.
+  if (same_world && prev->base_scoring_ != nullptr) {
+    snapshot->base_scoring_ = prev->base_scoring_;
+  } else {
+    snapshot->base_scoring_ = std::make_shared<const cdn::Scoring>(cdn::Scoring::build(
+        mapping.world(), network, mapping.mesh(), snapshot->top_k_,
+        snapshot->config_.traffic_class, snapshot->config_.precompute_cluster_scores));
+  }
+
+  // Per-unit candidate lists over the live deployments.
+  const std::size_t n_units = inputs.units->unit_count();
+  const std::size_t n_deps = network.size();
+  const cdn::PingMesh& mesh = mapping.mesh();
+  const cdn::TrafficClass klass = snapshot->config_.traffic_class;
+  const std::size_t top_k = snapshot->top_k_;
+  snapshot->by_unit_.resize(n_units * top_k);
+
+  std::vector<char> alive(n_deps, 0);
+  for (std::size_t d = 0; d < n_deps; ++d) {
+    alive[d] = snapshot->clusters_[d].servers.empty() ? 0 : 1;
+  }
+
+  const auto score_unit = [&](std::size_t u, std::vector<cdn::Candidate>& scratch) {
+    const topo::PingTargetId rep = inputs.units->representative(
+        static_cast<MappingUnits::UnitId>(u));
+    scratch.clear();
+    for (std::size_t d = 0; d < n_deps; ++d) {
+      if (alive[d] == 0) continue;
+      scratch.push_back(cdn::Candidate{
+          static_cast<cdn::DeploymentId>(d),
+          cdn::path_score(klass, mesh.rtt_ms(d, rep), mesh.loss_rate(d, rep))});
+    }
+    select_top_k(scratch, top_k, &snapshot->by_unit_[u * top_k]);
+  };
+
+  // Shard a unit list across the pool: contiguous stripes, one scratch
+  // buffer per job (jobs outnumber workers so stripes stay balanced even
+  // when some units are costlier than others).
+  const auto score_all = [&](const std::vector<std::uint32_t>* subset) {
+    const std::size_t count = subset != nullptr ? subset->size() : n_units;
+    const auto run_range = [&](std::size_t lo, std::size_t hi) {
+      std::vector<cdn::Candidate> scratch;
+      scratch.reserve(n_deps);
+      for (std::size_t i = lo; i < hi; ++i) {
+        score_unit(subset != nullptr ? (*subset)[i] : i, scratch);
+      }
+    };
+    if (inputs.pool != nullptr && inputs.pool->worker_count() > 0 && count >= 256) {
+      const std::size_t jobs =
+          std::min(count, (inputs.pool->worker_count() + 1) * std::size_t{8});
+      const std::size_t stripe = (count + jobs - 1) / jobs;
+      inputs.pool->run(jobs, [&](std::size_t job) {
+        const std::size_t lo = job * stripe;
+        run_range(lo, std::min(lo + stripe, count));
+      });
+    } else {
+      run_range(0, count);
+    }
+  };
+
+  // Delta eligibility: the previous generation must have scored the same
+  // partition under the same scoring config.
+  const bool delta_ok =
+      same_world && prev->top_k_ == top_k && prev->config_.traffic_class == klass &&
+      prev->by_unit_.size() == snapshot->by_unit_.size() &&
+      (prev->units_ == snapshot->units_ ||
+       prev->units_->fingerprint() == snapshot->units_->fingerprint());
+
+  if (!delta_ok) {
+    score_all(nullptr);
+    snapshot->units_rescored_ = n_units;
+    return snapshot;
+  }
+
+  // Diff the liveness frontier against the previous generation: a unit's
+  // list can only change if a deployment on it died, or a revived one now
+  // ranks at least as well as its current k-th entry (conservative on
+  // score ties — re-scoring an unaffected unit is harmless, missing an
+  // affected one is not; the differential test pins this).
+  std::vector<std::uint32_t> died;
+  std::vector<std::uint32_t> revived;
+  for (std::size_t d = 0; d < n_deps; ++d) {
+    const bool was_alive = !prev->clusters_[d].servers.empty();
+    if (was_alive == (alive[d] != 0)) continue;
+    (alive[d] != 0 ? revived : died).push_back(static_cast<std::uint32_t>(d));
+  }
+  snapshot->delta_ = true;
+  snapshot->by_unit_ = prev->by_unit_;
+  if (died.empty() && revived.empty()) {
+    snapshot->units_rescored_ = 0;
+    return snapshot;
+  }
+
+  std::vector<std::uint32_t> touched;
+  for (std::size_t u = 0; u < n_units; ++u) {
+    const cdn::Candidate* row = prev->by_unit_.data() + u * top_k;
+    const cdn::Candidate& kth = row[top_k - 1];
+    bool affected = !revived.empty() && !std::isfinite(kth.score_ms);
+    if (!affected) {
+      const topo::PingTargetId rep =
+          inputs.units->representative(static_cast<MappingUnits::UnitId>(u));
+      for (const std::uint32_t d : revived) {
+        const float score = cdn::path_score(klass, mesh.rtt_ms(d, rep), mesh.loss_rate(d, rep));
+        if (score <= kth.score_ms) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (!affected) {
+      for (std::size_t i = 0; i < top_k && std::isfinite(row[i].score_ms); ++i) {
+        if (std::find(died.begin(), died.end(),
+                      static_cast<std::uint32_t>(row[i].deployment)) != died.end()) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) touched.push_back(static_cast<std::uint32_t>(u));
+  }
+  score_all(&touched);
+  snapshot->units_rescored_ = touched.size();
   return snapshot;
+}
+
+bool MapSnapshot::serving_equal(const MapSnapshot& other) const {
+  if (units_->fingerprint() != other.units_->fingerprint()) return false;
+  if (by_unit_ != other.by_unit_ || clusters_ != other.clusters_) return false;
+  return base_scoring_ == other.base_scoring_ || *base_scoring_ == *other.base_scoring_;
 }
 
 bool MapSnapshot::usable(std::size_t cluster, double load_units) const noexcept {
@@ -131,14 +300,14 @@ std::optional<cdn::MapResult> MapSnapshot::pick(std::span<const cdn::Candidate> 
 std::optional<cdn::MapResult> MapSnapshot::map_target(topo::PingTargetId target,
                                                       std::string_view domain,
                                                       double load_units) const {
-  return pick(scoring_.target_candidates(target), target, domain, load_units);
+  return pick(unit_candidates(units_->unit_of(target)), target, domain, load_units);
 }
 
 std::optional<cdn::MapResult> MapSnapshot::map_cluster(topo::LdnsId ldns,
                                                        std::string_view domain,
                                                        double load_units) const {
-  return pick(scoring_.cluster_candidates(ldns), scoring_.ldns_target(ldns), domain,
-              load_units);
+  return pick(base_scoring_->cluster_candidates(ldns), base_scoring_->ldns_target(ldns),
+              domain, load_units);
 }
 
 MapSnapshot::MapExplanation MapSnapshot::explain(topo::LdnsId ldns,
@@ -156,19 +325,21 @@ MapSnapshot::MapExplanation MapSnapshot::explain(topo::LdnsId ldns,
       if (client_block) {
         out.used_client_block = true;
         out.unit = world_->blocks.at(*client_block).ping_target;
-        candidates = scoring_.target_candidates(out.unit);
+        candidates = unit_candidates(units_->unit_of(out.unit));
         break;
       }
       [[fallthrough]];  // no ECS: degrade to NS, same as map()
     case cdn::MappingPolicy::ns_based:
       out.unit = world_->ldnses.at(ldns).ping_target;
-      candidates = scoring_.target_candidates(out.unit);
+      candidates = unit_candidates(units_->unit_of(out.unit));
       break;
     case cdn::MappingPolicy::client_aware_ns:
-      out.unit = scoring_.ldns_target(ldns);
-      candidates = scoring_.cluster_candidates(ldns);
+      out.unit = base_scoring_->ldns_target(ldns);
+      candidates = base_scoring_->cluster_candidates(ldns);
       break;
   }
+  out.mapping_unit = units_->unit_of(out.unit);
+  out.unit_size = units_->members(out.mapping_unit).size();
 
   auto view_of = [this](cdn::DeploymentId d, float score) {
     ExplainCandidate view;

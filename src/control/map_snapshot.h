@@ -3,12 +3,22 @@
 // The paper's map maker periodically recomputes cluster scores and
 // load-balancing decisions and pushes the result to the name servers.
 // A MapSnapshot is one such push: a frozen copy of everything a serving
-// thread needs to answer a mapping query — the scoring tables, the
-// per-cluster alive-server lists and capacities as of build time, and the
-// mapping policy/config. Snapshots are published through an RCU-style
+// thread needs to answer a mapping query — per-mapping-unit candidate
+// lists over the live deployments, the per-cluster alive-server lists and
+// capacities as of build time, and the mapping policy/config. Snapshots
+// are published through an RCU-style
 // `std::atomic<std::shared_ptr<const MapSnapshot>>` (see MapMaker), so
 // every query resolves against exactly one consistent map version while
 // the next one is being built, with no locks on the serving path.
+//
+// Scale structure (paper §5, "two orders of magnitude more mapping
+// units"): scoring happens per MappingUnit, not per target — one
+// representative column per group of latency-equivalent targets — and is
+// sharded across a ShardPool. When the previous snapshot is supplied, a
+// build is a *delta*: only units whose candidate lists can be affected by
+// the liveness transitions since that snapshot are re-scored; the rest
+// copy over. The liveness-independent CANS table and the unit partition
+// itself are shared across generations.
 //
 // The only mutable state a snapshot touches is the LoadLedger: a shared
 // array of per-cluster atomic load accumulators that survives republishes
@@ -25,7 +35,9 @@
 #include "cdn/mapping.h"
 #include "cdn/ping_mesh.h"
 #include "cdn/scoring.h"
+#include "control/mapping_units.h"
 #include "topo/world.h"
+#include "util/shard_pool.h"
 #include "util/sim_clock.h"
 
 namespace eum::control {
@@ -83,9 +95,22 @@ class MapSnapshot {
     cdn::MappingPolicy policy = cdn::MappingPolicy::ns_based;
     bool used_client_block = false;  ///< EU path actually took the block unit
     topo::PingTargetId unit = 0;     ///< ping target the decision scored against
+    MappingUnits::UnitId mapping_unit = 0;  ///< scoring unit of that target
+    std::size_t unit_size = 0;              ///< targets sharing the unit
     bool fallback_scan = false;      ///< chosen came from the full mesh scan
     std::vector<ExplainCandidate> candidates;
     std::optional<cdn::MapResult> result;  ///< exactly what map() returns
+  };
+
+  /// Scale machinery for a build. `units` is required; `pool` (borrowed,
+  /// may be null for serial builds) shards unit scoring; `previous`
+  /// enables the delta path — when the same unit partition and config are
+  /// shared, only units touched by the liveness transitions since
+  /// `previous` are re-scored.
+  struct BuildInputs {
+    std::shared_ptr<const MappingUnits> units;
+    util::ShardPool* pool = nullptr;
+    std::shared_ptr<const MapSnapshot> previous;
   };
 
   /// Freeze the mapping system's current scoring + liveness state. The
@@ -93,6 +118,13 @@ class MapSnapshot {
   /// after construction) and must not outlive it; `loads` is shared
   /// across generations. Reads the mutable CdnNetwork — callers must not
   /// mutate liveness concurrently with a build (see MapMaker).
+  static std::shared_ptr<const MapSnapshot> build(const cdn::MappingSystem& mapping,
+                                                  std::shared_ptr<LoadLedger> loads,
+                                                  std::uint64_t version, util::SimTime built_at,
+                                                  const BuildInputs& inputs);
+
+  /// Convenience build: a self-contained full (non-delta, serial) build
+  /// with an exact epsilon-0 unit partition derived from the mesh.
   static std::shared_ptr<const MapSnapshot> build(const cdn::MappingSystem& mapping,
                                                   std::shared_ptr<LoadLedger> loads,
                                                   std::uint64_t version,
@@ -132,16 +164,27 @@ class MapSnapshot {
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] util::SimTime built_at() const noexcept { return built_at_; }
   [[nodiscard]] const cdn::MappingConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const cdn::Scoring& scoring() const noexcept { return scoring_; }
   [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept { return clusters_; }
   [[nodiscard]] const LoadLedger& loads() const noexcept { return *loads_; }
+  [[nodiscard]] const MappingUnits& units() const noexcept { return *units_; }
+
+  /// The candidate list scored for a unit: the best top_k *live*
+  /// deployments by the representative column, (score, id)-ordered,
+  /// infinity-padded when fewer than top_k are alive.
+  [[nodiscard]] std::span<const cdn::Candidate> unit_candidates(MappingUnits::UnitId unit) const {
+    return {by_unit_.data() + static_cast<std::size_t>(unit) * top_k_, top_k_};
+  }
+
+  /// Was this build a delta (previous snapshot's tables reused)?
+  [[nodiscard]] bool delta() const noexcept { return delta_; }
+  /// Units actually re-scored by this build (== unit_count for a full build).
+  [[nodiscard]] std::size_t units_rescored() const noexcept { return units_rescored_; }
 
   /// Would this snapshot serve identically to `other`? True when the
-  /// scoring tables and frozen cluster views match — the map maker skips
-  /// publishing such rebuilds (version and build time are ignored).
-  [[nodiscard]] bool serving_equal(const MapSnapshot& other) const {
-    return scoring_ == other.scoring_ && clusters_ == other.clusters_;
-  }
+  /// unit partition, unit candidate tables, CANS tables and frozen
+  /// cluster views match — the map maker skips publishing such rebuilds
+  /// (version and build time are ignored).
+  [[nodiscard]] bool serving_equal(const MapSnapshot& other) const;
 
  private:
   MapSnapshot() = default;
@@ -155,9 +198,19 @@ class MapSnapshot {
   std::uint64_t version_ = 0;
   util::SimTime built_at_{};
   cdn::MappingConfig config_;
-  cdn::Scoring scoring_;
   const topo::World* world_ = nullptr;
   const cdn::PingMesh* mesh_ = nullptr;
+
+  std::shared_ptr<const MappingUnits> units_;
+  std::size_t top_k_ = 0;
+  std::vector<cdn::Candidate> by_unit_;  ///< unit_count x top_k, live-only
+  /// Liveness-independent CANS cluster table + per-LDNS fallback targets;
+  /// computed once and shared across generations (liveness never moves a
+  /// score, only candidate usability).
+  std::shared_ptr<const cdn::Scoring> base_scoring_;
+  bool delta_ = false;
+  std::size_t units_rescored_ = 0;
+
   std::vector<Cluster> clusters_;
   std::shared_ptr<LoadLedger> loads_;
 };

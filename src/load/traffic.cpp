@@ -30,7 +30,7 @@ LdnsPopulation LdnsPopulation::from_world(const topo::World& world,
   std::unordered_map<topo::LdnsId, std::size_t> index;
   std::vector<LdnsSource> sources;
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       auto [it, inserted] = index.try_emplace(use.ldns, sources.size());
       if (inserted) {
         const auto& ldns = world.ldnses.at(use.ldns);

@@ -19,7 +19,7 @@ stats::WeightedSample client_ldns_distance_sample(const World& world,
   sample.reserve(world.blocks.size());
   for (const ClientBlock& block : world.blocks) {
     if (filter.country && block.country != *filter.country) continue;
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       const Ldns& ldns = world.ldnses[use.ldns];
       if (filter.public_only && ldns.type != topo::LdnsType::public_site) continue;
       const double distance = geo::great_circle_miles(block.location, ldns.location);
@@ -35,7 +35,7 @@ double public_resolver_share(const World& world, std::optional<topo::CountryId> 
   for (const ClientBlock& block : world.blocks) {
     if (country && block.country != *country) continue;
     total_demand += block.demand;
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       if (world.ldnses[use.ldns].type == topo::LdnsType::public_site) {
         public_demand += block.demand * use.fraction;
       }
@@ -60,7 +60,7 @@ std::unordered_map<topo::LdnsId, ClusterStats> ldns_clusters(const World& world)
   // Gather the weighted client points behind each LDNS.
   std::unordered_map<topo::LdnsId, std::vector<geo::WeightedPoint>> members;
   for (const ClientBlock& block : world.blocks) {
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       members[use.ldns].push_back(
           geo::WeightedPoint{block.location, block.demand * use.fraction});
     }
@@ -104,7 +104,7 @@ CoverageCurve block_coverage(const World& world) {
 CoverageCurve ldns_coverage(const World& world) {
   std::unordered_map<topo::LdnsId, double> demand;
   for (const ClientBlock& block : world.blocks) {
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       demand[use.ldns] += block.demand * use.fraction;
     }
   }

@@ -37,7 +37,7 @@ double PairingResult::accuracy(const topo::World& world) const {
       ++total;
       const topo::Ldns* ldns = world.ldns_by_address(entry.address);
       if (ldns == nullptr) continue;
-      for (const topo::LdnsUse& use : block.ldns_uses) {
+      for (const topo::LdnsUse& use : world.ldns_uses(block)) {
         if (use.ldns == ldns->id) {
           ++correct;
           break;
@@ -53,7 +53,7 @@ double PairingResult::recall(const topo::World& world) const {
   std::size_t total = 0;
   for (const auto& [block_id, discovered] : by_block) {
     const topo::ClientBlock& block = world.blocks.at(block_id);
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       ++total;
       const net::IpAddr& truth = world.ldnses[use.ldns].address;
       for (const DiscoveredLdns& entry : discovered) {
@@ -116,7 +116,7 @@ PairingResult discover_client_ldns_pairs(const topo::World& world,
   for (const topo::BlockId block_id : sampled) {
     const topo::ClientBlock& block = world.blocks[block_id];
     std::vector<double> use_weights;
-    for (const topo::LdnsUse& use : block.ldns_uses) use_weights.push_back(use.fraction);
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) use_weights.push_back(use.fraction);
     const util::WeightedPicker use_picker{use_weights};
 
     std::unordered_map<std::uint32_t, int> observed;  // v4 address -> count
@@ -124,7 +124,7 @@ PairingResult discover_client_ldns_pairs(const topo::World& world,
     for (int q = 0; q < config.lookups_per_block; ++q) {
       // The stub picks whichever resolver its block uses for this lookup
       // (dual-configured stubs rotate), then digs the whoami name.
-      const topo::Ldns& ldns = world.ldnses[block.ldns_uses[use_picker.pick(rng)].ldns];
+      const topo::Ldns& ldns = world.ldnses[world.ldns_uses(block)[use_picker.pick(rng)].ldns];
       dnsserver::StubClient stub{
           &resolver_for(ldns),
           net::IpAddr{net::IpV4Addr{block.prefix.address().v4().value() +

@@ -19,7 +19,7 @@ RumSimulator::RumSimulator(const topo::World* world, cdn::MappingSystem* mapping
   }
   std::vector<double> weights;
   for (const topo::ClientBlock& block : world_->blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world_->ldns_uses(block)) {
       if (world_->ldnses[use.ldns].type == topo::LdnsType::public_site) {
         qualified_.emplace_back(block.id, use.ldns);
         weights.push_back(block.demand * use.fraction);

@@ -48,7 +48,7 @@ std::vector<DeploymentStudyRow> run_deployment_study(const topo::World& world,
   std::vector<Pair> pairs;
   std::unordered_map<std::uint32_t, std::unordered_map<topo::PingTargetId, double>> raw_clusters;
   for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       pairs.push_back(Pair{block.ping_target, use.ldns,
                            static_cast<float>(block.demand * use.fraction)});
       raw_clusters[use.ldns][block.ping_target] += block.demand * use.fraction;

@@ -49,7 +49,7 @@ std::vector<MonthlyRumVolume> rum_measurement_volumes(const topo::World& world,
   double high_demand = 0.0;
   double low_demand = 0.0;
   for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       if (world.ldnses[use.ldns].type != topo::LdnsType::public_site) continue;
       const double d = block.demand * use.fraction;
       (high_expectation[block.country] ? high_demand : low_demand) += d;

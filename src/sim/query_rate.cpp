@@ -75,7 +75,7 @@ QueryRateResult run_query_rate_study(const topo::World& world, cdn::MappingSyste
   std::unordered_map<topo::LdnsId, LdnsMembers> members;
   std::unordered_map<topo::LdnsId, double> ldns_demand;
   for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       auto& m = members[use.ldns];
       m.blocks.push_back(block.id);
       m.weights.push_back(block.demand * use.fraction);

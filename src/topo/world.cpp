@@ -1,6 +1,7 @@
 #include "topo/world.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace eum::topo {
@@ -12,9 +13,10 @@ double World::total_demand() const {
 }
 
 const Ldns& World::primary_ldns(const ClientBlock& block) const {
-  if (block.ldns_uses.empty()) throw std::logic_error{"block has no LDNS association"};
+  const std::span<const LdnsUse> uses = ldns_uses(block);
+  if (uses.empty()) throw std::logic_error{"block has no LDNS association"};
   const auto it = std::max_element(
-      block.ldns_uses.begin(), block.ldns_uses.end(),
+      uses.begin(), uses.end(),
       [](const LdnsUse& a, const LdnsUse& b) { return a.fraction < b.fraction; });
   return ldnses.at(it->ldns);
 }
@@ -22,7 +24,7 @@ const Ldns& World::primary_ldns(const ClientBlock& block) const {
 double World::public_resolver_demand() const {
   double total = 0.0;
   for (const ClientBlock& block : blocks) {
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : ldns_uses(block)) {
       if (ldnses.at(use.ldns).type == LdnsType::public_site) {
         total += block.demand * use.fraction;
       }
@@ -31,9 +33,34 @@ double World::public_resolver_demand() const {
   return total;
 }
 
+void World::assign_ldns_uses(BlockId block, std::span<const LdnsUse> uses) {
+  const std::size_t assigned = ldns_use_offsets_.size() - 1;
+  if (static_cast<std::size_t>(block) < assigned) {
+    throw std::logic_error{"assign_ldns_uses: blocks must be assigned in id order"};
+  }
+  if (ldns_use_data_.size() + uses.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::length_error{"assign_ldns_uses: association table exceeds 2^32 entries"};
+  }
+  // Skipped ids get the old end offset (an empty span); the sentinel then
+  // moves to the new end.
+  ldns_use_offsets_.resize(static_cast<std::size_t>(block) + 2,
+                           static_cast<std::uint32_t>(ldns_use_data_.size()));
+  ldns_use_data_.insert(ldns_use_data_.end(), uses.begin(), uses.end());
+  ldns_use_offsets_.back() = static_cast<std::uint32_t>(ldns_use_data_.size());
+}
+
+void World::reserve_ldns_uses(std::size_t block_count, std::size_t use_count) {
+  ldns_use_offsets_.reserve(block_count + 1);
+  ldns_use_data_.reserve(use_count);
+}
+
 const ClientBlock* World::block_by_prefix(const net::IpPrefix& prefix) const {
-  const auto it = block_index_.find(prefix);
-  return it == block_index_.end() ? nullptr : &blocks[it->second];
+  const auto it = std::lower_bound(
+      blocks_by_prefix_.begin(), blocks_by_prefix_.end(), prefix,
+      [this](BlockId id, const net::IpPrefix& key) { return blocks[id].prefix < key; });
+  if (it == blocks_by_prefix_.end() || !(blocks[*it].prefix == prefix)) return nullptr;
+  return &blocks[*it];
 }
 
 const Ldns* World::ldns_by_address(const net::IpAddr& addr) const {
@@ -42,9 +69,14 @@ const Ldns* World::ldns_by_address(const net::IpAddr& addr) const {
 }
 
 void World::build_indexes() {
-  block_index_.clear();
-  block_index_.reserve(blocks.size());
-  for (const ClientBlock& block : blocks) block_index_.emplace(block.prefix, block.id);
+  blocks_by_prefix_.resize(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    blocks_by_prefix_[i] = static_cast<BlockId>(i);
+  }
+  // Generated worlds emit blocks in increasing address order, so this is
+  // one presorted pass; hand-built worlds may be arbitrary.
+  std::sort(blocks_by_prefix_.begin(), blocks_by_prefix_.end(),
+            [this](BlockId a, BlockId b) { return blocks[a].prefix < blocks[b].prefix; });
   ldns_index_.clear();
   ldns_index_.reserve(ldnses.size());
   for (const Ldns& ldns : ldnses) {

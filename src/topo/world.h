@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,8 +101,16 @@ struct Ldns {
 struct LdnsUse {
   LdnsId ldns = 0;
   double fraction = 1.0;
+
+  friend bool operator==(const LdnsUse&, const LdnsUse&) = default;
 };
 
+/// A /24 client block. The client->LDNS association lives in the World's
+/// flattened SoA arrays (World::ldns_uses), not here: at paper scale
+/// (millions of blocks) a per-block heap vector costs a 24-byte header
+/// plus one allocation per block and scatters the association across the
+/// heap; two contiguous arrays keep a 4M-block world cache- and
+/// memory-friendly.
 struct ClientBlock {
   BlockId id = 0;
   net::IpPrefix prefix;  ///< the /24
@@ -110,7 +119,6 @@ struct ClientBlock {
   AsId as_index = 0;  ///< index into World::ases
   CityId city = 0;
   double demand = 0.0;  ///< client demand weight (traffic units)
-  std::vector<LdnsUse> ldns_uses;
   PingTargetId ping_target = 0;
 };
 
@@ -151,6 +159,30 @@ class World {
   /// Demand served through public resolvers, per the client->LDNS map.
   [[nodiscard]] double public_resolver_demand() const;
 
+  // --- client->LDNS association (flattened SoA; see ClientBlock) -------
+
+  /// The LDNS associations of a block (empty when none were assigned).
+  [[nodiscard]] std::span<const LdnsUse> ldns_uses(BlockId block) const noexcept {
+    if (static_cast<std::size_t>(block) + 1 >= ldns_use_offsets_.size()) return {};
+    return {ldns_use_data_.data() + ldns_use_offsets_[block],
+            ldns_use_offsets_[static_cast<std::size_t>(block) + 1] - ldns_use_offsets_[block]};
+  }
+  [[nodiscard]] std::span<const LdnsUse> ldns_uses(const ClientBlock& block) const noexcept {
+    return ldns_uses(block.id);
+  }
+
+  /// Assign a block's LDNS associations. Writers (the generator, the
+  /// world loader, hand-built test worlds) must assign in increasing
+  /// block-id order; skipped ids keep an empty association. Throws
+  /// std::logic_error on out-of-order assignment.
+  void assign_ldns_uses(BlockId block, std::span<const LdnsUse> uses);
+
+  /// Pre-size the association arrays (streamed generation at 1M+ blocks).
+  void reserve_ldns_uses(std::size_t block_count, std::size_t use_count);
+
+  /// Total association entries across all blocks.
+  [[nodiscard]] std::size_t ldns_use_count() const noexcept { return ldns_use_data_.size(); }
+
   /// Look up a block by /24 prefix (nullptr when absent).
   [[nodiscard]] const ClientBlock* block_by_prefix(const net::IpPrefix& prefix) const;
 
@@ -161,7 +193,16 @@ class World {
   void build_indexes();
 
  private:
-  std::unordered_map<net::IpPrefix, BlockId, net::IpPrefixHash> block_index_;
+  // Association SoA: entry i of block b lives at
+  // ldns_use_data_[ldns_use_offsets_[b] + i]. offsets has one trailing
+  // sentinel, so a block's span is [offsets[b], offsets[b+1]).
+  std::vector<std::uint32_t> ldns_use_offsets_{0};
+  std::vector<LdnsUse> ldns_use_data_;
+
+  // Blocks are looked up through a sorted permutation + binary search: an
+  // unordered_map of 4M IpPrefix keys costs hundreds of MB of node and
+  // bucket overhead, the permutation is 4 bytes per block.
+  std::vector<BlockId> blocks_by_prefix_;
   std::unordered_map<net::IpPrefix, LdnsId, net::IpPrefixHash> ldns_index_;
 };
 

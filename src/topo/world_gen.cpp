@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -168,6 +169,7 @@ World generate_world(const WorldGenConfig& config) {
     as_weights.reserve(world.ases.size());
     for (const AutonomousSystem& as : world.ases) as_weights.push_back(as.demand_share);
     const auto counts = apportion(config.target_blocks, as_weights, 1);
+    world.blocks.reserve(std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
 
     for (std::size_t ai = 0; ai < world.ases.size(); ++ai) {
       AutonomousSystem& as = world.ases[ai];
@@ -207,6 +209,11 @@ World generate_world(const WorldGenConfig& config) {
             !covering19s.back().contains(net::IpAddr{net::IpV4Addr{next_block24 << 8}})) {
           covering19s.push_back(
               net::IpPrefix{net::IpV4Addr{next_block24 << 8}, 19});
+        }
+        // The /24 counter walks 1.0.0.0 upward; past 255.255.255.0 the
+        // shift below would silently wrap into already-used space.
+        if (next_block24 > 0x00FFFFFFU) {
+          throw std::invalid_argument{"generate_world: /24 client address space exhausted"};
         }
         ClientBlock block;
         block.id = static_cast<BlockId>(world.blocks.size());
@@ -389,6 +396,8 @@ World generate_world(const WorldGenConfig& config) {
   // ---- Client -> LDNS association ---------------------------------------
   util::Rng assoc_rng = master.fork(6);
   const double mean_block_demand = 1e6 / static_cast<double>(world.blocks.size());
+  world.reserve_ldns_uses(world.blocks.size(),
+                          world.blocks.size() + world.blocks.size() / 4);
   for (ClientBlock& block : world.blocks) {
     const AutonomousSystem& as = world.ases[block.as_index];
     const CountrySpec& spec = world.countries[block.country];
@@ -441,7 +450,8 @@ World generate_world(const WorldGenConfig& config) {
       }
     }
 
-    block.ldns_uses.push_back(LdnsUse{primary, 1.0});
+    LdnsUse uses[2] = {LdnsUse{primary, 1.0}, LdnsUse{}};
+    std::size_t n_uses = 1;
     if (assoc_rng.chance(config.secondary_ldns_prob)) {
       // Dual-configured stubs: a minority of queries use a second resolver.
       // Public primaries fall back to the ISP resolver and vice versa
@@ -454,10 +464,12 @@ World generate_world(const WorldGenConfig& config) {
         secondary = pick_public();
       }
       if (secondary && *secondary != primary) {
-        block.ldns_uses[0].fraction = 0.75;
-        block.ldns_uses.push_back(LdnsUse{*secondary, 0.25});
+        uses[0].fraction = 0.75;
+        uses[1] = LdnsUse{*secondary, 0.25};
+        n_uses = 2;
       }
     }
+    world.assign_ldns_uses(block.id, std::span<const LdnsUse>{uses, n_uses});
   }
 
   // ---- Deployment universe ----------------------------------------------
@@ -492,13 +504,15 @@ World generate_world(const WorldGenConfig& config) {
   }
 
   // ---- Geo database -------------------------------------------------------
-  for (const ClientBlock& block : world.blocks) {
-    world.geodb.add(block.prefix,
-                    geo::GeoInfo{block.location, block.country, world.ases[block.as_index].asn});
-  }
-  for (const Ldns& ldns : world.ldnses) {
-    world.geodb.add(net::IpPrefix{ldns.address, ldns.address.bit_width()},
-                    geo::GeoInfo{ldns.location, ldns.country, 0});
+  if (config.build_geodb) {
+    for (const ClientBlock& block : world.blocks) {
+      world.geodb.add(block.prefix, geo::GeoInfo{block.location, block.country,
+                                                 world.ases[block.as_index].asn});
+    }
+    for (const Ldns& ldns : world.ldnses) {
+      world.geodb.add(net::IpPrefix{ldns.address, ldns.address.bit_width()},
+                      geo::GeoInfo{ldns.location, ldns.country, 0});
+    }
   }
 
   world.build_indexes();

@@ -55,6 +55,12 @@ struct WorldGenConfig {
   /// Number of centralized multinational-corporation LDNSes.
   std::size_t enterprise_ldns_count = 120;
 
+  /// Register blocks and LDNS addresses in the geo database (a per-prefix
+  /// trie node each). Paper-scale runs that never geolocate (the map-maker
+  /// scale bench) turn this off: at 4M blocks the trie dominates resident
+  /// memory. With it off, geodb lookups simply find nothing.
+  bool build_geodb = true;
+
   LatencyParams latency;
 };
 

@@ -112,8 +112,9 @@ void save_world(const World& world, std::ostream& out) {
     put_double(out, block.location.lon_deg);
     out << " " << block.country << " " << block.as_index << " " << block.city << " ";
     put_double(out, block.demand);
-    out << " " << block.ping_target << " " << block.ldns_uses.size();
-    for (const LdnsUse& use : block.ldns_uses) {
+    const std::span<const LdnsUse> uses = world.ldns_uses(block);
+    out << " " << block.ping_target << " " << uses.size();
+    for (const LdnsUse& use : uses) {
       out << " " << use.ldns << " ";
       put_double(out, use.fraction);
     }
@@ -234,6 +235,8 @@ World load_world(std::istream& in) {
 
   const std::size_t n_blocks = read_section("blocks");
   world.blocks.reserve(n_blocks);
+  world.reserve_ldns_uses(n_blocks, n_blocks + n_blocks / 4);
+  std::vector<LdnsUse> uses;
   for (std::size_t i = 0; i < n_blocks; ++i) {
     auto line = expect_line(in, "block");
     ClientBlock block;
@@ -249,13 +252,18 @@ World load_world(std::istream& in) {
     block.demand = get_double(line, "demand");
     block.ping_target = get_int<PingTargetId>(line, "target");
     const auto n_uses = get_int<std::size_t>(line, "use count");
+    uses.clear();
     for (std::size_t u = 0; u < n_uses; ++u) {
       LdnsUse use;
       use.ldns = get_int<LdnsId>(line, "use ldns");
       use.fraction = get_double(line, "use fraction");
-      block.ldns_uses.push_back(use);
+      uses.push_back(use);
     }
-    world.blocks.push_back(std::move(block));
+    if (block.id != static_cast<BlockId>(i)) {
+      throw WorldIoError{"block ids must be dense and in order"};
+    }
+    world.assign_ldns_uses(block.id, uses);
+    world.blocks.push_back(block);
   }
 
   const std::size_t n_targets = read_section("ping_targets");
@@ -290,7 +298,7 @@ World load_world(std::istream& in) {
         block.ping_target >= world.ping_targets.size()) {
       throw WorldIoError{"block references out-of-range entity"};
     }
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       if (use.ldns >= world.ldnses.size()) throw WorldIoError{"block references unknown LDNS"};
     }
   }

@@ -1,0 +1,121 @@
+#include "util/shard_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eum::util {
+
+struct ShardPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;   ///< workers wait here for a batch
+  std::condition_variable batch_done;   ///< run() waits here for completion
+  std::uint64_t generation = 0;         ///< bumped per batch (and on shutdown)
+  bool shutting_down = false;
+
+  /// Fixed before the first thread spawns; worker_loop/run compare
+  /// against this, never workers.size() — the vector is still growing
+  /// in the constructor while early workers are already parking.
+  std::size_t worker_count = 0;
+
+  // Current batch (valid while workers hold a generation observed under
+  // the mutex). next_job is claimed lock-free once the batch started.
+  std::size_t jobs = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next_job{0};
+  std::size_t idle_workers = 0;  ///< workers parked between batches
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> workers;
+
+  void drain(std::uint64_t my_generation) {
+    // Claim and run jobs until the batch is exhausted. Exceptions are
+    // captured once; later jobs still run so the batch always drains.
+    while (true) {
+      const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (job >= jobs) break;
+      try {
+        (*fn)(job);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    (void)my_generation;
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock{mutex};
+    std::uint64_t seen = 0;
+    while (true) {
+      ++idle_workers;
+      if (idle_workers == worker_count) batch_done.notify_all();
+      work_ready.wait(lock, [&] { return shutting_down || generation != seen; });
+      --idle_workers;
+      if (shutting_down) return;
+      seen = generation;
+      lock.unlock();
+      drain(seen);
+      lock.lock();
+    }
+  }
+};
+
+std::size_t ShardPool::hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+ShardPool::ShardPool(std::size_t workers) : impl_(new Impl) {
+  impl_->worker_count = workers;
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+std::size_t ShardPool::worker_count() const noexcept { return impl_->worker_count; }
+
+void ShardPool::run(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  std::uint64_t my_generation = 0;
+  {
+    std::unique_lock<std::mutex> lock{impl_->mutex};
+    // Wait for every worker to finish a previous batch before rebinding
+    // the shared batch state (run() callers may overlap only erroneously;
+    // this keeps the pool safe if they do anyway).
+    impl_->batch_done.wait(lock, [&] { return impl_->idle_workers == impl_->worker_count; });
+    impl_->jobs = jobs;
+    impl_->fn = &fn;
+    impl_->next_job.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    my_generation = ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  impl_->drain(my_generation);  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock{impl_->mutex};
+    impl_->batch_done.wait(lock, [&] { return impl_->idle_workers == impl_->worker_count; });
+    impl_->fn = nullptr;
+    error = impl_->first_error;
+    impl_->first_error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace eum::util

@@ -1,0 +1,50 @@
+// A persistent worker pool for sharded control-plane computations.
+//
+// The map maker re-scores mapping units on every rebuild; at paper scale
+// (millions of client blocks, tens of thousands of units) a single thread
+// blows the rebuild budget. ShardPool keeps a fixed set of workers alive
+// across rebuilds — spawning threads per rebuild would dominate the very
+// incremental rebuilds the pool exists to accelerate — and fans a job
+// range out with atomic work stealing. The caller participates, so a
+// zero-worker pool degenerates to a plain serial loop (tests and tiny
+// worlds pay no threading tax).
+//
+// This is control-plane machinery: run() blocks until every job finished
+// and may take locks internally. It must never be called from the serve
+// path (see scripts/lint_invariants.py SERVE_PATH_FILES).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace eum::util {
+
+class ShardPool {
+ public:
+  /// `workers` = number of extra threads, exactly; 0 makes run() a plain
+  /// serial loop on the caller. See hardware_workers() for auto-sizing.
+  explicit ShardPool(std::size_t workers = 0);
+
+  /// Worker count that saturates this machine together with the caller:
+  /// hardware_concurrency - 1 (0 on single-core machines).
+  [[nodiscard]] static std::size_t hardware_workers() noexcept;
+  ~ShardPool();
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Run fn(i) for every i in [0, jobs). Blocks until all jobs complete;
+  /// the calling thread claims jobs alongside the workers. If any fn
+  /// throws, the first exception is rethrown here after the batch drains
+  /// (remaining jobs still run — partial results must stay consistent).
+  /// Not reentrant: one run() at a time per pool.
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+  /// Worker threads (excluding the caller).
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace eum::util

@@ -6,6 +6,7 @@
 // for that window so figure harnesses can label series with real dates.
 #pragma once
 
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -65,17 +66,28 @@ struct Date {
 [[nodiscard]] std::string month_name(int month);
 
 /// A mutable simulation clock shared by simulation components.
+///
+/// Reads and writes are individually atomic (relaxed): a test thread may
+/// advance simulated time while the map maker's rebuild thread samples it.
+/// There is no cross-thread ordering guarantee beyond the value itself —
+/// the clock carries time, not synchronization.
 class SimClock {
  public:
   SimClock() = default;
-  constexpr explicit SimClock(SimTime start) noexcept : now_(start) {}
+  explicit SimClock(SimTime start) noexcept : now_(start.seconds()) {}
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
 
-  [[nodiscard]] constexpr SimTime now() const noexcept { return now_; }
-  constexpr void advance(std::int64_t seconds) noexcept { now_ += seconds; }
-  constexpr void set(SimTime t) noexcept { now_ = t; }
+  [[nodiscard]] SimTime now() const noexcept {
+    return SimTime{now_.load(std::memory_order_relaxed)};
+  }
+  void advance(std::int64_t seconds) noexcept {
+    now_.fetch_add(seconds, std::memory_order_relaxed);
+  }
+  void set(SimTime t) noexcept { now_.store(t.seconds(), std::memory_order_relaxed); }
 
  private:
-  SimTime now_{};
+  std::atomic<std::int64_t> now_{0};
 };
 
 }  // namespace eum::util

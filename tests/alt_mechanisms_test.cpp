@@ -18,7 +18,7 @@ struct MechanismFixture : ::testing::Test {
     // mechanisms differ the most.
     const auto& world = tiny_world();
     for (const auto& b : world.blocks) {
-      for (const auto& use : b.ldns_uses) {
+      for (const auto& use : world.ldns_uses(b)) {
         const auto& l = world.ldnses[use.ldns];
         if (l.type == topo::LdnsType::public_site &&
             geo::great_circle_miles(b.location, l.location) > 2500.0) {

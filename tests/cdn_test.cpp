@@ -131,7 +131,7 @@ TEST(Scoring, ClusterCandidatesFavorClientCentroid) {
   // Find the busiest LDNS and its members.
   std::unordered_map<topo::LdnsId, std::unordered_map<topo::PingTargetId, double>> members;
   for (const topo::ClientBlock& block : world.blocks) {
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       members[use.ldns][block.ping_target] += block.demand * use.fraction;
     }
   }

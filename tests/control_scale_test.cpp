@@ -1,0 +1,404 @@
+// Scale machinery of the map-making control plane: the ShardPool worker
+// pool, the latency-vector MappingUnits partition, the delta-rebuild path
+// (differentially pinned against full rebuilds), and the two liveness
+// regression suites — the background thread that must notice a watched
+// monitor, and the mid-build transition that must survive to the next
+// tick. ShardedConcurrency runs under TSan via scripts/tsan_check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cdn/liveness.h"
+#include "cdn/mapping.h"
+#include "cdn/ping_mesh.h"
+#include "control/map_maker.h"
+#include "control/map_snapshot.h"
+#include "control/mapping_units.h"
+#include "test_world.h"
+#include "util/shard_pool.h"
+#include "util/sim_clock.h"
+
+namespace eum::control {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::test_latency;
+using testing::tiny_world;
+
+// ---------------------------------------------------------------------------
+// ShardPool
+
+TEST(ShardPool, EveryJobRunsExactlyOnce) {
+  util::ShardPool pool{3};
+  EXPECT_EQ(pool.worker_count(), 3U);
+  constexpr std::size_t kJobs = 1000;
+  std::vector<std::atomic<int>> runs(kJobs);
+  pool.run(kJobs, [&](std::size_t job) { runs[job].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(runs[i].load(std::memory_order_relaxed), 1) << "job " << i;
+  }
+}
+
+TEST(ShardPool, ZeroWorkersRunsOnTheCaller) {
+  util::ShardPool pool{0};
+  EXPECT_EQ(pool.worker_count(), 0U);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.run(64, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 64U);
+}
+
+TEST(ShardPool, ExceptionPropagatesAndPoolStaysUsable) {
+  util::ShardPool pool{2};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(100,
+                        [&](std::size_t job) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (job == 42) throw std::runtime_error{"shard failed"};
+                        }),
+               std::runtime_error);
+  // The batch drains even past the failure, and the pool survives it.
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 100);
+  std::atomic<int> again{0};
+  pool.run(50, [&](std::size_t) { again.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(again.load(std::memory_order_relaxed), 50);
+}
+
+TEST(ShardPool, ReusableAcrossManyBatches) {
+  util::ShardPool pool{2};
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.run(10, [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(std::memory_order_relaxed), 200U);
+}
+
+// ---------------------------------------------------------------------------
+// MappingUnits
+
+struct UnitsFixture {
+  const topo::World& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 40);
+  cdn::PingMesh mesh = cdn::PingMesh::measure(world, network, test_latency());
+};
+
+TEST(MappingUnits, DeterministicAcrossRebuilds) {
+  UnitsFixture fx;
+  const auto a = MappingUnits::build(fx.mesh);
+  const auto b = MappingUnits::build(fx.mesh);
+  ASSERT_EQ(a->unit_count(), b->unit_count());
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+  for (std::size_t t = 0; t < a->target_count(); ++t) {
+    ASSERT_EQ(a->unit_of(static_cast<topo::PingTargetId>(t)),
+              b->unit_of(static_cast<topo::PingTargetId>(t)));
+  }
+}
+
+TEST(MappingUnits, PartitionCoversEveryTargetOnce) {
+  UnitsFixture fx;
+  const auto units = MappingUnits::build(fx.mesh);
+  ASSERT_GE(units->unit_count(), 1U);
+  ASSERT_EQ(units->target_count(), fx.mesh.target_count());
+  std::vector<int> seen(units->target_count(), 0);
+  for (std::size_t u = 0; u < units->unit_count(); ++u) {
+    const auto unit = static_cast<MappingUnits::UnitId>(u);
+    const auto members = units->members(unit);
+    ASSERT_FALSE(members.empty());
+    EXPECT_EQ(units->representative(unit), members.front());
+    for (const topo::PingTargetId target : members) {
+      EXPECT_EQ(units->unit_of(target), unit);
+      ++seen[target];
+    }
+  }
+  for (std::size_t t = 0; t < seen.size(); ++t) EXPECT_EQ(seen[t], 1) << "target " << t;
+}
+
+TEST(MappingUnits, ExactModeGroupsOnlyIdenticalColumns) {
+  UnitsFixture fx;
+  const auto units = MappingUnits::build(fx.mesh);  // epsilon 0
+  for (std::size_t u = 0; u < units->unit_count(); ++u) {
+    const auto unit = static_cast<MappingUnits::UnitId>(u);
+    const topo::PingTargetId rep = units->representative(unit);
+    for (const topo::PingTargetId member : units->members(unit)) {
+      for (std::size_t d = 0; d < fx.mesh.deployment_count(); ++d) {
+        ASSERT_EQ(fx.mesh.rtt_ms(d, member), fx.mesh.rtt_ms(d, rep))
+            << "unit " << u << " member " << member;
+        ASSERT_EQ(fx.mesh.loss_rate(d, member), fx.mesh.loss_rate(d, rep));
+      }
+    }
+  }
+}
+
+TEST(MappingUnits, LargerEpsilonNeverSplitsFiner) {
+  UnitsFixture fx;
+  const auto exact = MappingUnits::build(fx.mesh);
+  const auto coarse = MappingUnits::build(fx.mesh, MappingUnitsConfig{50.0F});
+  EXPECT_LE(coarse->unit_count(), exact->unit_count());
+  EXPECT_GE(coarse->unit_count(), 1U);
+}
+
+TEST(MappingUnits, RejectsBadEpsilon) {
+  UnitsFixture fx;
+  EXPECT_THROW(MappingUnits::build(fx.mesh, MappingUnitsConfig{-1.0F}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Delta rebuilds: incremental output is pinned to full-rebuild output
+// across a liveness flap sequence (kill, partial server kill, revive,
+// multi-kill) — the serving-equality contract of ISSUE 9's tentpole.
+
+struct DeltaFixture {
+  const topo::World& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 40);
+  cdn::MappingSystem mapping{&world, &network, &test_latency(), cdn::MappingConfig{}};
+};
+
+TEST(DeltaRebuild, IncrementalEqualsFullAcrossFlapSequence) {
+  DeltaFixture fx;
+  MapMakerConfig inc_config;
+  inc_config.incremental = true;
+  inc_config.scoring_shards = 3;
+  MapMakerConfig full_config;
+  full_config.incremental = false;
+  full_config.scoring_shards = 1;
+  MapMaker incremental{&fx.mapping, nullptr, inc_config};
+  MapMaker full{&fx.mapping, nullptr, full_config};
+
+  const auto compare = [&](const char* step) {
+    const auto inc_snapshot = incremental.rebuild_now(true);
+    const auto full_snapshot = full.rebuild_now(true);
+    ASSERT_TRUE(inc_snapshot->serving_equal(*full_snapshot)) << step;
+    EXPECT_FALSE(full_snapshot->delta()) << step;
+    for (topo::LdnsId ldns = 0; ldns < 15; ++ldns) {
+      const std::optional<topo::BlockId> block =
+          ldns % 2 == 0 ? std::optional<topo::BlockId>{ldns * 11} : std::nullopt;
+      const auto a = inc_snapshot->map(ldns, block, "www.g.cdn.example");
+      const auto b = full_snapshot->map(ldns, block, "www.g.cdn.example");
+      ASSERT_EQ(a.has_value(), b.has_value()) << step;
+      if (!a) continue;
+      EXPECT_EQ(a->deployment, b->deployment) << step;
+      EXPECT_EQ(a->servers, b->servers) << step;
+    }
+  };
+
+  compare("fresh");
+
+  // An unchanged rebuild re-scores nothing on the delta path.
+  const auto idle = incremental.rebuild_now(true);
+  EXPECT_TRUE(idle->delta());
+  EXPECT_EQ(idle->units_rescored(), 0U);
+
+  fx.network.set_cluster_alive(3, false);
+  compare("kill cluster 3");
+  const auto after_kill = incremental.current();
+  EXPECT_TRUE(after_kill->delta());
+  EXPECT_LE(after_kill->units_rescored(), after_kill->units().unit_count());
+
+  fx.network.set_server_alive(5, 0, false);  // partial: cluster 5 stays up
+  compare("kill one server of cluster 5");
+
+  fx.network.set_cluster_alive(3, true);
+  compare("revive cluster 3");
+
+  fx.network.set_cluster_alive(7, false);
+  fx.network.set_cluster_alive(11, false);
+  compare("kill clusters 7 and 11 together");
+
+  fx.network.set_cluster_alive(7, true);
+  fx.network.set_cluster_alive(11, true);
+  fx.network.set_server_alive(5, 0, true);
+  compare("revive everything");
+}
+
+TEST(DeltaRebuild, SnapshotExposesTheUnitPartition) {
+  DeltaFixture fx;
+  MapMaker maker{&fx.mapping};
+  const auto snapshot = maker.current();
+  EXPECT_EQ(snapshot->units().fingerprint(), maker.units().fingerprint());
+  EXPECT_EQ(snapshot->units_rescored(), maker.units().unit_count());
+  EXPECT_FALSE(snapshot->delta());  // first build is always full
+  // Unit candidates are live-only and (score, id)-ordered.
+  for (std::size_t u = 0; u < maker.units().unit_count(); ++u) {
+    const auto candidates =
+        snapshot->unit_candidates(static_cast<MappingUnits::UnitId>(u));
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (!std::isfinite(candidates[i].score_ms)) break;
+      const bool ordered =
+          candidates[i - 1].score_ms < candidates[i].score_ms ||
+          (candidates[i - 1].score_ms == candidates[i].score_ms &&
+           candidates[i - 1].deployment < candidates[i].deployment);
+      ASSERT_TRUE(ordered) << "unit " << u << " slot " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness regressions (the two bugs of ISSUE 9)
+
+struct LivenessFixture {
+  const topo::World& world = tiny_world();
+  cdn::CdnNetwork network = cdn::CdnNetwork::build(world, 30);
+  cdn::MappingSystem mapping{&world, &network, &test_latency(), cdn::MappingConfig{}};
+};
+
+// Headline bug: a MapMaker driven by start() (background-thread mode)
+// never consulted its watched LivenessMonitor, so a cluster death was
+// only routed around at the next periodic rebuild — here pushed out to
+// ~forever. The fixed loop probes the monitor every liveness_poll and
+// force-publishes on a transition.
+TEST(MapMakerLiveness, BackgroundThreadRemapsAfterClusterDeath) {
+  LivenessFixture fx;
+  util::SimClock clock;
+  std::atomic<cdn::DeploymentId> victim{0};
+  std::atomic<bool> victim_healthy{true};
+  cdn::LivenessMonitor monitor{
+      &fx.network, &clock, [&](cdn::DeploymentId id, std::size_t) {
+        return id != victim.load(std::memory_order_acquire) ||
+               victim_healthy.load(std::memory_order_acquire);
+      }};
+
+  MapMakerConfig config;
+  config.rescore_interval_s = 1'000'000;  // periodic rebuilds out of the picture
+  config.liveness_poll = 1ms;
+  MapMaker maker{&fx.mapping, &clock, config};
+  maker.watch(&monitor);
+
+  const auto initial = maker.current()->map(0, std::nullopt, "www.g.cdn.example");
+  ASSERT_TRUE(initial.has_value());
+  victim.store(initial->deployment, std::memory_order_release);
+
+  maker.start(1h);  // only the monitor can trigger a rebuild now
+  const auto flipped_at = std::chrono::steady_clock::now();
+  victim_healthy.store(false, std::memory_order_release);
+  // Advance simulated time so the monitor's probes come due (probe
+  // interval 2s x down threshold 3); the rebuild thread runs the probes.
+  const auto deadline = flipped_at + 10s;
+  while (maker.rebuilds_for(RebuildReason::liveness) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    clock.advance(2);
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto detected_at = std::chrono::steady_clock::now();
+  maker.stop();
+
+  ASSERT_GE(maker.rebuilds_for(RebuildReason::liveness), 1U)
+      << "background thread never reacted to the liveness transition";
+  // Bound the re-map latency: well under the 10s deadline even under
+  // sanitizer overhead (the poll slice is 1ms; probes were due within a
+  // few advances).
+  EXPECT_LT(detected_at - flipped_at, 5s);
+  const auto snapshot = maker.current();
+  const cdn::DeploymentId dead = victim.load(std::memory_order_acquire);
+  EXPECT_TRUE(snapshot->clusters()[dead].servers.empty());
+  const auto remapped = snapshot->map(0, std::nullopt, "www.g.cdn.example");
+  ASSERT_TRUE(remapped.has_value());
+  EXPECT_NE(remapped->deployment, dead);
+}
+
+// Second bug: rebuild_with_reason recorded the transition counter AFTER
+// the build sampled liveness. A transition landing between scoring and
+// publish was marked "seen" without ever being scored, so the next tick
+// did not rebuild and the dead cluster kept serving until the periodic
+// interval. The after_build_hook is the injection seam for exactly that
+// window.
+TEST(MapMakerLiveness, MidBuildTransitionSurvivesToTheNextTick) {
+  LivenessFixture fx;
+  util::SimClock clock;
+  std::atomic<bool> cluster0_healthy{true};
+  cdn::LivenessMonitor monitor{&fx.network, &clock,
+                               [&](cdn::DeploymentId id, std::size_t) {
+                                 return id != 0 ||
+                                        cluster0_healthy.load(std::memory_order_acquire);
+                               }};
+
+  std::atomic<bool> armed{false};
+  cdn::LivenessMonitor* monitor_ptr = &monitor;
+  MapMakerConfig config;
+  config.rescore_interval_s = 1'000'000;
+  config.after_build_hook = [&] {
+    if (!armed.exchange(false, std::memory_order_acq_rel)) return;
+    // The build has read liveness; kill cluster 0 in the window before
+    // the maker records what it has seen.
+    cluster0_healthy.store(false, std::memory_order_release);
+    for (int i = 0; i < 3; ++i) {
+      clock.advance(2);
+      (void)monitor_ptr->tick();
+    }
+  };
+  MapMaker maker{&fx.mapping, &clock, config};
+  maker.watch(&monitor);
+  ASSERT_FALSE(maker.tick());
+
+  armed.store(true, std::memory_order_release);
+  const auto built = maker.rebuild_now(true);
+  // The transition landed after scoring: this snapshot must still carry
+  // the old liveness...
+  EXPECT_FALSE(built->clusters()[0].servers.empty());
+  ASSERT_GT(monitor.transitions(), 0U);
+  // ...and the very next tick must treat it as unseen and republish.
+  EXPECT_TRUE(maker.tick()) << "mid-build transition was lost";
+  EXPECT_GE(maker.rebuilds_for(RebuildReason::liveness), 1U);
+  EXPECT_TRUE(maker.current()->clusters()[0].servers.empty());
+}
+
+// ---------------------------------------------------------------------------
+// TSan-gated: sharded scoring in the background thread racing
+// request_rebuild(), oracle flips, and lock-free readers.
+
+TEST(ShardedConcurrency, PoolScoringRacesRequestsAndReaders) {
+  LivenessFixture fx;
+  util::SimClock clock;
+  std::atomic<bool> cluster0_healthy{true};
+  cdn::LivenessMonitor monitor{&fx.network, &clock,
+                               [&](cdn::DeploymentId id, std::size_t) {
+                                 return id != 0 ||
+                                        cluster0_healthy.load(std::memory_order_acquire);
+                               }};
+  MapMakerConfig config;
+  config.rescore_interval_s = 1'000'000;
+  config.scoring_shards = 4;
+  config.publish_unchanged = true;
+  config.liveness_poll = 1ms;
+  MapMaker maker{&fx.mapping, &clock, config};
+  maker.watch(&monitor);
+  maker.start(2ms);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper{[&] {
+    bool healthy = true;
+    while (!stop.load(std::memory_order_relaxed)) {
+      healthy = !healthy;
+      cluster0_healthy.store(healthy, std::memory_order_release);
+      clock.advance(2);
+      std::this_thread::sleep_for(1ms);
+    }
+  }};
+
+  std::uint64_t served = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 10 == 0) maker.request_rebuild();
+    const auto snapshot = maker.current();
+    const auto ldns = static_cast<topo::LdnsId>(i % fx.world.ldnses.size());
+    if (snapshot->map(ldns, std::nullopt, "www.g.cdn.example")) ++served;
+    std::this_thread::sleep_for(500us);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  maker.stop();
+  EXPECT_GT(served, 0U);
+  EXPECT_GE(maker.version(), 2U);  // republishes really happened
+}
+
+}  // namespace
+}  // namespace eum::control

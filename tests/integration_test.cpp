@@ -74,7 +74,7 @@ TEST_F(PipelineFixture, EcsImprovesMappingForDistantPublicClients) {
   int count = 0;
   for (const topo::ClientBlock& block : world.blocks) {
     if (count >= 25) break;
-    for (const topo::LdnsUse& use : block.ldns_uses) {
+    for (const topo::LdnsUse& use : world.ldns_uses(block)) {
       const topo::Ldns& ldns = world.ldnses[use.ldns];
       if (ldns.type != topo::LdnsType::public_site) continue;
       if (geo::great_circle_miles(block.location, ldns.location) < 2000.0) continue;
@@ -106,7 +106,7 @@ TEST_F(PipelineFixture, ScopedAnswersCachePerBlockAtTheResolver) {
     if (ldns.type != topo::LdnsType::public_site) continue;
     its_blocks.clear();
     for (const topo::ClientBlock& block : world.blocks) {
-      for (const topo::LdnsUse& use : block.ldns_uses) {
+      for (const topo::LdnsUse& use : world.ldns_uses(block)) {
         if (use.ldns == ldns.id) its_blocks.push_back(&block);
       }
       if (its_blocks.size() >= 2) break;

@@ -20,7 +20,7 @@ using topo::LdnsUse;
 std::pair<const ClientBlock*, const Ldns*> far_public_pair(const topo::World& world,
                                                            double min_miles) {
   for (const ClientBlock& block : world.blocks) {
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       const Ldns& ldns = world.ldnses[use.ldns];
       if (ldns.type == topo::LdnsType::public_site &&
           geo::great_circle_miles(block.location, ldns.location) > min_miles) {

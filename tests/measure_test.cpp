@@ -122,7 +122,7 @@ TEST(Analysis, LdnsClustersCoverAllUsedLdns) {
   const auto clusters = ldns_clusters(world);
   std::set<topo::LdnsId> used;
   for (const topo::ClientBlock& b : world.blocks) {
-    for (const topo::LdnsUse& use : b.ldns_uses) used.insert(use.ldns);
+    for (const topo::LdnsUse& use : world.ldns_uses(b)) used.insert(use.ldns);
   }
   EXPECT_EQ(clusters.size(), used.size());
   double demand_sum = 0.0;

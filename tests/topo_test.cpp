@@ -46,7 +46,7 @@ TEST(WorldGen, Deterministic) {
   for (std::size_t i = 0; i < a.blocks.size(); ++i) {
     EXPECT_EQ(a.blocks[i].prefix, b.blocks[i].prefix);
     EXPECT_DOUBLE_EQ(a.blocks[i].demand, b.blocks[i].demand);
-    EXPECT_EQ(a.blocks[i].ldns_uses.size(), b.blocks[i].ldns_uses.size());
+    EXPECT_EQ(a.ldns_uses(a.blocks[i]).size(), b.ldns_uses(b.blocks[i]).size());
   }
   EXPECT_EQ(a.ldnses.size(), b.ldnses.size());
 }
@@ -86,9 +86,9 @@ TEST(WorldGen, BlockInvariants) {
     EXPECT_TRUE(prefixes.insert(block.prefix.address().v4().value()).second)
         << "duplicate prefix " << block.prefix.to_string();
     EXPECT_GT(block.demand, 0.0);
-    ASSERT_FALSE(block.ldns_uses.empty());
+    ASSERT_FALSE(world.ldns_uses(block).empty());
     double fraction_sum = 0.0;
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       EXPECT_LT(use.ldns, world.ldnses.size());
       fraction_sum += use.fraction;
     }
@@ -153,8 +153,8 @@ TEST(WorldGen, PrimaryLdnsIsHighestFraction) {
   const World& world = small_world();
   for (const ClientBlock& block : world.blocks) {
     const Ldns& primary = world.primary_ldns(block);
-    for (const LdnsUse& use : block.ldns_uses) {
-      EXPECT_GE(block.ldns_uses.front().fraction + 1e-12, use.fraction);
+    for (const LdnsUse& use : world.ldns_uses(block)) {
+      EXPECT_GE(world.ldns_uses(block).front().fraction + 1e-12, use.fraction);
     }
     (void)primary;
   }
@@ -228,7 +228,7 @@ TEST(WorldCalibration, SmallAsesHaveLargerClientLdnsDistances) {
     (i < cut ? big_set : small_set).insert(by_demand[i].second);
   }
   for (const ClientBlock& block : world.blocks) {
-    for (const LdnsUse& use : block.ldns_uses) {
+    for (const LdnsUse& use : world.ldns_uses(block)) {
       const double distance = geo::great_circle_miles(
           block.location, world.ldnses[use.ldns].location);
       if (big_set.contains(block.as_index)) {
@@ -357,6 +357,37 @@ TEST(Anycast, RejectsEmptySiteList) {
   util::Rng rng{5};
   EXPECT_THROW((void)anycast_select({}, geo::GeoPoint{}, test_latency(), 0.0, rng),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The columnar LDNS-association store (offsets + payload instead of a
+// heap vector per block) enforces in-order assignment and pads gaps.
+
+TEST(WorldSoA, AssignmentsMustArriveInBlockIdOrder) {
+  World world;
+  const LdnsUse use{0, 1.0};
+  world.assign_ldns_uses(5, std::span<const LdnsUse>{&use, 1});
+  EXPECT_THROW(world.assign_ldns_uses(3, std::span<const LdnsUse>{&use, 1}),
+               std::logic_error);
+  EXPECT_THROW(world.assign_ldns_uses(5, std::span<const LdnsUse>{&use, 1}),
+               std::logic_error);
+}
+
+TEST(WorldSoA, GapBlocksReadAsEmptySpans) {
+  World world;
+  const LdnsUse first{1, 0.25};
+  const LdnsUse later[] = {{2, 0.5}, {3, 0.5}};
+  world.assign_ldns_uses(0, std::span<const LdnsUse>{&first, 1});
+  world.assign_ldns_uses(4, std::span<const LdnsUse>{later, 2});
+  ASSERT_EQ(world.ldns_uses(0).size(), 1U);
+  EXPECT_EQ(world.ldns_uses(0).front().ldns, 1U);
+  for (BlockId gap = 1; gap < 4; ++gap) {
+    EXPECT_TRUE(world.ldns_uses(gap).empty()) << "block " << gap;
+  }
+  ASSERT_EQ(world.ldns_uses(4).size(), 2U);
+  EXPECT_EQ(world.ldns_uses(4).back().ldns, 3U);
+  // Blocks past the last assignment also read as empty, not UB.
+  EXPECT_TRUE(world.ldns_uses(9).empty());
 }
 
 }  // namespace

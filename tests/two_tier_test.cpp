@@ -80,7 +80,7 @@ TEST_F(TwoTierFixture, DelegationFollowsEcsUnderEndUserPolicy) {
   const topo::Ldns* public_ldns = nullptr;
   const topo::ClientBlock* far_block = nullptr;
   for (const auto& block : world.blocks) {
-    for (const auto& use : block.ldns_uses) {
+    for (const auto& use : world.ldns_uses(block)) {
       const auto& l = world.ldnses[use.ldns];
       if (l.type == topo::LdnsType::public_site &&
           geo::great_circle_miles(block.location, l.location) > 2500.0) {

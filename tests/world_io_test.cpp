@@ -32,10 +32,12 @@ TEST(WorldIo, RoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(a.demand, b.demand);  // hexfloat: bit-exact
     EXPECT_DOUBLE_EQ(a.location.lat_deg, b.location.lat_deg);
     EXPECT_EQ(a.as_index, b.as_index);
-    ASSERT_EQ(a.ldns_uses.size(), b.ldns_uses.size());
-    for (std::size_t u = 0; u < a.ldns_uses.size(); ++u) {
-      EXPECT_EQ(a.ldns_uses[u].ldns, b.ldns_uses[u].ldns);
-      EXPECT_DOUBLE_EQ(a.ldns_uses[u].fraction, b.ldns_uses[u].fraction);
+    const auto a_uses = original.ldns_uses(a);
+    const auto b_uses = loaded.ldns_uses(b);
+    ASSERT_EQ(a_uses.size(), b_uses.size());
+    for (std::size_t u = 0; u < a_uses.size(); ++u) {
+      EXPECT_EQ(a_uses[u].ldns, b_uses[u].ldns);
+      EXPECT_DOUBLE_EQ(a_uses[u].fraction, b_uses[u].fraction);
     }
   }
   for (std::size_t i = 0; i < original.ldnses.size(); ++i) {
