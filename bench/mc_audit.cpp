@@ -1,0 +1,57 @@
+// mc_audit: run the lock-free protocol model-check suite and the
+// memory-order minimality audit, and emit AUDIT_memory_orders.json
+// (schema-checked by scripts/check_bench_artifact.py, gated in
+// scripts/check.sh's [mc] step).
+//
+// Usage: mc_audit [output.json]
+//   No argument writes the JSON to stdout. Exit code 0 iff the audit is
+//   clean: baselines pass, every mutation is caught, and every site is
+//   load_bearing or minimal.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "mc/audit.h"
+
+int main(int argc, char** argv) {
+  const eum::mc::AuditReport report = eum::mc::run_audit();
+  const std::string json = eum::mc::to_json(report);
+
+  if (argc > 1) {
+    std::ofstream out{argv[1]};
+    if (!out) {
+      std::cerr << "mc_audit: cannot open " << argv[1] << " for writing\n";
+      return 2;
+    }
+    out << json;
+  } else {
+    std::cout << json;
+  }
+
+  std::size_t load_bearing = 0;
+  std::size_t minimal = 0;
+  for (const auto& site : report.sites) {
+    if (site.verdict == "load_bearing") ++load_bearing;
+    if (site.verdict == "minimal") ++minimal;
+  }
+  std::uint64_t executions = 0;
+  for (const auto& check : report.checks) executions += check.executions;
+  std::fprintf(stderr,
+               "mc_audit: %zu scenarios (%llu executions at shipped orders), "
+               "%zu/%zu mutations caught, sites: %zu load_bearing / %zu minimal / %zu total\n",
+               report.checks.size(), static_cast<unsigned long long>(executions),
+               report.mutation_results.size() -
+                   static_cast<std::size_t>(
+                       std::count_if(report.mutation_results.begin(),
+                                     report.mutation_results.end(),
+                                     [](const auto& m) { return !m.caught; })),
+               report.mutation_results.size(), load_bearing, minimal, report.sites.size());
+  for (const auto& problem : report.problems) {
+    std::fprintf(stderr, "mc_audit: PROBLEM: %s\n", problem.c_str());
+  }
+  return report.ok ? 0 : 1;
+}

@@ -7,9 +7,12 @@
 #                         open-loop curve shape + SLO gate)
 #   3. tier-1           — configure + build + ctest (includes the fuzz
 #                         corpus replays and the linter self-test)
-#   4. clang-tidy       — incremental, files changed vs origin/main
+#   4. mc               — scripts/mc_check.sh: exhaustive model check of
+#                         the lock-free kernels + the memory-order
+#                         minimality audit (AUDIT_memory_orders.json)
+#   5. clang-tidy       — incremental, files changed vs origin/main
 #                         (skips with a notice when clang-tidy is absent)
-#   5. TSan             — concurrent DNS serve paths under ThreadSanitizer
+#   6. TSan             — concurrent DNS serve paths under ThreadSanitizer
 #
 # Each gate prints a named PASS/FAIL summary line; the first failure
 # stops the run with that gate's status.
@@ -43,6 +46,7 @@ tier1() {
 run_gate "invariant-lint" python3 scripts/lint_invariants.py
 run_gate "bench-artifact" python3 scripts/check_bench_artifact.py
 run_gate "tier-1" tier1
+run_gate "mc" scripts/mc_check.sh "$BUILD"
 run_gate "clang-tidy" scripts/tidy_check.sh --changed
 run_gate "tsan" scripts/tsan_check.sh
 

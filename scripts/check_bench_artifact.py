@@ -34,6 +34,18 @@ loadgen (open-loop, BENCH_loadgen.json)
 - "open_vs_closed" reports the coordinated-omission comparison arm:
   matched_qps and both p999s positive, delta and ratio present.
 
+mc_audit (model check + memory-order audit, AUDIT_memory_orders.json)
+---------------------------------------------------------------------
+- "ok" is true and "problems" is empty — the audit gate itself passed;
+- "checks" lists >= 5 protocol scenarios, every one ok with >= 2
+  executions (an exhaustive pass that ran once explored nothing);
+- "mutations" lists >= 5 deliberately-broken variants, every one caught
+  with a non-empty replayable trace;
+- "sites" covers every kernel site: verdict is "load_bearing" (every
+  one-step weakening has a violated=true entry with a non-empty trace)
+  or "minimal" (the site already runs relaxed, no weakenings). Any
+  "over_strong"/"unknown" verdict is a problem by construction.
+
 mapmaker (rebuild scale, BENCH_mapmaker.json)
 ---------------------------------------------
 - "arms" is a non-empty list; every arm carries blocks/targets/units/
@@ -221,10 +233,93 @@ def check_mapmaker(doc: dict) -> None:
                     f"({full_ms} ms)")
 
 
+def check_mc_audit(doc: dict) -> None:
+    if doc.get("ok") is not True:
+        problem("ok must be true — the model-check/audit gate failed")
+    problems = doc.get("problems")
+    if not isinstance(problems, list):
+        problem("problems is missing")
+    elif problems:
+        problem(f"problems is non-empty: {problems[:3]}")
+
+    checks = doc.get("checks")
+    if not isinstance(checks, list) or len(checks) < 5:
+        got = len(checks) if isinstance(checks, list) else checks
+        problem(f"checks must list >= 5 protocol scenarios (got {got!r})")
+        checks = []
+    for i, check in enumerate(checks):
+        where = f"checks[{i}]"
+        if not isinstance(check, dict):
+            problem(f"{where} is not an object")
+            continue
+        if not isinstance(check.get("name"), str) or not check.get("name"):
+            problem(f"{where}.name is missing")
+        if check.get("ok") is not True:
+            problem(f"{where} ({check.get('name')}): scenario did not pass")
+        require_number(check, "executions", where, lo=2)
+
+    mutations = doc.get("mutations")
+    if not isinstance(mutations, list) or len(mutations) < 5:
+        got = len(mutations) if isinstance(mutations, list) else mutations
+        problem(f"mutations must list >= 5 broken variants (got {got!r})")
+        mutations = []
+    for i, mutation in enumerate(mutations):
+        where = f"mutations[{i}]"
+        if not isinstance(mutation, dict):
+            problem(f"{where} is not an object")
+            continue
+        name = mutation.get("name")
+        if mutation.get("caught") is not True:
+            problem(f"{where} ({name}): broken variant was NOT caught")
+        elif not (isinstance(mutation.get("trace"), str) and mutation["trace"]):
+            problem(f"{where} ({name}): caught but no replayable trace recorded")
+
+    sites = doc.get("sites")
+    if not isinstance(sites, list) or not sites:
+        problem("sites is missing or empty")
+        sites = []
+    for i, site in enumerate(sites):
+        where = f"sites[{i}]"
+        if not isinstance(site, dict):
+            problem(f"{where} is not an object")
+            continue
+        name = site.get("site")
+        for key in ("site", "kernel", "op", "order"):
+            if not isinstance(site.get(key), str) or not site.get(key):
+                problem(f"{where}.{key} is missing")
+        verdict = site.get("verdict")
+        weakenings = site.get("weakenings")
+        if not isinstance(weakenings, list):
+            problem(f"{where} ({name}).weakenings is missing")
+            weakenings = []
+        if verdict == "minimal":
+            if site.get("order") != "rlx":
+                problem(f"{where} ({name}): minimal verdict on a non-relaxed "
+                        f"order {site.get('order')!r}")
+        elif verdict == "load_bearing":
+            if not weakenings:
+                problem(f"{where} ({name}): load_bearing with no weakenings tried")
+            for j, weakening in enumerate(weakenings):
+                if not isinstance(weakening, dict):
+                    problem(f"{where}.weakenings[{j}] is not an object")
+                    continue
+                if weakening.get("violated") is not True:
+                    problem(f"{where} ({name}) -> {weakening.get('to')}: weakening "
+                            "not violated — the order is not proven load-bearing")
+                elif not (isinstance(weakening.get("trace"), str)
+                          and weakening["trace"]):
+                    problem(f"{where} ({name}) -> {weakening.get('to')}: violated "
+                            "but no violating schedule recorded")
+        else:
+            problem(f"{where} ({name}): verdict {verdict!r} "
+                    "(want load_bearing or minimal)")
+
+
 CHECKERS = {
     "udp_throughput": check_udp_throughput,
     "loadgen": check_loadgen,
     "mapmaker": check_mapmaker,
+    "mc_audit": check_mc_audit,
 }
 
 
@@ -267,7 +362,7 @@ def main() -> int:
         paths = [Path(arg) for arg in sys.argv[1:]]
     else:
         paths = [root / "BENCH_udp_throughput.json", root / "BENCH_loadgen.json",
-                 root / "BENCH_mapmaker.json"]
+                 root / "BENCH_mapmaker.json", root / "AUDIT_memory_orders.json"]
     status = 0
     for path in paths:
         status = max(status, check_file(path))

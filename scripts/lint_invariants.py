@@ -37,6 +37,22 @@ iostream-include  #include <iostream> in library code (src/). <iostream>
                   drags the std::cin/cout static constructors into every
                   translation unit; library code takes <ostream>/<istream>
                   (or <cstdio>) and lets binaries own the globals.
+cas-orders        compare_exchange_{weak,strong} with a single (combined)
+                  memory order. The one-order overload derives the failure
+                  order implicitly, which is exactly the kind of implicit
+                  ordering the memory-order minimality audit
+                  (AUDIT_memory_orders.json) cannot see: it audits the
+                  success and failure orders as separate sites. Spell out
+                  both.
+tsan-suppression  Unjustified or stale entries in scripts/
+                  tsan_suppressions.txt. Every suppression must carry a
+                  `# needs: <regex>` annotation in the comment block above
+                  it naming the repo construct that makes the suppression
+                  necessary; the linter greps the tree for that regex. A
+                  suppression whose justification no longer matches
+                  anything is dead weight that could mask a real race —
+                  remove it (checked on full-tree runs only, like stale
+                  allowlist entries).
 
 Any finding can be suppressed by an allowlist entry (scripts/
 lint_allowlist.txt); entries that no longer suppress anything are reported
@@ -66,7 +82,17 @@ SERVE_PATH_FILES = {
     "src/cdn/mapping.cpp",
     "src/obs/trace.h",
     "src/obs/trace.cpp",
+    # The extracted lock-free kernels (PR 10): these ARE the protocols
+    # the serve path runs on; a mutex here defeats the model checking.
+    "src/lockfree/versioned_rcu.h",
+    "src/lockfree/mpmc_ring.h",
+    "src/lockfree/pending_table.h",
+    "src/lockfree/job_claim.h",
 }
+
+# The TSan suppression file checked by the tsan-suppression rule.
+TSAN_SUPPRESSIONS = "scripts/tsan_suppressions.txt"
+TSAN_NEEDS = re.compile(r"#\s*needs:\s*(\S.*?)\s*$")
 
 # Directories exempt from the wall-clock rule (the clock/rng abstractions
 # themselves live here).
@@ -274,6 +300,40 @@ def check_atomic_order(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+CAS_METHODS = ("compare_exchange_weak", "compare_exchange_strong")
+
+
+def check_cas_orders(rel: str, lines: list[str]) -> list[Finding]:
+    """compare_exchange with one order instead of (success, failure).
+
+    Call shapes and who flags them:
+      (expected, desired)                 -> atomic-order (no order at all)
+      (expected, desired, order)         -> cas-orders (combined order)
+      (expected, desired, succ, fail)    -> clean
+    """
+    findings = []
+    for idx, line in enumerate(lines):
+        for m in ATOMIC_CALL.finditer(line):
+            method = m.group(1)
+            if method not in CAS_METHODS:
+                continue
+            args = extract_call_args(lines, idx, m.end() - 1)
+            if args is None or "memory_order" not in args:
+                continue  # order-less calls are atomic-order findings
+            if top_level_arg_count(args) == 3:
+                findings.append(
+                    Finding(
+                        rel,
+                        idx + 1,
+                        "cas-orders",
+                        f"{method}() with a combined memory order — spell out "
+                        "success AND failure orders",
+                        line,
+                    )
+                )
+    return findings
+
+
 def check_wall_clock(rel: str, lines: list[str]) -> list[Finding]:
     if any(rel.startswith(p) for p in WALL_CLOCK_EXEMPT_PREFIXES):
         return []
@@ -314,6 +374,73 @@ def check_iostream(rel: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+def check_tsan_suppressions(root: Path, files: list[Path]) -> list[Finding]:
+    """Every `type:pattern` entry in scripts/tsan_suppressions.txt must be
+    preceded by a `# needs: <regex>` annotation whose regex still matches
+    some scanned source file. No annotation, or a justification that
+    matches nothing, is a finding."""
+    supp_path = root / TSAN_SUPPRESSIONS
+    if not supp_path.exists():
+        return []
+    texts: list[str] | None = None  # lazily read, only if there are entries
+    findings = []
+    needs: str | None = None
+    for line_no, raw in enumerate(supp_path.read_text(encoding="utf-8").split("\n"), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TSAN_NEEDS.search(line)
+            if m:
+                needs = m.group(1)
+            continue
+        # A suppression entry; consume the pending justification.
+        justification, needs = needs, None
+        if justification is None:
+            findings.append(
+                Finding(
+                    TSAN_SUPPRESSIONS,
+                    line_no,
+                    "tsan-suppression",
+                    "suppression without a `# needs: <regex>` justification",
+                    line,
+                )
+            )
+            continue
+        try:
+            pattern = re.compile(justification)
+        except re.error as error:
+            findings.append(
+                Finding(
+                    TSAN_SUPPRESSIONS,
+                    line_no,
+                    "tsan-suppression",
+                    f"unparseable `# needs:` regex ({error})",
+                    line,
+                )
+            )
+            continue
+        if texts is None:
+            texts = []
+            for path in files:
+                try:
+                    texts.append(path.read_text(encoding="utf-8", errors="replace"))
+                except OSError:
+                    pass
+        if not any(pattern.search(text) for text in texts):
+            findings.append(
+                Finding(
+                    TSAN_SUPPRESSIONS,
+                    line_no,
+                    "tsan-suppression",
+                    f"stale suppression: justification /{justification}/ matches "
+                    "nothing in the tree — remove the entry",
+                    line,
+                )
+            )
+    return findings
+
+
 def lint_file(root: Path, path: Path) -> list[Finding]:
     rel = path.relative_to(root).as_posix()
     try:
@@ -324,6 +451,7 @@ def lint_file(root: Path, path: Path) -> list[Finding]:
     lines = preprocess(text)
     findings = []
     findings += check_atomic_order(rel, lines)
+    findings += check_cas_orders(rel, lines)
     findings += check_wall_clock(rel, lines)
     findings += check_serve_path(rel, lines)
     findings += check_iostream(rel, lines)
@@ -384,9 +512,14 @@ def main() -> int:
     )
     entries = parse_allowlist(allowlist_path)
 
+    files = collect_files(root, args.paths)
     findings = []
-    for path in collect_files(root, args.paths):
+    for path in files:
         findings.extend(lint_file(root, path))
+    # Suppression hygiene only on full-tree runs: a path-restricted run
+    # does not see the files that justify the suppressions.
+    if not args.paths:
+        findings.extend(check_tsan_suppressions(root, files))
 
     reported = []
     for finding in findings:

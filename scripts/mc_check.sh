@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Model-check gate: build and run bench/mc_audit — the exhaustive
+# lock-free protocol suite (src/mc checking the src/lockfree kernels),
+# the mutation self-test (deliberately-broken variants must be caught),
+# and the memory-order minimality audit (every non-relaxed site must
+# have a recorded violating schedule one step weaker) — then schema-check
+# the refreshed AUDIT_memory_orders.json artifact.
+#
+# The audit is deterministic (exhaustive DFS, bounds recorded in every
+# trace), so the artifact it writes is stable across runs and machines
+# and is committed at the repo root; this script regenerates it in place
+# so a drifted commit shows up as a diff.
+#
+# Usage: scripts/mc_check.sh [build-dir]   (default build)
+set -eu
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target mc_audit
+
+"$BUILD/bench/mc_audit" AUDIT_memory_orders.json
+python3 scripts/check_bench_artifact.py AUDIT_memory_orders.json
+
+echo "mc_check: OK"

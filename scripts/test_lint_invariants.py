@@ -33,7 +33,8 @@ def run_linter(root: Path, allowlist: str | None = None) -> tuple[int, str]:
 
 
 def case(name: str, rel_path: str, code: str, *, expect_rule: str | None,
-         allowlist: str | None = None, expect_stale: bool = False) -> None:
+         allowlist: str | None = None, expect_stale: bool = False,
+         extra_files: dict[str, str] | None = None) -> None:
     """Write `code` at `rel_path` in a scratch tree and check the outcome."""
     global PASS, FAIL
     with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
@@ -41,6 +42,10 @@ def case(name: str, rel_path: str, code: str, *, expect_rule: str | None,
         target = root / rel_path
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(code)
+        for extra_rel, extra_code in (extra_files or {}).items():
+            extra = root / extra_rel
+            extra.parent.mkdir(parents=True, exist_ok=True)
+            extra.write_text(extra_code)
         code_rc, output = run_linter(root, allowlist)
         ok = True
         if expect_rule is None:
@@ -122,6 +127,89 @@ def main() -> int:
         "atomic call in a comment is not flagged",
         "src/dns/thing.cpp",
         "// previously: a.load() with default ordering\nvoid f() {}\n",
+        expect_rule=None,
+    )
+
+    # --- cas-orders: combined-order compare_exchange fires ---
+    case(
+        "compare_exchange_weak with a combined order fires",
+        "src/control/thing.cpp",
+        "void f(std::atomic<int>& a, int& e) "
+        "{ a.compare_exchange_weak(e, 2, std::memory_order_acq_rel); }\n",
+        expect_rule="cas-orders",
+    )
+    case(
+        "compare_exchange_strong with a combined order fires",
+        "src/obs/thing.cpp",
+        "void f(std::atomic<int>& a, int& e) "
+        "{ a.compare_exchange_strong(e, 2, std::memory_order_seq_cst); }\n",
+        expect_rule="cas-orders",
+    )
+    case(
+        "compare_exchange with both orders is clean",
+        "src/control/thing.cpp",
+        "void f(std::atomic<int>& a, int& e) {\n"
+        "  a.compare_exchange_weak(e, 2, std::memory_order_acq_rel,\n"
+        "                          std::memory_order_acquire);\n"
+        "}\n",
+        expect_rule=None,
+    )
+    case(
+        "policy-routed orders count as both orders",
+        "src/lockfree/thing.h",
+        "template <class P> bool f(typename P::template Atomic<int>& a, int& e) {\n"
+        "  return a.compare_exchange_weak(\n"
+        "      e, 2, P::template order<Site::x>(std::memory_order_relaxed),\n"
+        "      P::template order<Site::y>(std::memory_order_relaxed));\n"
+        "}\n",
+        expect_rule=None,
+    )
+
+    # --- tsan-suppression: justification annotations ---
+    live_supp = (
+        "# libstdc++ workaround, justified below.\n"
+        "# needs: NeedleStillPresent\n"
+        "race:_Sp_atomic\n"
+    )
+    case(
+        "justified tsan suppression is clean",
+        "src/dns/thing.cpp",
+        "struct NeedleStillPresent {};\n",
+        expect_rule=None,
+        extra_files={"scripts/tsan_suppressions.txt": live_supp},
+    )
+    case(
+        "stale tsan suppression fires",
+        "src/dns/thing.cpp",
+        "void f() {}\n",
+        expect_rule="tsan-suppression",
+        extra_files={"scripts/tsan_suppressions.txt": live_supp},
+    )
+    case(
+        "tsan suppression without a needs annotation fires",
+        "src/dns/thing.cpp",
+        "void f() {}\n",
+        expect_rule="tsan-suppression",
+        extra_files={
+            "scripts/tsan_suppressions.txt": "# no justification here\nrace:_Sp_atomic\n"
+        },
+    )
+    case(
+        "a needs annotation does not leak onto later entries",
+        "src/dns/thing.cpp",
+        "struct NeedleStillPresent {};\n",
+        expect_rule="tsan-suppression",
+        extra_files={
+            "scripts/tsan_suppressions.txt":
+                "# needs: NeedleStillPresent\n"
+                "race:_Sp_atomic\n"
+                "race:another_symbol\n"  # second entry has no justification
+        },
+    )
+    case(
+        "no suppressions file at all is clean",
+        "src/dns/thing.cpp",
+        "void f() {}\n",
         expect_rule=None,
     )
 

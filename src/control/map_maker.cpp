@@ -94,11 +94,11 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
   // tick must still see it as new.
   const std::uint64_t pre_transitions = monitor_ != nullptr ? monitor_->transitions() : 0;
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t next_version = version_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t next_version = published_.version() + 1;
   MapSnapshot::BuildInputs inputs;
   inputs.units = units_;
   inputs.pool = pool_.get();
-  if (config_.incremental) inputs.previous = current_.load(std::memory_order_acquire);
+  if (config_.incremental) inputs.previous = published_.snapshot();
   std::shared_ptr<const MapSnapshot> built =
       MapSnapshot::build(*mapping_, ledger_, next_version, build_time(), inputs);
   rebuild_latency_->record(elapsed_us(t0));
@@ -112,7 +112,7 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
     transitions_seen_.store(pre_transitions, std::memory_order_relaxed);
   }
 
-  std::shared_ptr<const MapSnapshot> live = current_.load(std::memory_order_acquire);
+  std::shared_ptr<const MapSnapshot> live = published_.snapshot();
   if (!force && !config_.publish_unchanged && live != nullptr &&
       live->serving_equal(*built)) {
     publishes_skipped_->add();
@@ -122,10 +122,10 @@ std::shared_ptr<const MapSnapshot> MapMaker::rebuild_with_reason(bool force,
   // Publish order matters for version-keyed consumers (the UDP wire
   // answer cache): the snapshot must be visible BEFORE the version, so a
   // reader that observes version V via version_cell() is guaranteed
-  // current() already serves generation >= V. Store both with release;
-  // the reader's acquire on the version cell closes the pairing.
-  current_.store(built, std::memory_order_release);
-  version_.store(next_version, std::memory_order_release);
+  // current() already serves generation >= V. VersionedRcu::publish
+  // stores both with release (model-checked; weakening either store
+  // yields a violating schedule — see AUDIT_memory_orders.json).
+  published_.publish(built, next_version);
   publishes_->add();
   map_version_->set(static_cast<std::int64_t>(next_version));
   published_wall_us_.store(static_cast<std::int64_t>(elapsed_us(started_at_)),
@@ -152,8 +152,7 @@ void MapMaker::install_fast_path() {
   mapping_->set_fast_path(
       [this](topo::LdnsId ldns, std::optional<topo::BlockId> block, std::string_view domain,
              double load_units) {
-        return current_.load(std::memory_order_acquire)
-            ->map(ldns, block, domain, load_units);
+        return published_.snapshot()->map(ldns, block, domain, load_units);
       });
 }
 

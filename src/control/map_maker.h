@@ -37,6 +37,8 @@
 #include "cdn/mapping.h"
 #include "control/map_snapshot.h"
 #include "control/mapping_units.h"
+#include "lockfree/atomics_policy.h"
+#include "lockfree/versioned_rcu.h"
 #include "obs/metrics.h"
 #include "util/shard_pool.h"
 #include "util/sim_clock.h"
@@ -105,12 +107,10 @@ class MapMaker {
   /// immutable and stays valid for as long as the reference is held,
   /// however many republishes happen meanwhile.
   [[nodiscard]] std::shared_ptr<const MapSnapshot> current() const {
-    return current_.load(std::memory_order_acquire);
+    return published_.snapshot();
   }
 
-  [[nodiscard]] std::uint64_t version() const noexcept {
-    return version_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t version() const noexcept { return published_.version(); }
 
   /// The version cell itself, for serve-path consumers that key caches
   /// on the published map generation (UdpServerConfig::map_version).
@@ -118,9 +118,10 @@ class MapMaker {
   /// before the version (both release), so an acquire load that returns
   /// V guarantees current() already serves generation >= V — an answer
   /// computed after that load can never be cached under a version newer
-  /// than the map that produced it.
+  /// than the map that produced it. The protocol lives in
+  /// lockfree::VersionedRcu and is model-checked (mc/protocols.cpp).
   [[nodiscard]] const std::atomic<std::uint64_t>& version_cell() const noexcept {
-    return version_;
+    return published_.version_cell();
   }
 
   /// The shared per-cluster load ledger (survives republishes).
@@ -192,8 +193,10 @@ class MapMaker {
   std::shared_ptr<const MappingUnits> units_;
   std::unique_ptr<util::ShardPool> pool_;
 
-  std::atomic<std::shared_ptr<const MapSnapshot>> current_;
-  std::atomic<std::uint64_t> version_{0};
+  /// Snapshot-before-version publish protocol (extracted lock-free
+  /// kernel; identical code is model-checked under mc::atomic).
+  lockfree::VersionedRcu<lockfree::StdAtomicsPolicy, std::shared_ptr<const MapSnapshot>>
+      published_;
 
   std::mutex rebuild_mutex_;  ///< serializes rebuild_now callers
   util::SimTime last_build_{};

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "lockfree/atomics_policy.h"
+#include "lockfree/pending_table.h"
+
 namespace eum::load {
 
 namespace {
@@ -16,18 +19,15 @@ using Clock = std::chrono::steady_clock;
 /// outstanding distinguishably; the pending table has one slot per id.
 constexpr std::size_t kIdSpace = 65536;
 
-// Slot lifecycle: kEmpty -> kArmed (sender, release) -> kDone (receiver,
-// acq_rel CAS). Re-arming a still-kArmed slot means the id wrapped while
-// its previous query was unanswered; the sender charges that query as
-// dropped and takes the slot over.
-constexpr std::uint32_t kEmpty = 0;
-constexpr std::uint32_t kArmed = 1;
-constexpr std::uint32_t kDone = 2;
-
-struct PendingSlot {
-  std::atomic<std::uint64_t> sched_ns{0};
-  std::atomic<std::uint32_t> state{kEmpty};
-};
+// Slot lifecycle: empty -> armed (sender) -> done (receiver claim).
+// Re-arming a still-armed slot means the id wrapped while its previous
+// query was unanswered; the sender charges that query as dropped and
+// takes the slot over. The protocol lives in lockfree::PendingSlot —
+// sched and state packed in one word so a claim atomically captures the
+// sched it retires (the old two-cell variant let a wrapping re-arm race
+// the claimed sched read; the model checker exhibits that schedule, see
+// mc/protocols.cpp pending_split_sched_state).
+using PendingSlot = lockfree::PendingSlot<lockfree::StdAtomicsPolicy>;
 
 struct Flow {
   explicit Flow(const dnsserver::UdpEndpoint& bind)
@@ -114,12 +114,10 @@ LoadReport run_open_loop(const TrafficModel& model, const std::vector<QuerySpec>
           const std::uint16_t id =
               static_cast<std::uint16_t>((datagram[0] << 8) | datagram[1]);
           PendingSlot& slot = flow.pending[id];
-          std::uint32_t expected = kArmed;
-          if (!slot.state.compare_exchange_strong(expected, kDone, std::memory_order_acq_rel,
-                                                  std::memory_order_acquire)) {
+          std::uint64_t sched = 0;
+          if (!slot.claim(sched)) {
             continue;  // duplicate, stray, or already-expired claim
           }
-          const std::uint64_t sched = slot.sched_ns.load(std::memory_order_relaxed);
           const std::uint64_t now = since_ns(start);
           flow.received += 1;
           matched.fetch_add(1, std::memory_order_relaxed);
@@ -145,11 +143,9 @@ LoadReport run_open_loop(const TrafficModel& model, const std::vector<QuerySpec>
         const auto id = static_cast<std::uint16_t>(seq & 0xffff);
         seq += 1;
         PendingSlot& slot = flow.pending[id];
-        if (slot.state.load(std::memory_order_acquire) == kArmed) {
+        if (slot.arm(sched)) {
           flow.overwrites += 1;  // previous occupant of this id: never answered
         }
-        slot.sched_ns.store(sched, std::memory_order_relaxed);
-        slot.state.store(kArmed, std::memory_order_release);
         auto& wire = wires[i];
         wire[0] = static_cast<std::uint8_t>(id >> 8);
         wire[1] = static_cast<std::uint8_t>(id & 0xff);
@@ -157,7 +153,7 @@ LoadReport run_open_loop(const TrafficModel& model, const std::vector<QuerySpec>
           flow.socket.send_to(wire, config.server);
           flow.sent += 1;
         } catch (const std::exception&) {
-          flow.send_errors += 1;  // slot stays kArmed -> swept as dropped
+          flow.send_errors += 1;  // slot stays armed -> swept as dropped
         }
         const std::uint64_t now = since_ns(start);
         if (now > sched) send_lag.record((now - sched) / 1000);
@@ -197,9 +193,7 @@ LoadReport run_open_loop(const TrafficModel& model, const std::vector<QuerySpec>
     last_recv_ns = std::max(last_recv_ns, flow.last_recv_ns);
     // End-of-run sweep: anything still armed was never answered.
     for (std::size_t id = 0; id < kIdSpace; ++id) {
-      if (flow.pending[id].state.load(std::memory_order_acquire) == kArmed) {
-        report.dropped += 1;
-      }
+      if (flow.pending[id].swept_unanswered()) report.dropped += 1;
     }
   }
   report.seconds = static_cast<double>(std::max(schedule.span_ns(), last_recv_ns)) / 1e9;

@@ -1,0 +1,55 @@
+// Production atomics policy for the extracted lock-free kernels.
+//
+// A kernel template takes a policy P supplying:
+//   - P::template Atomic<T>  — the atomic cell type
+//   - P::template Racy<T>    — plain data the protocol orders via its
+//                              atomics (ring payloads, snapshot fields)
+//   - P::template order<Site>(default) — the memory order to use at a
+//                              named site (see sites.h)
+//   - P::fence(order)        — a thread fence
+//
+// StdAtomicsPolicy is the production binding: std::atomic, plain
+// members, and a constexpr passthrough of each site's default order —
+// the compiler constant-folds it, so templated kernels emit exactly the
+// code the hand-written protocols did. mc/policy.h supplies the checked
+// binding (mc::atomic + a mutable per-site order table).
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "lockfree/sites.h"
+
+namespace eum::lockfree {
+
+/// Plain storage with the mc::racy<T> call surface (get/set) so kernels
+/// touch protocol payloads identically under both policies.
+template <class T>
+class PlainCell {
+ public:
+  PlainCell() = default;
+  explicit PlainCell(T value) : value_(std::move(value)) {}
+
+  [[nodiscard]] T get() const { return value_; }
+  void set(T value) { value_ = std::move(value); }
+
+ private:
+  T value_;
+};
+
+struct StdAtomicsPolicy {
+  template <class T>
+  using Atomic = std::atomic<T>;
+
+  template <class T>
+  using Racy = PlainCell<T>;
+
+  template <Site S>
+  [[nodiscard]] static constexpr std::memory_order order(std::memory_order def) noexcept {
+    return def;
+  }
+
+  static void fence(std::memory_order order) noexcept { std::atomic_thread_fence(order); }
+};
+
+}  // namespace eum::lockfree

@@ -1,0 +1,46 @@
+// JobClaim: the ShardPool's lock-free batch work stealing, extracted
+// from util/shard_pool.cpp.
+//
+// A batch is a range [0, jobs); every participating thread (workers and
+// the run() caller) claims the next index with one fetch_add until the
+// range is exhausted. The batch boundaries themselves (jobs, fn, the
+// generation handshake) are published under the pool mutex — this kernel
+// is only the in-batch claim cursor.
+//
+// Invariants (model-checked in mc/protocols.cpp): every job index is
+// claimed exactly once, and every index < jobs is claimed by someone
+// before the batch drains.
+//
+// Ordering: the cursor is pure value-based exclusivity; both sites are
+// relaxed and the auditor proves them minimal (reset() is additionally
+// ordered by the pool mutex in production).
+#pragma once
+
+#include <cstddef>
+
+#include "lockfree/sites.h"
+
+namespace eum::lockfree {
+
+template <class P>
+class JobClaim {
+ public:
+  /// Rebind the cursor for a new batch. Callers must order this against
+  /// claimers externally (ShardPool: under the pool mutex, before the
+  /// generation bump that releases workers).
+  void reset() {
+    next_.store(0, P::template order<Site::job_reset_store>(std::memory_order_relaxed));
+  }
+
+  /// Claim the next job index; indices >= jobs mean the batch is drained
+  /// and the caller stops.
+  [[nodiscard]] std::size_t claim() {
+    return next_.fetch_add(1,
+                           P::template order<Site::job_claim_fetch_add>(std::memory_order_relaxed));
+  }
+
+ private:
+  typename P::template Atomic<std::size_t> next_{0};
+};
+
+}  // namespace eum::lockfree

@@ -1,0 +1,141 @@
+// MpmcRing: the FlightRecorder's bounded MPMC ring (Vyukov-style),
+// extracted from obs/trace.cpp so the identical protocol runs under
+// std::atomic in production and mc::atomic under the model checker.
+//
+// Every cell carries a sequence number encoding its state relative to
+// the positions: seq == pos (free for the producer at pos), seq == pos+1
+// (full for the consumer at pos), anything else = another thread is mid
+// claim or the ring wrapped. Producers and consumers claim positions
+// with relaxed CAS (exclusivity only) and transfer the payload with the
+// release store / acquire load on the cell sequence. push() never blocks:
+// on a full ring it claims the oldest record from the producer side
+// (eviction) and retries.
+//
+// Invariants (model-checked in mc/protocols.cpp):
+//   - a pop()ed record is exactly what some push() wrote (no torn or
+//     stale payloads, including across cell reuse after wrap/eviction);
+//   - each pushed record is popped at most once; concurrent producers
+//     never hand two threads the same cell.
+//
+// Ordering: the cell-sequence acquire loads and release stores are each
+// load-bearing (payloads are plain data ordered only by them); the
+// position CASes and position reloads are relaxed and proven minimal.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "lockfree/sites.h"
+
+namespace eum::lockfree {
+
+template <class P, class Record>
+class MpmcRing {
+ public:
+  /// Size the ring to the next power of two >= capacity (>= 2). Not
+  /// thread-safe; call before any push/pop.
+  void init(std::size_t capacity) {
+    const std::size_t size = std::bit_ceil(std::max<std::size_t>(capacity, 2));
+    mask_ = size - 1;
+    cells_ = std::make_unique<Cell[]>(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+    enqueue_pos_.store(0, std::memory_order_relaxed);
+    dequeue_pos_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Append `record`, evicting the oldest record(s) if the ring is full.
+  /// Returns how many records were discarded to make room.
+  std::size_t push(const Record& record) {
+    std::size_t discarded = 0;
+    std::uint64_t pos =
+        enqueue_pos_.load(P::template order<Site::ring_push_pos_load>(std::memory_order_relaxed));
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.sequence.load(
+          P::template order<Site::ring_push_seq_load>(std::memory_order_acquire));
+      const std::int64_t dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(
+                pos, pos + 1,
+                P::template order<Site::ring_push_claim_cas_ok>(std::memory_order_relaxed),
+                P::template order<Site::ring_push_claim_cas_fail>(std::memory_order_relaxed))) {
+          cell.record.set(record);
+          cell.sequence.store(
+              pos + 1, P::template order<Site::ring_push_seq_store>(std::memory_order_release));
+          return discarded;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh slot.
+      } else if (dif < 0) {
+        // Ring full: discard the oldest record (a consumer-side claim
+        // made from the producer) and retry. The claim gives exclusive
+        // cell ownership, so skipping the payload read is safe.
+        std::uint64_t tail = dequeue_pos_.load(
+            P::template order<Site::ring_evict_tail_load>(std::memory_order_relaxed));
+        Cell& old = cells_[tail & mask_];
+        const std::uint64_t old_seq = old.sequence.load(
+            P::template order<Site::ring_evict_seq_load>(std::memory_order_acquire));
+        if (static_cast<std::int64_t>(old_seq) - static_cast<std::int64_t>(tail + 1) == 0 &&
+            dequeue_pos_.compare_exchange_weak(
+                tail, tail + 1,
+                P::template order<Site::ring_evict_claim_cas_ok>(std::memory_order_relaxed),
+                P::template order<Site::ring_evict_claim_cas_fail>(std::memory_order_relaxed))) {
+          old.sequence.store(tail + mask_ + 1, P::template order<Site::ring_evict_seq_store>(
+                                                   std::memory_order_release));
+          ++discarded;
+        }
+        pos = enqueue_pos_.load(
+            P::template order<Site::ring_push_pos_load>(std::memory_order_relaxed));
+      } else {
+        pos = enqueue_pos_.load(
+            P::template order<Site::ring_push_pos_load>(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  /// Pop the oldest record into `out`; false if the ring is empty.
+  bool pop(Record& out) {
+    std::uint64_t pos =
+        dequeue_pos_.load(P::template order<Site::ring_pop_pos_load>(std::memory_order_relaxed));
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.sequence.load(
+          P::template order<Site::ring_pop_seq_load>(std::memory_order_acquire));
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(
+                pos, pos + 1,
+                P::template order<Site::ring_pop_claim_cas_ok>(std::memory_order_relaxed),
+                P::template order<Site::ring_pop_claim_cas_fail>(std::memory_order_relaxed))) {
+          out = cell.record.get();
+          cell.sequence.store(pos + mask_ + 1, P::template order<Site::ring_pop_seq_store>(
+                                                   std::memory_order_release));
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(
+            P::template order<Site::ring_pop_pos_load>(std::memory_order_relaxed));
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    typename P::template Atomic<std::uint64_t> sequence{0};
+    typename P::template Racy<Record> record;
+  };
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  typename P::template Atomic<std::uint64_t> enqueue_pos_{0};
+  typename P::template Atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace eum::lockfree

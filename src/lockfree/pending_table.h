@@ -1,0 +1,99 @@
+// PendingTable: the load generator's per-id outstanding-query slot
+// lifecycle, extracted from load/driver.cpp and repaired.
+//
+// The seed protocol kept two cells per slot — an atomic state machine
+// (kEmpty -> kArmed -> kDone) and a separate atomic sched_ns — and the
+// receiver read sched_ns AFTER winning the claim CAS. When a DNS id
+// wraps onto an unanswered query, the sender's re-arm overwrites
+// sched_ns concurrently with that read, so a claimed response could be
+// charged against the WRONG scheduled send time (a silently skewed
+// latency sample). The model checker exhibits this schedule — see the
+// pending_split_sched_state variant in mc/protocols.cpp — so this kernel
+// packs sched and state into one 64-bit word: a claim CAS atomically
+// retires the slot AND captures the sched it was armed with.
+//
+// Word layout: sched_ns << 2 | state. Nanosecond offsets keep ~62 bits
+// (146 years of run time). ABA note: if an id wraps onto a slot re-armed
+// with the SAME sched_ns, a stale response can claim the new arm — the
+// accounting (one match, identical latency sample) is unchanged, so the
+// protocol tolerates it.
+//
+// Invariants (model-checked in mc/protocols.cpp):
+//   - each arm is claimed at most once, and a claim returns exactly the
+//     sched packed by the arm it retired;
+//   - arm() reports an overwrite iff the previous occupant was armed and
+//     never claimed; the post-join sweep sees every unclaimed arm.
+//
+// Ordering: the packed word is the whole protocol state, so every site
+// is value-based and runs relaxed; the auditor proves each one minimal.
+// The seed's acquire/release pairs guarded the now-gone second cell.
+#pragma once
+
+#include <cstdint>
+
+#include "lockfree/sites.h"
+
+namespace eum::lockfree {
+
+namespace pending {
+
+inline constexpr std::uint64_t kEmpty = 0;
+inline constexpr std::uint64_t kArmed = 1;
+inline constexpr std::uint64_t kDone = 2;
+inline constexpr std::uint64_t kStateMask = 3;
+
+[[nodiscard]] constexpr std::uint64_t pack(std::uint64_t sched_ns, std::uint64_t state) noexcept {
+  return (sched_ns << 2) | state;
+}
+[[nodiscard]] constexpr std::uint64_t state_of(std::uint64_t word) noexcept {
+  return word & kStateMask;
+}
+[[nodiscard]] constexpr std::uint64_t sched_of(std::uint64_t word) noexcept {
+  return word >> 2;
+}
+
+}  // namespace pending
+
+template <class P>
+class PendingSlot {
+ public:
+  /// Sender: arm the slot for a query scheduled at `sched_ns`. Returns
+  /// true if the previous occupant was still armed (id wrapped onto an
+  /// unanswered query — the caller charges it as dropped).
+  bool arm(std::uint64_t sched_ns) {
+    const std::uint64_t old = word_.exchange(
+        pending::pack(sched_ns, pending::kArmed),
+        P::template order<Site::pending_arm_xchg>(std::memory_order_relaxed));
+    return pending::state_of(old) == pending::kArmed;
+  }
+
+  /// Receiver: claim the armed slot for a matched response. On success
+  /// stores the sched the slot was armed with into `sched_ns` and
+  /// returns true; false for duplicate/stray/already-claimed responses.
+  bool claim(std::uint64_t& sched_ns) {
+    std::uint64_t old = word_.load(
+        P::template order<Site::pending_claim_load>(std::memory_order_relaxed));
+    if (pending::state_of(old) != pending::kArmed) return false;
+    if (!word_.compare_exchange_strong(
+            old, pending::pack(pending::sched_of(old), pending::kDone),
+            P::template order<Site::pending_claim_cas_ok>(std::memory_order_relaxed),
+            P::template order<Site::pending_claim_cas_fail>(std::memory_order_relaxed))) {
+      return false;  // raced with a re-arm or another claim
+    }
+    sched_ns = pending::sched_of(old);
+    return true;
+  }
+
+  /// Post-join sweep: true if the slot is still armed (query sent but
+  /// never answered). Callers run this after joining both threads.
+  [[nodiscard]] bool swept_unanswered() const {
+    const std::uint64_t word = word_.load(
+        P::template order<Site::pending_sweep_load>(std::memory_order_relaxed));
+    return pending::state_of(word) == pending::kArmed;
+  }
+
+ private:
+  typename P::template Atomic<std::uint64_t> word_{pending::kEmpty};
+};
+
+}  // namespace eum::lockfree

@@ -1,0 +1,78 @@
+// VersionedRcu: the MapMaker's snapshot-before-version publish protocol
+// (paper §2.2 map distribution), extracted so the identical code runs
+// under std::atomic in production and mc::atomic under the model checker.
+//
+// One writer (the rebuild thread) publishes an immutable snapshot and
+// then its version; many readers either
+//   - snapshot() directly (RCU read path: serve threads answer a query
+//     entirely from one generation), or
+//   - version_sync() first and then snapshot() (the UDP wire answer cache,
+//     which keys cached answers on the map generation).
+//
+// Invariants (model-checked in mc/protocols.cpp):
+//   - a reader that observes version V via version_sync() then
+//     snapshot()s a generation >= V — never an older map (PR 6 shipped
+//     exactly this bug with the two stores swapped; the checker exhibits
+//     it, see the version_before_snapshot mutation);
+//   - a snapshot()'s payload is fully visible (no torn reads of a
+//     half-built map).
+//
+// Ordering: both publish stores are release and both serve-path reads
+// are acquire; the auditor proves each one load-bearing (weakening any
+// of the four admits a violating schedule; rcu_version_load is the
+// relaxed monitoring read and is already minimal).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "lockfree/sites.h"
+
+namespace eum::lockfree {
+
+template <class P, class T>
+class VersionedRcu {
+ public:
+  VersionedRcu() : current_{}, version_{0} {}
+
+  /// RCU read path: the current snapshot (acquire — pairs with
+  /// publish()'s release so the snapshot's contents are visible).
+  [[nodiscard]] T snapshot() const {
+    return current_.load(P::template order<Site::rcu_snapshot_load>(std::memory_order_acquire));
+  }
+
+  /// Monitoring read: the published version, no ordering obligations.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(P::template order<Site::rcu_version_load>(std::memory_order_relaxed));
+  }
+
+  /// Cache-keying read: observing V here guarantees a subsequent
+  /// snapshot() returns generation >= V (the AnswerCache invalidation
+  /// contract).
+  [[nodiscard]] std::uint64_t version_sync() const {
+    return version_.load(P::template order<Site::rcu_version_sync>(std::memory_order_acquire));
+  }
+
+  /// The version cell itself, for consumers handed only the atomic
+  /// (UdpServerConfig::map_version). Loads on it must use acquire to get
+  /// the version_sync() guarantee.
+  [[nodiscard]] const typename P::template Atomic<std::uint64_t>& version_cell() const noexcept {
+    return version_;
+  }
+
+  /// Publish `snap` as generation `version`. Snapshot strictly before
+  /// version, both release: a reader that sees the new version can never
+  /// snapshot() the old map.
+  void publish(T snap, std::uint64_t version) {
+    current_.store(std::move(snap),
+                   P::template order<Site::rcu_snapshot_publish>(std::memory_order_release));
+    version_.store(version,
+                   P::template order<Site::rcu_version_publish>(std::memory_order_release));
+  }
+
+ private:
+  typename P::template Atomic<T> current_;
+  typename P::template Atomic<std::uint64_t> version_;
+};
+
+}  // namespace eum::lockfree

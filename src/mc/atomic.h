@@ -1,0 +1,177 @@
+// mc::atomic<T> / mc::racy<T>: the instrumented stand-ins for
+// std::atomic<T> and plain shared data inside a model-checked protocol.
+//
+// mc::atomic<T> mirrors the std::atomic call surface the extracted
+// lock-free kernels use (load/store/exchange/fetch_add/fetch_sub/
+// compare_exchange_{weak,strong}, all with explicit std::memory_order),
+// so the identical kernel template compiles against either type via its
+// atomics policy. Values live here; ordering metadata (modification
+// order, vector clocks, read-from choices) lives in the Sim (sim.cpp)
+// behind the hooks.h seam.
+//
+// mc::racy<T> wraps data that the protocol intends to protect by
+// ordering rather than by atomics (ring payloads, RCU snapshot fields).
+// Every get()/set() is race-checked against the happens-before relation;
+// an unordered pair fails the execution with the schedule that exposed
+// it. This is how a dropped release manifests as a hard, replayable
+// failure instead of a silently stale value.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mc/hooks.h"
+
+namespace eum::mc {
+
+namespace detail {
+
+template <class T>
+std::string render_value(const T& value) {
+  if constexpr (std::is_integral_v<T> || std::is_floating_point_v<T>) {
+    return std::to_string(value);
+  } else if constexpr (std::is_pointer_v<T>) {
+    return value == nullptr ? "null" : "ptr";
+  } else if constexpr (std::is_enum_v<T>) {
+    return std::to_string(static_cast<long long>(value));
+  } else {
+    return "<obj>";
+  }
+}
+
+}  // namespace detail
+
+template <class T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+  explicit atomic(T initial) : loc_(detail::register_location()) {
+    values_.push_back(initial);  // modification-order entry 0 (the init)
+  }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order) const {
+    const int index = detail::on_load(loc_, order);
+    const T value = values_[static_cast<std::size_t>(index)];
+    if (detail::logging()) {
+      detail::log_op(loc_, "load", order, detail::render_value(value), index);
+    }
+    return value;
+  }
+
+  void store(T value, std::memory_order order) {
+    const int index = detail::on_store(loc_, order);
+    values_.push_back(value);
+    if (detail::logging()) {
+      detail::log_op(loc_, "store", order, detail::render_value(value), index);
+    }
+  }
+
+  T exchange(T value, std::memory_order order) {
+    const auto [read, index] = detail::on_rmw(loc_, order);
+    const T previous = values_[static_cast<std::size_t>(read)];
+    values_.push_back(value);
+    if (detail::logging()) {
+      detail::log_op(loc_, "exchange", order, detail::render_value(value), index);
+    }
+    return previous;
+  }
+
+  T fetch_add(T delta, std::memory_order order) {
+    return fetch_op("fetch_add", order, [&](T v) { return static_cast<T>(v + delta); });
+  }
+  T fetch_sub(T delta, std::memory_order order) {
+    return fetch_op("fetch_sub", order, [&](T v) { return static_cast<T>(v - delta); });
+  }
+  T fetch_or(T bits, std::memory_order order) {
+    return fetch_op("fetch_or", order, [&](T v) { return static_cast<T>(v | bits); });
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order success,
+                               std::memory_order failure) {
+    return cas(expected, desired, success, failure, /*weak=*/false);
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return cas(expected, desired, success, failure, /*weak=*/true);
+  }
+
+ private:
+  template <class Fn>
+  T fetch_op(const char* name, std::memory_order order, const Fn& fn) {
+    const auto [read, index] = detail::on_rmw(loc_, order);
+    const T previous = values_[static_cast<std::size_t>(read)];
+    values_.push_back(fn(previous));
+    if (detail::logging()) {
+      detail::log_op(loc_, name, order, detail::render_value(values_.back()), index);
+    }
+    return previous;
+  }
+
+  bool cas(T& expected, T desired, std::memory_order success, std::memory_order failure,
+           bool weak) {
+    const int latest = detail::on_cas_begin(loc_);
+    const T current = values_[static_cast<std::size_t>(latest)];
+    const bool matches = current == expected;
+    if (matches && !(weak && detail::on_cas_try_spurious(loc_))) {
+      const int index = detail::on_cas_success(loc_, success);
+      values_.push_back(desired);
+      if (detail::logging()) {
+        detail::log_op(loc_, weak ? "cas_weak:ok" : "cas:ok", success,
+                       detail::render_value(desired), index);
+      }
+      return true;
+    }
+    const int read = detail::on_cas_fail(loc_, failure);
+    expected = values_[static_cast<std::size_t>(read)];
+    if (detail::logging()) {
+      detail::log_op(loc_, weak ? "cas_weak:fail" : "cas:fail", failure,
+                     detail::render_value(expected), read);
+    }
+    return false;
+  }
+
+  int loc_;
+  // Modification order: values_[i] pairs with the Sim's entry metadata i.
+  // mutable so load() on a const atomic (kernels take const refs to
+  // version cells) stays instrumentable.
+  mutable std::vector<T> values_;
+};
+
+/// Plain shared data under race detection. The protocol must order every
+/// get()/set() pair via its atomics (or fences); an unordered pair is a
+/// data race and fails the execution.
+template <class T>
+class racy {
+ public:
+  racy() : racy(T{}) {}
+  explicit racy(T initial) : obj_(detail::register_racy()), value_(initial) {}
+
+  racy(const racy&) = delete;
+  racy& operator=(const racy&) = delete;
+
+  [[nodiscard]] T get() const {
+    detail::on_racy_read(obj_);
+    if (detail::logging()) detail::log_plain(obj_, "read");
+    return value_;
+  }
+
+  void set(T value) {
+    detail::on_racy_write(obj_);
+    if (detail::logging()) detail::log_plain(obj_, "write");
+    value_ = value;
+  }
+
+ private:
+  int obj_;
+  T value_;
+};
+
+inline void fence(std::memory_order order) { detail::on_fence(order); }
+
+}  // namespace eum::mc

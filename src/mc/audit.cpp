@@ -1,0 +1,294 @@
+#include "mc/audit.h"
+
+#include <atomic>
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "lockfree/sites.h"
+#include "mc/hooks.h"
+#include "mc/policy.h"
+#include "mc/protocols.h"
+#include "mc/sim.h"
+
+namespace eum::mc {
+
+namespace {
+
+using lockfree::Site;
+using lockfree::SiteInfo;
+using lockfree::SiteOp;
+
+/// The one-step weakening ladder. Consume_* is never shipped, so the
+/// ladder is seq_cst -> acq_rel -> acquire/release -> relaxed, projected
+/// onto what the operation shape admits.
+std::vector<std::memory_order> one_step_weaker(SiteOp op, std::memory_order order) {
+  using enum std::memory_order;
+  switch (op) {
+    case SiteOp::load:
+    case SiteOp::cas_fail:
+      if (order == seq_cst) return {acquire};
+      if (order == acquire) return {relaxed};
+      return {};
+    case SiteOp::store:
+      if (order == seq_cst) return {release};
+      if (order == release) return {relaxed};
+      return {};
+    case SiteOp::rmw:
+      if (order == seq_cst) return {acq_rel};
+      if (order == acq_rel) return {acquire, release};
+      if (order == acquire || order == release) return {relaxed};
+      return {};
+  }
+  return {};
+}
+
+const char* op_name(SiteOp op) {
+  switch (op) {
+    case SiteOp::load: return "load";
+    case SiteOp::store: return "store";
+    case SiteOp::rmw: return "rmw";
+    case SiteOp::cas_fail: return "cas_fail";
+  }
+  return "?";
+}
+
+/// Weaken one site and run that kernel's scenarios until one violates.
+WeakeningOutcome try_weakening(const SiteInfo& info, std::memory_order weaker) {
+  WeakeningOutcome outcome;
+  outcome.to = detail::order_name(weaker);
+  const Site site = [&] {
+    for (std::size_t i = 0; i < lockfree::kSiteCount; ++i) {
+      const auto s = static_cast<Site>(i);
+      if (std::string_view{lockfree::site_info(s).name} == info.name) return s;
+    }
+    return Site::kCount;  // unreachable: info came from site_info
+  }();
+  const ScopedOrderOverride weaken{site, weaker};
+  for (const ProtocolCheck* check : checks_for_kernel(info.kernel)) {
+    const Result result = mc::check(check->options, check->body);
+    outcome.executions += result.executions;
+    outcome.check = check->name;
+    if (!result.ok) {
+      outcome.violated = true;
+      outcome.failure = result.failure;
+      outcome.trace = result.trace;
+      break;
+    }
+  }
+  return outcome;
+}
+
+// --- minimal JSON writer (no deps; traces/names are plain ASCII) -----------
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control chars never appear; keep the writer total
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_str(std::string& out, std::string_view s) {
+  out += '"';
+  json_escape(out, s);
+  out += '"';
+}
+
+void json_kv(std::string& out, const char* key, std::string_view value, bool comma = true) {
+  json_str(out, key);
+  out += ':';
+  json_str(out, value);
+  if (comma) out += ',';
+}
+
+void json_kv(std::string& out, const char* key, bool value, bool comma = true) {
+  json_str(out, key);
+  out += value ? ":true" : ":false";
+  if (comma) out += ',';
+}
+
+void json_kv(std::string& out, const char* key, std::uint64_t value, bool comma = true) {
+  json_str(out, key);
+  out += ':';
+  out += std::to_string(value);
+  if (comma) out += ',';
+}
+
+}  // namespace
+
+AuditReport run_audit() {
+  AuditReport report;
+  report.ok = true;
+  OrderTable::instance().clear_all();
+
+  // Baseline: every protocol scenario must pass at shipped orders —
+  // exhaustively within its bounds, then a seeded random walk with the
+  // preemption bound lifted to sample schedules the bounded DFS cannot
+  // reach (the staleness budgets stay, so every walk terminates).
+  bool baselines_ok = true;
+  for (const ProtocolCheck& check : protocol_checks()) {
+    Options random_options = check.options;
+    random_options.mode = Options::Mode::random;
+    random_options.preemption_bound = -1;
+    random_options.iterations = 1500;
+    random_options.seed = 1;
+    const std::pair<const char*, Options> arms[] = {
+        {"", check.options}, {"@random", random_options}};
+    for (const auto& [suffix, options] : arms) {
+      const Result result = mc::check(options, check.body);
+      CheckOutcome outcome;
+      outcome.name = check.name + suffix;
+      outcome.ok = result.ok;
+      outcome.executions = result.executions;
+      if (!result.ok) {
+        outcome.failure = result.failure;
+        outcome.trace = result.trace;
+        report.ok = false;
+        baselines_ok = false;
+        report.problems.push_back("baseline scenario failed: " + outcome.name +
+                                  " — " + result.failure);
+      }
+      report.checks.push_back(std::move(outcome));
+    }
+  }
+
+  // Mutations: every deliberately-broken variant must be caught.
+  for (const MutationCheck& mutation : mutations()) {
+    const Result result = run_mutation(mutation);
+    MutationOutcome outcome;
+    outcome.name = mutation.name;
+    outcome.description = mutation.description;
+    outcome.caught = !result.ok;
+    outcome.executions = result.executions;
+    outcome.failure = result.failure;
+    outcome.trace = result.trace;
+    if (result.ok) {
+      report.ok = false;
+      report.problems.push_back("mutation NOT caught: " + mutation.name);
+    }
+    report.mutation_results.push_back(std::move(outcome));
+  }
+
+  // The weakening sweep. Skipped if baselines are broken — verdicts
+  // would be meaningless against failing scenarios.
+  for (std::size_t i = 0; i < lockfree::kSiteCount; ++i) {
+    const auto site = static_cast<Site>(i);
+    const SiteInfo info = lockfree::site_info(site);
+    SiteAudit audit;
+    audit.site = info.name;
+    audit.kernel = info.kernel;
+    audit.op = op_name(info.op);
+    audit.order = detail::order_name(info.default_order);
+
+    const std::vector<std::memory_order> ladder =
+        one_step_weaker(info.op, info.default_order);
+    if (ladder.empty()) {
+      audit.verdict = "minimal";
+    } else if (!baselines_ok) {
+      audit.verdict = "unknown";  // baselines broken; gate already failed
+    } else {
+      bool all_violated = true;
+      for (const std::memory_order weaker : ladder) {
+        WeakeningOutcome outcome = try_weakening(info, weaker);
+        all_violated = all_violated && outcome.violated;
+        audit.weakenings.push_back(std::move(outcome));
+      }
+      audit.verdict = all_violated ? "load_bearing" : "over_strong";
+      if (!all_violated) {
+        report.ok = false;
+        report.problems.push_back(
+            std::string{"site "} + info.name +
+            " survives a one-step weakening: shipped order is over-strong "
+            "(downgrade it, or add the scenario that makes it load-bearing)");
+      }
+    }
+    report.sites.push_back(std::move(audit));
+  }
+
+  return report;
+}
+
+std::string to_json(const AuditReport& report) {
+  std::string out;
+  out.reserve(16 * 1024);
+  out += "{";
+  json_kv(out, "bench", std::string_view{"mc_audit"});
+  json_kv(out, "ok", report.ok);
+
+  out += "\"checks\":[";
+  for (std::size_t i = 0; i < report.checks.size(); ++i) {
+    const CheckOutcome& c = report.checks[i];
+    if (i != 0) out += ',';
+    out += '{';
+    json_kv(out, "name", c.name);
+    json_kv(out, "ok", c.ok);
+    json_kv(out, "executions", c.executions);
+    json_kv(out, "failure", c.failure);
+    json_kv(out, "trace", c.trace, /*comma=*/false);
+    out += '}';
+  }
+  out += "],";
+
+  out += "\"mutations\":[";
+  for (std::size_t i = 0; i < report.mutation_results.size(); ++i) {
+    const MutationOutcome& m = report.mutation_results[i];
+    if (i != 0) out += ',';
+    out += '{';
+    json_kv(out, "name", m.name);
+    json_kv(out, "description", m.description);
+    json_kv(out, "caught", m.caught);
+    json_kv(out, "executions", m.executions);
+    json_kv(out, "failure", m.failure);
+    json_kv(out, "trace", m.trace, /*comma=*/false);
+    out += '}';
+  }
+  out += "],";
+
+  out += "\"sites\":[";
+  for (std::size_t i = 0; i < report.sites.size(); ++i) {
+    const SiteAudit& s = report.sites[i];
+    if (i != 0) out += ',';
+    out += '{';
+    json_kv(out, "site", s.site);
+    json_kv(out, "kernel", s.kernel);
+    json_kv(out, "op", s.op);
+    json_kv(out, "order", s.order);
+    json_kv(out, "verdict", s.verdict);
+    out += "\"weakenings\":[";
+    for (std::size_t j = 0; j < s.weakenings.size(); ++j) {
+      const WeakeningOutcome& w = s.weakenings[j];
+      if (j != 0) out += ',';
+      out += '{';
+      json_kv(out, "to", w.to);
+      json_kv(out, "violated", w.violated);
+      json_kv(out, "check", w.check);
+      json_kv(out, "executions", w.executions);
+      json_kv(out, "failure", w.failure);
+      json_kv(out, "trace", w.trace, /*comma=*/false);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "],";
+
+  out += "\"problems\":[";
+  for (std::size_t i = 0; i < report.problems.size(); ++i) {
+    if (i != 0) out += ',';
+    json_str(out, report.problems[i]);
+  }
+  out += "]}";
+  out += '\n';
+  return out;
+}
+
+}  // namespace eum::mc

@@ -1,0 +1,83 @@
+// Memory-order minimality auditor.
+//
+// For every site in the extracted lock-free kernels (lockfree/sites.h),
+// weaken the shipped order one step down the ladder
+// (seq_cst -> acq_rel -> acquire/release -> relaxed) and require the
+// model checker to exhibit a violating schedule in at least one of that
+// kernel's protocol scenarios. Verdicts:
+//
+//   load_bearing — every one-step weakening has a recorded violating
+//                  schedule (the trace is in the report, replayable);
+//   minimal      — the site already runs relaxed; nothing to weaken;
+//   over_strong  — some weakening passed exhaustive checking, so the
+//                  shipped order is stronger than the protocol needs
+//                  (a finding: downgrade it or add the scenario that
+//                  makes it load-bearing). Fails the audit gate.
+//
+// run_audit() also runs the baseline protocol suite (shipped orders must
+// pass) and the mutation suite (broken variants must be caught) so one
+// artifact carries the whole modelcheck verdict; scripts/check.sh gates
+// on report.ok via scripts/check_bench_artifact.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eum::mc {
+
+/// A baseline protocol scenario run at shipped orders (must pass).
+struct CheckOutcome {
+  std::string name;
+  bool ok = false;
+  std::uint64_t executions = 0;
+  std::string failure;  ///< empty when ok
+  std::string trace;    ///< replayable schedule when !ok
+};
+
+/// A deliberately-broken variant run (must be caught).
+struct MutationOutcome {
+  std::string name;
+  std::string description;
+  bool caught = false;
+  std::uint64_t executions = 0;
+  std::string failure;  ///< the violation the checker found
+  std::string trace;    ///< the replayable violating schedule
+};
+
+/// One one-step weakening of one site.
+struct WeakeningOutcome {
+  std::string to;  ///< the weaker order tried
+  bool violated = false;
+  std::string check;    ///< scenario that violated (or last scenario run)
+  std::uint64_t executions = 0;
+  std::string failure;
+  std::string trace;
+};
+
+struct SiteAudit {
+  std::string site;
+  std::string kernel;
+  std::string op;
+  std::string order;    ///< shipped default
+  std::string verdict;  ///< "load_bearing" | "minimal" | "over_strong"
+  std::vector<WeakeningOutcome> weakenings;
+};
+
+struct AuditReport {
+  bool ok = false;  ///< baselines pass, mutations caught, no over_strong
+  std::vector<CheckOutcome> checks;
+  std::vector<MutationOutcome> mutation_results;
+  std::vector<SiteAudit> sites;
+  std::vector<std::string> problems;  ///< human-readable gate failures
+};
+
+/// Run the full audit: baseline suite, mutation suite, then the
+/// per-site weakening sweep. Deterministic (exhaustive mode throughout).
+[[nodiscard]] AuditReport run_audit();
+
+/// Serialize as the BENCH-artifact-style JSON consumed by
+/// scripts/check_bench_artifact.py ({"bench": "mc_audit", ...}).
+[[nodiscard]] std::string to_json(const AuditReport& report);
+
+}  // namespace eum::mc

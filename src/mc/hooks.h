@@ -1,0 +1,69 @@
+// Internal seam between the mc::atomic / mc::racy templates (atomic.h)
+// and the scheduler (sim.cpp). Everything here routes through the
+// calling thread's current Sim; calling any of it outside a check()
+// body is a logic error and throws.
+//
+// Contract: exactly one scheduling point per source-level operation.
+// The *_begin functions (and the plain on_* ones) contain it; the
+// follow-up CAS outcome functions (on_cas_success / on_cas_fail /
+// on_cas_try_spurious) never re-enter the scheduler, so a CAS is one
+// atomic event no matter how the template decomposes it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace eum::mc::detail {
+
+/// Register an atomic location / plain (racy) object with the current
+/// Sim; returns its id. Registration order is deterministic because the
+/// body constructs state deterministically.
+[[nodiscard]] int register_location();
+[[nodiscard]] int register_racy();
+
+/// Atomic load: scheduling point, coherence-floor computation, read-from
+/// choice, clock effects. Returns the modification-order index to read.
+[[nodiscard]] int on_load(int loc, std::memory_order order);
+
+/// Atomic store: scheduling point, appends a modification-order entry.
+/// Returns the new entry's index.
+int on_store(int loc, std::memory_order order);
+
+/// Atomic RMW (exchange / fetch_op): scheduling point; reads the LATEST
+/// entry (RMW atomicity), appends the new one, carries the release
+/// sequence. Returns {read_index, new_index}.
+[[nodiscard]] std::pair<int, int> on_rmw(int loc, std::memory_order order);
+
+/// CAS step 1: the scheduling point. Returns the latest entry index for
+/// the value comparison; no clock effects yet.
+[[nodiscard]] int on_cas_begin(int loc);
+/// CAS step 2a (values matched, not spurious): RMW effects with the
+/// success order. Returns the new entry's index.
+int on_cas_success(int loc, std::memory_order order);
+/// CAS step 2b: load-of-latest effects with the failure order. Returns
+/// the entry index actually read.
+[[nodiscard]] int on_cas_fail(int loc, std::memory_order order);
+/// For compare_exchange_weak on a matching value: true = fail spuriously
+/// (an enumerated choice, bounded by Options::spurious_cas_budget).
+[[nodiscard]] bool on_cas_try_spurious(int loc);
+
+/// Plain-data accesses: vector-clock race detection (reports and aborts
+/// the execution on an unordered pair). Not scheduling points — a race
+/// is unordered regardless of where the scheduler interleaves it.
+void on_racy_read(int obj);
+void on_racy_write(int obj);
+
+/// Fence: scheduling point + fence clock effects.
+void on_fence(std::memory_order order);
+
+/// Event logging (enabled only while replaying a failing schedule).
+[[nodiscard]] bool logging() noexcept;
+void log_op(int loc, const char* op, std::memory_order order, const std::string& value,
+            int index);
+void log_plain(int obj, const char* op);
+
+[[nodiscard]] const char* order_name(std::memory_order order) noexcept;
+
+}  // namespace eum::mc::detail

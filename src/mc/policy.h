@@ -1,0 +1,83 @@
+// McAtomicsPolicy: binds the extracted lock-free kernels
+// (src/lockfree/*.h) to the model checker — mc::atomic cells, mc::racy
+// payloads, and per-site memory orders resolved through a mutable
+// OrderTable instead of StdAtomicsPolicy's constexpr passthrough.
+//
+// The OrderTable is the memory-order minimality auditor's knob: it
+// overrides exactly one site at a time with a one-step-weaker order and
+// the checker is asked to exhibit a violating schedule. No override
+// means the site runs at its shipped default, so the same protocol
+// bodies serve both the regression suite (defaults must pass
+// exhaustively) and the audit (weakened sites must fail).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <optional>
+
+#include "lockfree/sites.h"
+#include "mc/atomic.h"
+
+namespace eum::mc {
+
+/// Process-wide per-site order overrides. Checker runs are single-
+/// threaded from the caller's perspective (virtual threads run under
+/// strict handoff), so plain storage suffices.
+class OrderTable {
+ public:
+  static OrderTable& instance() {
+    static OrderTable table;
+    return table;
+  }
+
+  void set(lockfree::Site site, std::memory_order order) {
+    overrides_[static_cast<std::size_t>(site)] = order;
+  }
+  void clear(lockfree::Site site) {
+    overrides_[static_cast<std::size_t>(site)].reset();
+  }
+  void clear_all() {
+    for (auto& entry : overrides_) entry.reset();
+  }
+
+  [[nodiscard]] std::memory_order effective(lockfree::Site site,
+                                            std::memory_order def) const {
+    const auto& entry = overrides_[static_cast<std::size_t>(site)];
+    return entry.has_value() ? *entry : def;
+  }
+
+ private:
+  std::array<std::optional<std::memory_order>, lockfree::kSiteCount> overrides_;
+};
+
+struct McAtomicsPolicy {
+  template <class T>
+  using Atomic = mc::atomic<T>;
+
+  template <class T>
+  using Racy = mc::racy<T>;
+
+  template <lockfree::Site S>
+  [[nodiscard]] static std::memory_order order(std::memory_order def) {
+    return OrderTable::instance().effective(S, def);
+  }
+
+  static void fence(std::memory_order order) { mc::fence(order); }
+};
+
+/// RAII single-site weakening, used by the auditor and the downgrade-pin
+/// regression tests.
+class ScopedOrderOverride {
+ public:
+  ScopedOrderOverride(lockfree::Site site, std::memory_order order) : site_(site) {
+    OrderTable::instance().set(site, order);
+  }
+  ~ScopedOrderOverride() { OrderTable::instance().clear(site_); }
+  ScopedOrderOverride(const ScopedOrderOverride&) = delete;
+  ScopedOrderOverride& operator=(const ScopedOrderOverride&) = delete;
+
+ private:
+  lockfree::Site site_;
+};
+
+}  // namespace eum::mc

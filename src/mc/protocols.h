@@ -1,0 +1,61 @@
+// The model-checked protocol suites for the extracted lock-free kernels
+// (src/lockfree/*.h), plus the deliberately-broken mutation variants the
+// checker must flag (the self-test mirroring the invariant linter's
+// fixture tests).
+//
+// Every scenario body instantiates the REAL kernel template against
+// McAtomicsPolicy — the same code production compiles against
+// std::atomic — so a pass here is a statement about the shipped
+// protocol, not a model of it. The memory-order minimality auditor
+// (audit.h) re-runs these same scenarios with single sites weakened.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lockfree/sites.h"
+#include "mc/sim.h"
+
+namespace eum::mc {
+
+/// One exhaustively-checked scenario over an extracted kernel.
+struct ProtocolCheck {
+  std::string name;
+  std::string kernel;  ///< matches SiteInfo::kernel of the sites it exercises
+  Options options;
+  std::function<void(Sim&)> body;
+};
+
+/// The real-kernel scenarios. All are exhaustive; the acceptance gate is
+/// that every one passes (and keeps passing in CI's modelcheck job).
+[[nodiscard]] const std::vector<ProtocolCheck>& protocol_checks();
+
+/// The scenarios that exercise `kernel` (what the auditor re-runs when
+/// weakening one of that kernel's sites).
+[[nodiscard]] std::vector<const ProtocolCheck*> checks_for_kernel(std::string_view kernel);
+
+/// A deliberately-broken protocol variant. Either a hand-built wrong
+/// protocol (dropped fence, swapped publish, legacy pending table) or a
+/// real kernel run with one site overridden to a weaker order. The
+/// checker MUST find a failing schedule for every one of these.
+struct MutationCheck {
+  std::string name;
+  std::string description;
+  Options options;
+  std::function<void(Sim&)> body;
+  /// When set, run `body` with this site forced to the given order.
+  std::optional<std::pair<lockfree::Site, std::memory_order>> weaken;
+};
+
+[[nodiscard]] const std::vector<MutationCheck>& mutations();
+
+/// Run one mutation (applies its override, if any) and return the
+/// checker's result — callers assert !result.ok.
+[[nodiscard]] Result run_mutation(const MutationCheck& mutation);
+
+}  // namespace eum::mc

@@ -1,0 +1,906 @@
+// Scheduler + explorer + operational memory model behind mc::atomic.
+// See sim.h for the model's scope and its documented limits.
+//
+// Execution engine: virtual threads are OS threads under strict handoff
+// (exactly one runnable entity at any instant — the driver or one
+// vthread), so "interleaving" is a deterministic sequence of scheduler
+// choices, not real concurrency. Worker threads are pooled per check()
+// call and reused across executions; an execution is: reset state, run
+// the body (driver), prime each vthread to its first operation, then
+// loop picking which parked thread executes its pending operation.
+//
+// Memory model (relacy-class, operational):
+//   - modification order per location = execution order of its stores;
+//   - a load enumerates every coherence-admissible entry [floor..latest]
+//     as an explicit read-from choice, where floor is the newest entry
+//     the reader is already bound to (own coherence history, any entry
+//     that happens-before the load, SC floors, SC-fence floors);
+//   - happens-before via vector clocks: release-ish stores stamp the
+//     writer's clock on the entry, acquire-ish loads join it; relaxed
+//     loads accumulate into pending_acq, claimed by a later acquire
+//     fence; a release fence stamps subsequent relaxed stores; RMWs read
+//     the latest entry and carry the release sequence;
+//   - seq_cst: the single total order S is the execution order. SC loads
+//     floor at the latest SC store to the location; SC fences flush each
+//     location's last store by the fencing thread into a global floor
+//     that later SC fences/loads pick up (Dekker works, and demoting a
+//     Dekker op below seq_cst yields a violating schedule);
+//   - mc::racy data uses FastTrack-style epoch/VC race detection.
+#include "mc/sim.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mc/hooks.h"
+
+namespace eum::mc {
+
+namespace detail {
+
+namespace {
+
+constexpr std::size_t kSlots = Sim::kMaxThreads + 1;  // slot 0 = driver
+
+using VC = std::array<std::uint32_t, kSlots>;
+
+void vc_join(VC& into, const VC& from) {
+  for (std::size_t i = 0; i < kSlots; ++i) into[i] = std::max(into[i], from[i]);
+}
+
+bool is_acquire(std::memory_order order) {
+  return order == std::memory_order_acquire || order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst || order == std::memory_order_consume;
+}
+
+bool is_release(std::memory_order order) {
+  return order == std::memory_order_release || order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+const char* order_name(std::memory_order order) noexcept {
+  switch (order) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail(std::string message) { throw McFailure{std::move(message)}; }
+
+// ---------------------------------------------------------------------------
+// Choices, traces, explorers
+// ---------------------------------------------------------------------------
+
+struct Choice {
+  char kind;    // 't' schedule, 'r' read-from, 's' spurious CAS
+  int chosen;
+  int options;
+};
+
+/// The bounds are part of the trace: forced-stay (preemption budget
+/// spent) and spurious-budget-exhausted steps consume no choice, so the
+/// choice-point structure only replays under the same bounds.
+struct ParsedTrace {
+  int preemption_bound = -1;
+  int spurious_budget = 1;
+  int stale_depth = -1;
+  int stale_budget = -1;
+  std::vector<Choice> choices;
+};
+
+std::string serialize_trace(const std::vector<Choice>& choices, int preemption_bound,
+                            int spurious_budget, int stale_depth, int stale_budget) {
+  std::string out = "b" + std::to_string(preemption_bound) + " u" +
+                    std::to_string(spurious_budget) + " k" + std::to_string(stale_depth) +
+                    " f" + std::to_string(stale_budget);
+  for (const Choice& c : choices) {
+    out += ' ';
+    out += c.kind;
+    out += std::to_string(c.chosen);
+    out += '/';
+    out += std::to_string(c.options);
+  }
+  return out;
+}
+
+ParsedTrace parse_trace(std::string_view text) {
+  ParsedTrace out;
+  std::istringstream in{std::string{text}};
+  std::string token;
+  while (in >> token) {
+    const char kind = token[0];
+    if (kind == 'b' || kind == 'u' || kind == 'k' || kind == 'f') {
+      const int value = std::stoi(token.substr(1));
+      (kind == 'b'   ? out.preemption_bound
+       : kind == 'u' ? out.spurious_budget
+       : kind == 'k' ? out.stale_depth
+                     : out.stale_budget) = value;
+      continue;
+    }
+    if (kind != 't' && kind != 'r' && kind != 's') {
+      throw std::invalid_argument("mc: unknown trace token kind: " + token);
+    }
+    const std::size_t slash = token.find('/');
+    if (slash == std::string::npos || slash < 2 || slash + 1 >= token.size()) {
+      throw std::invalid_argument("mc: malformed trace token: " + token);
+    }
+    Choice c{};
+    c.kind = kind;
+    c.chosen = std::stoi(token.substr(1, slash - 1));
+    c.options = std::stoi(token.substr(slash + 1));
+    if (c.options < 2 || c.chosen < 0 || c.chosen >= c.options) {
+      throw std::invalid_argument("mc: out-of-range trace token: " + token);
+    }
+    out.choices.push_back(c);
+  }
+  return out;
+}
+
+/// Choice source. pick() is only consulted for genuine branches
+/// (options >= 2); single-option steps are deterministic and unrecorded,
+/// which keeps traces short and DFS branching tight.
+class Explorer {
+ public:
+  virtual ~Explorer() = default;
+
+  int pick(char kind, int options) {
+    const int chosen = choose(kind, options);
+    trail_.push_back(Choice{kind, chosen, options});
+    return chosen;
+  }
+
+  [[nodiscard]] const std::vector<Choice>& trail() const { return trail_; }
+  void begin_execution() {
+    trail_.clear();
+    on_begin();
+  }
+
+ protected:
+  virtual int choose(char kind, int options) = 0;
+  virtual void on_begin() {}
+
+ private:
+  std::vector<Choice> trail_;  // choices consumed by the current execution
+};
+
+/// Exhaustive DFS over the choice tree. The persistent stack holds the
+/// schedule being explored; each execution replays the prefix and takes
+/// option 0 at every fresh choice point. advance() backtracks: pop
+/// exhausted tails, bump the deepest non-exhausted choice.
+class DfsExplorer final : public Explorer {
+ public:
+  bool advance() {
+    while (!stack_.empty() && stack_.back().chosen + 1 >= stack_.back().options) {
+      stack_.pop_back();
+    }
+    if (stack_.empty()) return false;
+    ++stack_.back().chosen;
+    return true;
+  }
+
+ protected:
+  int choose(char kind, int options) override {
+    if (cursor_ < stack_.size()) {
+      const Choice& c = stack_[cursor_];
+      if (c.kind != kind || c.options != options) {
+        throw std::logic_error(
+            "mc: nondeterministic test body (choice sequence diverged between executions)");
+      }
+      ++cursor_;
+      return c.chosen;
+    }
+    stack_.push_back(Choice{kind, 0, options});
+    ++cursor_;
+    return 0;
+  }
+  void on_begin() override { cursor_ = 0; }
+
+ private:
+  std::vector<Choice> stack_;
+  std::size_t cursor_ = 0;
+};
+
+/// Seeded random walk (splitmix64) for state spaces too large to
+/// exhaust. Every execution reseeds deterministically from (seed, index).
+class RandomExplorer final : public Explorer {
+ public:
+  explicit RandomExplorer(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+ protected:
+  int choose(char /*kind*/, int options) override {
+    return static_cast<int>(next() % static_cast<std::uint64_t>(options));
+  }
+
+ private:
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t state_;
+};
+
+/// Replays a recorded choice sequence byte-for-byte; any divergence from
+/// the recording body is a hard determinism error.
+class ReplayExplorer final : public Explorer {
+ public:
+  explicit ReplayExplorer(std::vector<Choice> tokens) : tokens_(std::move(tokens)) {}
+
+ protected:
+  int choose(char kind, int options) override {
+    if (position_ >= tokens_.size()) {
+      throw std::logic_error("mc: replay trace exhausted before the body finished");
+    }
+    const Choice& c = tokens_[position_];
+    if (c.kind != kind || c.options != options) {
+      throw std::logic_error("mc: replay diverged from the recorded trace");
+    }
+    ++position_;
+    return c.chosen;
+  }
+  void on_begin() override { position_ = 0; }
+
+ private:
+  std::vector<Choice> tokens_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// The execution-scoped world
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local Sim* tls_sim = nullptr;
+thread_local int tls_slot = 0;
+
+}  // namespace
+
+struct Sim::Impl {
+  using VC = detail::VC;
+
+  struct Entry {
+    VC release{};  // joined by acquire-ish readers (release-sequence aware)
+    int writer = 0;
+    std::uint32_t ts = 0;
+  };
+
+  struct Location {
+    std::vector<Entry> entries;  // modification order; [0] is the init value
+    std::array<int, detail::kSlots> last_seen{};     // per-thread coherence floor
+    std::array<int, detail::kSlots> last_written{};  // per-thread newest own store
+    int sc_floor = 0;  // newest seq_cst store (floors seq_cst loads)
+    int sc_flush = 0;  // newest entry flushed by any seq_cst fence
+  };
+
+  struct RacyObj {
+    int last_writer = 0;
+    std::uint32_t write_ts = 0;
+    VC reads{};  // per-thread timestamp of the last read
+  };
+
+  struct ThreadState {
+    VC clock{};
+    VC pending_acq{};            // release clocks of relaxed reads, claimed by acquire fence
+    VC rel_fence{};              // clock at the last release fence (stamps relaxed stores)
+    std::vector<int> fence_floor;  // per-location floor installed by seq_cst fences
+    int stale_left = -1;  // remaining non-latest reads (Options::stale_budget)
+    std::function<void()> fn;
+    bool finished = true;
+  };
+
+  // ---- handoff pool ------------------------------------------------------
+  std::mutex mu;
+  std::condition_variable cv;
+  int running = 0;  // slot currently allowed to run; 0 = driver
+  bool shutdown = false;
+  std::vector<std::thread> workers;  // workers[i] serves slot i+1
+
+  // ---- per-execution state ----------------------------------------------
+  detail::Explorer* explorer = nullptr;
+  int nthreads = 0;
+  std::array<ThreadState, detail::kSlots> threads;
+  std::vector<Location> locations;
+  std::vector<RacyObj> racies;
+  std::function<void()> after_fn;
+  Sim* sim = nullptr;
+  bool aborting = false;
+  bool failed = false;
+  std::string failure;
+  int last_run = -1;
+  int preemptions = 0;
+  int preemption_bound = -1;
+  int spurious_left = 0;
+  int stale_depth = -1;
+  bool log_events = false;
+  std::vector<std::string> events;
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      shutdown = true;
+      cv.notify_all();
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  void record_failure(std::string message) {
+    if (!failed) {
+      failed = true;
+      failure = std::move(message);
+    }
+    aborting = true;
+  }
+
+  // ---- scheduling --------------------------------------------------------
+
+  /// Hand control to `slot` and wait until it parks or finishes.
+  void resume(int slot) {
+    std::unique_lock<std::mutex> lock(mu);
+    running = slot;
+    cv.notify_all();
+    cv.wait(lock, [&] { return running == 0; });
+  }
+
+  /// The single scheduling point: park before executing the pending
+  /// operation; when the driver picks this thread, wake, stamp the op's
+  /// timestamp, and let the caller apply its effects.
+  void preop() {
+    const int me = tls_slot;
+    if (me == 0) {  // driver (body construction / after()): no scheduling
+      ++threads[0].clock[0];
+      return;
+    }
+    if (aborting) throw detail::AbortExecution{};
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      running = 0;
+      cv.notify_all();
+      cv.wait(lock, [&] { return running == me || shutdown; });
+      if (shutdown) throw detail::AbortExecution{};
+    }
+    if (aborting) throw detail::AbortExecution{};
+    ++threads[me].clock[static_cast<std::size_t>(me)];
+  }
+
+  void worker_main(int slot) {
+    tls_slot = slot;
+    while (true) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return shutdown || (running == slot && static_cast<bool>(threads[slot].fn));
+        });
+        if (shutdown) return;
+        job = std::move(threads[slot].fn);
+        threads[slot].fn = nullptr;
+      }
+      tls_sim = sim;
+      try {
+        job();
+      } catch (const detail::McFailure& f) {
+        record_failure(f.message);
+      } catch (const detail::AbortExecution&) {
+      } catch (const std::exception& e) {
+        record_failure(std::string{"mc: unexpected exception in virtual thread: "} + e.what());
+      } catch (...) {
+        record_failure("mc: unexpected non-standard exception in virtual thread");
+      }
+      tls_sim = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        threads[slot].finished = true;
+        running = 0;
+        cv.notify_all();
+      }
+    }
+  }
+
+  void ensure_workers(int count) {
+    while (static_cast<int>(workers.size()) < count) {
+      const int slot = static_cast<int>(workers.size()) + 1;
+      workers.emplace_back([this, slot] { worker_main(slot); });
+    }
+  }
+
+  /// Run one execution of `body` under `ex`. Returns true iff it passed.
+  bool run_execution(const Options& options, const std::function<void(Sim&)>& body,
+                     detail::Explorer& ex) {
+    locations.clear();
+    racies.clear();
+    {
+      // Parked workers read threads[slot].fn inside their wait
+      // predicate; mutate thread state only under the pool mutex.
+      std::lock_guard<std::mutex> lock(mu);
+      for (ThreadState& t : threads) {
+        t = ThreadState{};
+        t.stale_left = options.stale_budget;
+      }
+    }
+    after_fn = nullptr;
+    nthreads = 0;
+    aborting = false;
+    failed = false;
+    failure.clear();
+    last_run = -1;
+    preemptions = 0;
+    preemption_bound = options.preemption_bound;
+    spurious_left = options.spurious_cas_budget;
+    stale_depth = options.stale_depth;
+    explorer = &ex;
+    events.clear();
+
+    Sim s(this);
+    sim = &s;
+    tls_sim = &s;
+    tls_slot = 0;
+
+    try {
+      body(s);
+    } catch (const detail::McFailure& f) {
+      record_failure(f.message);
+    }
+
+    if (!failed) {
+      ensure_workers(nthreads);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (int i = 1; i <= nthreads; ++i) {
+          threads[i].finished = false;
+          threads[i].clock[static_cast<std::size_t>(i)] = 1;
+          // Everything the driver did while constructing state happens-
+          // before every virtual thread.
+          threads[i].clock[0] = threads[0].clock[0];
+        }
+      }
+      // Prime: advance each thread to its first operation (zero events).
+      for (int i = 1; i <= nthreads; ++i) resume(i);
+
+      try {
+        // Fairness yield threshold: a thread that runs this many
+        // consecutive ops while peers are enabled is spinning on a
+        // parked peer (Vyukov push is not wait-free against a suspended
+        // consumer); deterministically yield to the next enabled slot —
+        // no explorer choice, no preemption charge. Without this, both
+        // the spin and the DFS over its per-op schedule choices diverge.
+        constexpr int kFairnessYield = 32;
+        int consecutive = 0;
+        while (!aborting) {
+          int enabled[detail::kSlots];
+          int count = 0;
+          for (int i = 1; i <= nthreads; ++i) {
+            if (!threads[i].finished) enabled[count++] = i;
+          }
+          if (count == 0) break;
+          int chosen;
+          const bool last_enabled = last_run > 0 && !threads[last_run].finished;
+          if (count == 1) {
+            chosen = enabled[0];
+          } else if (last_enabled && consecutive >= kFairnessYield) {
+            chosen = last_run;  // placeholder; replaced by the next slot below
+            for (int i = 0; i < count; ++i) {
+              if (enabled[i] == last_run) {
+                chosen = enabled[(i + 1) % count];
+                break;
+              }
+            }
+          } else if (last_enabled && preemption_bound >= 0 && preemptions >= preemption_bound) {
+            chosen = last_run;  // budget spent: forced stay, no choice consumed
+          } else {
+            chosen = enabled[ex.pick('t', count)];
+            if (last_enabled && chosen != last_run) ++preemptions;
+          }
+          consecutive = chosen == last_run ? consecutive + 1 : 0;
+          last_run = chosen;
+          resume(chosen);
+        }
+      } catch (const std::logic_error& e) {
+        record_failure(e.what());
+      }
+      if (aborting) {
+        // Drain: wake the rest in slot order; each aborts at its next
+        // preop. Consumes no explorer choices, so traces stay replayable.
+        for (int i = 1; i <= nthreads; ++i) {
+          while (!threads[i].finished) resume(i);
+        }
+      }
+    }
+
+    if (!failed && after_fn) {
+      // The post-join check sees everything: join all thread clocks so
+      // reads are deterministic (latest entry) and race-free.
+      for (int i = 1; i <= nthreads; ++i) detail::vc_join(threads[0].clock, threads[i].clock);
+      tls_sim = &s;
+      tls_slot = 0;
+      try {
+        after_fn();
+      } catch (const detail::McFailure& f) {
+        record_failure(f.message);
+      }
+    }
+
+    tls_sim = nullptr;
+    sim = nullptr;
+    explorer = nullptr;
+    return !failed;
+  }
+
+  // ---- memory model ------------------------------------------------------
+
+  [[nodiscard]] int fence_floor_of(int slot, int loc) const {
+    const std::vector<int>& floors = threads[slot].fence_floor;
+    return static_cast<std::size_t>(loc) < floors.size() ? floors[static_cast<std::size_t>(loc)]
+                                                         : 0;
+  }
+
+  int do_register_location() {
+    Location loc;
+    Entry init;
+    init.writer = tls_slot;
+    init.ts = threads[tls_slot].clock[static_cast<std::size_t>(tls_slot)];
+    loc.entries.push_back(init);
+    locations.push_back(std::move(loc));
+    return static_cast<int>(locations.size()) - 1;
+  }
+
+  int do_register_racy() {
+    RacyObj obj;
+    obj.last_writer = tls_slot;
+    obj.write_ts = threads[tls_slot].clock[static_cast<std::size_t>(tls_slot)];
+    racies.push_back(obj);
+    return static_cast<int>(racies.size()) - 1;
+  }
+
+  int do_load(int loc, std::memory_order order) {
+    preop();
+    const int me = tls_slot;
+    Location& L = locations[static_cast<std::size_t>(loc)];
+    ThreadState& T = threads[me];
+    const int latest = static_cast<int>(L.entries.size()) - 1;
+    int floor = L.last_seen[static_cast<std::size_t>(me)];
+    // Newest entry that happens-before this load binds the floor (scan
+    // from the top: the first hit is the max).
+    for (int i = latest; i > floor; --i) {
+      const Entry& e = L.entries[static_cast<std::size_t>(i)];
+      if (T.clock[static_cast<std::size_t>(e.writer)] >= e.ts) {
+        floor = i;
+        break;
+      }
+    }
+    if (order == std::memory_order_seq_cst) {
+      floor = std::max(floor, std::max(L.sc_floor, L.sc_flush));
+    }
+    floor = std::max(floor, fence_floor_of(me, loc));
+    // Bounded staleness (Options::stale_depth): cap how far behind the
+    // newest entry the read-from choice may reach. A floor raised here
+    // only prunes choices — hb/coherence floors above stay exact.
+    if (stale_depth >= 0) floor = std::max(floor, latest - stale_depth);
+    // Bounded unfairness (Options::stale_budget): out of budget means
+    // this thread now reads latest values only (memory fairness), which
+    // is what makes adversarially-starved retry loops terminate.
+    if (T.stale_left == 0) floor = latest;
+    const int span = latest - floor + 1;
+    const int choice = span > 1 ? explorer->pick('r', span) : 0;
+    const int index = latest - choice;  // choice 0 = the most recent value
+    if (index < latest && T.stale_left > 0) --T.stale_left;
+    L.last_seen[static_cast<std::size_t>(me)] =
+        std::max(L.last_seen[static_cast<std::size_t>(me)], index);
+    const Entry& e = L.entries[static_cast<std::size_t>(index)];
+    if (detail::is_acquire(order)) detail::vc_join(T.clock, e.release);
+    detail::vc_join(T.pending_acq, e.release);
+    return index;
+  }
+
+  int append_store(int loc, std::memory_order order, const Entry* rmw_read) {
+    const int me = tls_slot;
+    Location& L = locations[static_cast<std::size_t>(loc)];
+    ThreadState& T = threads[me];
+    Entry e;
+    e.writer = me;
+    e.ts = T.clock[static_cast<std::size_t>(me)];
+    e.release = detail::is_release(order) ? T.clock : T.rel_fence;
+    if (rmw_read != nullptr) detail::vc_join(e.release, rmw_read->release);  // release sequence
+    L.entries.push_back(e);
+    const int index = static_cast<int>(L.entries.size()) - 1;
+    L.last_seen[static_cast<std::size_t>(me)] = index;
+    L.last_written[static_cast<std::size_t>(me)] = index;
+    if (order == std::memory_order_seq_cst) L.sc_floor = index;
+    return index;
+  }
+
+  int do_store(int loc, std::memory_order order) {
+    preop();
+    return append_store(loc, order, nullptr);
+  }
+
+  std::pair<int, int> rmw_effects(int loc, std::memory_order order) {
+    const int me = tls_slot;
+    Location& L = locations[static_cast<std::size_t>(loc)];
+    ThreadState& T = threads[me];
+    const int read = static_cast<int>(L.entries.size()) - 1;  // RMW atomicity
+    const Entry read_entry = L.entries[static_cast<std::size_t>(read)];
+    if (detail::is_acquire(order)) detail::vc_join(T.clock, read_entry.release);
+    detail::vc_join(T.pending_acq, read_entry.release);
+    const int index = append_store(loc, order, &read_entry);
+    return {read, index};
+  }
+
+  std::pair<int, int> do_rmw(int loc, std::memory_order order) {
+    preop();
+    return rmw_effects(loc, order);
+  }
+
+  int do_cas_begin(int loc) {
+    preop();
+    return static_cast<int>(locations[static_cast<std::size_t>(loc)].entries.size()) - 1;
+  }
+
+  int do_cas_fail(int loc, std::memory_order order) {
+    // Load-of-latest with the failure order. Model simplification
+    // (documented in sim.h): a failed CAS reads the latest entry rather
+    // than enumerating stale candidates.
+    const int me = tls_slot;
+    Location& L = locations[static_cast<std::size_t>(loc)];
+    ThreadState& T = threads[me];
+    const int index = static_cast<int>(L.entries.size()) - 1;
+    L.last_seen[static_cast<std::size_t>(me)] =
+        std::max(L.last_seen[static_cast<std::size_t>(me)], index);
+    const Entry& e = L.entries[static_cast<std::size_t>(index)];
+    if (detail::is_acquire(order)) detail::vc_join(T.clock, e.release);
+    detail::vc_join(T.pending_acq, e.release);
+    return index;
+  }
+
+  bool do_cas_try_spurious(int /*loc*/) {
+    if (spurious_left <= 0) return false;
+    if (explorer->pick('s', 2) == 0) return false;
+    --spurious_left;
+    return true;
+  }
+
+  void do_fence(std::memory_order order) {
+    preop();
+    const int me = tls_slot;
+    ThreadState& T = threads[me];
+    if (detail::is_acquire(order)) detail::vc_join(T.clock, T.pending_acq);
+    if (detail::is_release(order)) T.rel_fence = T.clock;
+    if (order == std::memory_order_seq_cst) {
+      T.fence_floor.resize(locations.size(), 0);
+      for (std::size_t l = 0; l < locations.size(); ++l) {
+        Location& L = locations[l];
+        // Loads after this fence see at least what earlier SC fences /
+        // SC stores flushed...
+        T.fence_floor[l] = std::max(T.fence_floor[l], std::max(L.sc_flush, L.sc_floor));
+        // ...and this thread's own prior stores become visible to later
+        // SC fences and SC loads.
+        L.sc_flush = std::max(L.sc_flush, L.last_written[static_cast<std::size_t>(me)]);
+      }
+    }
+  }
+
+  void do_racy_access(int obj, bool is_write) {
+    const int me = tls_slot;
+    RacyObj& R = racies[static_cast<std::size_t>(obj)];
+    const ThreadState& T = threads[me];
+    const auto report = [&](int other, const char* other_op, const char* my_op) {
+      detail::fail("data race on racy object #" + std::to_string(obj) + ": thread " +
+                   std::to_string(me) + " " + my_op + " is unordered with thread " +
+                   std::to_string(other) + " " + other_op);
+    };
+    if (R.last_writer != me &&
+        T.clock[static_cast<std::size_t>(R.last_writer)] < R.write_ts) {
+      report(R.last_writer, "write", is_write ? "write" : "read");
+    }
+    if (is_write) {
+      for (std::size_t u = 0; u < detail::kSlots; ++u) {
+        if (static_cast<int>(u) != me && R.reads[u] > 0 && T.clock[u] < R.reads[u]) {
+          report(static_cast<int>(u), "read", "write");
+        }
+      }
+      R.last_writer = me;
+      R.write_ts = T.clock[static_cast<std::size_t>(me)];
+    } else {
+      R.reads[static_cast<std::size_t>(me)] = T.clock[static_cast<std::size_t>(me)];
+    }
+  }
+
+  void log(std::string line) {
+    if (log_events) events.push_back(std::move(line));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sim public surface
+// ---------------------------------------------------------------------------
+
+Sim* Sim::current() noexcept { return tls_sim; }
+
+void Sim::thread(std::function<void()> fn) {
+  Impl& I = impl();
+  if (I.nthreads >= static_cast<int>(kMaxThreads)) {
+    detail::fail("mc: too many virtual threads (max " + std::to_string(kMaxThreads) + ")");
+  }
+  ++I.nthreads;
+  std::lock_guard<std::mutex> lock(I.mu);  // parked workers read fn in their predicate
+  I.threads[static_cast<std::size_t>(I.nthreads)].fn = std::move(fn);
+}
+
+void Sim::after(std::function<void()> fn) { impl().after_fn = std::move(fn); }
+
+// ---------------------------------------------------------------------------
+// Hooks (the atomic.h seam)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+Sim::Impl& impl_now() {
+  Sim* sim = Sim::current();
+  if (sim == nullptr) {
+    throw std::logic_error("mc: atomic operation outside a check() body");
+  }
+  return sim->impl();
+}
+
+}  // namespace
+
+int register_location() { return impl_now().do_register_location(); }
+int register_racy() { return impl_now().do_register_racy(); }
+int on_load(int loc, std::memory_order order) { return impl_now().do_load(loc, order); }
+int on_store(int loc, std::memory_order order) { return impl_now().do_store(loc, order); }
+std::pair<int, int> on_rmw(int loc, std::memory_order order) {
+  return impl_now().do_rmw(loc, order);
+}
+int on_cas_begin(int loc) { return impl_now().do_cas_begin(loc); }
+int on_cas_success(int loc, std::memory_order order) {
+  return impl_now().rmw_effects(loc, order).second;
+}
+int on_cas_fail(int loc, std::memory_order order) {
+  return impl_now().do_cas_fail(loc, order);
+}
+bool on_cas_try_spurious(int loc) { return impl_now().do_cas_try_spurious(loc); }
+void on_racy_read(int obj) { impl_now().do_racy_access(obj, /*is_write=*/false); }
+void on_racy_write(int obj) { impl_now().do_racy_access(obj, /*is_write=*/true); }
+void on_fence(std::memory_order order) { impl_now().do_fence(order); }
+
+bool logging() noexcept {
+  Sim* sim = Sim::current();
+  return sim != nullptr && sim->impl().log_events;
+}
+
+void log_op(int loc, const char* op, std::memory_order order, const std::string& value,
+            int index) {
+  impl_now().log("T" + std::to_string(tls_slot) + " a" + std::to_string(loc) + "." + op + "(" +
+                 order_name(order) + ") = " + value + " [#" + std::to_string(index) + "]");
+}
+
+void log_plain(int obj, const char* op) {
+  impl_now().log("T" + std::to_string(tls_slot) + " racy" + std::to_string(obj) + "." + op);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// check / replay drivers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result run_replay(Sim::Impl& impl, const Options& options, std::string_view trace,
+                  const std::function<void(Sim&)>& body) {
+  Result r;
+  r.trace = std::string{trace};
+  detail::ParsedTrace parsed = detail::parse_trace(trace);
+  Options replay_options = options;
+  replay_options.preemption_bound = parsed.preemption_bound;
+  replay_options.spurious_cas_budget = parsed.spurious_budget;
+  replay_options.stale_depth = parsed.stale_depth;
+  replay_options.stale_budget = parsed.stale_budget;
+  detail::ReplayExplorer ex(std::move(parsed.choices));
+  ex.begin_execution();
+  impl.log_events = true;
+  const bool passed = impl.run_execution(replay_options, body, ex);
+  impl.log_events = false;
+  r.ok = passed;
+  r.executions = 1;
+  r.failure = impl.failure;
+  r.events = std::move(impl.events);
+  return r;
+}
+
+}  // namespace
+
+Result check(const Options& options, const std::function<void(Sim&)>& body) {
+  Sim::Impl impl;
+  Result r;
+
+  const auto finish_failure = [&](detail::Explorer& ex) {
+    r.ok = false;
+    r.failure = impl.failure;
+    r.trace = detail::serialize_trace(ex.trail(), options.preemption_bound,
+                                      options.spurious_cas_budget, options.stale_depth,
+                                      options.stale_budget);
+    // Re-run the failing schedule with logging to fill the event log;
+    // determinism means it fails identically.
+    Result replayed = run_replay(impl, options, r.trace, body);
+    r.events = std::move(replayed.events);
+  };
+
+  if (options.mode == Options::Mode::exhaustive) {
+    detail::DfsExplorer ex;
+    while (true) {
+      if (r.executions >= options.max_executions) {
+        r.ok = false;
+        r.failure = "mc: exploration cap of " + std::to_string(options.max_executions) +
+                    " executions exceeded without exhausting the state space; shrink the "
+                    "protocol or lower the preemption bound";
+        return r;
+      }
+      ex.begin_execution();
+      const bool passed = impl.run_execution(options, body, ex);
+      ++r.executions;
+      if (!passed) {
+        finish_failure(ex);
+        return r;
+      }
+      if (!ex.advance()) break;
+    }
+    r.ok = true;
+    return r;
+  }
+
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    detail::RandomExplorer ex(options.seed + 0x100000001b3ULL * (i + 1));
+    ex.begin_execution();
+    const bool passed = impl.run_execution(options, body, ex);
+    ++r.executions;
+    if (!passed) {
+      finish_failure(ex);
+      return r;
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+Result replay(std::string_view trace, const std::function<void(Sim&)>& body) {
+  Sim::Impl impl;
+  Options options;  // bounds are irrelevant: the trace dictates every choice
+  return run_replay(impl, options, trace, body);
+}
+
+std::string Result::summary() const {
+  std::string out;
+  if (ok) {
+    out = "mc: OK after " + std::to_string(executions) + " execution(s)";
+    return out;
+  }
+  out = "mc: FAILED after " + std::to_string(executions) + " execution(s): " + failure;
+  if (!trace.empty()) out += "\n  trace: " + trace;
+  for (const std::string& e : events) out += "\n  " + e;
+  return out;
+}
+
+}  // namespace eum::mc

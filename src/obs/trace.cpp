@@ -87,77 +87,9 @@ void TraceSpan::set_detail(std::string_view text) noexcept {
   detail[n] = '\0';
 }
 
-// --- FlightRecorder::Ring --------------------------------------------------
-
-void FlightRecorder::Ring::init(std::size_t capacity) {
-  const std::size_t size = std::bit_ceil(std::max<std::size_t>(capacity, 2));
-  mask = size - 1;
-  cells = std::make_unique<Cell[]>(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    cells[i].sequence.store(i, std::memory_order_relaxed);
-  }
-  enqueue_pos.store(0, std::memory_order_relaxed);
-  dequeue_pos.store(0, std::memory_order_relaxed);
-}
-
-std::size_t FlightRecorder::Ring::push(const TraceRecord& record) noexcept {
-  std::size_t discarded = 0;
-  std::uint64_t pos = enqueue_pos.load(std::memory_order_relaxed);
-  for (;;) {
-    Cell& cell = cells[pos & mask];
-    const std::uint64_t seq = cell.sequence.load(std::memory_order_acquire);
-    const std::int64_t dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
-    if (dif == 0) {
-      if (enqueue_pos.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed,
-                                            std::memory_order_relaxed)) {
-        cell.record = record;
-        cell.sequence.store(pos + 1, std::memory_order_release);
-        return discarded;
-      }
-      // CAS failure reloaded `pos`; retry with the fresh slot.
-    } else if (dif < 0) {
-      // Ring full: discard the oldest record (a consumer-side claim made
-      // from the producer) and retry. The claim gives exclusive cell
-      // ownership, so skipping the payload read is safe.
-      std::uint64_t tail = dequeue_pos.load(std::memory_order_relaxed);
-      Cell& old = cells[tail & mask];
-      const std::uint64_t old_seq = old.sequence.load(std::memory_order_acquire);
-      if (static_cast<std::int64_t>(old_seq) - static_cast<std::int64_t>(tail + 1) == 0 &&
-          dequeue_pos.compare_exchange_weak(tail, tail + 1, std::memory_order_relaxed,
-                                            std::memory_order_relaxed)) {
-        old.sequence.store(tail + mask + 1, std::memory_order_release);
-        ++discarded;
-      }
-      pos = enqueue_pos.load(std::memory_order_relaxed);
-    } else {
-      pos = enqueue_pos.load(std::memory_order_relaxed);
-    }
-  }
-}
-
-bool FlightRecorder::Ring::pop(TraceRecord& out) noexcept {
-  std::uint64_t pos = dequeue_pos.load(std::memory_order_relaxed);
-  for (;;) {
-    Cell& cell = cells[pos & mask];
-    const std::uint64_t seq = cell.sequence.load(std::memory_order_acquire);
-    const std::int64_t dif =
-        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
-    if (dif == 0) {
-      if (dequeue_pos.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed,
-                                            std::memory_order_relaxed)) {
-        out = cell.record;
-        cell.sequence.store(pos + mask + 1, std::memory_order_release);
-        return true;
-      }
-    } else if (dif < 0) {
-      return false;  // empty
-    } else {
-      pos = dequeue_pos.load(std::memory_order_relaxed);
-    }
-  }
-}
-
 // --- FlightRecorder --------------------------------------------------------
+// (FlightRecorder::Ring is the extracted lockfree::MpmcRing kernel; the
+// protocol formerly defined here is model-checked in mc/protocols.cpp.)
 
 FlightRecorder::FlightRecorder(FlightRecorderConfig config) : config_(config) {
   sampled_ring_.init(config_.capacity);

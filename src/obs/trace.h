@@ -38,6 +38,9 @@
 #include <string_view>
 #include <vector>
 
+#include "lockfree/atomics_policy.h"
+#include "lockfree/mpmc_ring.h"
+
 namespace eum::obs {
 
 /// Where on the serve path a span was recorded.
@@ -183,21 +186,10 @@ class FlightRecorder {
  private:
   /// Bounded MPMC ring (Vyukov): per-cell sequence numbers, CAS claims,
   /// release/acquire pairs on the cell sequence protect the payload copy.
-  struct Ring {
-    struct Cell {
-      std::atomic<std::uint64_t> sequence{0};
-      TraceRecord record;
-    };
-    std::size_t mask = 0;
-    std::unique_ptr<Cell[]> cells;
-    std::atomic<std::uint64_t> enqueue_pos{0};
-    std::atomic<std::uint64_t> dequeue_pos{0};
-
-    void init(std::size_t capacity);
-    /// Returns the number of oldest records discarded to make room.
-    std::size_t push(const TraceRecord& record) noexcept;
-    [[nodiscard]] bool pop(TraceRecord& out) noexcept;
-  };
+  /// Bounded MPMC ring with producer-side eviction. The protocol lives
+  /// in the extracted lockfree::MpmcRing kernel so the identical code is
+  /// model-checked under mc::atomic (see mc/protocols.cpp).
+  using Ring = lockfree::MpmcRing<lockfree::StdAtomicsPolicy, TraceRecord>;
 
   void recompute_threshold() noexcept;
 

@@ -1,12 +1,14 @@
 #include "util/shard_pool.h"
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "lockfree/atomics_policy.h"
+#include "lockfree/job_claim.h"
 
 namespace eum::util {
 
@@ -23,10 +25,12 @@ struct ShardPool::Impl {
   std::size_t worker_count = 0;
 
   // Current batch (valid while workers hold a generation observed under
-  // the mutex). next_job is claimed lock-free once the batch started.
+  // the mutex). next_job is claimed lock-free once the batch started;
+  // the claim protocol is the extracted lockfree::JobClaim kernel
+  // (model-checked in mc/protocols.cpp).
   std::size_t jobs = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::atomic<std::size_t> next_job{0};
+  lockfree::JobClaim<lockfree::StdAtomicsPolicy> next_job;
   std::size_t idle_workers = 0;  ///< workers parked between batches
   std::exception_ptr first_error;
 
@@ -36,7 +40,7 @@ struct ShardPool::Impl {
     // Claim and run jobs until the batch is exhausted. Exceptions are
     // captured once; later jobs still run so the batch always drains.
     while (true) {
-      const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t job = next_job.claim();
       if (job >= jobs) break;
       try {
         (*fn)(job);
@@ -101,7 +105,7 @@ void ShardPool::run(std::size_t jobs, const std::function<void(std::size_t)>& fn
     impl_->batch_done.wait(lock, [&] { return impl_->idle_workers == impl_->worker_count; });
     impl_->jobs = jobs;
     impl_->fn = &fn;
-    impl_->next_job.store(0, std::memory_order_relaxed);
+    impl_->next_job.reset();
     impl_->first_error = nullptr;
     my_generation = ++impl_->generation;
   }
